@@ -1,0 +1,122 @@
+// Benchmarks reproducing every figure panel of the paper's Section 8.
+// Each Benchmark runs one panel of Figures 7, 8 or 9 at the Quick scale and
+// reports the panel's headline series as custom metrics, so `go test
+// -bench=.` regenerates the whole evaluation. cmd/experiments prints the
+// same panels at paper scale with full tables.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/listing"
+)
+
+// reportFigure reruns a panel once per benchmark iteration and reports the
+// last point of each series (the largest parameter value — the paper's
+// headline operating point) as custom metrics.
+func reportFigure(b *testing.B, run func(bench.Config) bench.Figure) {
+	b.Helper()
+	cfg := bench.Quick()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = run(cfg)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], fmt.Sprintf("%s_%s", fig.YLabel, s.Label))
+		}
+	}
+}
+
+func BenchmarkFig7a_SearchVsN(b *testing.B)      { reportFigure(b, bench.Fig7a) }
+func BenchmarkFig7b_SearchVsTau(b *testing.B)    { reportFigure(b, bench.Fig7b) }
+func BenchmarkFig7c_SearchVsTauMin(b *testing.B) { reportFigure(b, bench.Fig7c) }
+func BenchmarkFig7d_SearchVsM(b *testing.B)      { reportFigure(b, bench.Fig7d) }
+func BenchmarkFig8a_ListVsN(b *testing.B)        { reportFigure(b, bench.Fig8a) }
+func BenchmarkFig8b_ListVsTau(b *testing.B)      { reportFigure(b, bench.Fig8b) }
+func BenchmarkFig8c_ListVsTauMin(b *testing.B)   { reportFigure(b, bench.Fig8c) }
+func BenchmarkFig8d_ListVsM(b *testing.B)        { reportFigure(b, bench.Fig8d) }
+func BenchmarkFig9a_BuildVsN(b *testing.B)       { reportFigure(b, bench.Fig9a) }
+func BenchmarkFig9b_BuildVsTauMin(b *testing.B)  { reportFigure(b, bench.Fig9b) }
+func BenchmarkFig9c_SpaceVsN(b *testing.B)       { reportFigure(b, bench.Fig9c) }
+
+// Micro-benchmarks of the individual operations behind the figures.
+
+func benchIndex(b *testing.B, n int, theta float64) *core.Index {
+	b.Helper()
+	s := gen.Single(gen.Config{N: n, Theta: theta, Seed: 1})
+	ix, err := core.Build(s, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkBuild20K(b *testing.B) {
+	s := gen.Single(gen.Config{N: 20_000, Theta: 0.3, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(s, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchShortPattern(b *testing.B) {
+	s := gen.Single(gen.Config{N: 50_000, Theta: 0.3, Seed: 1})
+	ix, err := core.Build(s, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := gen.Patterns(s, 64, 6, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(pats[i%len(pats)], 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchLongPattern(b *testing.B) {
+	s := gen.Single(gen.Config{N: 50_000, Theta: 0.3, Seed: 1})
+	ix, err := core.Build(s, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := gen.Patterns(s, 64, 20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(pats[i%len(pats)], 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListShortPattern(b *testing.B) {
+	docs := gen.Collection(gen.Config{N: 50_000, Theta: 0.3, Seed: 1})
+	ix, err := listing.Build(docs, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := gen.CollectionPatterns(docs, 64, 6, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.List(pats[i%len(pats)], 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpaceAccounting(b *testing.B) {
+	ix := benchIndex(b, 20_000, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ix.Bytes() <= 0 {
+			b.Fatal("bad space")
+		}
+	}
+}

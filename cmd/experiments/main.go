@@ -1,0 +1,59 @@
+// Command experiments reproduces every figure of the paper's evaluation
+// (Section 8): Figures 7(a)–(d) substring searching, 8(a)–(d) string
+// listing, 9(a)–(c) construction time and index space.
+//
+// Usage:
+//
+//	experiments [-quick] [-fig 7a[,8b,...]]
+//
+// Without -fig, every panel runs in paper order. -quick shrinks string
+// sizes and workloads to finish in seconds rather than minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced sizes (CI-friendly)")
+	figs := flag.String("fig", "", "comma-separated figure ids to run (e.g. 7a,9c); empty = all")
+	flag.Parse()
+
+	cfg := bench.Full()
+	if *quick {
+		cfg = bench.Quick()
+	}
+
+	want := map[string]bool{}
+	if *figs != "" {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(strings.ToLower(f))] = true
+		}
+	}
+
+	ran := 0
+	for _, r := range bench.Runners() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		fig := r.Run(cfg)
+		fmt.Println(fig.Format())
+		fmt.Printf("  [panel completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figure matched %q; known ids:", *figs)
+		for _, r := range bench.Runners() {
+			fmt.Fprintf(os.Stderr, " %s", r.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Probabilistic
+// Threshold Indexing for Uncertain Strings" (Thankachan, Patil, Shah,
+// Biswas; EDBT 2016, arXiv:1509.08608).
+//
+// The public API lives in repro/uncertain; the executables in cmd/ustridx
+// (CLI) and cmd/experiments (figure reproductions); runnable programs
+// modelled on the paper's motivating applications in examples/.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured record.
+package repro

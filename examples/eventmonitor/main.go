@@ -1,0 +1,112 @@
+// Eventmonitor: threat-pattern listing over noisy RFID event streams — the
+// paper's third motivating application (Section 2, "Event Monitoring") and
+// the string-listing problem of Section 6.
+//
+// A building's RFID infrastructure produces one event stream per reader.
+// Readers are error prone, so each observed event carries a probability
+// distribution (badge read B, tailgate T, forced door F, door open O, idle
+// I). Security wants every stream that probably contains a threat signature
+// — uncertain string listing: one query over the whole collection, output
+// proportional to the number of matching streams, with both the maximum
+// probability and the OR-combined relevance of Section 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/uncertain"
+)
+
+var eventAlphabet = []byte("BTFOI")
+
+// simulateReader builds one reader's uncertain event stream; threatRate
+// controls how often a noisy "forced door after tailgate" burst is injected.
+func simulateReader(n int, threatRate float64, seed int64) *uncertain.String {
+	rng := rand.New(rand.NewSource(seed))
+	s := &uncertain.String{Pos: make([]uncertain.Position, 0, n)}
+	for len(s.Pos) < n {
+		if rng.Float64() < threatRate && n-len(s.Pos) >= 3 {
+			// Inject T F O with read noise.
+			for _, c := range []byte{'T', 'F', 'O'} {
+				p := 0.6 + 0.35*rng.Float64()
+				other := eventAlphabet[rng.Intn(len(eventAlphabet))]
+				for other == c {
+					other = eventAlphabet[rng.Intn(len(eventAlphabet))]
+				}
+				s.Pos = append(s.Pos, uncertain.Position{
+					{Char: c, Prob: p},
+					{Char: other, Prob: 1 - p},
+				})
+			}
+			continue
+		}
+		// Benign traffic: badge reads and idles, mostly confident.
+		c := []byte{'B', 'I', 'O'}[rng.Intn(3)]
+		if rng.Float64() < 0.85 {
+			s.Pos = append(s.Pos, uncertain.Position{{Char: c, Prob: 1}})
+		} else {
+			other := eventAlphabet[rng.Intn(len(eventAlphabet))]
+			for other == c {
+				other = eventAlphabet[rng.Intn(len(eventAlphabet))]
+			}
+			s.Pos = append(s.Pos, uncertain.Position{
+				{Char: c, Prob: 0.75},
+				{Char: other, Prob: 0.25},
+			})
+		}
+	}
+	return s
+}
+
+func main() {
+	// 40 readers; a handful carry elevated threat rates.
+	var streams []*uncertain.String
+	for r := 0; r < 40; r++ {
+		rate := 0.0005
+		if r%13 == 0 {
+			rate = 0.01 // compromised zones
+		}
+		streams = append(streams, simulateReader(2_000, rate, int64(100+r)))
+	}
+	ix, err := uncertain.NewCollectionIndex(streams, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d reader streams, %d events total\n",
+		ix.NumDocs(), 40*2_000)
+
+	signature := []byte("TFO") // tailgate, forced door, door open
+	for _, tau := range []float64{0.5, 0.3} {
+		res, err := ix.ListRelevance(signature, tau, uncertain.RelMax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreaders with P(TFO) > %.1f (max-probability relevance): %d\n", tau, len(res))
+		for _, r := range res {
+			fmt.Printf("  reader %2d  strongest occurrence p=%.3f\n", r.Doc, r.Rel)
+		}
+	}
+
+	// The OR metric aggregates repeated weak occurrences — a reader with
+	// many borderline signatures outranks one lucky strong hit.
+	res, err := ix.ListRelevance(signature, 0.5, uncertain.RelOR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreaders with OR-combined relevance > 0.5: %d\n", len(res))
+	for _, r := range res {
+		occs, err := ix.Occurrences(signature)
+		if err != nil {
+			log.Fatal(err)
+		}
+		count := 0
+		for _, o := range occs {
+			if o.Doc == r.Doc {
+				count++
+			}
+		}
+		fmt.Printf("  reader %2d  rel=%.3f over %d occurrence(s)\n", r.Doc, r.Rel, count)
+	}
+}

@@ -1,0 +1,329 @@
+// Package approx implements the paper's Section 7: an approximate substring
+// search index answering queries in optimal time for any τ ≥ τmin, with an
+// additive error ε — every reported occurrence has true probability at least
+// τ − ε, and no occurrence with probability above τ is missed.
+//
+// # Construction
+//
+// The uncertain string is transformed with Lemma 2 and a suffix tree is
+// built over the transformed text. Following the Hon–Shah–Vitter framework:
+//
+//   - every leaf is marked with the original position (PosId) its suffix
+//     starts at; an internal node is marked with d when it is the LCA of two
+//     leaves marked d;
+//   - for every node u marked d, a link (origin=u, target=lowest proper
+//     ancestor of u marked d, PosId=d) is created. For any pattern locus and
+//     any original position d matching it, exactly one link has its origin in
+//     the locus subtree and its target strictly above — the stabbing query;
+//   - each link carries the probability of prefix(origin) matching at d, and
+//     is split into sub-links whose probabilities differ by at most ε along
+//     the path (the paper's discretisation), so the probability attached to
+//     the stabbed sub-link underestimates the true match probability by at
+//     most ε.
+//
+// Sub-link origins live on tree edges; each is stored with its base node
+// (the node below it), the depth interval (DLow, DHigh] it covers, and the
+// probability at DHigh. A stab for pattern length m selects links with base
+// node inside the locus subtree and DLow < m ≤ DHigh.
+//
+// # Query
+//
+// Links are sorted by origin preorder; a range-maximum structure over link
+// probabilities extracts, for the locus preorder interval, every link with
+// probability above τ − ε in decreasing order, stopping at the threshold —
+// O(log N + occ) plus the depth-filter rejections on the two edges
+// bracketing the locus (at most ⌈1/ε⌉ each).
+package approx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/factor"
+	"repro/internal/prob"
+	"repro/internal/rmq"
+	"repro/internal/stree"
+	"repro/internal/suffix"
+	"repro/internal/ustring"
+)
+
+// Errors reported by Build and Search.
+var (
+	ErrBadEpsilon       = errors.New("approx: epsilon must be in (0, 1)")
+	ErrCorrUnsupported  = errors.New("approx: correlations are not supported by the approximate index")
+	ErrTauOutOfRange    = errors.New("approx: tau out of range (0, 1]")
+	ErrTauBelowTauMin   = errors.New("approx: tau below the construction threshold tau_min")
+	ErrEmptyPattern     = errors.New("approx: empty pattern")
+	ErrPatternSeparator = errors.New("approx: pattern contains the reserved separator byte")
+)
+
+// Match is one approximate search result.
+type Match struct {
+	// Pos is the occurrence position in the original string.
+	Pos int
+	// ApproxProb is the link probability: a lower bound on the true match
+	// probability, within ε of it.
+	ApproxProb float64
+}
+
+// Index is the Section 7 structure.
+type Index struct {
+	tr      *factor.Transformed
+	tree    *stree.Tree
+	pre     *prob.Prefix
+	src     *ustring.String
+	tauMin  float64
+	epsilon float64
+
+	// Parallel link arrays, sorted by base-node preorder.
+	linkPre   []int32
+	linkBase  []int32
+	linkDLow  []int32
+	linkDHigh []int32
+	linkPos   []int32
+	linkProb  []float64
+	probRMQ   *rmq.Block
+}
+
+// Build constructs the approximate index for thresholds τ ≥ tauMin with
+// additive error at most epsilon.
+func Build(s *ustring.String, tauMin, epsilon float64) (*Index, error) {
+	if !(epsilon > 0 && epsilon < 1) || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, epsilon)
+	}
+	if len(s.Corr) > 0 {
+		return nil, ErrCorrUnsupported
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("approx: invalid input string: %w", err)
+	}
+	tr, err := factor.Transform(s, tauMin)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		tr:      tr,
+		src:     s,
+		tauMin:  tauMin,
+		epsilon: epsilon,
+		pre:     prob.NewPrefix(tr.LogP),
+	}
+	tx := suffix.New(tr.T)
+	ix.tree = stree.Build(tx)
+	if tx.Len() > 0 {
+		ix.buildLinks(tx)
+	}
+	return ix, nil
+}
+
+// buildLinks creates the ε-refined HSV links for every original position.
+func (ix *Index) buildLinks(tx *suffix.Text) {
+	t := ix.tree
+	n := tx.Len()
+
+	// Group suffix-array positions (= leaves, in preorder order) by PosId.
+	byPos := make(map[int32][]int32)
+	for j := 0; j < n; j++ {
+		d := ix.tr.Pos[tx.SA()[j]]
+		if d < 0 {
+			continue
+		}
+		byPos[d] = append(byPos[d], int32(j))
+	}
+	// Deterministic iteration order.
+	ds := make([]int32, 0, len(byPos))
+	for d := range byPos {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+
+	for _, d := range ds {
+		leaves := byPos[d]
+		// Marked nodes: the leaves plus LCAs of adjacent leaves, LCA-closed.
+		type marked struct {
+			node int32
+			rep  int32 // representative leaf (SA position) below node with PosId d
+		}
+		set := map[int32]int32{} // node -> rep leaf
+		for _, l := range leaves {
+			set[t.Leaf(int(l))] = l
+		}
+		for i := 1; i < len(leaves); i++ {
+			lca := t.LCALeaves(int(leaves[i-1]), int(leaves[i]))
+			if _, ok := set[lca]; !ok {
+				set[lca] = leaves[i-1]
+			}
+		}
+		nodes := make([]marked, 0, len(set))
+		for v, rep := range set {
+			nodes = append(nodes, marked{v, rep})
+		}
+		sort.Slice(nodes, func(a, b int) bool { return t.Pre(nodes[a].node) < t.Pre(nodes[b].node) })
+
+		// Induced ("virtual") tree via the preorder stack; the parent on the
+		// stack is the lowest marked proper ancestor — the link target.
+		var stack []marked
+		for _, mk := range nodes {
+			for len(stack) > 0 && !t.IsAncestor(stack[len(stack)-1].node, mk.node) {
+				stack = stack[:len(stack)-1]
+			}
+			parentDepth := int32(0)
+			if len(stack) > 0 {
+				parentDepth = t.Depth(stack[len(stack)-1].node)
+			}
+			ix.emitChain(mk.node, mk.rep, parentDepth, d)
+			stack = append(stack, mk)
+		}
+	}
+
+	// Sort links by base-node preorder for the stabbing structure.
+	order := make([]int, len(ix.linkPre))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ix.linkPre[order[a]] != ix.linkPre[order[b]] {
+			return ix.linkPre[order[a]] < ix.linkPre[order[b]]
+		}
+		return ix.linkDHigh[order[a]] > ix.linkDHigh[order[b]]
+	})
+	permute32 := func(xs []int32) []int32 {
+		out := make([]int32, len(xs))
+		for i, o := range order {
+			out[i] = xs[o]
+		}
+		return out
+	}
+	ix.linkPre = permute32(ix.linkPre)
+	ix.linkBase = permute32(ix.linkBase)
+	ix.linkDLow = permute32(ix.linkDLow)
+	ix.linkDHigh = permute32(ix.linkDHigh)
+	ix.linkPos = permute32(ix.linkPos)
+	probs := make([]float64, len(ix.linkProb))
+	for i, o := range order {
+		probs[i] = ix.linkProb[o]
+	}
+	ix.linkProb = probs
+	ix.probRMQ = rmq.NewBlock(len(ix.linkProb), func(i int) float64 { return ix.linkProb[i] })
+}
+
+// emitChain splits the path piece from node v (string depth depth(v)) up to
+// its lowest marked proper ancestor (string depth parentDepth) into ε-bounded
+// sub-links for original position d. rep is a leaf (suffix array position)
+// below v whose suffix starts the occurrence: probabilities at any depth k
+// are window probabilities of length k at text position SA[rep].
+func (ix *Index) emitChain(v, rep, parentDepth, d int32) {
+	t := ix.tree
+	x0 := int(t.Text().SA()[rep])
+	// Windows are only valid inside the factor: cap at the remaining length.
+	rem := 0
+	if sp := ix.tr.SpanOf[x0]; sp >= 0 {
+		rem = ix.tr.Spans[sp].XEnd - x0
+	}
+	hi := int(t.Depth(v))
+	if hi > rem {
+		hi = rem
+	}
+	lo := int(parentDepth)
+	if hi <= lo {
+		return
+	}
+	emit := func(dLow, dHigh int, p float64) {
+		ix.linkPre = append(ix.linkPre, t.Pre(v))
+		ix.linkBase = append(ix.linkBase, v)
+		ix.linkDLow = append(ix.linkDLow, int32(dLow))
+		ix.linkDHigh = append(ix.linkDHigh, int32(dHigh))
+		ix.linkPos = append(ix.linkPos, d)
+		ix.linkProb = append(ix.linkProb, p)
+	}
+	segHi := hi
+	segProb := prob.Exp(ix.pre.Span(x0, x0+segHi))
+	for k := hi - 1; k > lo; k-- {
+		pk := prob.Exp(ix.pre.Span(x0, x0+k))
+		if pk-segProb > ix.epsilon {
+			emit(k, segHi, segProb)
+			segHi = k
+			segProb = pk
+		}
+	}
+	emit(lo, segHi, segProb)
+}
+
+// Search reports every original position where p matches with probability
+// greater than τ, possibly with false positives down to τ − ε, sorted by
+// position. The reported ApproxProb underestimates the true probability by
+// at most ε.
+func (ix *Index) Search(p []byte, tau float64) ([]Match, error) {
+	if len(p) == 0 {
+		return nil, ErrEmptyPattern
+	}
+	for _, c := range p {
+		if c == 0 {
+			return nil, ErrPatternSeparator
+		}
+	}
+	if math.IsNaN(tau) || tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("%w (got %v)", ErrTauOutOfRange, tau)
+	}
+	if tau < ix.tauMin-prob.Eps {
+		return nil, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	}
+	if ix.tree.Root() < 0 {
+		return nil, nil
+	}
+	node, _, _, ok := ix.tree.Locus(p)
+	if !ok {
+		return nil, nil
+	}
+	a, b := ix.tree.PreRange(node)
+	// Link index range with base preorder in [a, b].
+	lo := sort.Search(len(ix.linkPre), func(i int) bool { return ix.linkPre[i] >= a })
+	hi := sort.Search(len(ix.linkPre), func(i int) bool { return ix.linkPre[i] > b }) - 1
+	if lo > hi {
+		return nil, nil
+	}
+	m := int32(len(p))
+	thr := tau - ix.epsilon
+
+	var out []Match
+	type span struct{ l, r int }
+	stack := []span{{lo, hi}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.l > s.r {
+			continue
+		}
+		j := ix.probRMQ.Max(s.l, s.r)
+		if !(ix.linkProb[j] > thr) {
+			continue
+		}
+		if ix.linkDLow[j] < m && m <= ix.linkDHigh[j] {
+			out = append(out, Match{Pos: int(ix.linkPos[j]), ApproxProb: ix.linkProb[j]})
+		}
+		stack = append(stack, span{s.l, j - 1}, span{j + 1, s.r})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Pos < out[b].Pos })
+	return out, nil
+}
+
+// Epsilon returns the construction error bound.
+func (ix *Index) Epsilon() float64 { return ix.epsilon }
+
+// TauMin returns the construction threshold.
+func (ix *Index) TauMin() float64 { return ix.tauMin }
+
+// NumLinks returns the number of ε-refined links (the paper's O(N/ε)).
+func (ix *Index) NumLinks() int { return len(ix.linkProb) }
+
+// Bytes reports the memory footprint.
+func (ix *Index) Bytes() int {
+	b := ix.tr.Bytes() + ix.tree.Bytes() + ix.pre.Bytes()
+	b += len(ix.linkPre)*4*5 + len(ix.linkProb)*8
+	if ix.probRMQ != nil {
+		b += ix.probRMQ.Bytes()
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+func randomUString(rng *rand.Rand, n, sigma int, theta float64) *ustring.String {
+	s := &ustring.String{Pos: make([]ustring.Position, n)}
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= theta {
+			s.Pos[i] = ustring.Position{{Char: byte('a' + rng.Intn(sigma)), Prob: 1}}
+			continue
+		}
+		k := 2 + rng.Intn(2)
+		if k > sigma {
+			k = sigma
+		}
+		perm := rng.Perm(sigma)
+		pos := make(ustring.Position, k)
+		acc := 0.0
+		for j := 0; j < k; j++ {
+			p := (1 - acc) / float64(k-j)
+			if j < k-1 {
+				p *= 0.6 + 0.8*rng.Float64()
+				if p > 1-acc {
+					p = 1 - acc
+				}
+			} else {
+				p = 1 - acc
+			}
+			acc += p
+			pos[j] = ustring.Choice{Char: byte('a' + perm[j]), Prob: p}
+		}
+		s.Pos[i] = pos
+	}
+	return s
+}
+
+func allPatterns(m, sigma int) [][]byte {
+	if m == 0 {
+		return [][]byte{nil}
+	}
+	var out [][]byte
+	for _, prefix := range allPatterns(m-1, sigma) {
+		for c := 0; c < sigma; c++ {
+			out = append(out, append(append([]byte(nil), prefix...), byte('a'+c)))
+		}
+	}
+	return out
+}
+
+// TestApproxGuarantees is the contract test of Section 7: for every query,
+//
+//  1. completeness — every position with true probability > τ is reported;
+//  2. soundness — every reported position has true probability > τ − ε;
+//  3. accuracy — ApproxProb ∈ [trueProb − ε, trueProb];
+//  4. uniqueness — no position reported twice.
+func TestApproxGuarantees(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(14)
+		s := randomUString(rng, n, 3, 0.6)
+		tauMin := 0.1
+		eps := []float64{0.01, 0.05, 0.15}[trial%3]
+		ix, err := Build(s, tauMin, eps)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		for m := 1; m <= 4; m++ {
+			for _, p := range allPatterns(m, 3) {
+				for _, tau := range []float64{0.1, 0.25, 0.5} {
+					matches, err := ix.Search(p, tau)
+					if err != nil {
+						t.Fatalf("Search(%q, %v): %v", p, tau, err)
+					}
+					got := map[int]float64{}
+					for _, mt := range matches {
+						if _, dup := got[mt.Pos]; dup {
+							t.Fatalf("position %d reported twice for %q", mt.Pos, p)
+						}
+						got[mt.Pos] = mt.ApproxProb
+					}
+					for i := 0; i+m <= s.Len(); i++ {
+						truth := s.OccurrenceProb(p, i)
+						ap, reported := got[i]
+						if truth > tau+1e-9 && !reported {
+							t.Fatalf("trial %d: missed match %q at %d (prob %v > τ=%v, ε=%v)\nS: %s",
+								trial, p, i, truth, tau, eps, s.Format())
+						}
+						if reported {
+							if truth <= tau-eps-1e-9 {
+								t.Fatalf("trial %d: false positive %q at %d (prob %v ≤ τ−ε=%v)\nS: %s",
+									trial, p, i, truth, tau-eps, s.Format())
+							}
+							if ap > truth+1e-9 || truth-ap > eps+1e-9 {
+								t.Fatalf("ApproxProb %v outside [truth−ε, truth] = [%v, %v]",
+									ap, truth-eps, truth)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApproxRealisticWorkload(t *testing.T) {
+	s := gen.Single(gen.Config{N: 3000, Theta: 0.3, Seed: 167})
+	eps := 0.05
+	ix, err := Build(s, 0.1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("links: %d (%.2f per transformed char)", ix.NumLinks(),
+		float64(ix.NumLinks())/float64(ix.tr.Len()))
+	rng := rand.New(rand.NewSource(173))
+	for _, m := range []int{2, 4, 8, 16} {
+		for _, p := range gen.Patterns(s, 10, m, rng.Int63()) {
+			tau := 0.2
+			matches, err := ix.Search(p, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reported := map[int]bool{}
+			for _, mt := range matches {
+				reported[mt.Pos] = true
+				truth := s.OccurrenceProb(p, mt.Pos)
+				if truth <= tau-eps-1e-9 {
+					t.Fatalf("false positive at %d: prob %v", mt.Pos, truth)
+				}
+			}
+			for _, pos := range s.MatchPositions(p, tau) {
+				if !reported[pos] {
+					t.Fatalf("missed match %q at %d", p, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := ustring.Deterministic("ab")
+	for _, eps := range []float64{0, -0.1, 1, math.NaN()} {
+		if _, err := Build(s, 0.1, eps); err == nil {
+			t.Errorf("epsilon=%v accepted", eps)
+		}
+	}
+	corr := &ustring.String{
+		Pos: []ustring.Position{
+			{{Char: 'a', Prob: 1}},
+			{{Char: 'b', Prob: 1}},
+		},
+		Corr: []ustring.Correlation{{
+			At: 1, Char: 'b', DepAt: 0, DepChar: 'a',
+			ProbWhenPresent: 1, ProbWhenAbsent: 1,
+		}},
+	}
+	if _, err := Build(corr, 0.1, 0.05); err != ErrCorrUnsupported {
+		t.Errorf("correlated string: err = %v, want ErrCorrUnsupported", err)
+	}
+	if _, err := Build(ustring.Deterministic("ab"), -1, 0.05); err == nil {
+		t.Error("bad tauMin accepted")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ix, err := Build(ustring.Deterministic("abc"), 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(nil, 0.2); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := ix.Search([]byte{0}, 0.2); err == nil {
+		t.Error("separator pattern accepted")
+	}
+	if _, err := ix.Search([]byte("a"), 0); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := ix.Search([]byte("a"), 0.05); err == nil {
+		t.Error("tau below tauMin accepted")
+	}
+	got, err := ix.Search([]byte("zz"), 0.5)
+	if err != nil || got != nil {
+		t.Errorf("missing pattern: %v, %v", got, err)
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	ix, err := Build(&ustring.String{}, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Search([]byte("a"), 0.2)
+	if err != nil || got != nil {
+		t.Errorf("empty index search: %v, %v", got, err)
+	}
+}
+
+func TestEpsilonControlsLinkCount(t *testing.T) {
+	s := gen.Single(gen.Config{N: 2000, Theta: 0.4, Seed: 179})
+	coarse, err := Build(s, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Build(s, 0.1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.NumLinks() <= coarse.NumLinks() {
+		t.Errorf("finer ε must create more links: %d (ε=.02) vs %d (ε=.2)",
+			fine.NumLinks(), coarse.NumLinks())
+	}
+	if coarse.Epsilon() != 0.2 || coarse.TauMin() != 0.1 {
+		t.Error("accessors broken")
+	}
+	if coarse.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}

@@ -1,0 +1,63 @@
+package approx
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/ustring"
+)
+
+// approxFormat tags the persisted layout.
+const approxFormat = 1
+
+type persisted struct {
+	Format  int
+	TauMin  float64
+	Epsilon float64
+	Source  *ustring.String
+}
+
+// WriteTo serialises the index (source string and parameters; the link
+// structure is deterministic and rebuilt on load).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	err := gob.NewEncoder(cw).Encode(persisted{
+		Format:  approxFormat,
+		TauMin:  ix.tauMin,
+		Epsilon: ix.epsilon,
+		Source:  sourceOf(ix),
+	})
+	return cw.n, err
+}
+
+// sourceOf reconstructs the indexed string handle. The approximate index
+// does not retain the source directly, so it is captured at Build time.
+func sourceOf(ix *Index) *ustring.String { return ix.src }
+
+// ReadIndex loads an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var p persisted
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("approx: reading index: %w", err)
+	}
+	if p.Format != approxFormat {
+		return nil, fmt.Errorf("approx: unsupported format %d", p.Format)
+	}
+	if p.Source == nil {
+		return nil, fmt.Errorf("approx: truncated payload")
+	}
+	return Build(p.Source, p.TauMin, p.Epsilon)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	return n, err
+}

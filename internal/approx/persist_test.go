@@ -1,0 +1,52 @@
+package approx
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestApproxPersistRoundTrip(t *testing.T) {
+	s := gen.Single(gen.Config{N: 1000, Theta: 0.3, Seed: 541})
+	ix, err := Build(s, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: %v (n=%d len=%d)", err, n, buf.Len())
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epsilon() != ix.Epsilon() || back.TauMin() != ix.TauMin() {
+		t.Error("parameters lost in round trip")
+	}
+	for _, p := range gen.Patterns(s, 10, 4, 547) {
+		a, err := ix.Search(p, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Search(p, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round-tripped approx index diverges on %q", p)
+		}
+	}
+}
+
+func TestApproxReadErrors(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("")); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+}

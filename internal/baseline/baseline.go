@@ -1,0 +1,145 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation:
+//
+//   - MatchDP: the index-free online matcher in the style of Li et al. [20]
+//     (Section 1.3 "Algorithmic Approach"): a left-to-right scan computing
+//     the match probability at every starting position, with early pruning
+//     when the running product falls below τ. O(n·m) worst case per query,
+//     linear space.
+//   - SimpleIndex: the paper's own naive index (Section 4.1): suffix array
+//     plus the C array, but no RMQ structures — every entry of a pattern's
+//     suffix range is validated individually. This is the baseline the
+//     efficient index's recursive-RMQ query is measured against.
+//   - ListNaive: string listing by running the online matcher on every
+//     document (the inefficiency that motivates Problem 2's index).
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/factor"
+	"repro/internal/prob"
+	"repro/internal/suffix"
+	"repro/internal/ustring"
+)
+
+// MatchDP reports every position where p occurs in s with probability
+// greater than tau, without any index. Correlations are honoured through the
+// model's exact probability computation.
+func MatchDP(s *ustring.String, p []byte, tau float64) []int {
+	if len(p) == 0 || s.Len() < len(p) {
+		return nil
+	}
+	logTau := prob.Log(tau)
+	hasCorr := len(s.Corr) > 0
+	var out []int
+	for i := 0; i+len(p) <= s.Len(); i++ {
+		if hasCorr {
+			// Correlated positions need the full window semantics.
+			if prob.Greater(prob.Log(s.OccurrenceProb(p, i)), tau) {
+				out = append(out, i)
+			}
+			continue
+		}
+		lp := 0.0
+		ok := true
+		for k := range p {
+			pc := s.ProbAt(i+k, p[k])
+			if pc <= 0 {
+				ok = false
+				break
+			}
+			lp += prob.Log(pc)
+			// Early pruning: the product can only shrink.
+			if lp <= logTau+prob.Eps {
+				ok = false
+				break
+			}
+		}
+		if ok && prob.Greater(lp, tau) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SimpleIndex is the Section 4.1 structure: the Lemma 2 transformation, a
+// suffix array over the transformed text and the C array — and nothing else.
+// Queries locate the suffix range in O(m log N) and then walk every entry.
+type SimpleIndex struct {
+	tr     *factor.Transformed
+	tx     *suffix.Text
+	pre    *prob.Prefix
+	src    *ustring.String
+	tauMin float64
+}
+
+// BuildSimple indexes s for thresholds τ ≥ tauMin.
+func BuildSimple(s *ustring.String, tauMin float64) (*SimpleIndex, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := factor.Transform(s, tauMin)
+	if err != nil {
+		return nil, err
+	}
+	return &SimpleIndex{
+		tr:     tr,
+		tx:     suffix.New(tr.T),
+		pre:    prob.NewPrefix(tr.LogP),
+		src:    s,
+		tauMin: tauMin,
+	}, nil
+}
+
+// Search reports match positions exactly like the efficient index, spending
+// time proportional to the full suffix range instead of the output size.
+func (ix *SimpleIndex) Search(p []byte, tau float64) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	lo, hi, ok := ix.tx.Range(p)
+	if !ok {
+		return nil
+	}
+	hasCorr := len(ix.src.Corr) > 0
+	seen := map[int32]bool{}
+	var out []int
+	for j := lo; j <= hi; j++ {
+		x := int(ix.tx.SA()[j])
+		d := ix.tr.Pos[x]
+		if d < 0 || seen[d] {
+			continue
+		}
+		var lp float64
+		if hasCorr {
+			lp = prob.Log(ix.src.OccurrenceProb(p, int(d)))
+		} else {
+			lp = ix.pre.Span(x, x+len(p))
+		}
+		if prob.Greater(lp, tau) {
+			seen[d] = true
+			out = append(out, int(d))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Bytes reports the memory footprint.
+func (ix *SimpleIndex) Bytes() int {
+	return ix.tr.Bytes() + ix.tx.Bytes() + ix.pre.Bytes()
+}
+
+// ListNaive lists the documents of a collection containing p with
+// probability greater than tau by scanning every document — the paper's
+// Σ(search time on dᵢ) lower line that the listing index avoids.
+func ListNaive(docs []*ustring.String, p []byte, tau float64) []int {
+	var out []int
+	for d, doc := range docs {
+		if len(MatchDP(doc, p, tau)) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/listing"
+	"repro/internal/ustring"
+)
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchDPMatchesModelOracle(t *testing.T) {
+	s := gen.Single(gen.Config{N: 2000, Theta: 0.4, Seed: 181})
+	rng := rand.New(rand.NewSource(191))
+	for _, m := range []int{1, 3, 6, 12} {
+		for _, p := range gen.Patterns(s, 10, m, rng.Int63()) {
+			for _, tau := range []float64{0.1, 0.3} {
+				want := s.MatchPositions(p, tau)
+				got := MatchDP(s, p, tau)
+				if !equalInts(got, want) {
+					t.Fatalf("MatchDP(%q, %v) = %v, want %v", p, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchDPCorrelated(t *testing.T) {
+	s := &ustring.String{
+		Pos: []ustring.Position{
+			{{Char: 'e', Prob: .6}, {Char: 'f', Prob: .4}},
+			{{Char: 'q', Prob: 1}},
+			{{Char: 'z', Prob: .3}, {Char: 'w', Prob: .7}},
+		},
+		Corr: []ustring.Correlation{{
+			At: 2, Char: 'z', DepAt: 0, DepChar: 'e',
+			ProbWhenPresent: .9, ProbWhenAbsent: .05,
+		}},
+	}
+	got := MatchDP(s, []byte("eqz"), 0.5) // corrected .54
+	if !equalInts(got, []int{0}) {
+		t.Errorf("MatchDP(eqz, .5) = %v, want [0]", got)
+	}
+}
+
+func TestMatchDPEdges(t *testing.T) {
+	s := gen.Single(gen.Config{N: 10, Theta: 0.2, Seed: 1})
+	if MatchDP(s, nil, 0.1) != nil {
+		t.Error("empty pattern must match nothing")
+	}
+	long := make([]byte, 20)
+	if MatchDP(s, long, 0.1) != nil {
+		t.Error("over-long pattern must match nothing")
+	}
+}
+
+// TestSimpleIndexAgreesWithEfficient cross-validates the two index designs
+// of Sections 4.1 and 4.2/5: identical outputs, different query complexity.
+func TestSimpleIndexAgreesWithEfficient(t *testing.T) {
+	s := gen.Single(gen.Config{N: 3000, Theta: 0.3, Seed: 193})
+	tauMin := 0.1
+	simple, err := BuildSimple(s, tauMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efficient, err := core.Build(s, tauMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(197))
+	for _, m := range []int{1, 2, 4, 8, 15} {
+		for _, p := range gen.Patterns(s, 10, m, rng.Int63()) {
+			for _, tau := range []float64{0.1, 0.2, 0.5} {
+				a := simple.Search(p, tau)
+				b, err := efficient.Search(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := s.MatchPositions(p, tau)
+				if !equalInts(a, want) || !equalInts(b, want) {
+					t.Fatalf("m=%d %q τ=%v: simple=%v efficient=%v oracle=%v", m, p, tau, a, b, want)
+				}
+			}
+		}
+	}
+	if simple.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}
+
+func TestSimpleIndexCorrelated(t *testing.T) {
+	s := &ustring.String{
+		Pos: []ustring.Position{
+			{{Char: 'e', Prob: .6}, {Char: 'f', Prob: .4}},
+			{{Char: 'q', Prob: 1}},
+			{{Char: 'z', Prob: .3}, {Char: 'w', Prob: .7}},
+		},
+		Corr: []ustring.Correlation{{
+			At: 2, Char: 'z', DepAt: 0, DepChar: 'e',
+			ProbWhenPresent: .9, ProbWhenAbsent: .05,
+		}},
+	}
+	ix, err := BuildSimple(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Search([]byte("eqz"), 0.5); !equalInts(got, []int{0}) {
+		t.Errorf("Search(eqz, .5) = %v, want [0]", got)
+	}
+}
+
+func TestBuildSimpleRejectsInvalid(t *testing.T) {
+	bad := &ustring.String{Pos: []ustring.Position{{{Char: 'a', Prob: 0.4}}}}
+	if _, err := BuildSimple(bad, 0.1); err == nil {
+		t.Error("invalid string accepted")
+	}
+}
+
+func TestListNaiveAgreesWithIndex(t *testing.T) {
+	docs := gen.Collection(gen.Config{N: 1500, Theta: 0.3, Seed: 199})
+	ix, err := listing.Build(docs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(211))
+	for _, m := range []int{1, 3, 6} {
+		for _, p := range gen.CollectionPatterns(docs, 8, m, rng.Int63()) {
+			for _, tau := range []float64{0.1, 0.25} {
+				a := ListNaive(docs, p, tau)
+				b, err := ix.List(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalInts(a, b) {
+					t.Fatalf("ListNaive=%v index=%v (%q, τ=%v)", a, b, p, tau)
+				}
+			}
+		}
+	}
+}

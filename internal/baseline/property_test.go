@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+// TestPropertyIndexBounds: the fixed-τ index must (1) contain every strict
+// τc-match of the oracle and (2) report only positions whose probability is
+// at least τc (up to float tolerance) — the two sides of the property
+// guarantee.
+func TestPropertyIndexBounds(t *testing.T) {
+	s := gen.Single(gen.Config{N: 3000, Theta: 0.4, Seed: 443})
+	tauC := 0.15
+	ix, err := BuildProperty(s, tauC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 4, 7, 12} {
+		for _, p := range gen.Patterns(s, 12, m, 449) {
+			got := ix.Search(p)
+			set := map[int]bool{}
+			for _, pos := range got {
+				set[pos] = true
+				// Soundness: at least τc (boundary tolerance).
+				if pr := s.OccurrenceProb(p, pos); pr < tauC-1e-9 {
+					t.Fatalf("property index reported %q at %d with prob %v < τc", p, pos, pr)
+				}
+			}
+			// Completeness: every strict match present.
+			for _, pos := range s.MatchPositions(p, tauC) {
+				if !set[pos] {
+					t.Fatalf("property index missed %q at %d", p, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyIndexAgreesWithEfficientAtTauC(t *testing.T) {
+	// At τ = τc the efficient index (strict >) returns a subset of the
+	// property index (≥); away from boundary-probability matches they are
+	// identical. Compare on a slightly raised τ to avoid the boundary.
+	s := gen.Single(gen.Config{N: 2000, Theta: 0.3, Seed: 457})
+	prop, err := BuildProperty(s, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range gen.CollectionPatterns([]*ustring.String{s}, 20, 4, 461) {
+		got := prop.Search(p)
+		want := s.MatchPositions(p, 0.2-1e-9) // "≥ 0.2" as strict-above-τ−ε
+		if !equalInts(got, want) {
+			t.Fatalf("property=%v oracle≥τ=%v for %q", got, want, p)
+		}
+	}
+}
+
+func TestPropertyIndexEdges(t *testing.T) {
+	s := gen.Single(gen.Config{N: 200, Theta: 0.3, Seed: 463})
+	ix, err := BuildProperty(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Search(nil); got != nil {
+		t.Error("empty pattern must return nil")
+	}
+	if got := ix.Search([]byte("zzz")); got != nil {
+		t.Error("absent pattern must return nil")
+	}
+	if ix.Tau() != 0.1 || ix.Bytes() <= 0 {
+		t.Error("accessors broken")
+	}
+	bad := &ustring.String{Pos: []ustring.Position{{{Char: 'a', Prob: 0.4}}}}
+	if _, err := BuildProperty(bad, 0.1); err == nil {
+		t.Error("invalid string accepted")
+	}
+}

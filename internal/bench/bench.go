@@ -1,0 +1,437 @@
+// Package bench is the experiment harness reproducing Section 8 of the
+// paper: every panel of Figures 7 (substring search), 8 (string listing) and
+// 9 (construction time and index space) has a runner that generates the
+// workload, sweeps the panel's parameter and returns the same series the
+// paper plots. cmd/experiments prints them; the root bench_test.go wraps
+// them as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/listing"
+	"repro/internal/ustring"
+)
+
+// Thetas are the uncertainty fractions the paper sweeps in every figure.
+var Thetas = []float64{0.1, 0.2, 0.3, 0.4}
+
+// Config scales the experiments. Full reproduces the paper's ranges; Quick
+// shrinks them for CI and benchmarks.
+type Config struct {
+	// Sizes are the string lengths n for the n-sweeps (Figures 7a, 8a, 9a, 9c).
+	Sizes []int
+	// FixedN is the string length for the τ / τmin / m sweeps.
+	FixedN int
+	// PatternsPerM is the number of sampled query patterns per length.
+	PatternsPerM int
+	// QueryLengths are the pattern lengths averaged over in the time-vs-n
+	// panels.
+	QueryLengths []int
+	// Seed makes workloads reproducible.
+	Seed int64
+}
+
+// Full is the paper-scale configuration (n up to 300K).
+func Full() Config {
+	return Config{
+		Sizes:        []int{2_000, 50_000, 100_000, 200_000, 300_000},
+		FixedN:       100_000,
+		PatternsPerM: 50,
+		QueryLengths: []int{4, 6, 8, 10},
+		Seed:         1,
+	}
+}
+
+// Quick is the scaled-down configuration used by tests and benchmarks.
+func Quick() Config {
+	return Config{
+		Sizes:        []int{2_000, 10_000, 20_000},
+		FixedN:       20_000,
+		PatternsPerM: 15,
+		QueryLengths: []int{4, 6, 8},
+		Seed:         1,
+	}
+}
+
+// Series is one plotted line: Y (microseconds, seconds or MB) against X.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one reproduced panel.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%16.3f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+const (
+	defaultTauMin = 0.1
+	defaultTau    = 0.2
+)
+
+// searchWorkload times the average substring query over the configured
+// pattern lengths, returning microseconds per query.
+func searchWorkload(ix *core.Index, s *ustring.String, cfg Config, ms []int, tau float64) float64 {
+	var total time.Duration
+	queries := 0
+	for _, m := range ms {
+		pats := gen.Patterns(s, cfg.PatternsPerM, m, cfg.Seed+int64(m))
+		start := time.Now()
+		for _, p := range pats {
+			if _, err := ix.Search(p, tau); err != nil {
+				panic(err)
+			}
+		}
+		total += time.Since(start)
+		queries += len(pats)
+	}
+	if queries == 0 {
+		return 0
+	}
+	return float64(total.Microseconds()) / float64(queries)
+}
+
+// listWorkload is searchWorkload for the listing index.
+func listWorkload(ix *listing.Index, docs []*ustring.String, cfg Config, ms []int, tau float64) float64 {
+	var total time.Duration
+	queries := 0
+	for _, m := range ms {
+		pats := gen.CollectionPatterns(docs, cfg.PatternsPerM, m, cfg.Seed+int64(m))
+		start := time.Now()
+		for _, p := range pats {
+			if _, err := ix.List(p, tau); err != nil {
+				panic(err)
+			}
+		}
+		total += time.Since(start)
+		queries += len(pats)
+	}
+	if queries == 0 {
+		return 0
+	}
+	return float64(total.Microseconds()) / float64(queries)
+}
+
+// Fig7a: substring query time vs string length n, one series per θ, plus the
+// paper-motivating baselines (the Section 4.1 simple index and the online DP
+// matcher) at θ = 0.3.
+func Fig7a(cfg Config) Figure {
+	f := Figure{ID: "7(a)", Title: "substring search: string size vs time",
+		XLabel: "n", YLabel: "µs/query"}
+	for _, theta := range Thetas {
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, n := range cfg.Sizes {
+			str := gen.Single(gen.Config{N: n, Theta: theta, Seed: cfg.Seed})
+			ix, err := core.Build(str, defaultTauMin)
+			if err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, searchWorkload(ix, str, cfg, cfg.QueryLengths, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	// Baselines at θ=0.3.
+	simple := Series{Label: "simple(θ=.3)"}
+	online := Series{Label: "onlineDP(θ=.3)"}
+	for _, n := range cfg.Sizes {
+		str := gen.Single(gen.Config{N: n, Theta: 0.3, Seed: cfg.Seed})
+		si, err := baseline.BuildSimple(str, defaultTauMin)
+		if err != nil {
+			panic(err)
+		}
+		var pats [][]byte
+		for _, m := range cfg.QueryLengths {
+			pats = append(pats, gen.Patterns(str, cfg.PatternsPerM, m, cfg.Seed+int64(m))...)
+		}
+		start := time.Now()
+		for _, p := range pats {
+			si.Search(p, defaultTau)
+		}
+		simple.X = append(simple.X, float64(n))
+		simple.Y = append(simple.Y, float64(time.Since(start).Microseconds())/float64(len(pats)))
+		start = time.Now()
+		for _, p := range pats {
+			baseline.MatchDP(str, p, defaultTau)
+		}
+		online.X = append(online.X, float64(n))
+		online.Y = append(online.Y, float64(time.Since(start).Microseconds())/float64(len(pats)))
+	}
+	f.Series = append(f.Series, simple, online)
+	return f
+}
+
+// Fig7b: substring query time vs query threshold τ. The paper's panel plots
+// τ from 0.10 to 0.14 at τmin = 0.1 (its text mentions lower values, which
+// the index contract τ ≥ τmin excludes; see DESIGN.md).
+func Fig7b(cfg Config) Figure {
+	f := Figure{ID: "7(b)", Title: "substring search: tau vs time",
+		XLabel: "tau", YLabel: "µs/query"}
+	taus := []float64{0.10, 0.11, 0.12, 0.13, 0.14}
+	for _, theta := range Thetas {
+		str := gen.Single(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		ix, err := core.Build(str, defaultTauMin)
+		if err != nil {
+			panic(err)
+		}
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, tau := range taus {
+			s.X = append(s.X, tau)
+			s.Y = append(s.Y, searchWorkload(ix, str, cfg, cfg.QueryLengths, tau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig7c: substring query time vs construction threshold τmin.
+func Fig7c(cfg Config) Figure {
+	f := Figure{ID: "7(c)", Title: "substring search: tau_min vs time",
+		XLabel: "tau_min", YLabel: "µs/query"}
+	tauMins := []float64{0.05, 0.10, 0.15, 0.20}
+	for _, theta := range Thetas {
+		str := gen.Single(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, tm := range tauMins {
+			ix, err := core.Build(str, tm)
+			if err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, tm)
+			s.Y = append(s.Y, searchWorkload(ix, str, cfg, cfg.QueryLengths, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig7d: substring query time vs pattern length m, crossing the log N
+// boundary into the blocking scheme.
+func Fig7d(cfg Config) Figure {
+	f := Figure{ID: "7(d)", Title: "substring search: m vs time",
+		XLabel: "m", YLabel: "µs/query"}
+	ms := []int{5, 10, 15, 20, 25}
+	for _, theta := range Thetas {
+		str := gen.Single(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		ix, err := core.Build(str, defaultTauMin)
+		if err != nil {
+			panic(err)
+		}
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, m := range ms {
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, searchWorkload(ix, str, cfg, []int{m}, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig8a: listing query time vs collection size n, with the naive
+// per-document baseline at θ = 0.3.
+func Fig8a(cfg Config) Figure {
+	f := Figure{ID: "8(a)", Title: "string listing: collection size vs time",
+		XLabel: "n", YLabel: "µs/query"}
+	for _, theta := range Thetas {
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, n := range cfg.Sizes {
+			docs := gen.Collection(gen.Config{N: n, Theta: theta, Seed: cfg.Seed})
+			ix, err := listing.Build(docs, defaultTauMin)
+			if err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, listWorkload(ix, docs, cfg, cfg.QueryLengths, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	naive := Series{Label: "naive(θ=.3)"}
+	for _, n := range cfg.Sizes {
+		docs := gen.Collection(gen.Config{N: n, Theta: 0.3, Seed: cfg.Seed})
+		var pats [][]byte
+		for _, m := range cfg.QueryLengths {
+			pats = append(pats, gen.CollectionPatterns(docs, cfg.PatternsPerM, m, cfg.Seed+int64(m))...)
+		}
+		start := time.Now()
+		for _, p := range pats {
+			baseline.ListNaive(docs, p, defaultTau)
+		}
+		naive.X = append(naive.X, float64(n))
+		naive.Y = append(naive.Y, float64(time.Since(start).Microseconds())/float64(len(pats)))
+	}
+	f.Series = append(f.Series, naive)
+	return f
+}
+
+// Fig8b: listing query time vs τ.
+func Fig8b(cfg Config) Figure {
+	f := Figure{ID: "8(b)", Title: "string listing: tau vs time",
+		XLabel: "tau", YLabel: "µs/query"}
+	taus := []float64{0.10, 0.11, 0.12, 0.13, 0.14}
+	for _, theta := range Thetas {
+		docs := gen.Collection(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		ix, err := listing.Build(docs, defaultTauMin)
+		if err != nil {
+			panic(err)
+		}
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, tau := range taus {
+			s.X = append(s.X, tau)
+			s.Y = append(s.Y, listWorkload(ix, docs, cfg, cfg.QueryLengths, tau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig8c: listing query time vs τmin.
+func Fig8c(cfg Config) Figure {
+	f := Figure{ID: "8(c)", Title: "string listing: tau_min vs time",
+		XLabel: "tau_min", YLabel: "µs/query"}
+	tauMins := []float64{0.05, 0.10, 0.15, 0.20}
+	for _, theta := range Thetas {
+		docs := gen.Collection(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, tm := range tauMins {
+			ix, err := listing.Build(docs, tm)
+			if err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, tm)
+			s.Y = append(s.Y, listWorkload(ix, docs, cfg, cfg.QueryLengths, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig8d: listing query time vs pattern length m.
+func Fig8d(cfg Config) Figure {
+	f := Figure{ID: "8(d)", Title: "string listing: m vs time",
+		XLabel: "m", YLabel: "µs/query"}
+	ms := []int{5, 10, 15, 20, 25}
+	for _, theta := range Thetas {
+		docs := gen.Collection(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		ix, err := listing.Build(docs, defaultTauMin)
+		if err != nil {
+			panic(err)
+		}
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, m := range ms {
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, listWorkload(ix, docs, cfg, []int{m}, defaultTau))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig9a: construction time vs string length n.
+func Fig9a(cfg Config) Figure {
+	f := Figure{ID: "9(a)", Title: "construction: string size vs time",
+		XLabel: "n", YLabel: "ms"}
+	for _, theta := range Thetas {
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, n := range cfg.Sizes {
+			str := gen.Single(gen.Config{N: n, Theta: theta, Seed: cfg.Seed})
+			start := time.Now()
+			if _, err := core.Build(str, defaultTauMin); err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(time.Since(start).Microseconds())/1000)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig9b: construction time vs τmin.
+func Fig9b(cfg Config) Figure {
+	f := Figure{ID: "9(b)", Title: "construction: tau_min vs time",
+		XLabel: "tau_min", YLabel: "ms"}
+	tauMins := []float64{0.05, 0.10, 0.15, 0.20}
+	for _, theta := range Thetas {
+		str := gen.Single(gen.Config{N: cfg.FixedN, Theta: theta, Seed: cfg.Seed})
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, tm := range tauMins {
+			start := time.Now()
+			if _, err := core.Build(str, tm); err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, tm)
+			s.Y = append(s.Y, float64(time.Since(start).Microseconds())/1000)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig9c: index space vs string length n, in MB, from the engine's
+// per-component accounting.
+func Fig9c(cfg Config) Figure {
+	f := Figure{ID: "9(c)", Title: "index space: string size vs MB",
+		XLabel: "n", YLabel: "MB"}
+	for _, theta := range Thetas {
+		s := Series{Label: fmt.Sprintf("θ=%.1f", theta)}
+		for _, n := range cfg.Sizes {
+			str := gen.Single(gen.Config{N: n, Theta: theta, Seed: cfg.Seed})
+			ix, err := core.Build(str, defaultTauMin)
+			if err != nil {
+				panic(err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(ix.Bytes())/(1<<20))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Runner is a named figure reproduction.
+type Runner struct {
+	ID  string
+	Run func(Config) Figure
+}
+
+// Runners lists every panel in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"7a", Fig7a}, {"7b", Fig7b}, {"7c", Fig7c}, {"7d", Fig7d},
+		{"8a", Fig8a}, {"8b", Fig8b}, {"8c", Fig8c}, {"8d", Fig8d},
+		{"9a", Fig9a}, {"9b", Fig9b}, {"9c", Fig9c},
+	}
+}

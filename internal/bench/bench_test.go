@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny shrinks the workload so the full harness runs in unit-test time.
+func tiny() Config {
+	return Config{
+		Sizes:        []int{500, 1000},
+		FixedN:       1000,
+		PatternsPerM: 3,
+		QueryLengths: []int{3, 5},
+		Seed:         1,
+	}
+}
+
+func TestAllRunnersProduceWellFormedFigures(t *testing.T) {
+	cfg := tiny()
+	for _, r := range Runners() {
+		fig := r.Run(cfg)
+		if fig.ID == "" || len(fig.Series) == 0 {
+			t.Fatalf("%s: empty figure", r.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != len(s.Y) || len(s.X) == 0 {
+				t.Fatalf("%s series %s: malformed (%d x, %d y)", r.ID, s.Label, len(s.X), len(s.Y))
+			}
+			for _, y := range s.Y {
+				if y < 0 {
+					t.Fatalf("%s series %s: negative measurement %v", r.ID, s.Label, y)
+				}
+			}
+		}
+		out := fig.Format()
+		if !strings.Contains(out, fig.ID) {
+			t.Fatalf("%s: Format output missing figure id:\n%s", r.ID, out)
+		}
+	}
+}
+
+func TestConfigsAreSane(t *testing.T) {
+	for name, cfg := range map[string]Config{"full": Full(), "quick": Quick()} {
+		if len(cfg.Sizes) == 0 || cfg.FixedN == 0 || cfg.PatternsPerM == 0 || len(cfg.QueryLengths) == 0 {
+			t.Errorf("%s config incomplete: %+v", name, cfg)
+		}
+	}
+}
+
+func TestSpaceGrowsWithN(t *testing.T) {
+	fig := Fig9c(tiny())
+	for _, s := range fig.Series {
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("series %s: space not growing with n: %v", s.Label, s.Y)
+		}
+	}
+}

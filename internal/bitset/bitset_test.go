@@ -1,0 +1,66 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(200)
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set initially", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(1000)
+	ref := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		b := rng.Intn(1000)
+		if rng.Intn(2) == 0 {
+			s.Set(b)
+			ref[b] = true
+		} else {
+			s.Clear(b)
+			delete(ref, b)
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(ref))
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Get(i) != ref[i] {
+			t.Fatalf("bit %d = %v, want %v", i, s.Get(i), ref[i])
+		}
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.Bytes() != 0 {
+		t.Error("zero-length set misbehaves")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(64).Bytes(); got != 8 {
+		t.Errorf("Bytes(64) = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("Bytes(65) = %d, want 16", got)
+	}
+}

@@ -1,0 +1,498 @@
+// Package core implements the paper's primary contribution: the probabilistic
+// threshold index for substring searching in uncertain strings (Sections 4
+// and 5). The shared Engine indexes any probability-annotated deterministic
+// text (the transformed special uncertain string of Lemma 2, or a special
+// uncertain string directly); Index wraps it with the general-string
+// transformation of Section 5.
+//
+// # Structure (Section 4.2 / 5.2)
+//
+//   - a suffix array + suffix range search over the deterministic text t;
+//   - the global successive multiplicative probability array C, kept as
+//     log-domain prefix sums (internal/prob.Prefix);
+//   - for every length i = 1..log N, a range-maximum structure RMQ_i over
+//     the virtual array Ci[j] = probability of the length-i prefix of the
+//     j-th lexicographically smallest suffix. Ci is never materialised: the
+//     rmq.Block accessor recomputes entries from C, the suffix array, the
+//     duplicate-elimination bitmaps and the correlation adjustments;
+//   - per-level duplicate bitmaps marking, inside every depth-i run of the
+//     suffix array, all but the best entry per dedup key (original position
+//     for substring search, document id for listing);
+//   - the blocking scheme for long patterns (m > log N): for every length i
+//     up to the longest factor (capped), block maxima of Ci over blocks of
+//     size i, each with its own RMQ (Section 4.2 "Long substrings").
+//
+// Queries answer (p, τ) by recursive range-maximum extraction: repeatedly
+// take the highest-probability entry of the suffix range and stop as soon as
+// it drops to τ, giving O(m + occ) for short patterns and O(m·occ) for long
+// ones.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/prob"
+	"repro/internal/rmq"
+	"repro/internal/suffix"
+)
+
+// Errors reported by queries.
+var (
+	ErrEmptyPattern   = errors.New("core: empty pattern")
+	ErrBadPattern     = errors.New("core: pattern contains the reserved separator byte")
+	ErrTauOutOfRange  = errors.New("core: tau out of range (0, 1]")
+	ErrTauBelowTauMin = errors.New("core: tau below the construction threshold tau_min")
+)
+
+// DefaultLongCap bounds the lengths covered by the long-pattern blocking
+// scheme. Patterns longer than the cap (and longer than the longest factor)
+// fall back to a linear scan of their suffix range; see DESIGN.md for the
+// space trade-off against the paper's i = log n..n construction.
+const DefaultLongCap = 1024
+
+// EngineConfig assembles an Engine from its raw parts.
+type EngineConfig struct {
+	// T is the deterministic text, with factor separators where applicable.
+	T []byte
+	// LogP are the per-position log base probabilities (LogZero at
+	// separators). len(LogP) == len(T).
+	LogP []float64
+	// Pos maps text positions to original string positions (-1 at
+	// separators). Identity for special uncertain strings.
+	Pos []int32
+	// Key is the duplicate-elimination key per text position: entries
+	// sharing a key inside one depth-i run are duplicates and only the most
+	// probable is kept. -1 disables an entry. Substring search uses Pos;
+	// listing uses the document id.
+	Key []int32
+	// KeySpace is an exclusive upper bound on Key values.
+	KeySpace int
+	// Corr, when non-nil, returns the log-domain correlation adjustment for
+	// the window of the given length starting at text position xStart
+	// (Section 3.3 / 4.1). It must be pure.
+	Corr func(xStart, length int) float64
+	// LongCap overrides DefaultLongCap when positive.
+	LongCap int
+	// MaxWindow is the longest window that can ever be valid (the longest
+	// factor); long levels beyond it are pointless. 0 means len(T).
+	MaxWindow int
+}
+
+// Engine is the threshold index over a probability-annotated text.
+type Engine struct {
+	tx   *suffix.Text
+	pre  *prob.Prefix
+	pos  []int32
+	key  []int32
+	corr func(xStart, length int) float64
+
+	levels  int // number of short levels (the paper's log N)
+	short   []*rmq.Block
+	dup     []*bitset.Set
+	longCap int
+
+	// Long-pattern blocking: longPB[i-levels-1][b] holds the block maximum
+	// of Ci for blocks of size i; longRMQ answers block-range maxima.
+	longLo  int // first long length = levels+1
+	longHi  int // last long length covered
+	longPB  [][]float32
+	longRMQ []*rmq.Block
+}
+
+// NewEngine builds the engine. It is shared by the substring-search index
+// (Section 5), the special-string index (Section 4) and the listing index
+// (Section 6).
+func NewEngine(cfg EngineConfig) *Engine {
+	n := len(cfg.T)
+	e := &Engine{
+		tx:      suffix.New(cfg.T),
+		pre:     prob.NewPrefix(cfg.LogP),
+		pos:     cfg.Pos,
+		key:     cfg.Key,
+		corr:    cfg.Corr,
+		longCap: cfg.LongCap,
+	}
+	if e.longCap <= 0 {
+		e.longCap = DefaultLongCap
+	}
+	if n == 0 {
+		return e
+	}
+
+	maxWindow := cfg.MaxWindow
+	if maxWindow <= 0 || maxWindow > n {
+		maxWindow = n
+	}
+	// Short levels: lengths 1..⌊log2 N⌋, never beyond the longest window.
+	e.levels = bits.Len(uint(n)) - 1
+	if e.levels < 1 {
+		e.levels = 1
+	}
+	if e.levels > maxWindow {
+		e.levels = maxWindow
+	}
+
+	// The per-length structures are independent of each other; build them
+	// in parallel. Everything they read (suffix array, LCP, prefix sums,
+	// keys) is immutable after the suffix construction above.
+	e.dup = make([]*bitset.Set, e.levels)
+	e.short = make([]*rmq.Block, e.levels)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > e.levels {
+		workers = e.levels
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 1; i <= e.levels; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(level int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e.dup[level-1] = e.buildDup(level, cfg.KeySpace)
+			e.short[level-1] = rmq.NewBlock(n, func(j int) float64 { return e.ci(level, j) })
+		}(i)
+	}
+	wg.Wait()
+
+	// Long levels: lengths levels+1 .. min(maxWindow, longCap), also
+	// independent per length.
+	e.longLo = e.levels + 1
+	e.longHi = maxWindow
+	if e.longHi > e.longCap {
+		e.longHi = e.longCap
+	}
+	if e.longHi >= e.longLo {
+		e.longPB = make([][]float32, e.longHi-e.longLo+1)
+		e.longRMQ = make([]*rmq.Block, e.longHi-e.longLo+1)
+		for i := e.longLo; i <= e.longHi; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				nb := (n + i - 1) / i
+				pb := make([]float32, nb)
+				for b := 0; b < nb; b++ {
+					lo := b * i
+					hi := lo + i
+					if hi > n {
+						hi = n
+					}
+					best := prob.LogZero
+					for j := lo; j < hi; j++ {
+						if v := e.rawCi(i, j); v > best {
+							best = v
+						}
+					}
+					pb[b] = float32(best)
+				}
+				e.longPB[i-e.longLo] = pb
+				e.longRMQ[i-e.longLo] = rmq.NewBlock(nb, func(b int) float64 { return float64(pb[b]) })
+			}(i)
+		}
+		wg.Wait()
+	}
+	return e
+}
+
+// rawCi is the Ci value (log probability of the length-i window at the
+// suffix-array entry j) including correlation adjustment but ignoring
+// duplicate marks.
+func (e *Engine) rawCi(i, j int) float64 {
+	start := int(e.tx.SA()[j])
+	lp := e.pre.Span(start, start+i)
+	if lp == prob.LogZero {
+		return prob.LogZero
+	}
+	if e.corr != nil {
+		lp += e.corr(start, i)
+	}
+	return lp
+}
+
+// ci is rawCi masked by the level's duplicate bitmap — the accessor the
+// short-level RMQs are built over.
+func (e *Engine) ci(i, j int) float64 {
+	if e.dup[i-1].Get(j) {
+		return prob.LogZero
+	}
+	return e.rawCi(i, j)
+}
+
+// buildDup marks duplicates for level i: inside every maximal run of the
+// suffix array whose adjacent LCP values are ≥ i (one run = the suffix range
+// of one length-i string), all entries sharing a dedup key except the most
+// probable are marked. Section 5.2 (positions) / Section 6 (documents).
+func (e *Engine) buildDup(i, keySpace int) *bitset.Set {
+	n := e.tx.Len()
+	dup := bitset.New(n)
+	if keySpace <= 0 {
+		return dup
+	}
+	lcp := e.tx.LCP()
+	// stamp[k] = run id when key k was last seen; bestAt[k] = entry index of
+	// the best value seen for key k in the current run.
+	stamp := make([]int32, keySpace)
+	bestAt := make([]int32, keySpace)
+	bestVal := make([]float64, keySpace)
+	for k := range stamp {
+		stamp[k] = -1
+	}
+	runID := int32(0)
+	for j := 0; j < n; j++ {
+		if j > 0 && int(lcp[j]) < i {
+			runID++
+		}
+		v := e.rawCi(i, j)
+		if v == prob.LogZero {
+			continue // never reportable; no need to dedup
+		}
+		k := e.key[e.tx.SA()[j]]
+		if k < 0 {
+			continue
+		}
+		if stamp[k] != runID {
+			stamp[k] = runID
+			bestAt[k] = int32(j)
+			bestVal[k] = v
+			continue
+		}
+		if v > bestVal[k] {
+			dup.Set(int(bestAt[k]))
+			bestAt[k] = int32(j)
+			bestVal[k] = v
+		} else {
+			dup.Set(j)
+		}
+	}
+	return dup
+}
+
+// Hit is one reported entry of a query.
+type Hit struct {
+	// XPos is the text position of the window.
+	XPos int32
+	// Orig is the original string position (Pos[XPos]).
+	Orig int32
+	// Key is the dedup key of the entry.
+	Key int32
+	// LogProb is the corrected log probability of the window.
+	LogProb float64
+}
+
+// Prob returns the plain-domain probability of the hit.
+func (h Hit) Prob() float64 { return prob.Exp(h.LogProb) }
+
+// validate rejects malformed queries.
+func (e *Engine) validate(p []byte, tau float64) error {
+	if len(p) == 0 {
+		return ErrEmptyPattern
+	}
+	for _, c := range p {
+		if c == 0 {
+			return ErrBadPattern
+		}
+	}
+	if math.IsNaN(tau) || tau <= 0 || tau > 1 {
+		return fmt.Errorf("%w (got %v)", ErrTauOutOfRange, tau)
+	}
+	return nil
+}
+
+// Query reports every non-duplicate window matching p with probability
+// strictly greater than tau, in decreasing probability order.
+func (e *Engine) Query(p []byte, tau float64) ([]Hit, error) {
+	if err := e.validate(p, tau); err != nil {
+		return nil, err
+	}
+	lo, hi, ok := e.tx.Range(p)
+	if !ok {
+		return nil, nil
+	}
+	m := len(p)
+	var hits []Hit
+	report := func(j int, lp float64) {
+		x := e.tx.SA()[j]
+		hits = append(hits, Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: lp})
+	}
+	switch {
+	case m <= e.levels:
+		e.queryShort(m, lo, hi, tau, report)
+	case m <= e.longHi:
+		e.queryLong(m, lo, hi, tau, report)
+	default:
+		e.queryScan(m, lo, hi, tau, report)
+	}
+	return hits, nil
+}
+
+// queryShort is the optimal O(m + occ) recursive range-maximum extraction of
+// Section 4.2 (Algorithm 2). The recursion is managed on an explicit stack:
+// its depth equals the number of reported entries.
+func (e *Engine) queryShort(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+	level := e.short[m-1]
+	type span struct{ l, r int }
+	stack := []span{{lo, hi}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.l > s.r {
+			continue
+		}
+		j := level.Max(s.l, s.r)
+		lp := e.ci(m, j)
+		if !prob.Greater(lp, tau) {
+			continue
+		}
+		report(j, lp)
+		stack = append(stack, span{s.l, j - 1}, span{j + 1, s.r})
+	}
+}
+
+// queryLong is the O(m·occ) blocking scheme of Section 4.2: recursive
+// range-maximum over block maxima; every qualifying block is scanned in
+// full. Partial boundary blocks are scanned directly. Duplicate keys are
+// eliminated at reporting time (the bitmaps only cover short levels).
+func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+	idx := m - e.longLo
+	blockRMQ := e.longRMQ[idx]
+	pb := e.longPB[idx]
+	// float32 storage of the block maxima loses precision; widen the
+	// threshold test by a hair and re-verify entries exactly.
+	logTau := math.Log(tau)
+	const f32Slack = 1e-4
+
+	best := map[int32]Hit{} // dedup key → best hit
+	scanEntries := func(l, r int) {
+		for j := l; j <= r; j++ {
+			lp := e.rawCi(m, j)
+			if !prob.Greater(lp, tau) {
+				continue
+			}
+			x := e.tx.SA()[j]
+			k := e.key[x]
+			h := Hit{XPos: x, Orig: e.pos[x], Key: k, LogProb: lp}
+			if prev, ok := best[k]; !ok || lp > prev.LogProb {
+				best[k] = h
+			}
+		}
+	}
+
+	bFirst := lo / m
+	bLast := hi / m
+	if bFirst == bLast || bFirst+1 > bLast-1 {
+		// Range inside at most two blocks: scan it.
+		scanEntries(lo, hi)
+	} else {
+		scanEntries(lo, (bFirst+1)*m-1)
+		scanEntries(bLast*m, hi)
+		type span struct{ l, r int }
+		stack := []span{{bFirst + 1, bLast - 1}}
+		n := e.tx.Len()
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if s.l > s.r {
+				continue
+			}
+			b := blockRMQ.Max(s.l, s.r)
+			if float64(pb[b]) <= logTau-f32Slack {
+				continue
+			}
+			blo := b * m
+			bhi := blo + m - 1
+			if bhi >= n {
+				bhi = n - 1
+			}
+			scanEntries(blo, bhi)
+			stack = append(stack, span{s.l, b - 1}, span{b + 1, s.r})
+		}
+	}
+	for _, h := range best {
+		report(int(e.tx.Rank()[h.XPos]), h.LogProb)
+	}
+}
+
+// queryScan is the fallback for patterns longer than every block level: a
+// straight scan of the suffix range with keep-max dedup.
+func (e *Engine) queryScan(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+	best := map[int32]struct {
+		j  int
+		lp float64
+	}{}
+	for j := lo; j <= hi; j++ {
+		lp := e.rawCi(m, j)
+		if !prob.Greater(lp, tau) {
+			continue
+		}
+		k := e.key[e.tx.SA()[j]]
+		if prev, ok := best[k]; !ok || lp > prev.lp {
+			best[k] = struct {
+				j  int
+				lp float64
+			}{j, lp}
+		}
+	}
+	for _, b := range best {
+		report(b.j, b.lp)
+	}
+}
+
+// Text exposes the underlying suffix structure (used by the listing index
+// for relevance metrics needing full occurrence sets).
+func (e *Engine) Text() *suffix.Text { return e.tx }
+
+// WindowLogProb returns the corrected log probability of the length-m window
+// at text position x.
+func (e *Engine) WindowLogProb(x, m int) float64 {
+	lp := e.pre.Span(x, x+m)
+	if lp == prob.LogZero {
+		return prob.LogZero
+	}
+	if e.corr != nil {
+		lp += e.corr(x, m)
+	}
+	return lp
+}
+
+// ShortLevels returns the number of optimal-time levels (the paper's log N).
+func (e *Engine) ShortLevels() int { return e.levels }
+
+// LongLevels returns the range of lengths covered by the blocking scheme.
+func (e *Engine) LongLevels() (lo, hi int) { return e.longLo, e.longHi }
+
+// SpaceBreakdown itemises the index memory, the Figure 9(c) accounting.
+type SpaceBreakdown struct {
+	TextAndSA   int // deterministic text + suffix/LCP/rank arrays
+	ProbArray   int // global C array
+	PosAndKeys  int // Pos + dedup keys
+	ShortLevels int // RMQ_1..RMQ_logN + duplicate bitmaps
+	LongLevels  int // block maxima + their RMQs
+}
+
+// Total sums the breakdown.
+func (s SpaceBreakdown) Total() int {
+	return s.TextAndSA + s.ProbArray + s.PosAndKeys + s.ShortLevels + s.LongLevels
+}
+
+// Space reports the memory footprint by component.
+func (e *Engine) Space() SpaceBreakdown {
+	var s SpaceBreakdown
+	s.TextAndSA = e.tx.Bytes()
+	s.ProbArray = e.pre.Bytes()
+	s.PosAndKeys = len(e.pos)*4 + len(e.key)*4
+	for i := range e.short {
+		s.ShortLevels += e.short[i].Bytes() + e.dup[i].Bytes()
+	}
+	for i := range e.longPB {
+		s.LongLevels += len(e.longPB[i])*4 + e.longRMQ[i].Bytes()
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/factor"
+	"repro/internal/prob"
+	"repro/internal/ustring"
+)
+
+// Index is the paper's Section 5 index: substring searching in a general
+// uncertain string for any query threshold τ ≥ τmin.
+type Index struct {
+	engine *Engine
+	tr     *factor.Transformed
+	src    *ustring.String
+	tauMin float64
+}
+
+// Option configures Build.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	longCap int
+}
+
+// WithLongCap bounds the lengths covered by the long-pattern blocking
+// scheme; longer patterns fall back to a range scan.
+func WithLongCap(n int) Option {
+	return func(o *buildOptions) { o.longCap = n }
+}
+
+// Build transforms s with respect to tauMin (Lemma 2) and indexes the
+// result. Queries support any τ ≥ tauMin.
+func Build(s *ustring.String, tauMin float64, opts ...Option) (*Index, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input string: %w", err)
+	}
+	tr, err := factor.Transform(s, tauMin)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{tr: tr, src: s, tauMin: tauMin}
+	var corr func(xStart, length int) float64
+	if len(s.Corr) > 0 {
+		corr = ix.corrAdjust
+	}
+	ix.engine = NewEngine(EngineConfig{
+		T:         tr.T,
+		LogP:      tr.LogP,
+		Pos:       tr.Pos,
+		Key:       tr.Pos, // dedup key = original position (Section 5.2)
+		KeySpace:  s.Len(),
+		Corr:      corr,
+		LongCap:   o.longCap,
+		MaxWindow: tr.MaxFactorLen,
+	})
+	return ix, nil
+}
+
+// corrAdjust returns the log-domain correction factor turning the base
+// probability of the window starting at text position xStart into the
+// correlation-corrected probability (Section 3.3 semantics; the Section 4.1
+// divide-by-pr⁺-multiply-by-correct trick in log domain, generalised to base
+// probabilities).
+func (ix *Index) corrAdjust(xStart, length int) float64 {
+	s0 := int(ix.tr.Pos[xStart])
+	adj := 0.0
+	for _, c := range ix.src.Corr {
+		if c.At < s0 || c.At >= s0+length {
+			continue
+		}
+		xc := xStart + (c.At - s0)
+		if ix.tr.T[xc] != c.Char {
+			continue
+		}
+		var corrected float64
+		if c.DepAt >= s0 && c.DepAt < s0+length {
+			// Case 1: the partner position is inside the window.
+			if ix.tr.T[xStart+(c.DepAt-s0)] == c.DepChar {
+				corrected = c.ProbWhenPresent
+			} else {
+				corrected = c.ProbWhenAbsent
+			}
+		} else {
+			// Case 2: partner outside; marginalise over its distribution.
+			dp := ix.src.ProbAt(c.DepAt, c.DepChar)
+			if dp < 0 {
+				dp = 0
+			}
+			corrected = dp*c.ProbWhenPresent + (1-dp)*c.ProbWhenAbsent
+		}
+		adj += prob.Log(corrected) - ix.tr.LogP[xc]
+	}
+	return adj
+}
+
+// Search reports every starting position of s where p occurs with
+// probability strictly greater than tau, in increasing position order
+// (Problem 1). tau must satisfy tauMin ≤ tau ≤ 1.
+func (ix *Index) Search(p []byte, tau float64) ([]int, error) {
+	hits, err := ix.SearchHits(p, tau)
+	if err != nil || len(hits) == 0 {
+		return nil, err
+	}
+	out := make([]int, len(hits))
+	for i, h := range hits {
+		out[i] = int(h.Orig)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// SearchHits is Search with per-occurrence probabilities, in decreasing
+// probability order (the natural order of the recursive RMQ extraction).
+func (ix *Index) SearchHits(p []byte, tau float64) ([]Hit, error) {
+	if tau < ix.tauMin-prob.Eps {
+		return nil, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	}
+	return ix.engine.Query(p, tau)
+}
+
+// SearchTopK reports the k most probable occurrences of p, in decreasing
+// probability order. Because every transformed occurrence has probability at
+// least tauMin, top-k below that mass may be incomplete; all returned hits
+// satisfy probability ≥ tauMin.
+func (ix *Index) SearchTopK(p []byte, k int) ([]Hit, error) {
+	return ix.engine.TopK(p, k)
+}
+
+// SearchCount returns the number of occurrences of p with probability
+// strictly greater than tau, without materialising positions.
+func (ix *Index) SearchCount(p []byte, tau float64) (int, error) {
+	if tau < ix.tauMin-prob.Eps {
+		return 0, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	}
+	return ix.engine.Count(p, tau)
+}
+
+// SearchIter streams occurrences of p above tau in decreasing probability
+// order (unordered for patterns longer than log N) until visit returns
+// false.
+func (ix *Index) SearchIter(p []byte, tau float64, visit func(Hit) bool) error {
+	if tau < ix.tauMin-prob.Eps {
+		return fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	}
+	return ix.engine.Iterate(p, tau, visit)
+}
+
+// TauMin returns the construction threshold.
+func (ix *Index) TauMin() float64 { return ix.tauMin }
+
+// Source returns the indexed uncertain string.
+func (ix *Index) Source() *ustring.String { return ix.src }
+
+// Transformed exposes the Lemma 2 transformation (used by tooling and
+// examples to report expansion statistics).
+func (ix *Index) Transformed() *factor.Transformed { return ix.tr }
+
+// Engine exposes the underlying engine (used by the benchmarks' space
+// accounting).
+func (ix *Index) Engine() *Engine { return ix.engine }
+
+// Space itemises index memory including the transformation arrays.
+func (ix *Index) Space() SpaceBreakdown {
+	s := ix.engine.Space()
+	// Pos/SpanOf/LogP live in the transformation; the engine already counts
+	// Pos (as its Key too) and C, so add only the factor bookkeeping.
+	s.PosAndKeys += len(ix.tr.SpanOf)*4 + len(ix.tr.Spans)*16
+	return s
+}
+
+// Bytes is the total index footprint.
+func (ix *Index) Bytes() int { return ix.Space().Total() }

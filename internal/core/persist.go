@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/factor"
+	"repro/internal/ustring"
+)
+
+// persistFormat tags the on-disk layout; bump on incompatible changes.
+const persistFormat = 1
+
+// persisted is the gob payload: the expensive-to-recompute transformation
+// plus everything needed to rebuild the query structures. The RMQ levels and
+// bitmaps are deterministic functions of the payload and cheaper to rebuild
+// than to serialise (they are accessor-backed and mostly implicit).
+type persisted struct {
+	Format  int
+	TauMin  float64
+	LongCap int
+	Source  *ustring.String
+	Tr      *factor.Transformed
+}
+
+// WriteTo serialises the index. The transformation (the dominant
+// construction cost at low τmin) is stored verbatim; ReadIndex rebuilds the
+// suffix array and RMQ levels from it.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	err := enc.Encode(persisted{
+		Format: persistFormat,
+		TauMin: ix.tauMin,
+		Source: ix.src,
+		Tr:     ix.tr,
+	})
+	return cw.n, err
+}
+
+// ReadIndex deserialises an index written by WriteTo and rebuilds its query
+// structures.
+func ReadIndex(r io.Reader) (*Index, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var p persisted
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	if p.Format != persistFormat {
+		return nil, fmt.Errorf("core: unsupported index format %d (want %d)", p.Format, persistFormat)
+	}
+	if p.Source == nil || p.Tr == nil {
+		return nil, fmt.Errorf("core: truncated index payload")
+	}
+	if err := p.Source.Validate(); err != nil {
+		return nil, fmt.Errorf("core: persisted source invalid: %w", err)
+	}
+	ix := &Index{tr: p.Tr, src: p.Source, tauMin: p.TauMin}
+	var corr func(xStart, length int) float64
+	if len(p.Source.Corr) > 0 {
+		corr = ix.corrAdjust
+	}
+	ix.engine = NewEngine(EngineConfig{
+		T:         p.Tr.T,
+		LogP:      p.Tr.LogP,
+		Pos:       p.Tr.Pos,
+		Key:       p.Tr.Pos,
+		KeySpace:  p.Source.Len(),
+		Corr:      corr,
+		LongCap:   p.LongCap,
+		MaxWindow: p.Tr.MaxFactorLen,
+	})
+	return ix, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	s := gen.Single(gen.Config{N: 2000, Theta: 0.3, Seed: 277})
+	ix, err := Build(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	if back.TauMin() != ix.TauMin() {
+		t.Errorf("tauMin %v != %v", back.TauMin(), ix.TauMin())
+	}
+	for _, m := range []int{2, 4, 8, 16} {
+		for _, p := range gen.Patterns(s, 8, m, 281) {
+			for _, tau := range []float64{0.1, 0.25} {
+				a, err := ix.Search(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := back.Search(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalIntSlices(a, b) {
+					t.Fatalf("round-tripped index diverges: %v vs %v (%q, τ=%v)", a, b, p, tau)
+				}
+			}
+		}
+	}
+}
+
+func TestPersistCorrelatedRoundTrip(t *testing.T) {
+	s := &ustring.String{
+		Pos: []ustring.Position{
+			{{Char: 'e', Prob: .6}, {Char: 'f', Prob: .4}},
+			{{Char: 'q', Prob: 1}},
+			{{Char: 'z', Prob: .3}, {Char: 'w', Prob: .7}},
+		},
+		Corr: []ustring.Correlation{{
+			At: 2, Char: 'z', DepAt: 0, DepChar: 'e',
+			ProbWhenPresent: .9, ProbWhenAbsent: .05,
+		}},
+	}
+	ix, err := Build(s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Search([]byte("eqz"), 0.5) // needs the correlation hook
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIntSlices(got, []int{0}) {
+		t.Errorf("correlated search after reload = %v, want [0]", got)
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage input accepted")
+	}
+	// Truncated payload.
+	s := gen.Single(gen.Config{N: 200, Theta: 0.3, Seed: 283})
+	ix, err := Build(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadIndex(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/prob"
+)
+
+// This file extends the index with the query variations the paper lists as
+// future work ("variations of the string searching problem satisfying
+// diverse query constraints"). All of them fall out of the same recursive
+// range-maximum machinery:
+//
+//   - TopK: the k most probable occurrences, best-first, without a
+//     threshold. The recursion that proves O(m + occ) for threshold queries
+//     turns into a best-first search over suffix-range fragments with a
+//     max-heap, giving O(m + k log k).
+//   - Count: the number of occurrences above τ (reported without
+//     materialising positions).
+//   - Iterate: streaming extraction in decreasing probability order with
+//     caller-controlled early termination.
+
+// fragment is a pending suffix-range piece in the best-first search.
+type fragment struct {
+	l, r int
+	j    int     // argmax within [l, r]
+	lp   float64 // value at j
+}
+
+// fragHeap is a max-heap of fragments ordered by probability.
+type fragHeap []fragment
+
+func (h fragHeap) Len() int           { return len(h) }
+func (h fragHeap) Less(a, b int) bool { return h[a].lp > h[b].lp }
+func (h fragHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *fragHeap) Push(x any)        { *h = append(*h, x.(fragment)) }
+func (h *fragHeap) Pop() any          { old := *h; n := len(old); f := old[n-1]; *h = old[:n-1]; return f }
+
+// TopK returns the k most probable non-duplicate occurrences of p, in
+// decreasing probability order. Only short patterns (m ≤ log N) run
+// best-first; longer patterns fall back to a full threshold query at τ→0
+// followed by selection.
+func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
+	if err := e.validate(p, 1); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	lo, hi, ok := e.tx.Range(p)
+	if !ok {
+		return nil, nil
+	}
+	m := len(p)
+	if m > e.levels {
+		return e.topKLong(p, m, lo, hi, k)
+	}
+	level := e.short[m-1]
+	var h fragHeap
+	push := func(l, r int) {
+		if l > r {
+			return
+		}
+		j := level.Max(l, r)
+		if lp := e.ci(m, j); lp != prob.LogZero {
+			heap.Push(&h, fragment{l, r, j, lp})
+		}
+	}
+	push(lo, hi)
+	var out []Hit
+	for h.Len() > 0 && len(out) < k {
+		f := heap.Pop(&h).(fragment)
+		x := e.tx.SA()[f.j]
+		out = append(out, Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: f.lp})
+		push(f.l, f.j-1)
+		push(f.j+1, f.r)
+	}
+	return out, nil
+}
+
+// topKLong selects the k best hits from a scan of the suffix range.
+func (e *Engine) topKLong(p []byte, m, lo, hi, k int) ([]Hit, error) {
+	best := map[int32]Hit{}
+	for j := lo; j <= hi; j++ {
+		lp := e.rawCi(m, j)
+		if lp == prob.LogZero {
+			continue
+		}
+		x := e.tx.SA()[j]
+		key := e.key[x]
+		if prev, ok := best[key]; !ok || lp > prev.LogProb {
+			best[key] = Hit{XPos: x, Orig: e.pos[x], Key: key, LogProb: lp}
+		}
+	}
+	out := make([]Hit, 0, len(best))
+	for _, h := range best {
+		out = append(out, h)
+	}
+	// Partial selection: k is typically tiny relative to the range.
+	sortHitsByProb(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// sortHitsByProb orders hits by decreasing probability (stable on position
+// for determinism).
+func sortHitsByProb(hs []Hit) {
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].LogProb != hs[b].LogProb {
+			return hs[a].LogProb > hs[b].LogProb
+		}
+		return hs[a].Orig < hs[b].Orig
+	})
+}
+
+// Count returns the number of non-duplicate occurrences of p with
+// probability strictly greater than tau, without materialising them.
+func (e *Engine) Count(p []byte, tau float64) (int, error) {
+	n := 0
+	err := e.Iterate(p, tau, func(Hit) bool { n++; return true })
+	return n, err
+}
+
+// Iterate streams hits in decreasing probability order (for short patterns;
+// long patterns arrive unordered) until the callback returns false or the
+// probability falls to tau.
+func (e *Engine) Iterate(p []byte, tau float64, visit func(Hit) bool) error {
+	if err := e.validate(p, tau); err != nil {
+		return err
+	}
+	lo, hi, ok := e.tx.Range(p)
+	if !ok {
+		return nil
+	}
+	m := len(p)
+	if m > e.levels {
+		// Long patterns: reuse the existing paths, then stream the batch.
+		var hits []Hit
+		collect := func(j int, lp float64) {
+			x := e.tx.SA()[j]
+			hits = append(hits, Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: lp})
+		}
+		if m <= e.longHi {
+			e.queryLong(m, lo, hi, tau, collect)
+		} else {
+			e.queryScan(m, lo, hi, tau, collect)
+		}
+		for _, h := range hits {
+			if !visit(h) {
+				return nil
+			}
+		}
+		return nil
+	}
+	// Short patterns: best-first heap gives globally decreasing order with
+	// early termination.
+	level := e.short[m-1]
+	var h fragHeap
+	push := func(l, r int) {
+		if l > r {
+			return
+		}
+		j := level.Max(l, r)
+		if lp := e.ci(m, j); prob.Greater(lp, tau) {
+			heap.Push(&h, fragment{l, r, j, lp})
+		}
+	}
+	push(lo, hi)
+	for h.Len() > 0 {
+		f := heap.Pop(&h).(fragment)
+		x := e.tx.SA()[f.j]
+		if !visit(Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: f.lp}) {
+			return nil
+		}
+		push(f.l, f.j-1)
+		push(f.j+1, f.r)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+// Package factor implements the transformation of a general uncertain string
+// into a special uncertain string (Section 5.1, Lemma 2, after Amir et al.):
+// given a construction-time threshold τmin, it produces a concatenation of
+// deterministic probability-annotated factors such that every deterministic
+// substring of S with probability of occurrence at least τmin appears inside
+// exactly one factor, at a recoverable original position.
+//
+// # Construction
+//
+// A window is a pair (start position, character choices) whose probability of
+// occurrence is at least τmin. A window is right-maximal when no character at
+// the next position keeps it above τmin, left-maximal when no character at
+// the previous position does, and bimaximal when both hold. The factors
+// emitted here are exactly the bimaximal windows:
+//
+//   - Completeness: any substring w with probability ≥ τmin extends greedily
+//     to the right until right-maximal, then to the left (left extension
+//     preserves right-maximality, since prefixing characters only lowers the
+//     probability of any continuation); the result is a bimaximal window
+//     containing w at the correct offsets.
+//   - Size: the bimaximal windows covering one position are prefix-free on
+//     the right of the position and suffix-free on its left, so their
+//     probabilities sum to at most 1 on each side independently; at most
+//     (1/τmin)² of them cover any position, giving the paper's
+//     O((1/τmin)²·n) bound on the transformed length.
+//
+// The enumeration sweeps left to right maintaining the set of active viable
+// windows. Each step extends every active window with every viable character;
+// when an extension of the full window fails but a suffix of it remains
+// viable, the longest such suffix is spawned as a new active window (this is
+// what keeps the sweep linear on long deterministic stretches — suffixes are
+// represented implicitly by their longest active cover until they genuinely
+// diverge). A window that cannot extend at all dies; it is emitted iff it is
+// not left-extendable, which is precisely bimaximality.
+package factor
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+
+	"repro/internal/prob"
+	"repro/internal/ustring"
+)
+
+// Separator is the byte placed between factors in the transformed text. It
+// must not occur as a character of the uncertain string.
+const Separator byte = 0x00
+
+// ErrSeparatorInAlphabet reports an input string using the reserved byte.
+var ErrSeparatorInAlphabet = errors.New("factor: input uses the reserved separator byte 0x00")
+
+// ErrBadTau reports a threshold outside (0, 1].
+var ErrBadTau = errors.New("factor: tau_min must be in (0, 1]")
+
+// Span records where one factor of the transformed string lives.
+type Span struct {
+	XStart int   // first character of the factor in T
+	XEnd   int   // one past the last character in T
+	SStart int32 // original position of the factor's first character in S
+}
+
+// Transformed is the special uncertain string X of Lemma 2 plus the position
+// transformation array.
+type Transformed struct {
+	// T is the deterministic text: factor characters separated by Separator.
+	T []byte
+	// LogP[i] is the log base probability of T[i] at its original position
+	// (prob.LogZero at separators).
+	LogP []float64
+	// Pos[i] is the original position in S of T[i] (-1 at separators). This
+	// is the paper's Pos array (Section 5.2).
+	Pos []int32
+	// SpanOf[i] is the index into Spans of the factor containing T[i]
+	// (-1 at separators).
+	SpanOf []int32
+	// Spans lists the factors in emission order.
+	Spans []Span
+	// MaxFactorLen is the length of the longest factor.
+	MaxFactorLen int
+	// TauMin is the construction threshold.
+	TauMin float64
+	// SourceLen is the number of positions of the original string.
+	SourceLen int
+}
+
+// window is an active viable window during the sweep.
+type window struct {
+	start  int       // S position of the first character
+	chars  []byte    // chosen characters
+	logps  []float64 // per-character log viability probabilities
+	prefix []float64 // prefix[i] = Σ logps[:i]; len = len(chars)+1
+	total  float64   // prefix[len(chars)]
+}
+
+func (w *window) clone() *window {
+	return &window{
+		start:  w.start,
+		chars:  append([]byte(nil), w.chars...),
+		logps:  append([]float64(nil), w.logps...),
+		prefix: append([]float64(nil), w.prefix...),
+		total:  w.total,
+	}
+}
+
+// suffixLog returns the log probability of the suffix starting at offset k.
+func (w *window) suffixLog(k int) float64 { return w.total - w.prefix[k] }
+
+// Transform computes the special uncertain string for s at threshold tauMin.
+func Transform(s *ustring.String, tauMin float64) (*Transformed, error) {
+	if !(tauMin > 0 && tauMin <= 1) || math.IsNaN(tauMin) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadTau, tauMin)
+	}
+	for i, pos := range s.Pos {
+		for _, c := range pos {
+			if c.Char == Separator {
+				return nil, fmt.Errorf("%w (position %d)", ErrSeparatorInAlphabet, i)
+			}
+		}
+	}
+
+	logTau := math.Log(tauMin) - prob.Eps
+
+	// viability returns the log of the probability used for window pruning.
+	// For correlated characters this is an upper bound (max of base, pr+ and
+	// pr−) so that no correlation-boosted match can escape the factor set;
+	// the engine recomputes exact probabilities at query time.
+	viability := func(i int, c ustring.Choice) float64 {
+		p := c.Prob
+		for _, corr := range s.Corr {
+			if corr.At == i && corr.Char == c.Char {
+				if corr.ProbWhenPresent > p {
+					p = corr.ProbWhenPresent
+				}
+				if corr.ProbWhenAbsent > p {
+					p = corr.ProbWhenAbsent
+				}
+			}
+		}
+		return prob.Log(p)
+	}
+
+	tr := &Transformed{TauMin: tauMin, SourceLen: s.Len()}
+
+	var emitted []*window
+	var active []*window
+	seed := maphash.MakeSeed()
+	hashWindow := func(start int, chars []byte) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		var b [4]byte
+		b[0] = byte(start)
+		b[1] = byte(start >> 8)
+		b[2] = byte(start >> 16)
+		b[3] = byte(start >> 24)
+		h.Write(b[:])
+		h.Write(chars)
+		return h.Sum64()
+	}
+
+	// maxViability[i] = max per-character viability log prob at position i,
+	// for the left-extendability test at emission.
+	maxViability := make([]float64, s.Len())
+	for i := range s.Pos {
+		best := prob.LogZero
+		for _, c := range s.Pos[i] {
+			if v := viability(i, c); v > best {
+				best = v
+			}
+		}
+		maxViability[i] = best
+	}
+
+	emitIfBimaximal := func(w *window) {
+		if w.start > 0 && maxViability[w.start-1]+w.total >= logTau {
+			return // left-extendable: a longer factor covers this window
+		}
+		emitted = append(emitted, w)
+	}
+
+	for j := 0; j < s.Len(); j++ {
+		next := make([]*window, 0, len(active)+len(s.Pos[j]))
+		dedup := make(map[uint64]bool)
+		push := func(w *window) {
+			h := hashWindow(w.start, w.chars)
+			if dedup[h] {
+				return
+			}
+			dedup[h] = true
+			next = append(next, w)
+		}
+
+		extendedLastChar := make(map[byte]bool) // chars at j covered by some new active
+
+		for _, w := range active {
+			died := true
+			// Pass A: characters the full window cannot take — spawn the
+			// longest viable suffix continued with the character. Suffix
+			// probabilities grow with the start offset, so binary search for
+			// the smallest offset that fits. This pass must run before any
+			// in-place extension of w below.
+			fullExts := 0
+			for _, c := range s.Pos[j] {
+				lp := viability(j, c)
+				if lp == prob.LogZero {
+					continue
+				}
+				if w.total+lp >= logTau {
+					fullExts++
+					continue
+				}
+				k := sort.Search(len(w.chars), func(k int) bool {
+					return w.suffixLog(k)+lp >= logTau
+				})
+				if k >= len(w.chars) || k == 0 {
+					continue // no proper viable suffix
+				}
+				nw := &window{
+					start: w.start + k,
+					chars: append(append([]byte(nil), w.chars[k:]...), c.Char),
+					logps: append(append([]float64(nil), w.logps[k:]...), lp),
+				}
+				nw.prefix = make([]float64, len(nw.chars)+1)
+				for i, l := range nw.logps {
+					nw.prefix[i+1] = nw.prefix[i] + l
+				}
+				nw.total = nw.prefix[len(nw.chars)]
+				push(nw)
+				extendedLastChar[c.Char] = true
+			}
+			// Pass B: full-window extensions. With a single viable
+			// continuation (the overwhelmingly common case on deterministic
+			// stretches) the window is extended in place instead of cloned,
+			// keeping the sweep linear.
+			for _, c := range s.Pos[j] {
+				lp := viability(j, c)
+				if lp == prob.LogZero || w.total+lp < logTau {
+					continue
+				}
+				nw := w
+				if fullExts > 1 {
+					nw = w.clone()
+				}
+				nw.chars = append(nw.chars, c.Char)
+				nw.logps = append(nw.logps, lp)
+				nw.total += lp
+				nw.prefix = append(nw.prefix, nw.total)
+				push(nw)
+				extendedLastChar[c.Char] = true
+				died = false
+			}
+			if died {
+				emitIfBimaximal(w)
+			}
+		}
+
+		// Fresh single-character windows for characters not covered by any
+		// window continuing through j.
+		for _, c := range s.Pos[j] {
+			lp := viability(j, c)
+			if lp == prob.LogZero || lp < logTau || extendedLastChar[c.Char] {
+				continue
+			}
+			push(&window{
+				start:  j,
+				chars:  []byte{c.Char},
+				logps:  []float64{lp},
+				prefix: []float64{0, lp},
+				total:  lp,
+			})
+		}
+		active = next
+	}
+	// End of string: every active window is right-maximal.
+	for _, w := range active {
+		emitIfBimaximal(w)
+	}
+
+	tr.assemble(s, emitted)
+	return tr, nil
+}
+
+// assemble lays the emitted factors out into the T / LogP / Pos arrays. The
+// recorded per-character probabilities are the *base* probabilities from the
+// model (not the viability bounds), so the engine's C array reproduces
+// Section 3.2 exactly; correlation corrections are applied by the engine.
+func (tr *Transformed) assemble(s *ustring.String, emitted []*window) {
+	// Deterministic layout: sort factors by (start, content).
+	sort.Slice(emitted, func(a, b int) bool {
+		wa, wb := emitted[a], emitted[b]
+		if wa.start != wb.start {
+			return wa.start < wb.start
+		}
+		return string(wa.chars) < string(wb.chars)
+	})
+	total := 0
+	for _, w := range emitted {
+		total += len(w.chars) + 1
+	}
+	tr.T = make([]byte, 0, total)
+	tr.LogP = make([]float64, 0, total)
+	tr.Pos = make([]int32, 0, total)
+	tr.SpanOf = make([]int32, 0, total)
+	for _, w := range emitted {
+		if len(w.chars) > tr.MaxFactorLen {
+			tr.MaxFactorLen = len(w.chars)
+		}
+		span := Span{XStart: len(tr.T), SStart: int32(w.start)}
+		for k, c := range w.chars {
+			base := s.ProbAt(w.start+k, c)
+			tr.T = append(tr.T, c)
+			tr.LogP = append(tr.LogP, prob.Log(base))
+			tr.Pos = append(tr.Pos, int32(w.start+k))
+			tr.SpanOf = append(tr.SpanOf, int32(len(tr.Spans)))
+		}
+		span.XEnd = len(tr.T)
+		tr.Spans = append(tr.Spans, span)
+		// Separator after every factor keeps suffixes of different factors
+		// from running into each other.
+		tr.T = append(tr.T, Separator)
+		tr.LogP = append(tr.LogP, prob.LogZero)
+		tr.Pos = append(tr.Pos, -1)
+		tr.SpanOf = append(tr.SpanOf, -1)
+	}
+}
+
+// Len returns the length of the transformed text including separators.
+func (tr *Transformed) Len() int { return len(tr.T) }
+
+// ExpansionFactor returns |X| / |S|, the practical counterpart of the
+// paper's (1/τmin)² bound.
+func (tr *Transformed) ExpansionFactor() float64 {
+	if tr.SourceLen == 0 {
+		return 0
+	}
+	return float64(len(tr.T)) / float64(tr.SourceLen)
+}
+
+// Bytes reports the memory footprint of the transformation output.
+func (tr *Transformed) Bytes() int {
+	return len(tr.T) + len(tr.LogP)*8 + len(tr.Pos)*4 + len(tr.SpanOf)*4 + len(tr.Spans)*16
+}

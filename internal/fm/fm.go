@@ -1,0 +1,179 @@
+// Package fm implements an FM-index — the compressed suffix array the
+// paper's Section 8.7 uses in place of a generalized suffix tree for
+// suffix-range retrieval ("we use a compressed suffix array (CSA) of t …
+// that occupies N log σ + o(N log σ) + O(N) bits and retrieves the suffix
+// range of query string p in O(p) time").
+//
+// The index stores the Burrows–Wheeler transform of the text in a wavelet
+// tree (internal/wavelet over internal/rank), the per-symbol cumulative
+// counts, and a sampled suffix array for locating. Backward search answers
+// Range in O(m log σ); Locate walks the LF mapping to the nearest sample.
+//
+// The index needs a sentinel symbol smaller than every text symbol, and the
+// transformed texts of this repository already use 0x00 as the factor
+// separator. Symbols are therefore shifted up by one internally
+// (0x00 → 1, …, 0xFE → 255) so the sentinel can be 0; the only rejected
+// input byte is 0xFF.
+package fm
+
+import (
+	"errors"
+
+	"repro/internal/rank"
+	"repro/internal/suffix"
+	"repro/internal/wavelet"
+)
+
+// ErrByteFF reports an input text using the reserved byte 0xFF.
+var ErrByteFF = errors.New("fm: text contains reserved byte 0xFF")
+
+// DefaultSampleRate is the suffix array sampling interval: one stored
+// position per 32 suffixes, making Locate cost ≤ 32 LF steps.
+const DefaultSampleRate = 32
+
+// Index is the FM-index of a text.
+type Index struct {
+	bwt     *wavelet.Tree
+	counts  [258]int32 // counts[c] = number of shifted symbols < c
+	sampled *rank.Bits // marks sampled rows
+	samples []int32    // SA' values at sampled rows, in row order
+	rate    int
+	n       int // original text length (rows = n+1 including sentinel)
+}
+
+// New builds the index. sampleRate ≤ 0 selects DefaultSampleRate.
+func New(text []byte, sampleRate int) (*Index, error) {
+	if sampleRate <= 0 {
+		sampleRate = DefaultSampleRate
+	}
+	for _, c := range text {
+		if c == 0xFF {
+			return nil, ErrByteFF
+		}
+	}
+	n := len(text)
+	ix := &Index{rate: sampleRate, n: n}
+
+	// Rows of the conceptual sorted rotation matrix of text+sentinel:
+	// row 0 is the sentinel suffix; row r>0 is the suffix at sa[r-1].
+	sa := suffix.Array(text)
+
+	// BWT over shifted symbols: bwtRow[r] = shifted(text2[SA'[r]-1]).
+	bwtData := make([]byte, n+1)
+	saPrime := func(r int) int {
+		if r == 0 {
+			return n
+		}
+		return int(sa[r-1])
+	}
+	for r := 0; r <= n; r++ {
+		p := saPrime(r)
+		if p == 0 {
+			bwtData[r] = 0 // sentinel: predecessor of the full-text suffix
+		} else {
+			bwtData[r] = text[p-1] + 1
+		}
+	}
+	ix.bwt = wavelet.New(bwtData)
+
+	// Cumulative counts over shifted symbols (sentinel = 0 occurs once).
+	var freq [257]int32
+	freq[0] = 1
+	for _, c := range text {
+		freq[int(c)+1]++
+	}
+	var sum int32
+	for c := 0; c < 257; c++ {
+		ix.counts[c] = sum
+		sum += freq[c]
+	}
+	ix.counts[257] = sum
+
+	// Sample SA': every rate-th text position, plus position 0 (required to
+	// terminate every LF walk).
+	b := rank.NewBuilder(n + 1)
+	for r := 0; r <= n; r++ {
+		p := saPrime(r)
+		b.Append(p%sampleRate == 0 || p == 0)
+	}
+	ix.sampled = b.Build()
+	ix.samples = make([]int32, 0, ix.sampled.Ones())
+	for r := 0; r <= n; r++ {
+		p := saPrime(r)
+		if p%sampleRate == 0 || p == 0 {
+			ix.samples = append(ix.samples, int32(p))
+		}
+	}
+	return ix, nil
+}
+
+// Len returns the original text length.
+func (ix *Index) Len() int { return ix.n }
+
+// Range returns the suffix range [lo, hi] of p in the (implicit) suffix
+// array of the text — the same coordinates as suffix.Text.Range — via
+// backward search. ok is false when p does not occur.
+func (ix *Index) Range(p []byte) (lo, hi int, ok bool) {
+	if len(p) == 0 {
+		if ix.n == 0 {
+			return 0, -1, false
+		}
+		return 0, ix.n - 1, true
+	}
+	// Row interval [l, r) over the n+1 rows.
+	l, r := 0, ix.n+1
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == 0xFF {
+			return 0, -1, false
+		}
+		c := p[i] + 1
+		base := int(ix.counts[c])
+		l = base + ix.bwt.Rank(c, l)
+		r = base + ix.bwt.Rank(c, r)
+		if l >= r {
+			return 0, -1, false
+		}
+	}
+	// Rows r>0 map to suffix array positions r-1; row 0 (the sentinel)
+	// cannot be in the interval since p is non-empty.
+	return l - 1, r - 2, true
+}
+
+// Count returns the number of occurrences of p.
+func (ix *Index) Count(p []byte) int {
+	lo, hi, ok := ix.Range(p)
+	if !ok {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// lf is the last-to-first mapping on rows.
+func (ix *Index) lf(row int) int {
+	c := ix.bwt.Access(row)
+	return int(ix.counts[c]) + ix.bwt.Rank(c, row)
+}
+
+// Locate returns the text position of the suffix at suffix-array position j
+// (the value suffix.Text would report as SA()[j]), by LF-walking to the
+// nearest sampled row.
+func (ix *Index) Locate(j int) int32 {
+	row := j + 1 // suffix array position → row
+	steps := 0
+	for !ix.sampled.Get(row) {
+		row = ix.lf(row)
+		steps++
+	}
+	v := int(ix.samples[ix.sampled.Rank1(row)]) + steps
+	// SA' values live on text+sentinel of length n+1.
+	if v > ix.n {
+		v -= ix.n + 1
+	}
+	return int32(v)
+}
+
+// Bytes reports the memory footprint — the number the paper's Section 8.7
+// space accounting calls ~2.5N words in practice for its CSA.
+func (ix *Index) Bytes() int {
+	return ix.bwt.Bytes() + ix.sampled.Bytes() + len(ix.samples)*4 + 258*4
+}

@@ -1,0 +1,196 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/factor"
+	"repro/internal/gen"
+	"repro/internal/suffix"
+)
+
+func TestRangeMatchesSuffixText(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(4))
+		}
+		fmix, err := New(text, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := suffix.New(text)
+		for q := 0; q < 50; q++ {
+			m := 1 + rng.Intn(8)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = byte('a' + rng.Intn(4))
+			}
+			alo, ahi, aok := fmix.Range(p)
+			blo, bhi, bok := tx.Range(p)
+			if aok != bok || (aok && (alo != blo || ahi != bhi)) {
+				t.Fatalf("Range(%q): fm=[%d,%d]%v text=[%d,%d]%v\ntext=%q",
+					p, alo, ahi, aok, blo, bhi, bok, text)
+			}
+		}
+	}
+}
+
+func TestLocateMatchesSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(400)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		for _, rate := range []int{1, 4, 32} {
+			fmix, err := New(text, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa := suffix.Array(text)
+			for j := 0; j < n; j++ {
+				if got := fmix.Locate(j); got != sa[j] {
+					t.Fatalf("rate=%d Locate(%d) = %d, want %d (text=%q)",
+						rate, j, got, sa[j], text)
+				}
+			}
+		}
+	}
+}
+
+func TestCountMatchesBrute(t *testing.T) {
+	text := []byte("abracadabra")
+	fmix, err := New(text, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		"a": 5, "abra": 2, "bra": 2, "cad": 1, "abracadabra": 1,
+		"z": 0, "abracadabraa": 0, "": 0,
+	}
+	for p, want := range cases {
+		if p == "" {
+			continue
+		}
+		if got := fmix.Count([]byte(p)); got != want {
+			t.Errorf("Count(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestSeparatorBytesSupported(t *testing.T) {
+	// The factor-transformed texts contain 0x00 separators; the FM-index
+	// must handle them transparently.
+	s := gen.Single(gen.Config{N: 500, Theta: 0.4, Seed: 313})
+	tr, err := factor.Transform(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmix, err := New(tr.T, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := suffix.New(tr.T)
+	for _, p := range gen.Patterns(s, 30, 4, 317) {
+		alo, ahi, aok := fmix.Range(p)
+		blo, bhi, bok := tx.Range(p)
+		if aok != bok || (aok && (alo != blo || ahi != bhi)) {
+			t.Fatalf("Range(%q) diverges on transformed text", p)
+		}
+		if aok {
+			for j := alo; j <= ahi; j++ {
+				if fmix.Locate(j) != tx.SA()[j] {
+					t.Fatalf("Locate(%d) diverges", j)
+				}
+			}
+		}
+	}
+}
+
+func TestRejectsByteFF(t *testing.T) {
+	if _, err := New([]byte{1, 0xFF, 2}, 4); err != ErrByteFF {
+		t.Errorf("err = %v, want ErrByteFF", err)
+	}
+	fmix, err := New([]byte("ab"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := fmix.Range([]byte{0xFF}); ok {
+		t.Error("pattern with 0xFF must not match")
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	fmix, err := New(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := fmix.Range([]byte("a")); ok {
+		t.Error("empty text must match nothing")
+	}
+	if _, _, ok := fmix.Range(nil); ok {
+		t.Error("empty pattern on empty text")
+	}
+}
+
+// Property: Count equals the number of occurrences found by a sliding scan.
+func TestCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('x' + rng.Intn(2))
+		}
+		fmix, err := New(text, 8)
+		if err != nil {
+			return false
+		}
+		m := 1 + rng.Intn(5)
+		p := make([]byte, m)
+		for i := range p {
+			p[i] = byte('x' + rng.Intn(2))
+		}
+		want := 0
+		for i := 0; i+m <= n; i++ {
+			match := true
+			for k := range p {
+				if text[i+k] != p[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				want++
+			}
+		}
+		return fmix.Count(p) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceSmallerThanPlainSA(t *testing.T) {
+	s := gen.Single(gen.Config{N: 5000, Theta: 0.3, Seed: 331})
+	tr, err := factor.Transform(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmix, err := New(tr.T, DefaultSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := suffix.New(tr.T)
+	t.Logf("fm: %d bytes, plain SA stack: %d bytes (%.1fx smaller)",
+		fmix.Bytes(), tx.Bytes(), float64(tx.Bytes())/float64(fmix.Bytes()))
+	if fmix.Bytes() >= tx.Bytes() {
+		t.Errorf("FM-index (%d B) not smaller than plain SA+LCP+rank (%d B)",
+			fmix.Bytes(), tx.Bytes())
+	}
+}

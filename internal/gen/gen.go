@@ -1,0 +1,270 @@
+// Package gen synthesises uncertain-string datasets with the statistics of
+// the paper's evaluation corpus (Section 8.1).
+//
+// The paper starts from a concatenated human+mouse protein sequence
+// (|Σ| = 22), breaks it into strings whose lengths follow roughly a normal
+// distribution on [20, 45], and derives a character-level pdf at each
+// position from the letter frequencies of an edit-distance-4 neighbourhood;
+// a fraction θ of the positions end up uncertain, with about five choices
+// per uncertain position. The real corpus is not distributable, so this
+// package generates sequences and neighbourhood-style pdfs with the same
+// published statistics. All output is deterministic under Config.Seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ustring"
+)
+
+// ProteinAlphabet is the 22-letter amino-acid alphabet used throughout the
+// paper's evaluation (20 standard residues plus the ambiguity codes B and Z).
+var ProteinAlphabet = []byte("ACDEFGHIKLMNPQRSTVWYBZ")
+
+// Config controls dataset generation.
+type Config struct {
+	// N is the total number of positions to generate (the paper's n).
+	N int
+	// Theta is the fraction of uncertain positions (the paper's θ, 0.1–0.5).
+	Theta float64
+	// MeanChoices is the average number of character choices at an uncertain
+	// position. The paper sets 5. Values are clamped to [2, 8].
+	MeanChoices float64
+	// MinLen, MaxLen bound the per-string lengths of a collection; the paper
+	// uses a roughly normal distribution on [20, 45].
+	MinLen, MaxLen int
+	// Correlations, if positive, adds that many random character-level
+	// correlations (Section 3.3) to each generated string.
+	Correlations int
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Alphabet defaults to ProteinAlphabet.
+	Alphabet []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.MeanChoices == 0 {
+		c.MeanChoices = 5
+	}
+	if c.MinLen == 0 {
+		c.MinLen = 20
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 45
+	}
+	if len(c.Alphabet) == 0 {
+		c.Alphabet = ProteinAlphabet
+	}
+	return c
+}
+
+// Single generates one uncertain string with exactly cfg.N positions — the
+// substrate of the substring-search experiments (Figures 7 and 9).
+func Single(cfg Config) *ustring.String {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return generate(rng, cfg, cfg.N)
+}
+
+// Collection generates a collection of uncertain strings with cfg.N
+// positions in total, individual lengths approximately normal on
+// [MinLen, MaxLen] — the substrate of the string-listing experiments
+// (Figure 8).
+func Collection(cfg Config) []*ustring.String {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var docs []*ustring.String
+	remaining := cfg.N
+	for remaining > 0 {
+		mean := float64(cfg.MinLen+cfg.MaxLen) / 2
+		sd := float64(cfg.MaxLen-cfg.MinLen) / 6
+		l := int(math.Round(rng.NormFloat64()*sd + mean))
+		if l < cfg.MinLen {
+			l = cfg.MinLen
+		}
+		if l > cfg.MaxLen {
+			l = cfg.MaxLen
+		}
+		if l > remaining {
+			l = remaining
+		}
+		docs = append(docs, generate(rng, cfg, l))
+		remaining -= l
+	}
+	return docs
+}
+
+// generate builds one uncertain string of n positions.
+func generate(rng *rand.Rand, cfg Config, n int) *ustring.String {
+	s := &ustring.String{Pos: make([]ustring.Position, n)}
+	for i := 0; i < n; i++ {
+		base := cfg.Alphabet[rng.Intn(len(cfg.Alphabet))]
+		if rng.Float64() >= cfg.Theta {
+			s.Pos[i] = ustring.Position{{Char: base, Prob: 1}}
+			continue
+		}
+		s.Pos[i] = uncertainPosition(rng, cfg, base)
+	}
+	addCorrelations(rng, s, cfg.Correlations)
+	return s
+}
+
+// uncertainPosition emulates the paper's neighbourhood-derived pdf: the
+// "true" base character receives the largest share of the mass and the
+// remaining choices receive geometrically decaying shares, the way letter
+// frequencies in an edit-distance neighbourhood of a string concentrate
+// around the original letter.
+func uncertainPosition(rng *rand.Rand, cfg Config, base byte) ustring.Position {
+	k := int(math.Round(rng.NormFloat64()*1.2 + cfg.MeanChoices))
+	if k < 2 {
+		k = 2
+	}
+	if k > 8 {
+		k = 8
+	}
+	if k > len(cfg.Alphabet) {
+		k = len(cfg.Alphabet)
+	}
+	// Pick k distinct characters, base first.
+	chars := make([]byte, 0, k)
+	chars = append(chars, base)
+	used := map[byte]bool{base: true}
+	for len(chars) < k {
+		c := cfg.Alphabet[rng.Intn(len(cfg.Alphabet))]
+		if !used[c] {
+			used[c] = true
+			chars = append(chars, c)
+		}
+	}
+	// Geometric-ish weights with noise; the base keeps the largest weight.
+	weights := make([]float64, k)
+	w := 1.0
+	total := 0.0
+	for i := range weights {
+		weights[i] = w * (0.75 + 0.5*rng.Float64())
+		total += weights[i]
+		w *= 0.55
+	}
+	pos := make(ustring.Position, k)
+	acc := 0.0
+	for i, c := range chars {
+		p := weights[i] / total
+		// Round to 4 decimals for stable text encoding; give the remainder
+		// to the last choice so the position sums to exactly 1.
+		p = math.Round(p*1e4) / 1e4
+		if i == k-1 {
+			p = 1 - acc
+		}
+		acc += p
+		pos[i] = ustring.Choice{Char: c, Prob: p}
+	}
+	return pos
+}
+
+// addCorrelations wires count random correlations into s: a character at an
+// uncertain position is made dependent on a character at another position,
+// with pr+ and pr− spread around its base probability.
+func addCorrelations(rng *rand.Rand, s *ustring.String, count int) {
+	if count <= 0 || s.Len() < 2 {
+		return
+	}
+	var uncertain []int
+	for i, pos := range s.Pos {
+		if len(pos) > 1 {
+			uncertain = append(uncertain, i)
+		}
+	}
+	if len(uncertain) == 0 {
+		return
+	}
+	taken := map[int]bool{}
+	for c := 0; c < count; c++ {
+		at := uncertain[rng.Intn(len(uncertain))]
+		if taken[at] {
+			continue
+		}
+		dep := rng.Intn(s.Len())
+		if dep == at {
+			continue
+		}
+		taken[at] = true
+		choice := s.Pos[at][rng.Intn(len(s.Pos[at]))]
+		depChoice := s.Pos[dep][rng.Intn(len(s.Pos[dep]))]
+		base := choice.Prob
+		delta := base * (0.2 + 0.3*rng.Float64())
+		plus := base + delta
+		minus := base - delta
+		if plus > 1 {
+			plus = 1
+		}
+		if minus < 0 {
+			minus = 0
+		}
+		s.Corr = append(s.Corr, ustring.Correlation{
+			At: at, Char: choice.Char,
+			DepAt: dep, DepChar: depChoice.Char,
+			ProbWhenPresent: plus, ProbWhenAbsent: minus,
+		})
+	}
+}
+
+// Patterns samples count query patterns of length m from the probable worlds
+// of s, so the workload contains patterns that actually occur with
+// non-negligible probability (the paper queries substrings of the indexed
+// data). Sampling follows the per-position pdf, which concentrates on
+// high-probability substrings.
+func Patterns(s *ustring.String, count, m int, seed int64) [][]byte {
+	if s.Len() < m || m <= 0 || count <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, 0, count)
+	for len(out) < count {
+		start := rng.Intn(s.Len() - m + 1)
+		p := make([]byte, m)
+		for k := 0; k < m; k++ {
+			p[k] = samplePos(rng, s.Pos[start+k])
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CollectionPatterns samples patterns from random documents of a collection.
+func CollectionPatterns(docs []*ustring.String, count, m int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []*ustring.String
+	for _, d := range docs {
+		if d.Len() >= m {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, count)
+	for len(out) < count {
+		d := candidates[rng.Intn(len(candidates))]
+		start := rng.Intn(d.Len() - m + 1)
+		p := make([]byte, m)
+		for k := 0; k < m; k++ {
+			p[k] = samplePos(rng, d.Pos[start+k])
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// samplePos draws one character from a position's pdf.
+func samplePos(rng *rand.Rand, pos ustring.Position) byte {
+	r := rng.Float64()
+	acc := 0.0
+	for _, c := range pos {
+		acc += c.Prob
+		if r < acc {
+			return c.Char
+		}
+	}
+	return pos[len(pos)-1].Char
+}

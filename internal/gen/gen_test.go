@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSingleBasicShape(t *testing.T) {
+	s := Single(Config{N: 1000, Theta: 0.3, Seed: 1})
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated string invalid: %v", err)
+	}
+}
+
+func TestSingleDeterministicUnderSeed(t *testing.T) {
+	a := Single(Config{N: 500, Theta: 0.2, Seed: 42})
+	b := Single(Config{N: 500, Theta: 0.2, Seed: 42})
+	for i := range a.Pos {
+		if len(a.Pos[i]) != len(b.Pos[i]) {
+			t.Fatalf("position %d differs between runs", i)
+		}
+		for k := range a.Pos[i] {
+			if a.Pos[i][k] != b.Pos[i][k] {
+				t.Fatalf("position %d choice %d differs", i, k)
+			}
+		}
+	}
+	c := Single(Config{N: 500, Theta: 0.2, Seed: 43})
+	same := true
+	for i := range a.Pos {
+		if len(a.Pos[i]) != len(c.Pos[i]) || a.Pos[i][0] != c.Pos[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestThetaControlsUncertainty(t *testing.T) {
+	for _, theta := range []float64{0.1, 0.3, 0.5} {
+		s := Single(Config{N: 20000, Theta: theta, Seed: 7})
+		uncertain := 0
+		for _, pos := range s.Pos {
+			if len(pos) > 1 {
+				uncertain++
+			}
+		}
+		frac := float64(uncertain) / float64(s.Len())
+		if math.Abs(frac-theta) > 0.02 {
+			t.Errorf("theta=%v: uncertain fraction = %v", theta, frac)
+		}
+	}
+}
+
+func TestMeanChoicesNearFive(t *testing.T) {
+	s := Single(Config{N: 50000, Theta: 0.5, Seed: 11})
+	total, count := 0, 0
+	for _, pos := range s.Pos {
+		if len(pos) > 1 {
+			total += len(pos)
+			count++
+		}
+	}
+	mean := float64(total) / float64(count)
+	if mean < 4.2 || mean > 5.8 {
+		t.Errorf("mean choices = %v, want ≈5 (paper Section 8.1)", mean)
+	}
+}
+
+func TestAlphabetRespected(t *testing.T) {
+	s := Single(Config{N: 5000, Theta: 0.4, Seed: 3})
+	allowed := map[byte]bool{}
+	for _, c := range ProteinAlphabet {
+		allowed[c] = true
+	}
+	for i, pos := range s.Pos {
+		for _, c := range pos {
+			if !allowed[c.Char] {
+				t.Fatalf("position %d uses %q outside the protein alphabet", i, c.Char)
+			}
+		}
+	}
+	if len(ProteinAlphabet) != 22 {
+		t.Errorf("|Σ| = %d, want 22 per the paper", len(ProteinAlphabet))
+	}
+}
+
+func TestCollectionLengths(t *testing.T) {
+	docs := Collection(Config{N: 5000, Theta: 0.2, Seed: 5})
+	total := 0
+	for i, d := range docs {
+		total += d.Len()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		// All docs except possibly the last obey the length bounds.
+		if i < len(docs)-1 && (d.Len() < 20 || d.Len() > 45) {
+			t.Errorf("doc %d length %d outside [20,45]", i, d.Len())
+		}
+	}
+	if total != 5000 {
+		t.Errorf("total positions = %d, want 5000", total)
+	}
+}
+
+func TestCorrelationsGenerated(t *testing.T) {
+	s := Single(Config{N: 2000, Theta: 0.5, Correlations: 10, Seed: 9})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("correlated string invalid: %v", err)
+	}
+	if len(s.Corr) == 0 {
+		t.Error("no correlations generated")
+	}
+	for _, c := range s.Corr {
+		if c.ProbWhenPresent < c.ProbWhenAbsent {
+			t.Errorf("pr+ %v < pr− %v; generator promised positive correlation",
+				c.ProbWhenPresent, c.ProbWhenAbsent)
+		}
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	s := Single(Config{N: 3000, Theta: 0.3, Seed: 13})
+	ps := Patterns(s, 50, 8, 17)
+	if len(ps) != 50 {
+		t.Fatalf("len(patterns) = %d", len(ps))
+	}
+	nonZero := 0
+	for _, p := range ps {
+		if len(p) != 8 {
+			t.Fatalf("pattern length %d", len(p))
+		}
+		// Patterns are sampled from the pdfs, so most should have positive
+		// occurrence probability somewhere.
+		if len(s.MatchPositions(p, 0)) > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 40 {
+		t.Errorf("only %d/50 sampled patterns occur with positive probability", nonZero)
+	}
+}
+
+func TestPatternsEdgeCases(t *testing.T) {
+	s := Single(Config{N: 10, Theta: 0.2, Seed: 1})
+	if got := Patterns(s, 5, 20, 1); got != nil {
+		t.Error("pattern longer than the string must yield nil")
+	}
+	if got := Patterns(s, 0, 3, 1); got != nil {
+		t.Error("count=0 must yield nil")
+	}
+}
+
+func TestCollectionPatterns(t *testing.T) {
+	docs := Collection(Config{N: 2000, Theta: 0.2, Seed: 19})
+	ps := CollectionPatterns(docs, 20, 6, 23)
+	if len(ps) != 20 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for _, p := range ps {
+		if len(p) != 6 {
+			t.Fatalf("pattern length %d", len(p))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bruteRank1(bs []bool, i int) int {
+	if i > len(bs) {
+		i = len(bs)
+	}
+	r := 0
+	for k := 0; k < i; k++ {
+		if bs[k] {
+			r++
+		}
+	}
+	return r
+}
+
+func TestRankSmall(t *testing.T) {
+	bs := []bool{true, false, true, true, false, false, true}
+	v := FromBools(bs)
+	if v.Len() != 7 || v.Ones() != 4 {
+		t.Fatalf("Len=%d Ones=%d", v.Len(), v.Ones())
+	}
+	for i := 0; i <= 7; i++ {
+		if got, want := v.Rank1(i), bruteRank1(bs, i); got != want {
+			t.Errorf("Rank1(%d) = %d, want %d", i, got, want)
+		}
+		if got, want := v.Rank0(i), i-bruteRank1(bs, i); i <= 7 && got != want {
+			t.Errorf("Rank0(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range []int{0, 2, 3, 6} {
+		if got := v.Select1(i); got != want {
+			t.Errorf("Select1(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range []int{1, 4, 5} {
+		if got := v.Select0(i); got != want {
+			t.Errorf("Select0(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if v.Select1(4) != -1 || v.Select0(3) != -1 || v.Select1(-1) != -1 {
+		t.Error("out-of-range select must return -1")
+	}
+}
+
+func TestRankAcrossBlockBoundaries(t *testing.T) {
+	// Sizes straddling the 512-bit block and 64-bit word boundaries.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 511, 512, 513, 1024, 3000} {
+		bs := make([]bool, n)
+		for i := range bs {
+			bs[i] = rng.Intn(3) == 0
+		}
+		v := FromBools(bs)
+		for i := 0; i <= n; i += 1 + i/17 {
+			if got, want := v.Rank1(i), bruteRank1(bs, i); got != want {
+				t.Fatalf("n=%d Rank1(%d) = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectInvertsRank(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(2000)
+		bs := make([]bool, n)
+		for i := range bs {
+			bs[i] = rng.Intn(2) == 0
+		}
+		v := FromBools(bs)
+		for k := 0; k < v.Ones(); k += 1 + k/9 {
+			p := v.Select1(k)
+			if p < 0 || !v.Get(p) || v.Rank1(p) != k {
+				return false
+			}
+		}
+		for k := 0; k < n-v.Ones(); k += 1 + k/9 {
+			p := v.Select0(k)
+			if p < 0 || v.Get(p) || v.Rank0(p) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndEdges(t *testing.T) {
+	v := FromBools(nil)
+	if v.Rank1(0) != 0 || v.Rank1(10) != 0 || v.Select1(0) != -1 {
+		t.Error("empty vector misbehaves")
+	}
+	v2 := FromBools([]bool{true})
+	if v2.Rank1(-5) != 0 {
+		t.Error("negative rank index must clamp to 0")
+	}
+	if v2.Rank1(100) != 1 {
+		t.Error("overlong rank index must clamp to n")
+	}
+	if v2.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}

@@ -1,0 +1,58 @@
+// Package rmq implements the range-maximum / range-minimum query structures
+// the indexes are built on (the paper's Lemma 1, after Fischer & Heun).
+//
+// Four structures are provided:
+//
+//   - Linear: the brute-force O(n)-per-query reference, used as the oracle in
+//     tests and as the fallback for tiny inputs.
+//   - Sparse: the classic sparse table — O(n log n) words, O(1) query. Used
+//     for LCP range minima (LCA queries on the suffix tree).
+//   - Block: a practical Fischer–Heun-style block decomposition over a value
+//     *accessor*. It never stores the value array, matching the paper's trick
+//     of discarding the Ci arrays after construction (Section 4.2): values
+//     are recomputed on demand from the global C array. O(n/b · log(n/b))
+//     words of index, O(b) accessor calls per query with b = 64.
+//   - Succinct: an exact Fischer–Heun structure for int32 range minima with
+//     Cartesian-tree block types and O(1) in-block lookups, used for the LCP
+//     array where the 2n+o(n)-bit flavour of Lemma 1 matters most.
+//
+// All queries take a closed range [i, j] and return the *position* of the
+// optimum (leftmost on ties), never the value — exactly the interface the
+// paper's recursive query procedure needs.
+package rmq
+
+// Values is the read-only accessor the Block structure queries. It must be
+// pure: repeated calls with the same index must return the same value for the
+// lifetime of the structure.
+type Values func(i int) float64
+
+// Linear answers range-maximum queries by scanning. It is the reference
+// implementation the other structures are tested against.
+type Linear struct {
+	vals Values
+	n    int
+}
+
+// NewLinear returns a brute-force RMQ over n values.
+func NewLinear(n int, vals Values) *Linear {
+	return &Linear{vals: vals, n: n}
+}
+
+// Max returns the position of the maximum value in the closed range [i, j],
+// leftmost on ties. It returns -1 for an empty or out-of-bounds range.
+func (l *Linear) Max(i, j int) int {
+	if i < 0 || j >= l.n || i > j {
+		return -1
+	}
+	best := i
+	bv := l.vals(i)
+	for k := i + 1; k <= j; k++ {
+		if v := l.vals(k); v > bv {
+			best, bv = k, v
+		}
+	}
+	return best
+}
+
+// Bytes reports the index memory footprint (excluding the values themselves).
+func (l *Linear) Bytes() int { return 16 }

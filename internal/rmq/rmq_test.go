@@ -1,0 +1,266 @@
+package rmq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sliceValues(vs []float64) Values {
+	return func(i int) float64 { return vs[i] }
+}
+
+func bruteMax(vs []float64, i, j int) int {
+	best := i
+	for k := i + 1; k <= j; k++ {
+		if vs[k] > vs[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+func bruteMinInt(vs []int32, i, j int) int {
+	best := i
+	for k := i + 1; k <= j; k++ {
+		if vs[k] < vs[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+func TestLinearMax(t *testing.T) {
+	vs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	l := NewLinear(len(vs), sliceValues(vs))
+	if got := l.Max(0, 7); got != 5 {
+		t.Errorf("Max(0,7) = %d, want 5", got)
+	}
+	if got := l.Max(0, 3); got != 2 {
+		t.Errorf("Max(0,3) = %d, want 2", got)
+	}
+	if got := l.Max(3, 3); got != 3 {
+		t.Errorf("Max(3,3) = %d, want 3", got)
+	}
+	for _, bad := range [][2]int{{-1, 3}, {2, 8}, {5, 4}} {
+		if got := l.Max(bad[0], bad[1]); got != -1 {
+			t.Errorf("Max(%d,%d) = %d, want -1", bad[0], bad[1], got)
+		}
+	}
+}
+
+func TestLinearLeftmostTie(t *testing.T) {
+	vs := []float64{1, 7, 3, 7, 7, 2}
+	l := NewLinear(len(vs), sliceValues(vs))
+	if got := l.Max(0, 5); got != 1 {
+		t.Errorf("tie must report leftmost: got %d, want 1", got)
+	}
+	if got := l.Max(2, 5); got != 3 {
+		t.Errorf("tie must report leftmost: got %d, want 3", got)
+	}
+}
+
+func TestSparseMaxSmall(t *testing.T) {
+	vs := []float64{0.4, 0.28, 0.14, 0.11, 0.10, 0.06}
+	s := NewSparseMax(vs)
+	for i := 0; i < len(vs); i++ {
+		for j := i; j < len(vs); j++ {
+			want := bruteMax(vs, i, j)
+			if got := s.Query(i, j); got != want {
+				t.Errorf("Query(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSparseEmptyAndInvalid(t *testing.T) {
+	s := NewSparseMax(nil)
+	if got := s.Query(0, 0); got != -1 {
+		t.Errorf("empty sparse Query = %d, want -1", got)
+	}
+	s2 := NewSparseMax([]float64{1, 2})
+	if got := s2.Query(1, 0); got != -1 {
+		t.Errorf("inverted range = %d, want -1", got)
+	}
+}
+
+func TestSparseMinMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i] = int32(rng.Intn(10)) // small domain forces ties
+		}
+		s := NewSparseMin(vs)
+		for q := 0; q < 100; q++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			want := bruteMinInt(vs, i, j)
+			if got := s.Query(i, j); got != want {
+				t.Fatalf("n=%d Query(%d,%d) = %d, want %d (vals=%v)", n, i, j, got, want, vs)
+			}
+		}
+	}
+}
+
+func TestBlockMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		// Cover sizes below, at, and well above BlockSize.
+		n := 1 + rng.Intn(5*BlockSize)
+		if trial%5 == 0 {
+			n = BlockSize * (1 + rng.Intn(4)) // exact multiples
+		}
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64(rng.Intn(20)) / 10 // ties likely
+		}
+		b := NewBlock(n, sliceValues(vs))
+		for q := 0; q < 200; q++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			want := bruteMax(vs, i, j)
+			if got := b.Max(i, j); got != want {
+				t.Fatalf("n=%d Max(%d,%d) = %d, want %d", n, i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBlockEmptyAndBounds(t *testing.T) {
+	b := NewBlock(0, nil)
+	if got := b.Max(0, 0); got != -1 {
+		t.Errorf("empty block Max = %d, want -1", got)
+	}
+	vs := []float64{1, 2, 3}
+	b2 := NewBlock(3, sliceValues(vs))
+	if got := b2.Max(0, 3); got != -1 {
+		t.Errorf("out-of-bounds Max = %d, want -1", got)
+	}
+	if got := b2.Max(0, 2); got != 2 {
+		t.Errorf("Max(0,2) = %d, want 2", got)
+	}
+}
+
+func TestBlockSpansManyBlocks(t *testing.T) {
+	n := 10 * BlockSize
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i % 97)
+	}
+	vs[5*BlockSize+17] = 1000
+	b := NewBlock(n, sliceValues(vs))
+	if got := b.Max(3, n-2); got != 5*BlockSize+17 {
+		t.Errorf("Max across blocks = %d, want %d", got, 5*BlockSize+17)
+	}
+}
+
+func TestSuccinctMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i] = int32(rng.Intn(8)) // heavy ties
+		}
+		s := NewSuccinct(vs)
+		for q := 0; q < 200; q++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			want := bruteMinInt(vs, i, j)
+			if got := s.Min(i, j); got != want {
+				t.Fatalf("n=%d Min(%d,%d) = %d, want %d (vals=%v)", n, i, j, got, want, vs)
+			}
+		}
+	}
+}
+
+func TestSuccinctExhaustiveSmall(t *testing.T) {
+	// Every range of every length-≤17 array over a 3-letter domain would be
+	// too many; sample the shape space instead with full range coverage.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(17)
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i] = int32(rng.Intn(3))
+		}
+		s := NewSuccinct(vs)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				want := bruteMinInt(vs, i, j)
+				if got := s.Min(i, j); got != want {
+					t.Fatalf("vals=%v Min(%d,%d) = %d, want %d", vs, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSuccinctEmpty(t *testing.T) {
+	s := NewSuccinct(nil)
+	if got := s.Min(0, 0); got != -1 {
+		t.Errorf("empty Min = %d, want -1", got)
+	}
+}
+
+func TestCartesianTypeSharesTables(t *testing.T) {
+	// Two blocks with identical Cartesian shape but different values must get
+	// the same type.
+	a := []int32{5, 3, 8, 1, 9, 2, 7, 4}
+	b := []int32{50, 30, 80, 10, 90, 20, 70, 40}
+	if cartesianType(a) != cartesianType(b) {
+		t.Error("order-isomorphic blocks must share a Cartesian type")
+	}
+	c := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	if cartesianType(a) == cartesianType(c) {
+		t.Error("different shapes must not collide")
+	}
+	// Short (tail) blocks must not collide with prefixes of full blocks.
+	if cartesianType(a[:4]) == cartesianType(a) {
+		t.Error("tail block type must encode its length")
+	}
+}
+
+// Property: all three maximum structures agree on random inputs.
+func TestStructuresAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = rng.Float64()
+		}
+		lin := NewLinear(n, sliceValues(vs))
+		sp := NewSparseMax(vs)
+		bl := NewBlock(n, sliceValues(vs))
+		for q := 0; q < 50; q++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			a, b, c := lin.Max(i, j), sp.Query(i, j), bl.Max(i, j)
+			if a != b || b != c {
+				t.Logf("disagree at [%d,%d]: linear=%d sparse=%d block=%d", i, j, a, b, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesReporting(t *testing.T) {
+	vs := make([]float64, 1000)
+	iv := make([]int32, 1000)
+	if NewSparseMax(vs).Bytes() <= 0 {
+		t.Error("sparse Bytes must be positive")
+	}
+	if NewBlock(1000, sliceValues(vs)).Bytes() <= 0 {
+		t.Error("block Bytes must be positive")
+	}
+	if NewSuccinct(iv).Bytes() <= 0 {
+		t.Error("succinct Bytes must be positive")
+	}
+}

@@ -1,0 +1,101 @@
+package rmq
+
+import "math/bits"
+
+// Sparse is the classic sparse-table range query structure: O(n log n) words
+// of memory and O(1) per query. The generic parameter lets the same
+// implementation serve float64 maxima (probability arrays) and int32 minima
+// (LCP arrays): the direction is fixed by the better function.
+type Sparse[T any] struct {
+	table  [][]int32 // table[k][i] = arg-opt of [i, i+2^k-1]
+	vals   []T
+	better func(a, b T) bool // strict: true if a beats b
+	n      int
+}
+
+// NewSparseMax builds a sparse table answering range-maximum queries over
+// float64 values (leftmost position on ties).
+func NewSparseMax(vals []float64) *Sparse[float64] {
+	return newSparse(vals, func(a, b float64) bool { return a > b })
+}
+
+// NewSparseMin builds a sparse table answering range-minimum queries over
+// int32 values (leftmost position on ties). This is the flavour used for LCP
+// arrays.
+func NewSparseMin(vals []int32) *Sparse[int32] {
+	return newSparse(vals, func(a, b int32) bool { return a < b })
+}
+
+func newSparse[T any](vals []T, better func(a, b T) bool) *Sparse[T] {
+	n := len(vals)
+	s := &Sparse[T]{vals: vals, better: better, n: n}
+	if n == 0 {
+		return s
+	}
+	levels := bits.Len(uint(n)) // k such that 2^(k-1) <= n
+	s.table = make([][]int32, levels)
+	s.table[0] = make([]int32, n)
+	for i := range s.table[0] {
+		s.table[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		if width > n {
+			break
+		}
+		row := make([]int32, n-width+1)
+		prev := s.table[k-1]
+		half := width / 2
+		for i := range row {
+			a, b := prev[i], prev[i+half]
+			if s.better(vals[b], vals[a]) {
+				row[i] = b
+			} else {
+				row[i] = a // leftmost wins ties
+			}
+		}
+		s.table[k] = row
+	}
+	return s
+}
+
+// Query returns the position of the optimum in the closed range [i, j],
+// leftmost on ties, or -1 for an invalid range.
+func (s *Sparse[T]) Query(i, j int) int {
+	if i < 0 || j >= s.n || i > j {
+		return -1
+	}
+	if i == j {
+		return i
+	}
+	k := bits.Len(uint(j-i+1)) - 1
+	a := s.table[k][i]
+	b := s.table[k][j-(1<<k)+1]
+	if s.better(s.vals[b], s.vals[a]) {
+		return int(b)
+	}
+	if s.better(s.vals[a], s.vals[b]) {
+		return int(a)
+	}
+	// Equal values: report the leftmost position.
+	if a <= b {
+		return int(a)
+	}
+	return int(b)
+}
+
+// Value returns the stored value at position i.
+func (s *Sparse[T]) Value(i int) T { return s.vals[i] }
+
+// Len returns the number of positions covered.
+func (s *Sparse[T]) Len() int { return s.n }
+
+// Bytes reports the index memory footprint (excluding the value slice, which
+// the caller owns).
+func (s *Sparse[T]) Bytes() int {
+	total := 0
+	for _, row := range s.table {
+		total += len(row) * 4
+	}
+	return total
+}

@@ -1,0 +1,157 @@
+package rmq
+
+// Succinct is an exact Fischer–Heun range-minimum structure over an int32
+// array, the flavour of the paper's Lemma 1 used for LCP arrays. The array is
+// cut into blocks of 8; each block is classified by the shape of its
+// Cartesian tree (encoded as the pop-count sequence of the linear-time
+// construction), and all blocks sharing a shape share one precomputed 8×8
+// in-block argmin table. Cross-block queries go through a sparse table over
+// block minima. Queries are O(1) with no scanning.
+type Succinct struct {
+	vals   []int32
+	n      int
+	types  []uint32          // Cartesian-tree type of each block
+	tables map[uint32][]int8 // type -> flattened [8][8] argmin offsets
+	argmin []int32           // argmin position of each block
+	sparse *Sparse[int32]    // over block min values
+}
+
+// succinctBlock is the in-block width. 8 keeps the number of distinct
+// Cartesian-tree types at Catalan(8) = 1430, so the shared tables stay tiny.
+const succinctBlock = 8
+
+// NewSuccinct builds the structure over vals. The slice is retained (not
+// copied); it must not be mutated afterwards.
+func NewSuccinct(vals []int32) *Succinct {
+	n := len(vals)
+	s := &Succinct{
+		vals:   vals,
+		n:      n,
+		tables: make(map[uint32][]int8),
+	}
+	if n == 0 {
+		return s
+	}
+	nb := (n + succinctBlock - 1) / succinctBlock
+	s.types = make([]uint32, nb)
+	s.argmin = make([]int32, nb)
+	minv := make([]int32, nb)
+	for blk := 0; blk < nb; blk++ {
+		lo := blk * succinctBlock
+		hi := lo + succinctBlock
+		if hi > n {
+			hi = n
+		}
+		typ := cartesianType(vals[lo:hi])
+		s.types[blk] = typ
+		if _, ok := s.tables[typ]; !ok {
+			s.tables[typ] = buildBlockTable(vals[lo:hi])
+		}
+		best := lo
+		for k := lo + 1; k < hi; k++ {
+			if vals[k] < vals[best] {
+				best = k
+			}
+		}
+		s.argmin[blk] = int32(best)
+		minv[blk] = vals[best]
+	}
+	s.sparse = NewSparseMin(minv)
+	return s
+}
+
+// cartesianType encodes the Cartesian-tree shape of a block as the sequence
+// of pop counts of the standard stack construction, packed base-(block+1).
+// Two blocks get the same type iff their Cartesian trees (built with strict
+// comparison, which preserves leftmost-minimum tie-breaking) are identical,
+// and identical trees imply identical argmin positions for every subrange.
+func cartesianType(block []int32) uint32 {
+	var stack [succinctBlock]int32
+	top := 0
+	var typ uint32
+	for _, x := range block {
+		pops := uint32(0)
+		for top > 0 && stack[top-1] > x {
+			top--
+			pops++
+		}
+		stack[top] = x
+		top++
+		typ = typ*(succinctBlock+1) + pops
+	}
+	// Blocks shorter than succinctBlock (the tail) are padded with "no pops"
+	// virtual sentinels so lengths do not collide with shapes.
+	for k := len(block); k < succinctBlock; k++ {
+		typ = typ*(succinctBlock+1) + succinctBlock // impossible pop count
+	}
+	return typ
+}
+
+// buildBlockTable brute-forces the in-block argmin offsets for one
+// representative block of a type. Offsets are shape properties, so the table
+// is valid for every block with the same Cartesian-tree type.
+func buildBlockTable(block []int32) []int8 {
+	tbl := make([]int8, succinctBlock*succinctBlock)
+	for i := range tbl {
+		tbl[i] = -1
+	}
+	for i := 0; i < len(block); i++ {
+		best := i
+		for j := i; j < len(block); j++ {
+			if block[j] < block[best] {
+				best = j
+			}
+			tbl[i*succinctBlock+j] = int8(best)
+		}
+	}
+	return tbl
+}
+
+// Len returns the number of positions covered.
+func (s *Succinct) Len() int { return s.n }
+
+// Min returns the position of the minimum value in the closed range [i, j],
+// leftmost on ties, or -1 for an invalid range.
+func (s *Succinct) Min(i, j int) int {
+	if i < 0 || j >= s.n || i > j {
+		return -1
+	}
+	bi, bj := i/succinctBlock, j/succinctBlock
+	if bi == bj {
+		return s.inBlock(bi, i-bi*succinctBlock, j-bi*succinctBlock)
+	}
+	best := s.inBlock(bi, i-bi*succinctBlock, succinctBlock-1)
+	if cand := s.inBlock(bj, 0, j-bj*succinctBlock); s.vals[cand] < s.vals[best] {
+		best = cand
+	}
+	if bi+1 <= bj-1 {
+		if blk := s.sparse.Query(bi+1, bj-1); blk >= 0 {
+			mid := int(s.argmin[blk])
+			// Strict comparison keeps the head candidate on ties, except the
+			// middle lies left of the tail: re-check ordering explicitly.
+			if s.vals[mid] < s.vals[best] || (s.vals[mid] == s.vals[best] && mid < best) {
+				best = mid
+			}
+		}
+	}
+	return best
+}
+
+// inBlock answers an argmin query within block blk for local offsets [li, lj].
+func (s *Succinct) inBlock(blk, li, lj int) int {
+	tbl := s.tables[s.types[blk]]
+	off := tbl[li*succinctBlock+lj]
+	return blk*succinctBlock + int(off)
+}
+
+// Bytes reports the index memory footprint (excluding the value slice).
+func (s *Succinct) Bytes() int {
+	total := len(s.types)*4 + len(s.argmin)*4
+	for range s.tables {
+		total += succinctBlock * succinctBlock
+	}
+	if s.sparse != nil {
+		total += s.sparse.Bytes() + s.sparse.Len()*4
+	}
+	return total
+}

@@ -1,0 +1,209 @@
+package special
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/ustring"
+)
+
+// figure5 is the paper's Figure 5 special uncertain string:
+// (b,.4)(a,.7)(n,.5)(a,.8)(n,.9)(a,.6).
+func figure5() *String {
+	return &String{
+		Chars: []byte("banana"),
+		Probs: []float64{0.4, 0.7, 0.5, 0.8, 0.9, 0.6},
+	}
+}
+
+func TestFigure5Query(t *testing.T) {
+	ix, err := Build(figure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's running query: ("ana", 0.3). Occurrences: position 1
+	// (0-based) with .7·.5·.8 = .28 and position 3 with .8·.9·.6 = .432.
+	// Only position 3 exceeds τ=0.3 (the paper's Figure 5 outputs 1-based 4).
+	got, err := ix.Search([]byte("ana"), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Search(ana, .3) = %v, want [3]", got)
+	}
+	// Lowering τ captures both.
+	got, err = ix.Search([]byte("ana"), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Search(ana, .2) = %v, want [1 3]", got)
+	}
+}
+
+func TestOccurrenceProb(t *testing.T) {
+	ix, err := Build(figure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.OccurrenceProb([]byte("ana"), 3); math.Abs(got-0.432) > 1e-12 {
+		t.Errorf("OccurrenceProb(ana,3) = %v, want .432", got)
+	}
+	if got := ix.OccurrenceProb([]byte("ana"), 0); got != 0 {
+		t.Errorf("OccurrenceProb at mismatch = %v, want 0", got)
+	}
+	if got := ix.OccurrenceProb([]byte("ana"), 5); got != 0 {
+		t.Errorf("OccurrenceProb overflow = %v, want 0", got)
+	}
+}
+
+// brute computes the reference match set for a special string.
+func brute(s *String, p []byte, tau float64) []int {
+	var out []int
+	for i := 0; i+len(p) <= s.Len(); i++ {
+		match := true
+		lp := 0.0
+		for k := range p {
+			if s.Chars[i+k] != p[k] {
+				match = false
+				break
+			}
+			lp += prob.Log(s.Probs[i+k])
+		}
+		if match && prob.Greater(lp, tau) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestSearchMatchesBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(400)
+		s := &String{Chars: make([]byte, n), Probs: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			s.Chars[i] = byte('a' + rng.Intn(3))
+			s.Probs[i] = 0.3 + 0.7*rng.Float64()
+		}
+		ix, err := Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 40; q++ {
+			m := 1 + rng.Intn(12)
+			start := rng.Intn(n - 1)
+			if start+m > n {
+				m = n - start
+			}
+			p := append([]byte(nil), s.Chars[start:start+m]...)
+			tau := []float64{0.05, 0.2, 0.5, 0.8}[rng.Intn(4)]
+			want := brute(s, p, tau)
+			got, err := ix.Search(p, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Search(%q, %v) = %v, want %v", p, tau, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Search(%q, %v) = %v, want %v", p, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestArbitraryTauNoTauMinRestriction(t *testing.T) {
+	// Unlike the general index, the special index supports any τ ∈ (0,1].
+	ix, err := Build(figure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search([]byte("ana"), 0.0001); err != nil {
+		t.Errorf("tiny tau rejected: %v", err)
+	}
+}
+
+func TestFromUString(t *testing.T) {
+	u := ustring.Deterministic("xyz")
+	u.Pos[1][0].Prob = 1 // still one choice
+	s, err := FromUString(u)
+	if err != nil {
+		t.Fatalf("FromUString: %v", err)
+	}
+	if string(s.Chars) != "xyz" {
+		t.Errorf("Chars = %q", s.Chars)
+	}
+	multi := &ustring.String{Pos: []ustring.Position{
+		{{Char: 'a', Prob: 0.5}, {Char: 'b', Prob: 0.5}},
+	}}
+	if _, err := FromUString(multi); err == nil {
+		t.Error("multi-choice string accepted as special")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]*String{
+		"length mismatch": {Chars: []byte("ab"), Probs: []float64{1}},
+		"zero prob":       {Chars: []byte("a"), Probs: []float64{0}},
+		"negative prob":   {Chars: []byte("a"), Probs: []float64{-0.1}},
+		"separator char":  {Chars: []byte{0}, Probs: []float64{1}},
+	}
+	for name, s := range cases {
+		if _, err := Build(s); err == nil {
+			t.Errorf("%s: Build accepted invalid string", name)
+		}
+	}
+}
+
+func TestCorrelatedSpecialString(t *testing.T) {
+	// Figure 4 of the paper as a special string: e q z with z correlated to e.
+	s := &String{
+		Chars: []byte("eqz"),
+		Probs: []float64{0.6, 1, 0.3}, // base prob of z is pr+ context-free .3
+		Corr: []ustring.Correlation{{
+			At: 2, Char: 'z', DepAt: 0, DepChar: 'e',
+			ProbWhenPresent: .3, ProbWhenAbsent: .4,
+		}},
+	}
+	ix, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window "eqz": partner inside, chars match → pr+ = .3 → .6·1·.3 = .18.
+	if got := ix.OccurrenceProb([]byte("eqz"), 0); math.Abs(got-0.18) > 1e-12 {
+		t.Errorf("eqz = %v, want 0.18", got)
+	}
+	// Window "qz": partner outside → marginal .6·.3+.4·.4 = .34 → 1·.34.
+	if got := ix.OccurrenceProb([]byte("qz"), 1); math.Abs(got-0.34) > 1e-12 {
+		t.Errorf("qz = %v, want 0.34", got)
+	}
+	// Search must use the corrected probabilities.
+	got, err := ix.Search([]byte("qz"), 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Search(qz, .33) = %v, want [1]", got)
+	}
+	if got, _ := ix.Search([]byte("qz"), 0.35); got != nil {
+		t.Errorf("Search(qz, .35) = %v, want nil", got)
+	}
+}
+
+func TestSpaceAndBytes(t *testing.T) {
+	ix, err := Build(figure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+	if ix.Space().Total() != ix.Bytes() {
+		t.Error("Space().Total() != Bytes()")
+	}
+}

@@ -1,0 +1,46 @@
+package special
+
+import (
+	"testing"
+)
+
+// TestTinyProbabilitiesDoNotUnderflow: products of hundreds of sub-one
+// probabilities stay exact in the log-domain C array. 0.9^400 ≈ 5e-19 —
+// naive multiplication through float32 intermediate storage (as a direct
+// reading of the paper's C array would suggest) loses it entirely.
+func TestTinyProbabilitiesDoNotUnderflow(t *testing.T) {
+	n := 400
+	s := &String{Chars: make([]byte, n), Probs: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.Chars[i] = 'z'
+		s.Probs[i] = 0.9
+	}
+	ix, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = 'z'
+	}
+	hits, err := ix.SearchHits(p, 1e-19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("expected the single full-length match, got %d hits", len(hits))
+	}
+	got := hits[0].Prob()
+	want := ix.OccurrenceProb(p, 0)
+	if got == 0 || want == 0 || got/want < 0.999999 || got/want > 1.000001 {
+		t.Errorf("underflow: got %g want %g", got, want)
+	}
+	// The probability itself must be ≈ 0.9^400.
+	if want < 4e-19 || want > 6e-19 {
+		t.Errorf("0.9^400 computed as %g", want)
+	}
+	// And the threshold semantics still work down there.
+	if res, err := ix.Search(p, 1e-18); err != nil || res != nil {
+		t.Errorf("tau above the product must reject: %v, %v", res, err)
+	}
+}

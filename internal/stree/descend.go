@@ -1,0 +1,112 @@
+package stree
+
+import "sort"
+
+// This file adds top-down pattern descent to the suffix tree — the
+// enhanced-suffix-array search of Abouelhoda et al. (the paper's Section 3.4
+// "the locus node as well as the suffix range of p can be computed in O(p)
+// time"). The suffix.Text substrate answers the same query by binary search
+// in O(m log n); descent pays O(log σ) per traversed node instead, which
+// wins on long texts with small alphabets (see BenchmarkAblationDescend).
+//
+// Children are materialised lazily by WithChildren; trees built without it
+// keep their smaller footprint.
+
+// WithChildren materialises the child lists (sorted by leaf range, which is
+// also first-edge-character order) and returns the tree for chaining.
+func (t *Tree) WithChildren() *Tree {
+	if t.children != nil || t.root < 0 {
+		return t
+	}
+	total := t.NumNodes()
+	counts := make([]int32, total)
+	for v := 0; v < total; v++ {
+		if p := t.parent[v]; p >= 0 {
+			counts[p]++
+		}
+	}
+	offsets := make([]int32, total+1)
+	for v := 0; v < total; v++ {
+		offsets[v+1] = offsets[v] + counts[v]
+	}
+	flat := make([]int32, total-1) // every node but the root has a parent
+	fill := make([]int32, total)
+	copy(fill, offsets[:total])
+	// Iterate in preorder so each child list comes out preorder-sorted,
+	// which equals leaf-range order.
+	for r := int32(0); r < int32(total); r++ {
+		v := t.byPre[r]
+		if p := t.parent[v]; p >= 0 {
+			flat[fill[p]] = v
+			fill[p]++
+		}
+	}
+	t.children = flat
+	t.childOff = offsets
+	return t
+}
+
+// Children returns v's children in leaf-range order. WithChildren must have
+// been called.
+func (t *Tree) Children(v int32) []int32 {
+	return t.children[t.childOff[v]:t.childOff[v+1]]
+}
+
+// edgeChar returns the first character of the edge from v to child c, i.e.
+// the text character at string depth depth(v) under c.
+func (t *Tree) edgeChar(v, c int32) byte {
+	start := t.tx.SA()[t.lb[c]]
+	return t.tx.Data()[int(start)+int(t.depth[v])]
+}
+
+// Find locates pattern p by top-down descent and returns the locus node and
+// suffix range, like Locus. WithChildren must have been called.
+func (t *Tree) Find(p []byte) (node int32, lo, hi int, ok bool) {
+	if t.root < 0 || len(p) == 0 {
+		if t.root < 0 {
+			return -1, 0, -1, false
+		}
+		lb, rb := t.Range(t.root)
+		return t.root, int(lb), int(rb), true
+	}
+	text := t.tx.Data()
+	v := t.root
+	matched := 0
+	for {
+		// Select the child whose edge starts with p[matched].
+		cs := t.Children(v)
+		// A leaf at depth == depth(v) contributes an empty edge; it can
+		// only be the first child and never matches a non-empty pattern
+		// remainder, so the binary search naturally skips it.
+		i := sort.Search(len(cs), func(i int) bool {
+			c := cs[i]
+			if t.depth[c] == t.depth[v] {
+				return false // empty-edge leaf sorts first
+			}
+			return t.edgeChar(v, cs[i]) >= p[matched]
+		})
+		if i == len(cs) {
+			return -1, 0, -1, false
+		}
+		c := cs[i]
+		if t.depth[c] == t.depth[v] || t.edgeChar(v, c) != p[matched] {
+			return -1, 0, -1, false
+		}
+		// Compare the rest of the edge label.
+		edgeLen := int(t.depth[c] - t.depth[v])
+		start := int(t.tx.SA()[t.lb[c]]) + int(t.depth[v])
+		k := 0
+		for k < edgeLen && matched < len(p) {
+			if start+k >= len(text) || text[start+k] != p[matched] {
+				return -1, 0, -1, false
+			}
+			k++
+			matched++
+		}
+		if matched == len(p) {
+			lb, rb := t.Range(c)
+			return c, int(lb), int(rb), true
+		}
+		v = c
+	}
+}

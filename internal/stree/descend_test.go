@@ -1,0 +1,111 @@
+package stree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/suffix"
+)
+
+func TestFindAgreesWithRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(300)
+		sigma := 2 + rng.Intn(4)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(sigma))
+		}
+		tx := suffix.New(text)
+		tr := Build(tx).WithChildren()
+		for q := 0; q < 60; q++ {
+			m := 1 + rng.Intn(9)
+			var p []byte
+			if q%3 == 0 {
+				// Random pattern (often absent).
+				p = make([]byte, m)
+				for i := range p {
+					p[i] = byte('a' + rng.Intn(sigma))
+				}
+			} else {
+				// Existing substring.
+				start := rng.Intn(n)
+				if start+m > n {
+					m = n - start
+				}
+				p = text[start : start+m]
+			}
+			wlo, whi, wok := tx.Range(p)
+			node, lo, hi, ok := tr.Find(p)
+			if ok != wok {
+				t.Fatalf("Find(%q) ok=%v, Range ok=%v (text=%q)", p, ok, wok, text)
+			}
+			if !ok {
+				continue
+			}
+			if lo != wlo || hi != whi {
+				t.Fatalf("Find(%q) = [%d,%d], Range = [%d,%d]", p, lo, hi, wlo, whi)
+			}
+			// The returned node must be the locus.
+			if want := tr.LCALeaves(lo, hi); node != want {
+				t.Fatalf("Find(%q) node %d, locus %d", p, node, want)
+			}
+		}
+	}
+}
+
+func TestFindSeparatorText(t *testing.T) {
+	// Texts with 0x00 separators (the transformed strings).
+	text := []byte{'a', 'b', 0, 'a', 'b', 'c', 0, 'b', 'c', 0}
+	tx := suffix.New(text)
+	tr := Build(tx).WithChildren()
+	for _, tc := range []struct {
+		p    string
+		want int // occurrence count
+	}{
+		{"ab", 2}, {"abc", 1}, {"bc", 2}, {"c", 2}, {"abcd", 0}, {"x", 0},
+	} {
+		_, lo, hi, ok := tr.Find([]byte(tc.p))
+		got := 0
+		if ok {
+			got = hi - lo + 1
+		}
+		if got != tc.want {
+			t.Errorf("Find(%q) count = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestFindEmptyPatternAndTree(t *testing.T) {
+	tr := Build(suffix.New([]byte("abc"))).WithChildren()
+	node, lo, hi, ok := tr.Find(nil)
+	if !ok || node != tr.Root() || lo != 0 || hi != 2 {
+		t.Errorf("Find(empty) = %d [%d,%d] %v", node, lo, hi, ok)
+	}
+	empty := Build(suffix.New(nil)).WithChildren()
+	if _, _, _, ok := empty.Find([]byte("a")); ok {
+		t.Error("empty tree matched")
+	}
+}
+
+func TestWithChildrenIdempotent(t *testing.T) {
+	tr := Build(suffix.New([]byte("banana")))
+	a := tr.WithChildren()
+	b := tr.WithChildren()
+	if a != b || a != tr {
+		t.Error("WithChildren must be idempotent and return the receiver")
+	}
+	// Children of the root cover all subtrees in order.
+	cs := tr.Children(tr.Root())
+	if len(cs) == 0 {
+		t.Fatal("root has no children")
+	}
+	prev := int32(-1)
+	for _, c := range cs {
+		lb, _ := tr.Range(c)
+		if lb <= prev {
+			t.Fatal("children not in leaf-range order")
+		}
+		prev = lb
+	}
+}

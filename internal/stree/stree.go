@@ -1,0 +1,274 @@
+// Package stree builds an explicit suffix tree on top of the suffix and LCP
+// arrays (the paper's Section 3.4 suffix tree, materialised as the
+// lcp-interval tree of Abouelhoda et al.). The tree exposes exactly what the
+// uncertain-string indexes need: string depths, leaf ranges, preorder
+// numbering with subtree intervals, leaf LCA, and locus lookup for a pattern.
+//
+// Node identifiers are dense int32 values: ids [0, NumLeaves) are the leaves
+// in suffix-array order; internal nodes follow. The root is always the
+// internal node covering the full leaf range.
+package stree
+
+import (
+	"sort"
+
+	"repro/internal/rmq"
+	"repro/internal/suffix"
+)
+
+// Tree is the suffix tree of a deterministic text.
+type Tree struct {
+	tx *suffix.Text
+
+	// Per-node arrays, indexed by node id.
+	parent []int32
+	depth  []int32 // string depth (characters from root)
+	lb, rb []int32 // leaf range in suffix-array positions, inclusive
+	pre    []int32 // preorder rank
+	preEnd []int32 // last preorder rank in the subtree (inclusive)
+
+	byPre []int32 // byPre[r] = node id with preorder rank r
+
+	// boundary[k] = id of the internal node whose string depth equals
+	// LCP[k] and whose interval spans the boundary between leaves k-1 and k.
+	boundary []int32
+
+	lcpRMQ *rmq.Succinct
+
+	// Flattened child lists, materialised on demand by WithChildren.
+	children []int32
+	childOff []int32
+
+	numLeaves int
+	root      int32
+}
+
+// Build constructs the suffix tree for tx.
+func Build(tx *suffix.Text) *Tree {
+	n := tx.Len()
+	t := &Tree{tx: tx, numLeaves: n}
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	lcp := tx.LCP()
+	t.lcpRMQ = rmq.NewSuccinct(lcp)
+
+	// Upper bound: n leaves + at most n internal nodes (root included).
+	t.parent = make([]int32, n, 2*n)
+	t.depth = make([]int32, n, 2*n)
+	t.lb = make([]int32, n, 2*n)
+	t.rb = make([]int32, n, 2*n)
+	for i := 0; i < n; i++ {
+		t.parent[i] = -1
+		t.depth[i] = int32(n - int(tx.SA()[i])) // string depth of a leaf = suffix length
+		t.lb[i] = int32(i)
+		t.rb[i] = int32(i)
+	}
+
+	newNode := func(depth, lb int32) int32 {
+		id := int32(len(t.parent))
+		t.parent = append(t.parent, -1)
+		t.depth = append(t.depth, depth)
+		t.lb = append(t.lb, lb)
+		t.rb = append(t.rb, -1)
+		return id
+	}
+
+	// Root at depth 0 covering everything.
+	t.root = newNode(0, 0)
+	t.rb[t.root] = int32(n - 1)
+
+	t.boundary = make([]int32, n) // boundary[0] unused
+	stack := []int32{t.root}
+
+	for k := 1; k < n; k++ {
+		d := lcp[k]
+		last := int32(-1)
+		for t.depth[stack[len(stack)-1]] > d {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			t.rb[v] = int32(k - 1)
+			if last >= 0 {
+				t.parent[last] = v
+			}
+			last = v
+		}
+		top := stack[len(stack)-1]
+		var node int32
+		if t.depth[top] == d {
+			node = top
+		} else {
+			lb := int32(k - 1)
+			if last >= 0 {
+				lb = t.lb[last]
+			}
+			node = newNode(d, lb)
+			stack = append(stack, node)
+		}
+		if last >= 0 {
+			t.parent[last] = node
+		}
+		t.boundary[k] = node
+	}
+	// Close the remaining open intervals.
+	for len(stack) > 1 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.rb[v] < 0 {
+			t.rb[v] = int32(n - 1)
+		}
+		t.parent[v] = stack[len(stack)-1]
+	}
+
+	// Attach leaves: leaf j hangs off the deeper of its two boundary nodes.
+	for j := 0; j < n; j++ {
+		var p int32 = t.root
+		if j > 0 && t.depth[t.boundary[j]] > t.depth[p] {
+			p = t.boundary[j]
+		}
+		if j+1 < n && t.depth[t.boundary[j+1]] > t.depth[p] {
+			p = t.boundary[j+1]
+		}
+		// A leaf whose suffix equals the path of its candidate parent (can
+		// happen when one suffix is a prefix of the next) still hangs off it.
+		t.parent[j] = p
+	}
+
+	t.assignPreorder()
+	return t
+}
+
+// assignPreorder orders children by leaf range and numbers the nodes in DFS
+// preorder, recording subtree intervals.
+func (t *Tree) assignPreorder() {
+	total := len(t.parent)
+	children := make([][]int32, total)
+	for v := 0; v < total; v++ {
+		p := t.parent[v]
+		if p >= 0 {
+			children[p] = append(children[p], int32(v))
+		}
+	}
+	for v := range children {
+		cs := children[v]
+		sort.Slice(cs, func(a, b int) bool {
+			if t.lb[cs[a]] != t.lb[cs[b]] {
+				return t.lb[cs[a]] < t.lb[cs[b]]
+			}
+			// A leaf and an internal node can share lb; the shallower
+			// (wider) node precedes in preorder only if it is the ancestor,
+			// which cannot happen among siblings — order by depth for
+			// determinism.
+			return t.depth[cs[a]] < t.depth[cs[b]]
+		})
+	}
+
+	t.pre = make([]int32, total)
+	t.preEnd = make([]int32, total)
+	t.byPre = make([]int32, total)
+
+	// Iterative DFS.
+	type frame struct {
+		node int32
+		next int
+	}
+	var next int32
+	stack := []frame{{t.root, 0}}
+	t.pre[t.root] = next
+	t.byPre[next] = t.root
+	next++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(children[f.node]) {
+			c := children[f.node][f.next]
+			f.next++
+			t.pre[c] = next
+			t.byPre[next] = c
+			next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.preEnd[f.node] = next - 1
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Text returns the underlying suffix/LCP structure.
+func (t *Tree) Text() *suffix.Text { return t.tx }
+
+// NumLeaves returns the number of leaves (= text length).
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// NumNodes returns the total number of nodes, leaves included.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// Root returns the root node id (-1 for an empty text).
+func (t *Tree) Root() int32 { return t.root }
+
+// IsLeaf reports whether v is a leaf.
+func (t *Tree) IsLeaf(v int32) bool { return int(v) < t.numLeaves }
+
+// Leaf returns the leaf node id for suffix-array position i.
+func (t *Tree) Leaf(i int) int32 { return int32(i) }
+
+// SuffixStart returns the text position of the suffix at leaf v.
+func (t *Tree) SuffixStart(v int32) int32 { return t.tx.SA()[v] }
+
+// Parent returns the parent of v (-1 for the root).
+func (t *Tree) Parent(v int32) int32 { return t.parent[v] }
+
+// Depth returns the string depth of v.
+func (t *Tree) Depth(v int32) int32 { return t.depth[v] }
+
+// Range returns the leaf range [lb, rb] of v in suffix-array positions.
+func (t *Tree) Range(v int32) (lb, rb int32) { return t.lb[v], t.rb[v] }
+
+// Pre returns the preorder rank of v.
+func (t *Tree) Pre(v int32) int32 { return t.pre[v] }
+
+// PreRange returns the preorder interval [pre, preEnd] of v's subtree.
+func (t *Tree) PreRange(v int32) (lo, hi int32) { return t.pre[v], t.preEnd[v] }
+
+// NodeAtPre returns the node id with preorder rank r.
+func (t *Tree) NodeAtPre(r int32) int32 { return t.byPre[r] }
+
+// LCALeaves returns the lowest common ancestor of the leaves at suffix-array
+// positions i and j.
+func (t *Tree) LCALeaves(i, j int) int32 {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j {
+		return int32(i)
+	}
+	k := t.lcpRMQ.Min(i+1, j)
+	return t.boundary[k]
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) b.
+func (t *Tree) IsAncestor(a, b int32) bool {
+	return t.pre[a] <= t.pre[b] && t.pre[b] <= t.preEnd[a]
+}
+
+// Locus returns the locus node of pattern p: the node closest to the root
+// whose path has p as a prefix, together with p's suffix range. ok is false
+// when p does not occur in the text.
+func (t *Tree) Locus(p []byte) (node int32, lo, hi int, ok bool) {
+	lo, hi, ok = t.tx.Range(p)
+	if !ok {
+		return -1, 0, -1, false
+	}
+	return t.LCALeaves(lo, hi), lo, hi, true
+}
+
+// Bytes reports the memory footprint of the tree structure (excluding the
+// text, suffix array and LCP array owned by tx).
+func (t *Tree) Bytes() int {
+	per := len(t.parent) * (4 + 4 + 4 + 4 + 4 + 4) // parent, depth, lb, rb, pre, preEnd
+	b := per + len(t.byPre)*4 + len(t.boundary)*4
+	if t.lcpRMQ != nil {
+		b += t.lcpRMQ.Bytes()
+	}
+	return b
+}

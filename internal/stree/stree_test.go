@@ -1,0 +1,247 @@
+package stree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/suffix"
+)
+
+func buildFor(text string) *Tree {
+	return Build(suffix.New([]byte(text)))
+}
+
+func TestBuildBanana(t *testing.T) {
+	tr := buildFor("banana")
+	if tr.NumLeaves() != 6 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+	}
+	root := tr.Root()
+	if tr.Depth(root) != 0 {
+		t.Errorf("root depth = %d", tr.Depth(root))
+	}
+	lb, rb := tr.Range(root)
+	if lb != 0 || rb != 5 {
+		t.Errorf("root range = [%d,%d]", lb, rb)
+	}
+	if tr.Parent(root) != -1 {
+		t.Errorf("root parent = %d", tr.Parent(root))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := Build(suffix.New(nil))
+	if empty.Root() != -1 {
+		t.Errorf("empty tree root = %d", empty.Root())
+	}
+	one := buildFor("x")
+	if one.NumLeaves() != 1 || one.Parent(one.Leaf(0)) != one.Root() {
+		t.Error("single-char tree malformed")
+	}
+}
+
+// checkInvariants validates structural suffix tree invariants against the
+// underlying arrays.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	tx := tr.Text()
+	n := tr.NumLeaves()
+	lcp := tx.LCP()
+
+	for v := int32(0); v < int32(tr.NumNodes()); v++ {
+		p := tr.Parent(v)
+		if v == tr.Root() {
+			if p != -1 {
+				t.Fatalf("root has parent %d", p)
+			}
+			continue
+		}
+		if p < 0 {
+			t.Fatalf("node %d has no parent", v)
+		}
+		// Parent is strictly shallower, except leaves lying exactly on an
+		// internal node (implicit suffix tree: one suffix is a prefix of
+		// another).
+		if tr.IsLeaf(v) {
+			if tr.Depth(p) > tr.Depth(v) {
+				t.Fatalf("leaf %d depth %d above parent depth %d", v, tr.Depth(v), tr.Depth(p))
+			}
+		} else if tr.Depth(p) >= tr.Depth(v) {
+			t.Fatalf("internal node %d depth %d not below parent depth %d", v, tr.Depth(v), tr.Depth(p))
+		}
+		// Parent's range contains the child's.
+		plb, prb := tr.Range(p)
+		lb, rb := tr.Range(v)
+		if lb < plb || rb > prb {
+			t.Fatalf("child range [%d,%d] outside parent [%d,%d]", lb, rb, plb, prb)
+		}
+		// Preorder nesting.
+		plo, phi := tr.PreRange(p)
+		lo, hi := tr.PreRange(v)
+		if lo <= plo || hi > phi {
+			t.Fatalf("child preorder [%d,%d] not nested in parent [%d,%d]", lo, hi, plo, phi)
+		}
+	}
+
+	// Every internal node's range is a valid lcp interval: all internal LCP
+	// values within the range are >= depth and the boundaries (if any) are
+	// < depth... boundaries must be strictly smaller.
+	for v := int32(n); v < int32(tr.NumNodes()); v++ {
+		lb, rb := tr.Range(v)
+		d := tr.Depth(v)
+		for k := lb + 1; k <= rb; k++ {
+			if lcp[k] < d {
+				t.Fatalf("node %d depth %d has lcp[%d]=%d inside range", v, d, k, lcp[k])
+			}
+		}
+		if lb > 0 && lcp[lb] >= d && v != tr.Root() {
+			t.Fatalf("node %d depth %d: left boundary lcp %d not smaller", v, d, lcp[lb])
+		}
+		if int(rb) < n-1 && lcp[rb+1] >= d && v != tr.Root() {
+			t.Fatalf("node %d depth %d: right boundary lcp %d not smaller", v, d, lcp[rb+1])
+		}
+	}
+
+	// Preorder is a bijection.
+	seen := make([]bool, tr.NumNodes())
+	for v := int32(0); v < int32(tr.NumNodes()); v++ {
+		r := tr.Pre(v)
+		if tr.NodeAtPre(r) != v {
+			t.Fatalf("NodeAtPre(Pre(%d)) = %d", v, tr.NodeAtPre(r))
+		}
+		if seen[r] {
+			t.Fatalf("duplicate preorder %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(150)
+		text := make([]byte, n)
+		sigma := 2 + rng.Intn(4)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(sigma))
+		}
+		tr := Build(suffix.New(text))
+		checkInvariants(t, tr)
+	}
+}
+
+func bruteLCPLen(a, b []byte) int32 {
+	var h int32
+	for int(h) < len(a) && int(h) < len(b) && a[h] == b[h] {
+		h++
+	}
+	return h
+}
+
+func TestLCALeavesDepthEqualsLCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		tx := suffix.New(text)
+		tr := Build(tx)
+		for q := 0; q < 100; q++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			lca := tr.LCALeaves(i, j)
+			if i == j {
+				if lca != int32(i) {
+					t.Fatalf("LCA(leaf,leaf) = %d, want the leaf %d", lca, i)
+				}
+				continue
+			}
+			want := bruteLCPLen(text[tx.SA()[i]:], text[tx.SA()[j]:])
+			if tr.Depth(lca) != want {
+				t.Fatalf("LCA depth = %d, want lcp %d (i=%d j=%d text=%q)",
+					tr.Depth(lca), want, i, j, text)
+			}
+			// The LCA must be an ancestor of both leaves.
+			if !tr.IsAncestor(lca, int32(i)) || !tr.IsAncestor(lca, int32(j)) {
+				t.Fatalf("LCA %d not an ancestor of both leaves", lca)
+			}
+		}
+	}
+}
+
+func TestLocus(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(120)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		tr := Build(suffix.New(text))
+		for q := 0; q < 50; q++ {
+			m := 1 + rng.Intn(5)
+			start := rng.Intn(n - 1)
+			if start+m > n {
+				m = n - start
+			}
+			p := text[start : start+m]
+			node, lo, hi, ok := tr.Locus(p)
+			if !ok {
+				t.Fatalf("existing pattern %q not found", p)
+			}
+			// Locus depth >= m and the parent (if not root) is shallower
+			// than m — the node closest to the root containing exactly the
+			// suffix range of p.
+			if tr.Depth(node) < int32(m) {
+				t.Fatalf("locus depth %d < m %d", tr.Depth(node), m)
+			}
+			if par := tr.Parent(node); par >= 0 && tr.Depth(par) >= int32(m) {
+				t.Fatalf("locus parent depth %d >= m %d", tr.Depth(par), m)
+			}
+			lb, rb := tr.Range(node)
+			if int(lb) != lo || int(rb) != hi {
+				t.Fatalf("locus range [%d,%d] != suffix range [%d,%d]", lb, rb, lo, hi)
+			}
+			// Every leaf in the range is an occurrence of p.
+			for i := lo; i <= hi; i++ {
+				pos := tr.SuffixStart(int32(i))
+				if !bytes.HasPrefix(text[pos:], p) {
+					t.Fatalf("leaf %d not an occurrence of %q", i, p)
+				}
+			}
+		}
+		if _, _, _, ok := tr.Locus([]byte("zzzz")); ok {
+			t.Fatal("nonexistent pattern reported found")
+		}
+	}
+}
+
+func TestPreorderSubtreeContainsExactlyDescendants(t *testing.T) {
+	tr := buildFor("mississippi")
+	for v := int32(0); v < int32(tr.NumNodes()); v++ {
+		lo, hi := tr.PreRange(v)
+		for u := int32(0); u < int32(tr.NumNodes()); u++ {
+			inPre := tr.Pre(u) >= lo && tr.Pre(u) <= hi
+			// Check ancestry by walking parents.
+			anc := false
+			for w := u; w >= 0; w = tr.Parent(w) {
+				if w == v {
+					anc = true
+					break
+				}
+			}
+			if inPre != anc {
+				t.Fatalf("preorder containment mismatch: v=%d u=%d inPre=%v anc=%v", v, u, inPre, anc)
+			}
+		}
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	if buildFor("banana").Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}

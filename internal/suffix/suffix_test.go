@@ -1,0 +1,278 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteSA is the O(n² log n) reference suffix array.
+func bruteSA(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return bytes.Compare(text[sa[a]:], text[sa[b]:]) < 0
+	})
+	return sa
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArrayKnown(t *testing.T) {
+	// The classic banana example from the paper's Figure 5: suffix array of
+	// "banana" is [5 3 1 0 4 2] (0-based; the paper lists 1-based 6 4 2 1 5 3).
+	got := Array([]byte("banana"))
+	want := []int32{5, 3, 1, 0, 4, 2}
+	if !equalInt32(got, want) {
+		t.Errorf("Array(banana) = %v, want %v", got, want)
+	}
+}
+
+func TestArrayEdgeCases(t *testing.T) {
+	if got := Array(nil); got != nil {
+		t.Errorf("Array(nil) = %v, want nil", got)
+	}
+	if got := Array([]byte("a")); !equalInt32(got, []int32{0}) {
+		t.Errorf("Array(a) = %v", got)
+	}
+	if got := Array([]byte("aa")); !equalInt32(got, []int32{1, 0}) {
+		t.Errorf("Array(aa) = %v", got)
+	}
+	if got := Array([]byte("ab")); !equalInt32(got, []int32{0, 1}) {
+		t.Errorf("Array(ab) = %v", got)
+	}
+	if got := Array([]byte("ba")); !equalInt32(got, []int32{1, 0}) {
+		t.Errorf("Array(ba) = %v", got)
+	}
+	// All-equal string: suffixes sort by decreasing start position.
+	if got := Array([]byte("aaaaa")); !equalInt32(got, []int32{4, 3, 2, 1, 0}) {
+		t.Errorf("Array(aaaaa) = %v", got)
+	}
+}
+
+func TestArrayWithZeroBytes(t *testing.T) {
+	// The transformed strings contain 0x00 separators; SA-IS must handle the
+	// full byte range.
+	text := []byte{'b', 0, 'a', 0, 'a', 'b', 0}
+	got := Array(text)
+	want := bruteSA(text)
+	if !equalInt32(got, want) {
+		t.Errorf("Array(%v) = %v, want %v", text, got, want)
+	}
+}
+
+func TestArrayMatchesBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabets := [][]byte{
+		[]byte("ab"),
+		[]byte("abc"),
+		[]byte("ACDEFGHIKLMNPQRSTVWYBZ"),
+		{0, 1, 2, 255},
+	}
+	for trial := 0; trial < 60; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		n := 1 + rng.Intn(300)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = alpha[rng.Intn(len(alpha))]
+		}
+		got := Array(text)
+		want := bruteSA(text)
+		if !equalInt32(got, want) {
+			t.Fatalf("trial %d: Array(%q) = %v, want %v", trial, text, got, want)
+		}
+	}
+}
+
+// Property: the suffix array is a sorted permutation for arbitrary inputs.
+func TestArrayPermutationProperty(t *testing.T) {
+	f := func(text []byte) bool {
+		if len(text) > 2000 {
+			text = text[:2000]
+		}
+		sa := Array(text)
+		if len(sa) != len(text) {
+			return false
+		}
+		seen := make([]bool, len(text))
+		for _, p := range sa {
+			if p < 0 || int(p) >= len(text) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for i := 1; i < len(sa); i++ {
+			if bytes.Compare(text[sa[i-1]:], text[sa[i]:]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteLCP(a, b []byte) int32 {
+	var h int32
+	for int(h) < len(a) && int(h) < len(b) && a[h] == b[h] {
+		h++
+	}
+	return h
+}
+
+func TestLCPMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		tx := New(text)
+		sa, lcp := tx.SA(), tx.LCP()
+		if lcp[0] != 0 {
+			t.Fatalf("lcp[0] = %d, want 0", lcp[0])
+		}
+		for i := 1; i < n; i++ {
+			want := bruteLCP(text[sa[i-1]:], text[sa[i]:])
+			if lcp[i] != want {
+				t.Fatalf("lcp[%d] = %d, want %d (text %q)", i, lcp[i], want, text)
+			}
+		}
+	}
+}
+
+func TestRankInvertsSA(t *testing.T) {
+	tx := New([]byte("mississippi"))
+	sa, rank := tx.SA(), tx.Rank()
+	for i, p := range sa {
+		if rank[p] != int32(i) {
+			t.Fatalf("rank[sa[%d]] = %d", i, rank[p])
+		}
+	}
+}
+
+func TestRangeKnown(t *testing.T) {
+	tx := New([]byte("banana"))
+	// "ana" occurs at positions 1 and 3.
+	lo, hi, ok := tx.Range([]byte("ana"))
+	if !ok || hi-lo+1 != 2 {
+		t.Fatalf("Range(ana) = [%d,%d] ok=%v", lo, hi, ok)
+	}
+	got := map[int32]bool{}
+	for i := lo; i <= hi; i++ {
+		got[tx.SA()[i]] = true
+	}
+	if !got[1] || !got[3] {
+		t.Errorf("Range(ana) positions = %v, want {1,3}", got)
+	}
+}
+
+func TestRangeMissingAndEdge(t *testing.T) {
+	tx := New([]byte("banana"))
+	if _, _, ok := tx.Range([]byte("x")); ok {
+		t.Error("Range(x) must not match")
+	}
+	if _, _, ok := tx.Range([]byte("banan$")); ok {
+		t.Error("Range(banan$) must not match")
+	}
+	if _, _, ok := tx.Range([]byte("bananas")); ok {
+		t.Error("pattern longer than any suffix must not match")
+	}
+	lo, hi, ok := tx.Range(nil)
+	if !ok || lo != 0 || hi != 5 {
+		t.Errorf("Range(empty) = [%d,%d] ok=%v, want full range", lo, hi, ok)
+	}
+	lo, hi, ok = tx.Range([]byte("banana"))
+	if !ok || lo != hi {
+		t.Errorf("Range(banana) = [%d,%d] ok=%v, want single", lo, hi, ok)
+	}
+}
+
+func TestCountAndLocateMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(200)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		tx := New(text)
+		for q := 0; q < 30; q++ {
+			m := 1 + rng.Intn(6)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = byte('a' + rng.Intn(3))
+			}
+			want := 0
+			wantPos := map[int32]bool{}
+			for i := 0; i+m <= n; i++ {
+				if bytes.Equal(text[i:i+m], p) {
+					want++
+					wantPos[int32(i)] = true
+				}
+			}
+			if got := tx.Count(p); got != want {
+				t.Fatalf("Count(%q) = %d, want %d", p, got, want)
+			}
+			for _, pos := range tx.Locate(p) {
+				if !wantPos[pos] {
+					t.Fatalf("Locate(%q) reported bad position %d", p, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	tx := New([]byte("banana"))
+	if tx.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+	if tx.Len() != 6 {
+		t.Errorf("Len = %d", tx.Len())
+	}
+}
+
+func BenchmarkArray100K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	text := make([]byte, 100_000)
+	for i := range text {
+		text[i] = byte('A' + rng.Intn(22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Array(text)
+	}
+	b.SetBytes(int64(len(text)))
+}
+
+func BenchmarkRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	text := make([]byte, 100_000)
+	for i := range text {
+		text[i] = byte('A' + rng.Intn(22))
+	}
+	tx := New(text)
+	p := text[5000:5008]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Range(p)
+	}
+}

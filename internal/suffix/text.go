@@ -1,0 +1,145 @@
+package suffix
+
+import "bytes"
+
+// Text bundles a deterministic string with its suffix array, inverse array
+// and LCP array, and answers the suffix-range queries (Section 3.4) every
+// index in this repository is built on.
+type Text struct {
+	data []byte
+	sa   []int32
+	rank []int32 // rank[i] = position of suffix i in sa
+	lcp  []int32 // lcp[i] = lcp(sa[i-1], sa[i]); lcp[0] = 0
+}
+
+// New builds the full structure for text. The byte slice is retained; the
+// caller must not mutate it afterwards.
+func New(text []byte) *Text {
+	t := &Text{data: text, sa: Array(text)}
+	n := len(text)
+	t.rank = make([]int32, n)
+	for i, p := range t.sa {
+		t.rank[p] = int32(i)
+	}
+	t.lcp = kasai(text, t.sa, t.rank)
+	return t
+}
+
+// kasai computes the LCP array in O(n) with Kasai's algorithm.
+func kasai(text []byte, sa, rank []int32) []int32 {
+	n := len(text)
+	lcp := make([]int32, n)
+	h := 0
+	for i := 0; i < n; i++ {
+		r := int(rank[i])
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+h < n && j+h < n && text[i+h] == text[j+h] {
+			h++
+		}
+		lcp[r] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// Len returns the text length.
+func (t *Text) Len() int { return len(t.data) }
+
+// Data returns the underlying text (shared, read-only).
+func (t *Text) Data() []byte { return t.data }
+
+// SA returns the suffix array (shared, read-only).
+func (t *Text) SA() []int32 { return t.sa }
+
+// Rank returns the inverse suffix array (shared, read-only).
+func (t *Text) Rank() []int32 { return t.rank }
+
+// LCP returns the LCP array (shared, read-only).
+func (t *Text) LCP() []int32 { return t.lcp }
+
+// Suffix returns the suffix of the text starting at position i.
+func (t *Text) Suffix(i int32) []byte { return t.data[i:] }
+
+// Range returns the suffix range [lo, hi] (inclusive, positions in the
+// suffix array) of all suffixes having p as a prefix, and ok=false if p does
+// not occur. This is the paper's suffix range [sp, ep]. The search is a
+// binary search over the suffix array: O(|p| log n).
+func (t *Text) Range(p []byte) (lo, hi int, ok bool) {
+	if len(p) == 0 {
+		if len(t.data) == 0 {
+			return 0, -1, false
+		}
+		return 0, len(t.sa) - 1, true
+	}
+	n := len(t.sa)
+	// lo = first suffix ≥ p.
+	lo = searchSA(n, func(i int) bool {
+		return bytes.Compare(t.suffixPrefix(i, len(p)), p) >= 0
+	})
+	if lo == n || !bytes.HasPrefix(t.Suffix(t.sa[lo]), p) {
+		return 0, -1, false
+	}
+	// hi = last suffix with prefix p = first suffix > p-prefixed block, -1.
+	hi = searchSA(n, func(i int) bool {
+		return bytes.Compare(t.suffixPrefix(i, len(p)), p) > 0
+	}) - 1
+	return lo, hi, true
+}
+
+// suffixPrefix returns at most m leading bytes of the i-th smallest suffix.
+func (t *Text) suffixPrefix(i, m int) []byte {
+	s := t.data[t.sa[i]:]
+	if len(s) > m {
+		return s[:m]
+	}
+	return s
+}
+
+// searchSA is sort.Search without the import, kept local so the hot path
+// inlines.
+func searchSA(n int, f func(int) bool) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of occurrences of p in the text.
+func (t *Text) Count(p []byte) int {
+	lo, hi, ok := t.Range(p)
+	if !ok {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// Locate returns the starting positions of every occurrence of p, in suffix
+// array order (not text order).
+func (t *Text) Locate(p []byte) []int32 {
+	lo, hi, ok := t.Range(p)
+	if !ok {
+		return nil
+	}
+	out := make([]int32, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, t.sa[i])
+	}
+	return out
+}
+
+// Bytes reports the memory footprint of the structure including the text.
+func (t *Text) Bytes() int {
+	return len(t.data) + len(t.sa)*4 + len(t.rank)*4 + len(t.lcp)*4
+}

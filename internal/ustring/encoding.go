@@ -1,0 +1,159 @@
+package ustring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text encoding used by the CLI tools and dataset files:
+//
+//	# comment
+//	A:0.4 B:0.3 F:0.3        ← one position per line
+//	B:0.3 L:0.3 F:0.3 J:0.1
+//	@corr 2 F 0 A 0.5 0.1    ← correlation: pos 2 char F depends on pos 0 char A, pr+=0.5 pr−=0.1
+//	%                        ← record separator between strings of a collection
+//
+// Characters are single printable ASCII bytes excluding the syntax bytes
+// ':', '#', '%' and '@'; probabilities are decimal. Strings using characters
+// outside that set are valid in the API but cannot use this encoding.
+
+// encodable reports whether c can be a character of the text encoding.
+func encodable(c byte) bool {
+	if c <= ' ' || c > '~' {
+		return false
+	}
+	switch c {
+	case ':', '#', '%', '@':
+		return false
+	}
+	return true
+}
+
+// Marshal writes the string in the text encoding. Characters outside the
+// encodable ASCII set are rejected.
+func Marshal(w io.Writer, s *String) error {
+	for p, pos := range s.Pos {
+		parts := make([]string, len(pos))
+		for i, c := range pos {
+			if !encodable(c.Char) {
+				return fmt.Errorf("ustring: position %d: character %q not representable in the text encoding", p, c.Char)
+			}
+			parts[i] = fmt.Sprintf("%c:%s", c.Char, strconv.FormatFloat(c.Prob, 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Corr {
+		if _, err := fmt.Fprintf(w, "@corr %d %c %d %c %s %s\n",
+			c.At, c.Char, c.DepAt, c.DepChar,
+			strconv.FormatFloat(c.ProbWhenPresent, 'g', -1, 64),
+			strconv.FormatFloat(c.ProbWhenAbsent, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalCollection writes several strings separated by '%' lines.
+func MarshalCollection(w io.Writer, docs []*String) error {
+	for i, d := range docs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w, "%"); err != nil {
+				return err
+			}
+		}
+		if err := Marshal(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmarshal parses a single uncertain string in the text encoding.
+func Unmarshal(r io.Reader) (*String, error) {
+	docs, err := UnmarshalCollection(r)
+	if err != nil {
+		return nil, err
+	}
+	switch len(docs) {
+	case 0:
+		return &String{}, nil
+	case 1:
+		return docs[0], nil
+	default:
+		return nil, fmt.Errorf("ustring: expected one string, found %d records", len(docs))
+	}
+}
+
+// UnmarshalCollection parses a '%'-separated collection.
+func UnmarshalCollection(r io.Reader) ([]*String, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var docs []*String
+	cur := &String{}
+	flush := func() {
+		if cur.Len() > 0 || len(cur.Corr) > 0 {
+			docs = append(docs, cur)
+		}
+		cur = &String{}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == "%":
+			flush()
+		case strings.HasPrefix(line, "@corr"):
+			var c Correlation
+			var ch, dep string
+			_, err := fmt.Sscanf(line, "@corr %d %s %d %s %g %g",
+				&c.At, &ch, &c.DepAt, &dep, &c.ProbWhenPresent, &c.ProbWhenAbsent)
+			if err != nil || len(ch) != 1 || len(dep) != 1 ||
+				!encodable(ch[0]) || !encodable(dep[0]) {
+				return nil, fmt.Errorf("ustring: line %d: bad @corr directive", lineNo)
+			}
+			c.Char, c.DepChar = ch[0], dep[0]
+			cur.Corr = append(cur.Corr, c)
+		default:
+			pos, err := parsePosition(line)
+			if err != nil {
+				return nil, fmt.Errorf("ustring: line %d: %v", lineNo, err)
+			}
+			cur.Pos = append(cur.Pos, pos)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	for i, d := range docs {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("ustring: record %d: %v", i, err)
+		}
+	}
+	return docs, nil
+}
+
+func parsePosition(line string) (Position, error) {
+	fields := strings.Fields(line)
+	pos := make(Position, 0, len(fields))
+	for _, f := range fields {
+		colon := strings.IndexByte(f, ':')
+		if colon != 1 || !encodable(f[0]) {
+			return nil, fmt.Errorf("bad choice %q (want C:prob with printable ASCII C)", f)
+		}
+		p, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability in %q", f)
+		}
+		pos = append(pos, Choice{Char: f[0], Prob: p})
+	}
+	return pos, nil
+}

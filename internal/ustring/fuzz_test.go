@@ -1,0 +1,75 @@
+package ustring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the text-format parser: arbitrary input must never
+// panic, and anything that parses must survive a marshal/unmarshal round
+// trip unchanged. (Seeds run under plain `go test`; `go test -fuzz
+// FuzzUnmarshal ./internal/ustring` explores further.)
+func FuzzUnmarshal(f *testing.F) {
+	f.Add("a:1\n")
+	f.Add("A:0.4 B:0.3 F:0.3\nB:0.3 L:0.3 F:0.3 J:0.1\n")
+	f.Add("# comment\n\na:0.5 b:0.5\n%\nc:1\n")
+	f.Add("@corr 2 z 0 e 0.3 0.4\ne:0.6 f:0.4\nq:1\nz:1\n")
+	f.Add("a:")
+	f.Add(":::")
+	f.Add("a:NaN\n")
+	f.Add("a:1e309\n")
+	f.Add("%\n%\n%\n")
+	f.Add("a:0.5 a:0.5\n")
+	f.Add(string([]byte{0, 1, 2, 255}))
+	f.Fuzz(func(t *testing.T, input string) {
+		docs, err := UnmarshalCollection(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		for _, d := range docs {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("parser accepted an invalid string: %v", err)
+			}
+		}
+		// Round trip.
+		var buf bytes.Buffer
+		if err := MarshalCollection(&buf, docs); err != nil {
+			t.Fatalf("marshal of parsed input failed: %v", err)
+		}
+		back, err := UnmarshalCollection(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nre-marshalled:\n%s", err, buf.String())
+		}
+		if len(back) != len(docs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(docs), len(back))
+		}
+		for i := range docs {
+			if docs[i].Len() != back[i].Len() || len(docs[i].Corr) != len(back[i].Corr) {
+				t.Fatalf("record %d changed shape", i)
+			}
+		}
+	})
+}
+
+// FuzzFromIUPAC: the IUPAC converter must never panic and must always emit
+// valid uncertain strings for inputs it accepts.
+func FuzzFromIUPAC(f *testing.F) {
+	f.Add("ACGT")
+	f.Add("RYSWKMNBDHV")
+	f.Add("acgtn")
+	f.Add("AC-GT")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, seq string) {
+		s, err := FromIUPAC(seq)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("FromIUPAC(%q) produced invalid string: %v", seq, err)
+		}
+		if s.Len() != len(seq) {
+			t.Fatalf("length changed: %d -> %d", len(seq), s.Len())
+		}
+	})
+}

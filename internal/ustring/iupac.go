@@ -1,0 +1,48 @@
+package ustring
+
+import "fmt"
+
+// The paper's first motivating application (Section 2) cites the NC-IUB
+// standardisation of incompletely specified nucleic-acid bases: DNA
+// sequences routinely contain IUPAC ambiguity codes (R = A or G, N = any
+// base, …). FromIUPAC turns such a sequence into a character-level
+// uncertain string, distributing each code's probability mass uniformly
+// over its base set — the conventional reading when no allele frequencies
+// are available. Callers with real frequency data can post-edit positions.
+
+// iupacSets maps each IUPAC nucleotide code to its base set.
+var iupacSets = map[byte]string{
+	'A': "A", 'C': "C", 'G': "G", 'T': "T", 'U': "T",
+	'R': "AG", 'Y': "CT", 'S': "CG", 'W': "AT",
+	'K': "GT", 'M': "AC",
+	'B': "CGT", 'D': "AGT", 'H': "ACT", 'V': "ACG",
+	'N': "ACGT",
+}
+
+// FromIUPAC converts a DNA string with IUPAC ambiguity codes into an
+// uncertain string over {A, C, G, T}. Lowercase input is accepted. An
+// unknown code yields an error naming the offending position.
+func FromIUPAC(seq string) (*String, error) {
+	s := &String{Pos: make([]Position, len(seq))}
+	for i := 0; i < len(seq); i++ {
+		c := seq[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		bases, ok := iupacSets[c]
+		if !ok {
+			return nil, fmt.Errorf("ustring: position %d: unknown IUPAC code %q", i, seq[i])
+		}
+		p := 1.0 / float64(len(bases))
+		pos := make(Position, len(bases))
+		for k := 0; k < len(bases); k++ {
+			prob := p
+			if k == len(bases)-1 {
+				prob = 1 - p*float64(len(bases)-1) // exact normalisation
+			}
+			pos[k] = Choice{Char: bases[k], Prob: prob}
+		}
+		s.Pos[i] = pos
+	}
+	return s, nil
+}

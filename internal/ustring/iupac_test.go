@@ -1,0 +1,82 @@
+package ustring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromIUPACBasic(t *testing.T) {
+	s, err := FromIUPAC("ACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []byte("ACGT") {
+		if len(s.Pos[i]) != 1 || s.Pos[i][0].Char != want || s.Pos[i][0].Prob != 1 {
+			t.Errorf("position %d = %v, want certain %c", i, s.Pos[i], want)
+		}
+	}
+}
+
+func TestFromIUPACAmbiguityCodes(t *testing.T) {
+	s, err := FromIUPAC("RNy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// R = A|G at 1/2 each.
+	if len(s.Pos[0]) != 2 {
+		t.Fatalf("R arity = %d", len(s.Pos[0]))
+	}
+	if got := s.ProbAt(0, 'A'); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(A|R) = %v", got)
+	}
+	// N = any base at 1/4.
+	if len(s.Pos[1]) != 4 {
+		t.Fatalf("N arity = %d", len(s.Pos[1]))
+	}
+	if got := s.ProbAt(1, 'T'); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("P(T|N) = %v", got)
+	}
+	// Lowercase y = C|T.
+	if got := s.ProbAt(2, 'C'); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(C|y) = %v", got)
+	}
+}
+
+func TestFromIUPACUracil(t *testing.T) {
+	s, err := FromIUPAC("U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProbAt(0, 'T') != 1 {
+		t.Error("U must map to T")
+	}
+}
+
+func TestFromIUPACRejectsUnknown(t *testing.T) {
+	if _, err := FromIUPAC("ACX"); err == nil {
+		t.Error("unknown code accepted")
+	}
+	if _, err := FromIUPAC("AC-GT"); err == nil {
+		t.Error("gap character accepted")
+	}
+}
+
+func TestFromIUPACMatchSemantics(t *testing.T) {
+	// "ARG": pattern AAG matches with P = 1·(1/2)·1; AGG likewise; ACG not.
+	s, err := FromIUPAC("ARG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OccurrenceProb([]byte("AAG"), 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(AAG) = %v, want 0.5", got)
+	}
+	if got := s.OccurrenceProb([]byte("ACG"), 0); got != 0 {
+		t.Errorf("P(ACG) = %v, want 0", got)
+	}
+}

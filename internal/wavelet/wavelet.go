@@ -1,0 +1,189 @@
+// Package wavelet implements a wavelet tree over byte sequences: access,
+// rank and select for every symbol in O(log σ) time using the succinct bit
+// vectors of internal/rank. It is the symbol-rank engine of the FM-index
+// (internal/fm), the compressed suffix array the paper's Section 8.7 uses
+// for suffix-range retrieval.
+//
+// The tree is built over the effective alphabet (the distinct symbols
+// present), so depth is ⌈log₂ σ_eff⌉ rather than 8, and space is
+// n·⌈log₂ σ_eff⌉ bits plus rank overhead.
+package wavelet
+
+import "repro/internal/rank"
+
+// Tree is an immutable wavelet tree.
+type Tree struct {
+	n int
+	// alphabet maps code → symbol; codes are dense [0, σ).
+	alphabet []byte
+	code     [256]int16 // symbol → code, -1 if absent
+	// levels[d] is the concatenated bit vector of level d.
+	levels []*rank.Bits
+	depth  int
+}
+
+// New builds the tree for data. The slice is not retained.
+func New(data []byte) *Tree {
+	t := &Tree{n: len(data)}
+	for i := range t.code {
+		t.code[i] = -1
+	}
+	present := [256]bool{}
+	for _, c := range data {
+		present[c] = true
+	}
+	for c := 0; c < 256; c++ {
+		if present[c] {
+			t.code[c] = int16(len(t.alphabet))
+			t.alphabet = append(t.alphabet, byte(c))
+		}
+	}
+	sigma := len(t.alphabet)
+	t.depth = 0
+	for 1<<t.depth < sigma {
+		t.depth++
+	}
+	if t.depth == 0 {
+		// Single-symbol (or empty) alphabet: no bits needed.
+		return t
+	}
+
+	// Levelwise construction: at level d the sequence is stably grouped by
+	// the top d bits of the code (nodes in prefix order); the level's bit
+	// vector holds code bit (depth-1-d) in that order. The regrouping for
+	// the next level is a stable counting sort by the top d+1 bits —
+	// partitioning within each node, never across nodes.
+	codes := make([]uint16, len(data))
+	for i, c := range data {
+		codes[i] = uint16(t.code[c])
+	}
+	cur := codes
+	next := make([]uint16, len(data))
+	for d := 0; d < t.depth; d++ {
+		shift := uint(t.depth - 1 - d)
+		b := rank.NewBuilder(len(cur))
+		for _, c := range cur {
+			b.Append(c>>shift&1 == 1)
+		}
+		t.levels = append(t.levels, b.Build())
+		nb := 1 << uint(d+1)
+		count := make([]int, nb+1)
+		for _, c := range cur {
+			count[int(c>>shift)+1]++
+		}
+		for i := 1; i <= nb; i++ {
+			count[i] += count[i-1]
+		}
+		for _, c := range cur {
+			next[count[c>>shift]] = c
+			count[c>>shift]++
+		}
+		cur, next = next, cur
+	}
+	return t
+}
+
+// Len returns the sequence length.
+func (t *Tree) Len() int { return t.n }
+
+// Sigma returns the effective alphabet size.
+func (t *Tree) Sigma() int { return len(t.alphabet) }
+
+// Access returns the symbol at position i. The node occupying [lo, hi) at
+// level d has its children at the same absolute offsets of level d+1:
+// zeros-child [lo, lo+z), ones-child [lo+z, hi) — the standard levelwise
+// wavelet property.
+func (t *Tree) Access(i int) byte {
+	if t.depth == 0 {
+		return t.alphabet[0]
+	}
+	code := 0
+	lo, hi := 0, t.n
+	for d := 0; d < t.depth; d++ {
+		lv := t.levels[d]
+		onesLo := lv.Rank1(lo)
+		z := (hi - lo) - (lv.Rank1(hi) - onesLo)
+		if lv.Get(i) {
+			code = code<<1 | 1
+			onesUpToI := lv.Rank1(i) - onesLo
+			lo += z
+			i = lo + onesUpToI
+		} else {
+			code <<= 1
+			zerosUpToI := (i - lo) - (lv.Rank1(i) - onesLo)
+			hi = lo + z
+			i = lo + zerosUpToI
+		}
+	}
+	return t.alphabet[code]
+}
+
+// Rank returns the number of occurrences of symbol c strictly before
+// position i.
+func (t *Tree) Rank(c byte, i int) int {
+	if i <= 0 || t.n == 0 {
+		return 0
+	}
+	if i > t.n {
+		i = t.n
+	}
+	code := t.code[c]
+	if code < 0 {
+		return 0
+	}
+	if t.depth == 0 {
+		return i
+	}
+	lo, hi := 0, t.n
+	j := i // absolute boundary within [lo, hi]
+	for d := 0; d < t.depth; d++ {
+		lv := t.levels[d]
+		bit := (code >> uint(t.depth-1-d)) & 1
+		onesLo := lv.Rank1(lo)
+		onesUpToJ := lv.Rank1(j) - onesLo
+		z := (hi - lo) - (lv.Rank1(hi) - onesLo)
+		if bit == 1 {
+			lo += z
+			j = lo + onesUpToJ
+		} else {
+			zerosUpToJ := (j - lo) - onesUpToJ
+			hi = lo + z
+			j = lo + zerosUpToJ
+		}
+		if j == lo {
+			return 0
+		}
+	}
+	return j - lo
+}
+
+// Count returns the total occurrences of symbol c.
+func (t *Tree) Count(c byte) int { return t.Rank(c, t.n) }
+
+// Select returns the position of the (k+1)-th occurrence of c (k ≥ 0), or
+// -1 when there are fewer. O(log σ · log n).
+func (t *Tree) Select(c byte, k int) int {
+	if k < 0 || k >= t.Count(c) {
+		return -1
+	}
+	// Binary search over Rank: the smallest i with Rank(c, i+1) = k+1.
+	lo, hi := 0, t.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.Rank(c, mid+1) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Bytes reports the memory footprint.
+func (t *Tree) Bytes() int {
+	b := len(t.alphabet) + 512
+	for _, lv := range t.levels {
+		b += lv.Bytes()
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bruteRank(data []byte, c byte, i int) int {
+	if i > len(data) {
+		i = len(data)
+	}
+	r := 0
+	for k := 0; k < i; k++ {
+		if data[k] == c {
+			r++
+		}
+	}
+	return r
+}
+
+func TestAccessSmall(t *testing.T) {
+	data := []byte("abracadabra")
+	tr := New(data)
+	if tr.Len() != len(data) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Sigma() != 5 {
+		t.Fatalf("Sigma = %d, want 5", tr.Sigma())
+	}
+	for i, c := range data {
+		if got := tr.Access(i); got != c {
+			t.Errorf("Access(%d) = %c, want %c", i, got, c)
+		}
+	}
+}
+
+func TestRankSmall(t *testing.T) {
+	data := []byte("abracadabra")
+	tr := New(data)
+	for _, c := range []byte("abrcdz") {
+		for i := 0; i <= len(data); i++ {
+			if got, want := tr.Rank(c, i), bruteRank(data, c, i); got != want {
+				t.Errorf("Rank(%c, %d) = %d, want %d", c, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectSmall(t *testing.T) {
+	data := []byte("abracadabra")
+	tr := New(data)
+	// a occurs at 0, 3, 5, 7, 10.
+	for k, want := range []int{0, 3, 5, 7, 10} {
+		if got := tr.Select('a', k); got != want {
+			t.Errorf("Select(a, %d) = %d, want %d", k, got, want)
+		}
+	}
+	if tr.Select('a', 5) != -1 || tr.Select('z', 0) != -1 {
+		t.Error("out-of-range select must be -1")
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	data := []byte("aaaa")
+	tr := New(data)
+	if tr.Sigma() != 1 || tr.Access(2) != 'a' {
+		t.Fatal("single-symbol tree broken")
+	}
+	if tr.Rank('a', 3) != 3 || tr.Rank('b', 3) != 0 {
+		t.Error("single-symbol rank broken")
+	}
+	if tr.Select('a', 2) != 2 {
+		t.Error("single-symbol select broken")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 || tr.Rank('a', 5) != 0 {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestFullByteRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 2000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256)) // includes 0x00 and 0xFF
+	}
+	tr := New(data)
+	for i := 0; i < len(data); i += 7 {
+		if got := tr.Access(i); got != data[i] {
+			t.Fatalf("Access(%d) = %d, want %d", i, got, data[i])
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		c := byte(rng.Intn(256))
+		i := rng.Intn(len(data) + 1)
+		if got, want := tr.Rank(c, i), bruteRank(data, c, i); got != want {
+			t.Fatalf("Rank(%d, %d) = %d, want %d", c, i, got, want)
+		}
+	}
+}
+
+// Property: Rank/Access/Select agree with the brute force on random data of
+// random alphabet sizes.
+func TestPropertyAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		sigma := 1 + rng.Intn(30)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte('A' + rng.Intn(sigma))
+		}
+		tr := New(data)
+		for q := 0; q < 50; q++ {
+			i := rng.Intn(n)
+			if tr.Access(i) != data[i] {
+				return false
+			}
+			c := byte('A' + rng.Intn(sigma+2)) // sometimes absent
+			j := rng.Intn(n + 1)
+			if tr.Rank(c, j) != bruteRank(data, c, j) {
+				return false
+			}
+			if cnt := tr.Count(c); cnt > 0 {
+				k := rng.Intn(cnt)
+				p := tr.Select(c, k)
+				if p < 0 || data[p] != c || tr.Rank(c, p) != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New([]byte("hello world")).Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}

@@ -1,0 +1,173 @@
+// Package uncertain is the public API of the uncertain-string indexing
+// library, a Go reproduction of "Probabilistic Threshold Indexing for
+// Uncertain Strings" (Thankachan, Patil, Shah, Biswas; EDBT 2016).
+//
+// An uncertain string assigns every position a probability distribution over
+// characters (the character-level model). The library answers two query
+// problems for a deterministic pattern p and probability threshold τ:
+//
+//   - Substring searching (Index): report every position of one uncertain
+//     string where p occurs with probability greater than τ.
+//   - String listing (CollectionIndex): report every string of a collection
+//     that contains p with probability greater than τ.
+//
+// Both indexes are built for a construction-time threshold τmin and answer
+// queries for any τ ≥ τmin in near-optimal time: O(m + occ) for patterns up
+// to log N long, O(m·occ) beyond. An approximate variant (ApproxIndex)
+// answers any pattern length in optimal time at the cost of an additive
+// error ε in the reported threshold.
+//
+// # Quick start
+//
+//	s := uncertain.Must(uncertain.Parse(strings.NewReader(
+//		"A:0.5 C:0.5\nT:1\nG:0.9 A:0.1\n")))
+//	ix, err := uncertain.NewIndex(s, 0.1)
+//	if err != nil { ... }
+//	positions, err := ix.Search([]byte("AT"), 0.3)
+//
+// See the examples directory for complete programs modelled on the paper's
+// motivating applications (genomics, ECG annotation streams, RFID event
+// monitoring).
+package uncertain
+
+import (
+	"io"
+
+	"repro/internal/approx"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/listing"
+	"repro/internal/special"
+	"repro/internal/ustring"
+)
+
+// String is an uncertain string: a sequence of per-position character
+// distributions, optionally with character-level correlations.
+type String = ustring.String
+
+// Position is one position's probability distribution.
+type Position = ustring.Position
+
+// Choice is one (character, probability) pair of a position.
+type Choice = ustring.Choice
+
+// Correlation declares a dependency between two (position, character) pairs.
+type Correlation = ustring.Correlation
+
+// World is one possible world of an uncertain string.
+type World = ustring.World
+
+// Index answers substring-search queries on a single uncertain string
+// (the paper's Problem 1).
+type Index = core.Index
+
+// Hit is one search result with its probability.
+type Hit = core.Hit
+
+// CollectionIndex answers string-listing queries over a collection
+// (the paper's Problem 2).
+type CollectionIndex = listing.Index
+
+// ListResult is one listed document with its relevance.
+type ListResult = listing.Result
+
+// Metric selects the listing relevance function.
+type Metric = listing.Metric
+
+// Relevance metrics for CollectionIndex queries.
+const (
+	RelMax = listing.RelMax
+	RelOR  = listing.RelOR
+)
+
+// ApproxIndex answers approximate substring-search queries with additive
+// error ε in optimal time (the paper's Section 7).
+type ApproxIndex = approx.Index
+
+// ApproxMatch is one approximate search result.
+type ApproxMatch = approx.Match
+
+// GenConfig configures the synthetic dataset generator that reproduces the
+// statistics of the paper's evaluation corpus (Section 8.1).
+type GenConfig = gen.Config
+
+// Deterministic builds an uncertain string with a single probability-1
+// character per position.
+func Deterministic(text string) *String { return ustring.Deterministic(text) }
+
+// FromIUPAC converts a DNA sequence with IUPAC ambiguity codes (R, Y, N, …)
+// into an uncertain string over {A,C,G,T}, spreading each code's mass
+// uniformly over its base set — the paper's NC-IUB motivation (Section 2).
+func FromIUPAC(seq string) (*String, error) { return ustring.FromIUPAC(seq) }
+
+// Parse reads one uncertain string in the text encoding (one position per
+// line, "C:prob" pairs separated by spaces, optional @corr directives).
+func Parse(r io.Reader) (*String, error) { return ustring.Unmarshal(r) }
+
+// ParseCollection reads a '%'-separated collection.
+func ParseCollection(r io.Reader) ([]*String, error) { return ustring.UnmarshalCollection(r) }
+
+// Write renders an uncertain string in the text encoding.
+func Write(w io.Writer, s *String) error { return ustring.Marshal(w, s) }
+
+// WriteCollection renders a collection in the text encoding.
+func WriteCollection(w io.Writer, docs []*String) error {
+	return ustring.MarshalCollection(w, docs)
+}
+
+// Must panics on err; it shortens examples and tests.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NewIndex builds the substring-search index for thresholds τ ≥ tauMin.
+func NewIndex(s *String, tauMin float64) (*Index, error) {
+	return core.Build(s, tauMin)
+}
+
+// NewCollectionIndex builds the string-listing index for a collection.
+func NewCollectionIndex(docs []*String, tauMin float64) (*CollectionIndex, error) {
+	return listing.Build(docs, tauMin)
+}
+
+// NewApproxIndex builds the approximate index with additive error epsilon.
+func NewApproxIndex(s *String, tauMin, epsilon float64) (*ApproxIndex, error) {
+	return approx.Build(s, tauMin, epsilon)
+}
+
+// SpecialString is a special uncertain string (the paper's Definition 1):
+// exactly one probabilistic character per position.
+type SpecialString = special.String
+
+// SpecialIndex is the Section 4 index for special uncertain strings. Unlike
+// Index it has no construction threshold: any τ ∈ (0, 1] can be queried.
+type SpecialIndex = special.Index
+
+// NewSpecialIndex indexes a special uncertain string directly, with no
+// Lemma 2 transformation.
+func NewSpecialIndex(s *SpecialString) (*SpecialIndex, error) {
+	return special.Build(s)
+}
+
+// SearchOnline matches p against s without building any index (the Li et
+// al.-style dynamic-programming baseline). Prefer NewIndex for repeated
+// queries.
+func SearchOnline(s *String, p []byte, tau float64) []int {
+	return baseline.MatchDP(s, p, tau)
+}
+
+// ReadIndex loads an index previously saved with Index.WriteTo. The
+// transformation is restored verbatim; the query structures are rebuilt.
+func ReadIndex(r io.Reader) (*Index, error) { return core.ReadIndex(r) }
+
+// GenerateString synthesises one uncertain string with the paper's corpus
+// statistics (protein alphabet, uncertainty fraction cfg.Theta, ~5 choices
+// per uncertain position).
+func GenerateString(cfg GenConfig) *String { return gen.Single(cfg) }
+
+// GenerateCollection synthesises a collection totalling cfg.N positions.
+func GenerateCollection(cfg GenConfig) []*String { return gen.Collection(cfg) }

@@ -1,0 +1,121 @@
+package uncertain_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/uncertain"
+)
+
+func TestEndToEndSubstringSearch(t *testing.T) {
+	s := uncertain.Must(uncertain.Parse(strings.NewReader(
+		"P:1\nS:0.7 F:0.3\nF:1\nP:1\nQ:0.5 T:0.5\n")))
+	ix, err := uncertain.NewIndex(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SFP at position 1: .7·1·1 = .7.
+	got, err := ix.Search([]byte("SFP"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Search(SFP, .5) = %v, want [1]", got)
+	}
+}
+
+func TestEndToEndListing(t *testing.T) {
+	docs := uncertain.Must(uncertain.ParseCollection(strings.NewReader(
+		"A:0.4 B:0.3 F:0.3\nB:0.3 L:0.3 F:0.3 J:0.1\nF:0.5 J:0.5\n%\nA:1\nB:1\nC:1\n")))
+	ix, err := uncertain.NewCollectionIndex(docs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.List([]byte("BF"), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("List(BF, .1) = %v, want [0]", got)
+	}
+	got, err = ix.List([]byte("AB"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("List(AB, .5) = %v, want [1]", got)
+	}
+}
+
+func TestEndToEndApprox(t *testing.T) {
+	s := uncertain.GenerateString(uncertain.GenConfig{N: 500, Theta: 0.3, Seed: 7})
+	ix, err := uncertain.NewApproxIndex(s, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := uncertain.NewIndex(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []byte("AA")
+	approxGot, err := ix.Search(p, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactGot, err := exact.Search(p, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exact result appears among the approximate ones.
+	set := map[int]bool{}
+	for _, m := range approxGot {
+		set[m.Pos] = true
+	}
+	for _, pos := range exactGot {
+		if !set[pos] {
+			t.Errorf("approx missed exact match at %d", pos)
+		}
+	}
+}
+
+func TestSearchOnlineAgrees(t *testing.T) {
+	s := uncertain.GenerateString(uncertain.GenConfig{N: 300, Theta: 0.4, Seed: 11})
+	ix := uncertain.Must(uncertain.NewIndex(s, 0.1))
+	for _, p := range [][]byte{[]byte("A"), []byte("AC"), []byte("CAT")} {
+		a := uncertain.SearchOnline(s, p, 0.2)
+		b := uncertain.Must(ix.Search(p, 0.2))
+		if len(a) != len(b) {
+			t.Fatalf("online %v != indexed %v for %q", a, b, p)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("online %v != indexed %v for %q", a, b, p)
+			}
+		}
+	}
+}
+
+func TestRoundTripEncoding(t *testing.T) {
+	docs := uncertain.GenerateCollection(uncertain.GenConfig{N: 200, Theta: 0.3, Seed: 13})
+	var buf bytes.Buffer
+	if err := uncertain.WriteCollection(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := uncertain.ParseCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(docs) {
+		t.Fatalf("round trip: %d docs, want %d", len(back), len(docs))
+	}
+}
+
+func TestDeterministicHelper(t *testing.T) {
+	s := uncertain.Deterministic("GATTACA")
+	ix := uncertain.Must(uncertain.NewIndex(s, 0.5))
+	got := uncertain.Must(ix.Search([]byte("TA"), 0.9))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Search(TA) = %v, want [3]", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Command ustridxd is the uncertain-string index daemon: it loads or builds
+// a sharded multi-document catalog from a directory of collection files and
+// serves threshold, top-k, count and batch queries over HTTP/JSON.
+//
+// Usage:
+//
+//	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
+//	         [-index-cache DIR] [-cache-entries 1024] [-inflight 0]
+//
+// Every non-hidden file in -data is parsed as one '%'-separated collection
+// (see internal/ustring's text encoding) and served under its base name.
+// With -index-cache, built indexes are persisted to (and on restart loaded
+// from) the given directory, skipping the expensive Lemma 2 transformation.
+//
+// Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/stats, /healthz
+// — see internal/server for the wire format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ustridxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ustridxd", flag.ExitOnError)
+	data := fs.String("data", "", "directory of collection files (required)")
+	addr := fs.String("addr", ":7331", "listen address")
+	tauMin := fs.Float64("taumin", 0.1, "construction threshold (queries accept any tau ≥ taumin)")
+	shards := fs.Int("shards", 0, "query fan-out shards per collection (0 = GOMAXPROCS, capped at 16)")
+	workers := fs.Int("workers", 0, "index build worker pool size (0 = GOMAXPROCS)")
+	longCap := fs.Int("longcap", 0, "long-pattern blocking cap (0 = library default)")
+	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
+	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
+	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
+	fs.Parse(args)
+	if *data == "" {
+		return errors.New("-data is required")
+	}
+
+	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap}
+	cat, err := loadCatalog(*data, *indexCache, opts, log.Printf)
+	if err != nil {
+		return err
+	}
+	for _, info := range cat.Stats() {
+		log.Printf("collection %q: %d documents, %d positions, %d shards, taumin %g",
+			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(cat, server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// loadCatalog restores the catalog from cacheDir when possible, otherwise
+// builds it from the data directory (and saves to cacheDir when set).
+func loadCatalog(dataDir, cacheDir string, opts catalog.Options, logf func(string, ...any)) (*catalog.Catalog, error) {
+	if cacheDir != "" {
+		if _, err := os.Stat(cacheDir); err == nil {
+			begin := time.Now()
+			cat, err := catalog.Load(cacheDir, opts)
+			if err == nil {
+				err = cacheMismatch(cat, dataDir)
+			}
+			switch {
+			case err != nil:
+				// The cache is unreadable, or disagrees with the requested
+				// flags or the data directory's collection set; honouring
+				// them requires a rebuild. (Edits *inside* an existing
+				// collection file are not detected — wipe the cache after
+				// editing data.)
+				logf("index cache %s unusable (%v), rebuilding", cacheDir, err)
+			case len(cat.Names()) > 0:
+				logf("loaded %d collections from index cache %s in %v", len(cat.Names()), cacheDir, time.Since(begin))
+				return cat, nil
+			}
+		}
+	}
+	begin := time.Now()
+	cat, err := catalog.Open(dataDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cat.Names()) == 0 {
+		return nil, fmt.Errorf("no collections found in %s", dataDir)
+	}
+	logf("built %d collections from %s in %v", len(cat.Names()), dataDir, time.Since(begin))
+	if cacheDir != "" {
+		if err := cat.Save(cacheDir); err != nil {
+			logf("saving index cache: %v", err)
+		} else {
+			logf("saved index cache to %s", cacheDir)
+		}
+	}
+	return cat, nil
+}
+
+// cacheMismatch reports why a loaded index cache cannot be served: a
+// collection built for a different construction threshold or long-pattern
+// cap than requested, or a collection set that no longer matches the data
+// directory (a file added or removed since the cache was written).
+func cacheMismatch(cat *catalog.Catalog, dataDir string) error {
+	want := cat.Options()
+	for _, info := range cat.Stats() {
+		if info.TauMin != want.TauMin {
+			return fmt.Errorf("was built with taumin %g (want %g)", info.TauMin, want.TauMin)
+		}
+		if effectiveLongCap(info.LongCap) != effectiveLongCap(want.LongCap) {
+			return fmt.Errorf("was built with longcap %d (want %d)", info.LongCap, want.LongCap)
+		}
+	}
+	sources, err := catalog.ScanDir(dataDir)
+	if err != nil {
+		return err
+	}
+	cached := cat.Names()
+	if len(cached) != len(sources) {
+		return fmt.Errorf("holds %d collections but %s has %d", len(cached), dataDir, len(sources))
+	}
+	for _, name := range cached {
+		if _, ok := sources[name]; !ok {
+			return fmt.Errorf("holds collection %q which is not in %s", name, dataDir)
+		}
+	}
+	return nil
+}
+
+// effectiveLongCap normalises a requested long-pattern cap to the value the
+// index actually uses, so "default" and "explicitly the default" compare
+// equal.
+func effectiveLongCap(v int) int {
+	if v <= 0 {
+		return core.DefaultLongCap
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/ustring"
+)
+
+func writeDataDir(t *testing.T) (string, []*ustring.String) {
+	t.Helper()
+	docs := gen.Collection(gen.Config{N: 400, Theta: 0.3, Seed: 83})
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "prot.ustr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ustring.MarshalCollection(f, docs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir, docs
+}
+
+func TestLoadCatalogBuildsAndCaches(t *testing.T) {
+	dataDir, docs := writeDataDir(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	logf := func(string, ...any) {}
+	opts := catalog.Options{TauMin: 0.1, Shards: 2}
+
+	built, err := loadCatalog(dataDir, cacheDir, opts, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second call must come from the persisted cache and answer identically.
+	cached, err := loadCatalog(dataDir, cacheDir, opts, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := built.Get("prot")
+	b, ok := cached.Get("prot")
+	if !ok || a.Docs() != b.Docs() || a.Positions() != b.Positions() {
+		t.Fatalf("cached catalog differs: built %d/%d docs/positions, cached %+v", a.Docs(), a.Positions(), b)
+	}
+	for _, p := range gen.CollectionPatterns(docs, 5, 3, 89) {
+		ha, err := a.Search(p, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := b.Search(p, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ha) != len(hb) {
+			t.Fatalf("cache-loaded catalog disagrees on %q", p)
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("cache-loaded catalog disagrees on %q at %d", p, i)
+			}
+		}
+	}
+}
+
+// TestLoadCatalogRebuildsOnTauMinChange: a cache built at one taumin must
+// not be served when the daemon is restarted with another.
+func TestLoadCatalogRebuildsOnTauMinChange(t *testing.T) {
+	dataDir, _ := writeDataDir(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	logf := func(string, ...any) {}
+	if _, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.1}, logf); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.2}, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := cat.Get("prot")
+	if col.TauMin() != 0.2 {
+		t.Fatalf("restart with -taumin 0.2 served taumin %g", col.TauMin())
+	}
+	// The rebuild must also refresh the cache for the next restart.
+	again, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.2}, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ = again.Get("prot")
+	if col.TauMin() != 0.2 {
+		t.Fatalf("refreshed cache served taumin %g, want 0.2", col.TauMin())
+	}
+}
+
+// TestLoadCatalogRebuildsOnDataSetChange: adding a collection file to the
+// data directory must invalidate the index cache on the next start.
+func TestLoadCatalogRebuildsOnDataSetChange(t *testing.T) {
+	dataDir, _ := writeDataDir(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	logf := func(string, ...any) {}
+	opts := catalog.Options{TauMin: 0.1}
+	if _, err := loadCatalog(dataDir, cacheDir, opts, logf); err != nil {
+		t.Fatal(err)
+	}
+	extra := gen.Collection(gen.Config{N: 200, Theta: 0.3, Seed: 91})
+	f, err := os.Create(filepath.Join(dataDir, "extra.ustr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ustring.MarshalCollection(f, extra); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cat, err := loadCatalog(dataDir, cacheDir, opts, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.Get("extra"); !ok {
+		t.Fatalf("new data file not served after restart; collections = %v", cat.Names())
+	}
+	// And removing it must prune the cached copy too.
+	if err := os.Remove(filepath.Join(dataDir, "extra.ustr")); err != nil {
+		t.Fatal(err)
+	}
+	cat, err = loadCatalog(dataDir, cacheDir, opts, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.Get("extra"); ok {
+		t.Fatal("removed data file still served from cache")
+	}
+}
+
+// TestLoadCatalogLongCapEquivalence: -longcap 0 (default) and an explicit
+// -longcap equal to the library default are the same effective
+// configuration and must not force a rebuild, while a genuinely different
+// cap must.
+func TestLoadCatalogLongCapEquivalence(t *testing.T) {
+	dataDir, _ := writeDataDir(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	logf := func(string, ...any) {}
+	if _, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.1}, logf); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.1, LongCap: core.DefaultLongCap}, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cacheMismatch(cat, dataDir); err != nil {
+		t.Fatalf("explicit default longcap reported a mismatch: %v", err)
+	}
+	rebuilt := false
+	logSpy := func(format string, args ...any) {
+		if strings.Contains(format, "rebuilding") {
+			rebuilt = true
+		}
+	}
+	if _, err := loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.1, LongCap: 64}, logSpy); err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatal("changed -longcap did not trigger a rebuild")
+	}
+	// The rebuilt cache's manifests must record the new cap so the next
+	// identical start loads cleanly.
+	cat, err = loadCatalog(dataDir, cacheDir, catalog.Options{TauMin: 0.1, LongCap: 64}, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := cat.Stats()
+	if len(infos) != 1 || infos[0].LongCap != 64 {
+		t.Fatalf("reloaded LongCap = %+v, want 64", infos)
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	if _, err := loadCatalog(filepath.Join(t.TempDir(), "missing"), "", catalog.Options{}, func(string, ...any) {}); err == nil {
+		t.Fatal("missing data dir did not error")
+	}
+	if _, err := loadCatalog(t.TempDir(), "", catalog.Options{}, func(string, ...any) {}); err == nil {
+		t.Fatal("empty data dir did not error")
+	}
+}
+
+// TestDaemonServes wires the daemon's catalog into the HTTP stack end to
+// end, as run() does, and exercises one query.
+func TestDaemonServes(t *testing.T) {
+	dataDir, docs := writeDataDir(t)
+	cat, err := loadCatalog(dataDir, "", catalog.Options{TauMin: 0.1}, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(cat, server.Config{}))
+	defer ts.Close()
+	p := gen.CollectionPatterns(docs, 1, 3, 97)[0]
+	resp, err := http.Get(ts.URL + "/v1/query?collection=prot&p=" + string(p) + "&tau=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon query status %d", resp.StatusCode)
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", health.StatusCode)
+	}
+}

@@ -1,0 +1,318 @@
+// Package catalog manages a sharded, multi-document collection of uncertain
+// strings behind the single-string index of internal/core — the serving-tier
+// counterpart of the paper's single-document library.
+//
+// A Catalog holds named Collections. Each Collection is a set of uncertain
+// string documents, every document indexed whole by its own core.Index and
+// assigned round-robin to one of a fixed number of shards. Queries fan out
+// across shards concurrently and merge the per-shard results:
+//
+//   - Search: threshold search (Problem 1) over every document, merged in
+//     (document, position) order;
+//   - TopK: the globally most probable occurrences, merged from the
+//     per-shard candidates through a bounded min-heap;
+//   - Count: the total number of qualifying occurrences.
+//
+// Because a document is always indexed as one unit, the shard count affects
+// only the fan-out: results are bit-identical for every shard count,
+// including the reported probabilities (see the equivalence test).
+//
+// Index construction is the expensive step, so Build runs the per-document
+// builds on a bounded worker pool, and a built catalog can be written to a
+// cache directory with Save and reloaded with Load, reusing the core
+// package's index persistence.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ustring"
+)
+
+// collectionID stamps every built or loaded collection with a
+// process-unique id, so result caches can key on the collection *instance*
+// and never serve results computed against a replaced collection.
+var collectionID atomic.Uint64
+
+// Options configures catalog construction.
+type Options struct {
+	// TauMin is the construction threshold of every document index; queries
+	// support any tau ≥ TauMin. Defaults to 0.1.
+	TauMin float64
+	// Shards is the number of query fan-out shards per collection. Documents
+	// are assigned round-robin. Defaults to GOMAXPROCS, capped at 16.
+	Shards int
+	// Workers bounds the worker pool running per-document index builds.
+	// Defaults to GOMAXPROCS.
+	Workers int
+	// LongCap is passed through to core.WithLongCap when positive.
+	LongCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TauMin <= 0 {
+		o.TauMin = 0.1
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 16 {
+			o.Shards = 16
+		}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// DocHit is one occurrence of a pattern inside a collection.
+type DocHit struct {
+	// Doc is the document's index within the collection.
+	Doc int
+	// Pos is the starting position within the document.
+	Pos int
+	// Prob is the occurrence probability.
+	Prob float64
+}
+
+// docIndex pairs a document id with its index.
+type docIndex struct {
+	doc int
+	ix  *core.Index
+}
+
+// Collection is one named, sharded document set. It is immutable after
+// construction and safe for concurrent use.
+type Collection struct {
+	id        uint64
+	name      string
+	tauMin    float64
+	longCap   int
+	shards    [][]docIndex
+	docs      int
+	positions int
+}
+
+// Catalog is a set of named collections. All methods are safe for concurrent
+// use.
+type Catalog struct {
+	opts Options
+
+	mu    sync.RWMutex
+	colls map[string]*Collection
+}
+
+// New returns an empty catalog.
+func New(opts Options) *Catalog {
+	return &Catalog{opts: opts.withDefaults(), colls: make(map[string]*Collection)}
+}
+
+// Options returns the catalog's effective (defaulted) options.
+func (c *Catalog) Options() Options { return c.opts }
+
+// ScanDir lists the collection files of a data directory as a map from
+// collection name (base name without extension) to file name. Hidden files
+// and subdirectories are skipped; two files mapping to the same name is an
+// error.
+func ScanDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	sources := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		if prev, dup := sources[name]; dup {
+			return nil, fmt.Errorf("catalog: files %s and %s both map to collection %q", prev, e.Name(), name)
+		}
+		sources[name] = e.Name()
+	}
+	return sources, nil
+}
+
+// Open builds a catalog from a directory of collection files: every
+// non-hidden regular file is parsed as a '%'-separated collection
+// (ustring.UnmarshalCollection) and added under its base name without
+// extension.
+func Open(dir string, opts Options) (*Catalog, error) {
+	sources, err := ScanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := New(opts)
+	for name, file := range sources {
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		docs, err := ustring.UnmarshalCollection(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s: %w", file, err)
+		}
+		if _, err := c.Add(name, docs); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Add builds indexes for docs on the catalog's worker pool and registers the
+// collection under name, replacing any previous collection of that name.
+func (c *Catalog) Add(name string, docs []*ustring.String) (*Collection, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty collection name")
+	}
+	ixs, err := c.buildAll(docs)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
+	}
+	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, ixs)
+	c.mu.Lock()
+	c.colls[name] = col
+	c.mu.Unlock()
+	return col, nil
+}
+
+// runPool runs fn(i) for every i in [0, n) on the catalog's bounded worker
+// pool and returns the first error by index.
+func (c *Catalog) runPool(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	sem := make(chan struct{}, c.opts.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("document %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// buildAll builds one index per document on the worker pool.
+func (c *Catalog) buildAll(docs []*ustring.String) ([]*core.Index, error) {
+	var buildOpts []core.Option
+	if c.opts.LongCap > 0 {
+		buildOpts = append(buildOpts, core.WithLongCap(c.opts.LongCap))
+	}
+	ixs := make([]*core.Index, len(docs))
+	err := c.runPool(len(docs), func(i int) error {
+		var err error
+		ixs[i], err = core.Build(docs[i], c.opts.TauMin, buildOpts...)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ixs, nil
+}
+
+// assemble distributes built or loaded indexes round-robin over the shards.
+func (c *Catalog) assemble(name string, tauMin float64, longCap int, ixs []*core.Index) *Collection {
+	col := &Collection{
+		id:      collectionID.Add(1),
+		name:    name,
+		tauMin:  tauMin,
+		longCap: longCap,
+		shards:  make([][]docIndex, c.opts.Shards),
+		docs:    len(ixs),
+	}
+	for i, ix := range ixs {
+		s := i % len(col.shards)
+		col.shards[s] = append(col.shards[s], docIndex{doc: i, ix: ix})
+		col.positions += ix.Source().Len()
+	}
+	return col
+}
+
+// Get returns the named collection.
+func (c *Catalog) Get(name string) (*Collection, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	col, ok := c.colls[name]
+	return col, ok
+}
+
+// Names returns the collection names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.colls))
+	for n := range c.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Info summarises one collection for stats reporting.
+type Info struct {
+	Name      string
+	Docs      int
+	Positions int
+	Shards    int
+	TauMin    float64
+	// LongCap is the long-pattern blocking cap the collection was built
+	// with (0 = library default); serving layers compare it against their
+	// requested options to detect stale caches.
+	LongCap int
+}
+
+// Stats returns per-collection summaries in name order.
+func (c *Catalog) Stats() []Info {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	infos := make([]Info, 0, len(c.colls))
+	for _, col := range c.colls {
+		infos = append(infos, Info{
+			Name:      col.name,
+			Docs:      col.docs,
+			Positions: col.positions,
+			Shards:    len(col.shards),
+			TauMin:    col.tauMin,
+			LongCap:   col.longCap,
+		})
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+	return infos
+}
+
+// Name returns the collection's name.
+func (col *Collection) Name() string { return col.name }
+
+// ID returns a process-unique id for this collection instance. Replacing a
+// collection via Add yields a new id, which result caches fold into their
+// keys so stale entries can never match.
+func (col *Collection) ID() uint64 { return col.id }
+
+// Docs returns the number of documents.
+func (col *Collection) Docs() int { return col.docs }
+
+// Positions returns the total number of positions across documents.
+func (col *Collection) Positions() int { return col.positions }
+
+// TauMin returns the construction threshold shared by every document index.
+func (col *Collection) TauMin() float64 { return col.tauMin }
+
+// Shards returns the fan-out shard count.
+func (col *Collection) Shards() int { return len(col.shards) }

@@ -1,0 +1,203 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// cacheFormat tags the on-disk cache layout; bump on incompatible changes.
+const cacheFormat = 1
+
+// manifest describes one cached collection.
+type manifest struct {
+	Format  int
+	TauMin  float64
+	LongCap int
+	Docs    int
+}
+
+const manifestName = "manifest.gob"
+
+func docFileName(i int) string { return fmt.Sprintf("doc%06d.idx", i) }
+
+func safeName(name string) error {
+	// Dot-prefixed names are rejected too: Load skips hidden directories, so
+	// such a collection would save fine and then silently vanish on load.
+	if name == "" || strings.HasPrefix(name, ".") ||
+		strings.ContainsAny(name, string(filepath.Separator)+"/") {
+		return fmt.Errorf("catalog: collection name %q is not cacheable", name)
+	}
+	return nil
+}
+
+// Save writes every collection's document indexes under dir (one
+// subdirectory per collection), reusing the core package's index
+// persistence. A later Load(dir, …) skips the transformation cost — the
+// dominant share of construction time at low τmin. Cached collections (and
+// per-collection document files) that are no longer part of the catalog are
+// removed, so a stale cache cannot resurrect deleted data on the next Load.
+func (c *Catalog) Save(dir string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := c.pruneCache(dir); err != nil {
+		return err
+	}
+	for name, col := range c.colls {
+		if err := safeName(name); err != nil {
+			return err
+		}
+		cdir := filepath.Join(dir, name)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		mf, err := os.Create(filepath.Join(cdir, manifestName))
+		if err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		err = gob.NewEncoder(mf).Encode(manifest{
+			Format: cacheFormat, TauMin: col.tauMin, LongCap: col.longCap, Docs: col.docs,
+		})
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("catalog: writing manifest for %q: %w", name, err)
+		}
+		for _, shard := range col.shards {
+			for _, di := range shard {
+				if err := writeDocIndex(filepath.Join(cdir, docFileName(di.doc)), di.ix); err != nil {
+					return fmt.Errorf("catalog: collection %q: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pruneCache deletes cache subdirectories of collections the catalog no
+// longer holds (recognised by their manifest — unrelated directories are
+// left alone) and, for kept collections, document files beyond the current
+// document count.
+func (c *Catalog) pruneCache(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("catalog: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		cdir := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(cdir, manifestName)); err != nil {
+			continue // not a cached collection
+		}
+		col, kept := c.colls[e.Name()]
+		if !kept {
+			if err := os.RemoveAll(cdir); err != nil {
+				return fmt.Errorf("catalog: pruning stale cache %q: %w", e.Name(), err)
+			}
+			continue
+		}
+		files, err := os.ReadDir(cdir)
+		if err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		for i := col.docs; i < len(files); i++ {
+			stale := filepath.Join(cdir, docFileName(i))
+			if _, err := os.Stat(stale); err == nil {
+				if err := os.Remove(stale); err != nil {
+					return fmt.Errorf("catalog: pruning stale cache file: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeDocIndex(path string, ix *core.Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = ix.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Load rebuilds a catalog from a cache directory written by Save. The
+// construction threshold is taken from each collection's manifest; opts
+// controls sharding and the load worker pool. Loading rebuilds the query
+// structures (suffix arrays, RMQ levels) but reuses the persisted Lemma 2
+// transformations.
+func Load(dir string, opts Options) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	c := New(opts)
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		// Directories without a manifest are not cached collections (cf.
+		// pruneCache); skip rather than fail on unrelated data.
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), manifestName)); err != nil {
+			continue
+		}
+		if err := c.loadCollection(filepath.Join(dir, e.Name()), e.Name()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// loadCollection restores one cached collection, reading document indexes on
+// the catalog's worker pool.
+func (c *Catalog) loadCollection(cdir, name string) error {
+	mf, err := os.Open(filepath.Join(cdir, manifestName))
+	if err != nil {
+		return fmt.Errorf("catalog: %q has no manifest: %w", name, err)
+	}
+	var m manifest
+	err = gob.NewDecoder(mf).Decode(&m)
+	mf.Close()
+	if err != nil {
+		return fmt.Errorf("catalog: reading manifest for %q: %w", name, err)
+	}
+	if m.Format != cacheFormat {
+		return fmt.Errorf("catalog: %q: unsupported cache format %d (want %d)", name, m.Format, cacheFormat)
+	}
+	ixs := make([]*core.Index, m.Docs)
+	err = c.runPool(m.Docs, func(i int) error {
+		var err error
+		ixs[i], err = readDocIndex(filepath.Join(cdir, docFileName(i)))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("catalog: collection %q: %w", name, err)
+	}
+	col := c.assemble(name, m.TauMin, m.LongCap, ixs)
+	c.mu.Lock()
+	c.colls[name] = col
+	c.mu.Unlock()
+	return nil
+}
+
+func readDocIndex(path string) (*core.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadIndex(f)
+}

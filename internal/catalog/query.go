@@ -1,0 +1,181 @@
+package catalog
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// shardResult carries one shard's hits (or count) back to the merger.
+type shardResult struct {
+	hits  []DocHit
+	count int
+	err   error
+}
+
+// fanOut runs fn once per non-empty shard concurrently and returns the
+// per-shard results in shard order. Collections are immutable, so the only
+// synchronisation is the join.
+func (col *Collection) fanOut(fn func(shard []docIndex, out *shardResult)) ([]shardResult, error) {
+	results := make([]shardResult, len(col.shards))
+	var wg sync.WaitGroup
+	for s := range col.shards {
+		if len(col.shards[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fn(col.shards[s], &results[s])
+		}(s)
+	}
+	wg.Wait()
+	for s := range results {
+		if results[s].err != nil {
+			return nil, results[s].err
+		}
+	}
+	return results, nil
+}
+
+// Search reports every occurrence of p with probability strictly greater
+// than tau in any document, ordered by (document, position). tau must
+// satisfy TauMin ≤ tau ≤ 1.
+func (col *Collection) Search(p []byte, tau float64) ([]DocHit, error) {
+	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+		for _, di := range shard {
+			hits, err := di.ix.SearchHits(p, tau)
+			if err != nil {
+				out.err = err
+				return
+			}
+			for _, h := range hits {
+				out.hits = append(out.hits, DocHit{Doc: di.doc, Pos: int(h.Orig), Prob: h.Prob()})
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []DocHit
+	for _, r := range results {
+		merged = append(merged, r.hits...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Doc != merged[b].Doc {
+			return merged[a].Doc < merged[b].Doc
+		}
+		return merged[a].Pos < merged[b].Pos
+	})
+	return merged, nil
+}
+
+// Count returns the total number of occurrences of p with probability
+// strictly greater than tau, without materialising positions.
+func (col *Collection) Count(p []byte, tau float64) (int, error) {
+	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+		for _, di := range shard {
+			n, err := di.ix.SearchCount(p, tau)
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.count += n
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, r := range results {
+		total += r.count
+	}
+	return total, nil
+}
+
+// hitLess is the canonical global ordering of top-k results: decreasing
+// probability, ties broken by (document, position). It is a total order on
+// distinct occurrences, so every shard count produces the identical hit
+// sequence.
+func hitLess(a, b DocHit) bool {
+	if a.Prob != b.Prob {
+		return a.Prob > b.Prob
+	}
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.Pos < b.Pos
+}
+
+// topKHeap is a bounded min-heap keeping the k best hits seen so far; the
+// root is the currently weakest kept hit.
+type topKHeap []DocHit
+
+func (h topKHeap) Len() int           { return len(h) }
+func (h topKHeap) Less(a, b int) bool { return hitLess(h[b], h[a]) }
+func (h topKHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *topKHeap) Push(x any)        { *h = append(*h, x.(DocHit)) }
+func (h *topKHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopK reports the k globally most probable occurrences of p across all
+// documents, in decreasing probability order (ties by document, then
+// position). Every per-document index guarantees completeness only down to
+// probability TauMin, so fewer than k hits may be returned.
+func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+		for _, di := range shard {
+			hits, err := di.ix.SearchTopK(p, k)
+			if err != nil {
+				out.err = err
+				return
+			}
+			for _, h := range hits {
+				out.hits = append(out.hits, DocHit{Doc: di.doc, Pos: int(h.Orig), Prob: h.Prob()})
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Global top-k: a bounded min-heap over the per-shard candidates. Each
+	// document contributed its own true top-k, so the global top-k is a
+	// subset of the candidates.
+	h := make(topKHeap, 0, k+1)
+	for _, r := range results {
+		for _, dh := range r.hits {
+			if len(h) < k {
+				heap.Push(&h, dh)
+				continue
+			}
+			if hitLess(dh, h[0]) {
+				h[0] = dh
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+	out := make([]DocHit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(DocHit)
+	}
+	return out, nil
+}
+
+// Validate pre-checks a (pattern, tau) query against the collection's
+// construction threshold without touching any shard, returning the same
+// sentinel errors a query would: core.ErrEmptyPattern, core.ErrBadPattern,
+// core.ErrTauOutOfRange or core.ErrTauBelowTauMin. Servers use it to reject
+// malformed requests before paying for the fan-out.
+func (col *Collection) Validate(p []byte, tau float64) error {
+	return core.ValidateQuery(p, tau, col.tauMin)
+}

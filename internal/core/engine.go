@@ -290,8 +290,11 @@ type Hit struct {
 // Prob returns the plain-domain probability of the hit.
 func (h Hit) Prob() float64 { return prob.Exp(h.LogProb) }
 
-// validate rejects malformed queries.
-func (e *Engine) validate(p []byte, tau float64) error {
+// ValidateQuery reports the error a query with the given pattern and
+// threshold would return, without running it: ErrEmptyPattern, ErrBadPattern,
+// ErrTauOutOfRange, or ErrTauBelowTauMin when tau < tauMin. Serving layers
+// use it to reject malformed requests before fanning out across shards.
+func ValidateQuery(p []byte, tau, tauMin float64) error {
 	if len(p) == 0 {
 		return ErrEmptyPattern
 	}
@@ -303,7 +306,15 @@ func (e *Engine) validate(p []byte, tau float64) error {
 	if math.IsNaN(tau) || tau <= 0 || tau > 1 {
 		return fmt.Errorf("%w (got %v)", ErrTauOutOfRange, tau)
 	}
+	if tau < tauMin-prob.Eps {
+		return fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, tauMin)
+	}
 	return nil
+}
+
+// validate rejects malformed queries.
+func (e *Engine) validate(p []byte, tau float64) error {
+	return ValidateQuery(p, tau, 0)
 }
 
 // Query reports every non-duplicate window matching p with probability

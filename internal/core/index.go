@@ -119,8 +119,8 @@ func (ix *Index) Search(p []byte, tau float64) ([]int, error) {
 // SearchHits is Search with per-occurrence probabilities, in decreasing
 // probability order (the natural order of the recursive RMQ extraction).
 func (ix *Index) SearchHits(p []byte, tau float64) ([]Hit, error) {
-	if tau < ix.tauMin-prob.Eps {
-		return nil, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	if err := ValidateQuery(p, tau, ix.tauMin); err != nil {
+		return nil, err
 	}
 	return ix.engine.Query(p, tau)
 }
@@ -136,8 +136,8 @@ func (ix *Index) SearchTopK(p []byte, k int) ([]Hit, error) {
 // SearchCount returns the number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (ix *Index) SearchCount(p []byte, tau float64) (int, error) {
-	if tau < ix.tauMin-prob.Eps {
-		return 0, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	if err := ValidateQuery(p, tau, ix.tauMin); err != nil {
+		return 0, err
 	}
 	return ix.engine.Count(p, tau)
 }
@@ -146,8 +146,8 @@ func (ix *Index) SearchCount(p []byte, tau float64) (int, error) {
 // order (unordered for patterns longer than log N) until visit returns
 // false.
 func (ix *Index) SearchIter(p []byte, tau float64, visit func(Hit) bool) error {
-	if tau < ix.tauMin-prob.Eps {
-		return fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
+	if err := ValidateQuery(p, tau, ix.tauMin); err != nil {
+		return err
 	}
 	return ix.engine.Iterate(p, tau, visit)
 }

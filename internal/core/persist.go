@@ -32,10 +32,11 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
 	enc := gob.NewEncoder(cw)
 	err := enc.Encode(persisted{
-		Format: persistFormat,
-		TauMin: ix.tauMin,
-		Source: ix.src,
-		Tr:     ix.tr,
+		Format:  persistFormat,
+		TauMin:  ix.tauMin,
+		LongCap: ix.engine.longCap,
+		Source:  ix.src,
+		Tr:      ix.tr,
 	})
 	return cw.n, err
 }

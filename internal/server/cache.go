@@ -1,0 +1,92 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+// cached is one memoised query result. Hits are stored for search/top-k,
+// only the count for count queries. Entries are immutable once stored.
+type cached struct {
+	hits  []Hit
+	count int
+}
+
+// cacheKey builds the LRU key from the operation tag, the collection's
+// process-unique instance id, pattern and the tau-or-k parameter. Keying on
+// the instance id (not the name) means entries computed against a replaced
+// collection can never match again: Catalog.Add yields a new id. NUL
+// separators cannot appear in any component (patterns containing NUL are
+// rejected before the cache is consulted).
+func cacheKey(op string, col *catalog.Collection, pattern, param string) string {
+	id := strconv.FormatUint(col.ID(), 36)
+	var b strings.Builder
+	b.Grow(len(op) + len(id) + len(pattern) + len(param) + 3)
+	b.WriteString(op)
+	b.WriteByte(0)
+	b.WriteString(id)
+	b.WriteByte(0)
+	b.WriteString(pattern)
+	b.WriteByte(0)
+	b.WriteString(param)
+	return b.String()
+}
+
+// lru is a fixed-capacity least-recently-used cache, safe for concurrent
+// use.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val cached
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lru) Get(key string) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return cached{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// beyond capacity.
+func (c *lru) Put(key string, val cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,542 @@
+// Package server exposes a catalog over an HTTP/JSON API — the query tier
+// of the ustridxd daemon.
+//
+// Endpoints (all responses are JSON):
+//
+//	GET /v1/query?collection=C&p=PATTERN&tau=0.2   threshold search
+//	GET /v1/topk?collection=C&p=PATTERN&k=10       global top-k
+//	GET /v1/count?collection=C&p=PATTERN&tau=0.2   occurrence count
+//	POST /v1/batch                                 many queries, one request
+//	GET /v1/stats                                  counters and collections
+//	GET /healthz                                   liveness
+//
+// The server keeps an LRU cache of successful results keyed by
+// (operation, collection, pattern, tau-or-k), bounds the number of in-flight
+// query requests with a semaphore (excess requests wait; if the client gives
+// up first the request is dropped with 503), and tracks per-endpoint request,
+// error and latency counters exposed via /v1/stats.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// Config tunes the server. The zero value is usable.
+type Config struct {
+	// CacheEntries bounds the result cache; 0 means DefaultCacheEntries,
+	// negative disables caching.
+	CacheEntries int
+	// MaxCachedHits bounds the per-entry result size admitted to the cache:
+	// larger hit sets are served but not retained, keeping the cache's
+	// memory footprint proportional to CacheEntries. 0 means
+	// DefaultMaxCachedHits.
+	MaxCachedHits int
+	// MaxInFlight bounds concurrently served query requests; 0 means
+	// 4×GOMAXPROCS.
+	MaxInFlight int
+	// MaxPattern bounds accepted pattern lengths; 0 means 4096.
+	MaxPattern int
+	// MaxK bounds accepted top-k sizes; 0 means 10000.
+	MaxK int
+	// MaxBatch bounds the number of queries in one batch request; 0 means
+	// 256.
+	MaxBatch int
+}
+
+// DefaultCacheEntries is the default LRU capacity.
+const DefaultCacheEntries = 1024
+
+// DefaultMaxCachedHits is the default per-entry size cap of the result
+// cache.
+const DefaultMaxCachedHits = 10000
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.MaxCachedHits == 0 {
+		c.MaxCachedHits = DefaultMaxCachedHits
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxPattern <= 0 {
+		c.MaxPattern = 4096
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Server is the HTTP handler serving a catalog.
+type Server struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	cache *lru
+	stats *stats
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server over cat.
+func New(cat *catalog.Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cat:   cat,
+		cfg:   cfg,
+		stats: newStats(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRU(cfg.CacheEntries)
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/query", s.limited("query", http.MethodGet, s.handleQuery))
+	s.mux.HandleFunc("/v1/topk", s.limited("topk", http.MethodGet, s.handleTopK))
+	s.mux.HandleFunc("/v1/count", s.limited("count", http.MethodGet, s.handleCount))
+	s.mux.HandleFunc("/v1/batch", s.limited("batch", http.MethodPost, s.handleBatch))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError is an error with a dedicated status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorStatus maps an error to its HTTP status code.
+func errorStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, core.ErrEmptyPattern),
+		errors.Is(err, core.ErrBadPattern),
+		errors.Is(err, core.ErrTauOutOfRange),
+		errors.Is(err, core.ErrTauBelowTauMin):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// limited wraps a query handler with method filtering, the in-flight
+// semaphore, and request/error/latency accounting.
+func (s *Server) limited(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+	ep := s.stats.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		ep.requests.Add(1)
+		if r.Method != method {
+			ep.errors.Add(1)
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			ep.errors.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
+			return
+		}
+		begin := time.Now()
+		resp, err := fn(r)
+		ep.observe(time.Since(begin))
+		if err != nil {
+			ep.errors.Add(1)
+			writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// Hit is the JSON shape of one occurrence.
+type Hit struct {
+	Doc  int     `json:"doc"`
+	Pos  int     `json:"pos"`
+	Prob float64 `json:"prob"`
+}
+
+func toHits(dh []catalog.DocHit) []Hit {
+	out := make([]Hit, len(dh))
+	for i, h := range dh {
+		out[i] = Hit{Doc: h.Doc, Pos: h.Pos, Prob: h.Prob}
+	}
+	return out
+}
+
+// QueryResponse answers /v1/query and /v1/topk.
+type QueryResponse struct {
+	Collection string  `json:"collection"`
+	Pattern    string  `json:"pattern"`
+	Tau        float64 `json:"tau,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Count      int     `json:"count"`
+	Hits       []Hit   `json:"hits"`
+	Cached     bool    `json:"cached"`
+}
+
+// CountResponse answers /v1/count.
+type CountResponse struct {
+	Collection string  `json:"collection"`
+	Pattern    string  `json:"pattern"`
+	Tau        float64 `json:"tau"`
+	Count      int     `json:"count"`
+	Cached     bool    `json:"cached"`
+}
+
+// collection resolves the collection query parameter.
+func (s *Server) collection(name string) (*catalog.Collection, error) {
+	if name == "" {
+		return nil, badRequest("missing collection parameter")
+	}
+	col, ok := s.cat.Get(name)
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown collection %q", name)}
+	}
+	return col, nil
+}
+
+func (s *Server) pattern(raw string) ([]byte, error) {
+	if raw == "" {
+		return nil, badRequest("missing or empty pattern parameter p")
+	}
+	if len(raw) > s.cfg.MaxPattern {
+		return nil, badRequest("pattern longer than the %d byte limit", s.cfg.MaxPattern)
+	}
+	return []byte(raw), nil
+}
+
+func parseTau(raw string) (float64, error) {
+	if raw == "" {
+		return 0, badRequest("missing tau parameter")
+	}
+	tau, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("bad tau %q", raw)
+	}
+	return tau, nil
+}
+
+func (s *Server) parseK(raw string) (int, error) {
+	if raw == "" {
+		return 0, badRequest("missing k parameter")
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, badRequest("bad k %q (want a positive integer)", raw)
+	}
+	if k > s.cfg.MaxK {
+		return 0, badRequest("k exceeds the %d limit", s.cfg.MaxK)
+	}
+	return k, nil
+}
+
+// search answers one threshold query, consulting the cache first.
+func (s *Server) search(col *catalog.Collection, collName string, p []byte, tau float64) (*QueryResponse, error) {
+	if err := col.Validate(p, tau); err != nil {
+		return nil, err
+	}
+	key := cacheKey("q", col, string(p), strconv.FormatFloat(tau, 'g', -1, 64))
+	if hits, _, ok := s.lookup(key); ok {
+		return &QueryResponse{Collection: collName, Pattern: string(p), Tau: tau,
+			Count: len(hits), Hits: hits, Cached: true}, nil
+	}
+	dh, err := col.Search(p, tau)
+	if err != nil {
+		return nil, err
+	}
+	hits := toHits(dh)
+	s.store(key, hits, len(hits))
+	return &QueryResponse{Collection: collName, Pattern: string(p), Tau: tau,
+		Count: len(hits), Hits: hits}, nil
+}
+
+func (s *Server) handleQuery(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	col, err := s.collection(q.Get("collection"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.pattern(q.Get("p"))
+	if err != nil {
+		return nil, err
+	}
+	tau, err := parseTau(q.Get("tau"))
+	if err != nil {
+		return nil, err
+	}
+	return s.search(col, q.Get("collection"), p, tau)
+}
+
+// topk answers one top-k query, consulting the cache first.
+func (s *Server) topk(col *catalog.Collection, collName string, p []byte, k int) (*QueryResponse, error) {
+	// Top-k has no tau; validate the pattern alone (tau=1 is always valid).
+	if err := col.Validate(p, 1); err != nil {
+		return nil, err
+	}
+	key := cacheKey("k", col, string(p), strconv.Itoa(k))
+	if hits, _, ok := s.lookup(key); ok {
+		return &QueryResponse{Collection: collName, Pattern: string(p), K: k,
+			Count: len(hits), Hits: hits, Cached: true}, nil
+	}
+	dh, err := col.TopK(p, k)
+	if err != nil {
+		return nil, err
+	}
+	hits := toHits(dh)
+	s.store(key, hits, len(hits))
+	return &QueryResponse{Collection: collName, Pattern: string(p), K: k,
+		Count: len(hits), Hits: hits}, nil
+}
+
+func (s *Server) handleTopK(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	col, err := s.collection(q.Get("collection"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.pattern(q.Get("p"))
+	if err != nil {
+		return nil, err
+	}
+	k, err := s.parseK(q.Get("k"))
+	if err != nil {
+		return nil, err
+	}
+	return s.topk(col, q.Get("collection"), p, k)
+}
+
+// count answers one count query, consulting the cache first.
+func (s *Server) count(col *catalog.Collection, collName string, p []byte, tau float64) (*CountResponse, error) {
+	if err := col.Validate(p, tau); err != nil {
+		return nil, err
+	}
+	key := cacheKey("c", col, string(p), strconv.FormatFloat(tau, 'g', -1, 64))
+	if _, n, ok := s.lookup(key); ok {
+		return &CountResponse{Collection: collName, Pattern: string(p), Tau: tau, Count: n, Cached: true}, nil
+	}
+	n, err := col.Count(p, tau)
+	if err != nil {
+		return nil, err
+	}
+	s.store(key, nil, n)
+	return &CountResponse{Collection: collName, Pattern: string(p), Tau: tau, Count: n}, nil
+}
+
+func (s *Server) handleCount(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	col, err := s.collection(q.Get("collection"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.pattern(q.Get("p"))
+	if err != nil {
+		return nil, err
+	}
+	tau, err := parseTau(q.Get("tau"))
+	if err != nil {
+		return nil, err
+	}
+	return s.count(col, q.Get("collection"), p, tau)
+}
+
+// BatchQuery is one entry of a batch request. Op selects the operation:
+// "search" (default), "topk" or "count".
+type BatchQuery struct {
+	Op      string  `json:"op"`
+	Pattern string  `json:"p"`
+	Tau     float64 `json:"tau"`
+	K       int     `json:"k"`
+}
+
+// BatchRequest is the /v1/batch payload.
+type BatchRequest struct {
+	Collection string       `json:"collection"`
+	Queries    []BatchQuery `json:"queries"`
+}
+
+// BatchResult is one entry of a batch response: the matching single-query
+// response, or an error message for that entry alone.
+type BatchResult struct {
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse answers /v1/batch.
+type BatchResponse struct {
+	Collection string        `json:"collection"`
+	Results    []BatchResult `json:"results"`
+}
+
+func (s *Server) handleBatch(r *http.Request) (any, error) {
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("bad batch payload: %v", err)
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("batch contains no queries")
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return nil, badRequest("batch exceeds the %d query limit", s.cfg.MaxBatch)
+	}
+	col, err := s.collection(req.Collection)
+	if err != nil {
+		return nil, err
+	}
+	resp := BatchResponse{Collection: req.Collection, Results: make([]BatchResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		var (
+			result any
+			qerr   error
+		)
+		p, qerr := s.pattern(q.Pattern)
+		if qerr == nil {
+			switch q.Op {
+			case "", "search":
+				result, qerr = s.search(col, req.Collection, p, q.Tau)
+			case "topk":
+				if q.K <= 0 || q.K > s.cfg.MaxK {
+					qerr = badRequest("bad k %d", q.K)
+				} else {
+					result, qerr = s.topk(col, req.Collection, p, q.K)
+				}
+			case "count":
+				result, qerr = s.count(col, req.Collection, p, q.Tau)
+			default:
+				qerr = badRequest("unknown op %q", q.Op)
+			}
+		}
+		if qerr != nil {
+			resp.Results[i] = BatchResult{Error: qerr.Error()}
+			continue
+		}
+		resp.Results[i] = BatchResult{Result: result}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"collections": len(s.cat.Names()),
+		"uptime_s":    int(time.Since(s.start).Seconds()),
+	})
+}
+
+// CollectionStats is the /v1/stats JSON shape of one collection.
+type CollectionStats struct {
+	Name      string  `json:"name"`
+	Docs      int     `json:"docs"`
+	Positions int     `json:"positions"`
+	Shards    int     `json:"shards"`
+	TauMin    float64 `json:"tau_min"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		return
+	}
+	colls := make([]CollectionStats, 0)
+	for _, info := range s.cat.Stats() {
+		colls = append(colls, CollectionStats{
+			Name:      info.Name,
+			Docs:      info.Docs,
+			Positions: info.Positions,
+			Shards:    info.Shards,
+			TauMin:    info.TauMin,
+		})
+	}
+	out := map[string]any{
+		"collections": colls,
+		"endpoints":   s.stats.snapshot(),
+		"inflight": map[string]any{
+			"limit":   s.cfg.MaxInFlight,
+			"current": len(s.sem),
+		},
+	}
+	if s.cache != nil {
+		hits, misses := s.stats.cacheCounts()
+		out["cache"] = map[string]any{
+			"capacity": s.cfg.CacheEntries,
+			"entries":  s.cache.Len(),
+			"hits":     hits,
+			"misses":   misses,
+			"hit_rate": hitRate(hits, misses),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// lookup consults the LRU cache and bumps the hit/miss counters.
+func (s *Server) lookup(key string) ([]Hit, int, bool) {
+	if s.cache == nil {
+		return nil, 0, false
+	}
+	v, ok := s.cache.Get(key)
+	if !ok {
+		s.stats.cacheMisses.Add(1)
+		return nil, 0, false
+	}
+	s.stats.cacheHits.Add(1)
+	return v.hits, v.count, true
+}
+
+// store inserts a successful result into the cache, unless the hit set is
+// too large to retain (the entry-count bound is only a memory bound if
+// entries themselves are bounded).
+func (s *Server) store(key string, hits []Hit, count int) {
+	if s.cache == nil || len(hits) > s.cfg.MaxCachedHits {
+		return
+	}
+	s.cache.Put(key, cached{hits: hits, count: count})
+}

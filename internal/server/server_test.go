@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+// testServer builds a small catalog with one collection "prot" and returns
+// the server plus the raw documents.
+func testServer(t *testing.T, cfg Config) (*Server, []*ustring.String) {
+	t.Helper()
+	docs := gen.Collection(gen.Config{N: 800, Theta: 0.3, Seed: 71})
+	cat := catalog.New(catalog.Options{TauMin: 0.1, Shards: 3})
+	if _, err := cat.Add("prot", docs); err != nil {
+		t.Fatal(err)
+	}
+	return New(cat, cfg), docs
+}
+
+// get performs a GET and decodes the JSON body into out.
+func get(t *testing.T, s *Server, url string, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d; body %s", url, rec.Code, wantStatus, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body, err)
+		}
+	}
+}
+
+// pattern returns a query pattern guaranteed to come from the collection.
+func pattern(t *testing.T, docs []*ustring.String, m int) string {
+	t.Helper()
+	pats := gen.CollectionPatterns(docs, 1, m, 73)
+	if len(pats) == 0 {
+		t.Fatal("no patterns sampled")
+	}
+	return string(pats[0])
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 3)
+	var resp QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &resp)
+	if resp.Collection != "prot" || resp.Pattern != p || resp.Tau != 0.15 {
+		t.Fatalf("echo fields wrong: %+v", resp)
+	}
+	if resp.Count != len(resp.Hits) {
+		t.Fatalf("count %d != len(hits) %d", resp.Count, len(resp.Hits))
+	}
+	if resp.Cached {
+		t.Fatal("first query reported cached")
+	}
+	// The same query again must come from the cache with identical hits.
+	var again QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &again)
+	if !again.Cached {
+		t.Fatal("second identical query not cached")
+	}
+	if !reflect.DeepEqual(again.Hits, resp.Hits) {
+		t.Fatal("cached hits differ from computed hits")
+	}
+	// A different tau is a different cache entry.
+	var other QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.35", http.StatusOK, &other)
+	if other.Cached {
+		t.Fatal("different tau served from cache")
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 2)
+	var resp QueryResponse
+	get(t, s, "/v1/topk?collection=prot&p="+p+"&k=5", http.StatusOK, &resp)
+	if resp.K != 5 || len(resp.Hits) > 5 {
+		t.Fatalf("topk shape wrong: %+v", resp)
+	}
+	for i := 1; i < len(resp.Hits); i++ {
+		if resp.Hits[i].Prob > resp.Hits[i-1].Prob {
+			t.Fatalf("topk hits not in decreasing probability order: %+v", resp.Hits)
+		}
+	}
+	var again QueryResponse
+	get(t, s, "/v1/topk?collection=prot&p="+p+"&k=5", http.StatusOK, &again)
+	if !again.Cached || !reflect.DeepEqual(again.Hits, resp.Hits) {
+		t.Fatal("topk cache round trip failed")
+	}
+}
+
+func TestCountEndpoint(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 3)
+	var resp CountResponse
+	get(t, s, "/v1/count?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &resp)
+	var query QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &query)
+	if resp.Count != query.Count {
+		t.Fatalf("count %d != query count %d", resp.Count, query.Count)
+	}
+	var again CountResponse
+	get(t, s, "/v1/count?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &again)
+	if !again.Cached || again.Count != resp.Count {
+		t.Fatalf("count cache round trip failed: %+v", again)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, docs := testServer(t, Config{MaxPattern: 8, MaxK: 50})
+	p := pattern(t, docs, 3)
+	cases := []struct {
+		name string
+		url  string
+		code int
+	}{
+		{"unknown collection", "/v1/query?collection=nope&p=" + p + "&tau=0.2", http.StatusNotFound},
+		{"missing collection", "/v1/query?p=" + p + "&tau=0.2", http.StatusBadRequest},
+		{"empty pattern", "/v1/query?collection=prot&p=&tau=0.2", http.StatusBadRequest},
+		{"missing pattern", "/v1/query?collection=prot&tau=0.2", http.StatusBadRequest},
+		{"pattern too long", "/v1/query?collection=prot&p=AAAAAAAAAAAAAAAA&tau=0.2", http.StatusBadRequest},
+		{"bad tau syntax", "/v1/query?collection=prot&p=" + p + "&tau=lots", http.StatusBadRequest},
+		{"tau above one", "/v1/query?collection=prot&p=" + p + "&tau=1.5", http.StatusBadRequest},
+		{"tau below taumin", "/v1/query?collection=prot&p=" + p + "&tau=0.01", http.StatusBadRequest},
+		{"missing tau", "/v1/query?collection=prot&p=" + p, http.StatusBadRequest},
+		{"bad k", "/v1/topk?collection=prot&p=" + p + "&k=zero", http.StatusBadRequest},
+		{"negative k", "/v1/topk?collection=prot&p=" + p + "&k=-3", http.StatusBadRequest},
+		{"k over limit", "/v1/topk?collection=prot&p=" + p + "&k=100", http.StatusBadRequest},
+		{"count empty pattern", "/v1/count?collection=prot&p=&tau=0.2", http.StatusBadRequest},
+		{"count unknown collection", "/v1/count?collection=ghost&p=" + p + "&tau=0.2", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorResponse
+			get(t, s, tc.url, tc.code, &e)
+			if e.Error == "" {
+				t.Fatal("error body missing the error field")
+			}
+		})
+	}
+	// Wrong methods.
+	for _, url := range []string{"/v1/query", "/v1/topk", "/v1/count"} {
+		req := httptest.NewRequest(http.MethodPost, url, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d, want 405", url, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/batch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/batch: status %d, want 405", rec.Code)
+	}
+}
+
+func postBatch(t *testing.T, s *Server, body string, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST /v1/batch: status %d, want %d; body %s", rec.Code, wantStatus, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad batch JSON %q: %v", rec.Body, err)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 3)
+	body := fmt.Sprintf(`{"collection":"prot","queries":[
+		{"op":"search","p":%q,"tau":0.15},
+		{"op":"count","p":%q,"tau":0.15},
+		{"op":"topk","p":%q,"k":4},
+		{"op":"search","p":"","tau":0.15},
+		{"op":"flip","p":%q,"tau":0.15}
+	]}`, p, p, p, p)
+	var resp BatchResponse
+	postBatch(t, s, body, http.StatusOK, &resp)
+	if len(resp.Results) != 5 {
+		t.Fatalf("batch returned %d results, want 5", len(resp.Results))
+	}
+	for i := 0; i < 3; i++ {
+		if resp.Results[i].Error != "" || resp.Results[i].Result == nil {
+			t.Fatalf("result %d failed: %+v", i, resp.Results[i])
+		}
+	}
+	if resp.Results[3].Error == "" {
+		t.Fatal("empty pattern entry did not fail")
+	}
+	if resp.Results[4].Error == "" {
+		t.Fatal("unknown op entry did not fail")
+	}
+	// Batch results agree with the single-query endpoints.
+	var single QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &single)
+	raw, _ := json.Marshal(resp.Results[0].Result)
+	var fromBatch QueryResponse
+	if err := json.Unmarshal(raw, &fromBatch); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromBatch.Hits, single.Hits) {
+		t.Fatal("batch search disagrees with /v1/query")
+	}
+
+	postBatch(t, s, `{"collection":"prot"`, http.StatusBadRequest, nil)
+	postBatch(t, s, `{"collection":"prot","queries":[]}`, http.StatusBadRequest, nil)
+	postBatch(t, s, `{"collection":"ghost","queries":[{"p":"A","tau":0.2}]}`, http.StatusNotFound, nil)
+	postBatch(t, s, `{"collection":"prot","surprise":1,"queries":[{"p":"A","tau":0.2}]}`, http.StatusBadRequest, nil)
+	big := `{"collection":"prot","queries":[` +
+		strings.Repeat(`{"p":"A","tau":0.2},`, 300) + `{"p":"A","tau":0.2}]}`
+	postBatch(t, s, big, http.StatusBadRequest, nil)
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	var health map[string]any
+	get(t, s, "/healthz", http.StatusOK, &health)
+	if health["status"] != "ok" || health["collections"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	p := pattern(t, docs, 3)
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, nil)
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, nil)
+	get(t, s, "/v1/query?collection=prot&p=&tau=0.15", http.StatusBadRequest, nil)
+
+	var stats struct {
+		Collections []CollectionStats           `json:"collections"`
+		Endpoints   map[string]EndpointSnapshot `json:"endpoints"`
+		Cache       struct {
+			Capacity int     `json:"capacity"`
+			Entries  int     `json:"entries"`
+			Hits     int64   `json:"hits"`
+			Misses   int64   `json:"misses"`
+			HitRate  float64 `json:"hit_rate"`
+		} `json:"cache"`
+		InFlight struct {
+			Limit   int `json:"limit"`
+			Current int `json:"current"`
+		} `json:"inflight"`
+	}
+	get(t, s, "/v1/stats", http.StatusOK, &stats)
+	if len(stats.Collections) != 1 || stats.Collections[0].Name != "prot" {
+		t.Fatalf("stats collections = %+v", stats.Collections)
+	}
+	q := stats.Endpoints["query"]
+	if q.Requests != 3 || q.Errors != 1 {
+		t.Fatalf("query endpoint counters = %+v", q)
+	}
+	if q.AvgLatencyUs <= 0 || q.MaxLatencyUs < q.AvgLatencyUs {
+		t.Fatalf("latency counters implausible: %+v", q)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 || stats.Cache.Entries != 1 {
+		t.Fatalf("cache counters = %+v", stats.Cache)
+	}
+	if stats.Cache.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", stats.Cache.HitRate)
+	}
+	if stats.InFlight.Limit <= 0 || stats.InFlight.Current != 0 {
+		t.Fatalf("inflight = %+v", stats.InFlight)
+	}
+}
+
+// TestOversizeResultsNotCached: results beyond MaxCachedHits are served but
+// never retained, so the cache's footprint stays bounded.
+func TestOversizeResultsNotCached(t *testing.T) {
+	s, docs := testServer(t, Config{MaxCachedHits: 1})
+	p := pattern(t, docs, 2) // short pattern: many hits
+	var first QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.1", http.StatusOK, &first)
+	if first.Count <= 1 {
+		t.Skipf("pattern %q matched only %d times; cannot exercise the cap", p, first.Count)
+	}
+	var again QueryResponse
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.1", http.StatusOK, &again)
+	if again.Cached {
+		t.Fatalf("oversize result (%d hits, cap 1) was cached", again.Count)
+	}
+	if s.cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries, want 0", s.cache.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, docs := testServer(t, Config{CacheEntries: -1})
+	p := pattern(t, docs, 3)
+	for i := 0; i < 2; i++ {
+		var resp QueryResponse
+		get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, &resp)
+		if resp.Cached {
+			t.Fatal("cache disabled but response cached")
+		}
+	}
+}
+
+// TestInFlightLimit verifies load shedding: with the semaphore full and the
+// client already gone, the request is rejected with 503.
+func TestInFlightLimit(t *testing.T) {
+	s, docs := testServer(t, Config{MaxInFlight: 1})
+	p := pattern(t, docs, 3)
+	s.sem <- struct{}{} // occupy the only slot
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?collection=prot&p="+p+"&tau=0.15", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request: status %d, want 503", rec.Code)
+	}
+	<-s.sem
+	// With the slot free again the same request succeeds.
+	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, nil)
+}
+
+// TestConcurrentRequests hammers the server from many goroutines (run with
+// -race): responses must match the serial baseline.
+func TestConcurrentRequests(t *testing.T) {
+	s, docs := testServer(t, Config{MaxInFlight: 4})
+	pats := gen.CollectionPatterns(docs, 8, 3, 79)
+	want := make([]QueryResponse, len(pats))
+	for i, p := range pats {
+		get(t, s, "/v1/query?collection=prot&p="+string(p)+"&tau=0.15", http.StatusOK, &want[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				i := (w + round) % len(pats)
+				req := httptest.NewRequest(http.MethodGet,
+					"/v1/query?collection=prot&p="+string(pats[i])+"&tau=0.15", nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("status %d", rec.Code)
+					return
+				}
+				var resp QueryResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(resp.Hits, want[i].Hits) {
+					errs <- "hits mismatch"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", cached{count: 1})
+	c.Put("b", cached{count: 2})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Put("c", cached{count: 3}) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+	c.Put("a", cached{count: 9})
+	if v, _ := c.Get("a"); v.count != 9 {
+		t.Fatal("Put did not refresh existing entry")
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats tracks one endpoint's counters with atomics; readers take a
+// consistent-enough snapshot without locking the request path.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	observed atomic.Int64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// observe records one executed request's latency (requests rejected before
+// execution — wrong method, shed load — are not observed).
+func (e *endpointStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	e.observed.Add(1)
+	e.totalNs.Add(ns)
+	for {
+		cur := e.maxNs.Load()
+		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointSnapshot is the JSON shape of one endpoint's counters.
+type EndpointSnapshot struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	MaxLatencyUs float64 `json:"max_latency_us"`
+}
+
+// stats aggregates the server counters.
+type stats struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+func newStats() *stats {
+	return &stats{endpoints: make(map[string]*endpointStats)}
+}
+
+// endpoint returns (creating on first use) the named endpoint's counters.
+func (s *stats) endpoint(name string) *endpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.endpoints[name]
+	if !ok {
+		ep = &endpointStats{}
+		s.endpoints[name] = ep
+	}
+	return ep
+}
+
+// snapshot exports every endpoint's counters.
+func (s *stats) snapshot() map[string]EndpointSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(s.endpoints))
+	for name, ep := range s.endpoints {
+		req := ep.requests.Load()
+		snap := EndpointSnapshot{
+			Requests:     req,
+			Errors:       ep.errors.Load(),
+			MaxLatencyUs: float64(ep.maxNs.Load()) / 1e3,
+		}
+		if observed := ep.observed.Load(); observed > 0 {
+			snap.AvgLatencyUs = float64(ep.totalNs.Load()) / 1e3 / float64(observed)
+		}
+		out[name] = snap
+	}
+	return out
+}
+
+// cacheCounts returns the cache hit/miss counters.
+func (s *stats) cacheCounts() (hits, misses int64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}

@@ -25,6 +25,21 @@
 //	if err != nil { ... }
 //	positions, err := ix.Search([]byte("AT"), 0.3)
 //
+// # Concurrency
+//
+// Every index type (Index, CollectionIndex, SpecialIndex, ApproxIndex) is
+// immutable after construction: all query methods are safe for concurrent
+// use by any number of goroutines with no external locking. The serving
+// tier (Catalog, cmd/ustridxd) relies on this guarantee to fan queries out
+// across shards.
+//
+// # Serving
+//
+// Catalog manages many documents behind one query surface: documents are
+// spread over shards, each indexed whole, and Search/TopK/Count fan out
+// across the shards concurrently and merge the results. cmd/ustridxd serves
+// a catalog over HTTP/JSON.
+//
 // See the examples directory for complete programs modelled on the paper's
 // motivating applications (genomics, ECG annotation streams, RFID event
 // monitoring).
@@ -35,6 +50,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/baseline"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/listing"
@@ -171,3 +187,33 @@ func GenerateString(cfg GenConfig) *String { return gen.Single(cfg) }
 
 // GenerateCollection synthesises a collection totalling cfg.N positions.
 func GenerateCollection(cfg GenConfig) []*String { return gen.Collection(cfg) }
+
+// Catalog is the sharded multi-document serving tier: named collections of
+// uncertain strings, each document indexed whole, queries fanned out across
+// shards and merged (see cmd/ustridxd for the HTTP front end).
+type Catalog = catalog.Catalog
+
+// Collection is one named sharded document set of a Catalog.
+type Collection = catalog.Collection
+
+// CatalogOptions configures catalog construction (threshold, shard count,
+// build worker pool).
+type CatalogOptions = catalog.Options
+
+// DocHit is one catalog search result: an occurrence within a document.
+type DocHit = catalog.DocHit
+
+// NewCatalog returns an empty catalog; add collections with Add.
+func NewCatalog(opts CatalogOptions) *Catalog { return catalog.New(opts) }
+
+// OpenCatalog builds a catalog from a directory of '%'-separated collection
+// files, one collection per file, named by base name.
+func OpenCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
+	return catalog.Open(dir, opts)
+}
+
+// LoadCatalog restores a catalog previously written with Catalog.Save,
+// reusing the persisted per-document transformations.
+func LoadCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
+	return catalog.Load(dir, opts)
+}

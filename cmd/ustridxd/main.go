@@ -6,14 +6,25 @@
 //
 //	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
 //	         [-index-cache DIR] [-cache-entries 1024] [-inflight 0]
+//	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
+//	         [-max-pattern-bytes 4096]
 //
 // Every non-hidden file in -data is parsed as one '%'-separated collection
 // (see internal/ustring's text encoding) and served under its base name.
 // With -index-cache, built indexes are persisted to (and on restart loaded
 // from) the given directory, skipping the expensive Lemma 2 transformation.
 //
-// Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/stats, /healthz
-// — see internal/server for the wire format.
+// With -wal, the daemon serves a mutable catalog: documents can be added,
+// replaced and deleted at runtime through PUT/DELETE
+// /v1/collections/{c}/documents/{id}, every mutation is WAL-logged under
+// the given directory before it is acknowledged, and a background compactor
+// folds accumulated deltas into the base shards. On restart the WAL (and
+// compaction checkpoints) are replayed, so acknowledged mutations survive
+// crashes; on graceful shutdown the logs are flushed and closed.
+//
+// Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/collections/…,
+// /v1/compact, /v1/stats, /healthz — see internal/server for the wire
+// format.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/server"
 )
 
@@ -51,6 +63,10 @@ func run(args []string) error {
 	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
 	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
+	maxPattern := fs.Int("max-pattern-bytes", server.DefaultMaxPatternBytes, "reject query patterns longer than this many bytes with 400")
+	wal := fs.String("wal", "", "write-ahead-log directory; enables the mutation endpoints (PUT/DELETE documents, POST compact)")
+	compactThreshold := fs.Int("compact-threshold", ingest.DefaultCompactThreshold, "pending documents (delta + tombstones) triggering background compaction (negative disables)")
+	walNoSync := fs.Bool("wal-nosync", false, "skip the fsync after every WAL append (faster ingestion; acknowledged mutations may be lost on machine crash)")
 	fs.Parse(args)
 	if *data == "" {
 		return errors.New("-data is required")
@@ -66,9 +82,29 @@ func run(args []string) error {
 			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin)
 	}
 
+	cfg := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
+	var handler http.Handler
+	var store *ingest.Store
+	if *wal != "" {
+		store, err = ingest.Open(cat, ingest.Options{
+			Dir:              *wal,
+			Catalog:          opts,
+			CompactThreshold: *compactThreshold,
+			NoSync:           *walNoSync,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("mutable serving enabled: wal dir %s, compact threshold %d", *wal, *compactThreshold)
+		handler = server.NewIngest(store, cfg)
+	} else {
+		handler = server.New(cat, cfg)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(cat, server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -78,14 +114,33 @@ func run(args []string) error {
 	}()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// closeStore flushes and closes the WALs once no more mutations can
+	// arrive — after the HTTP server has stopped.
+	closeStore := func() error {
+		if store == nil {
+			return nil
+		}
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing ingest store: %w", err)
+		}
+		log.Printf("ingest store flushed and closed")
+		return nil
+	}
 	select {
 	case err := <-errc:
+		if cerr := closeStore(); cerr != nil {
+			log.Printf("%v", cerr)
+		}
 		return err
 	case s := <-sig:
 		log.Printf("received %v, shutting down", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		if cerr := closeStore(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/ingest"
 	"repro/internal/server"
 	"repro/internal/ustring"
 )
@@ -214,5 +217,102 @@ func TestDaemonServes(t *testing.T) {
 	health.Body.Close()
 	if health.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", health.StatusCode)
+	}
+}
+
+// TestDaemonServesMutable wires the -wal path end to end: a document PUT
+// over HTTP is queryable immediately, survives a daemon restart via WAL
+// replay, and can be deleted again.
+func TestDaemonServesMutable(t *testing.T) {
+	dataDir, _ := writeDataDir(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+	opts := catalog.Options{TauMin: 0.1, Shards: 2}
+	quiet := func(string, ...any) {}
+
+	start := func() (*httptest.Server, *ingest.Store) {
+		cat, err := loadCatalog(dataDir, "", opts, quiet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ingest.Open(cat, ingest.Options{Dir: walDir, Catalog: opts, Logf: quiet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(server.NewIngest(st, server.Config{})), st
+	}
+	countOf := func(ts *httptest.Server, p string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/count?collection=prot&p=" + p + "&tau=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("count status %d", resp.StatusCode)
+		}
+		var cr server.CountResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr.Count
+	}
+
+	ts, st := start()
+	// Z is outside the generator's protein alphabet, so the marker pattern
+	// can only ever match the document we put.
+	p := "ZZZZ"
+	before := countOf(ts, p)
+	if before != 0 {
+		t.Fatalf("marker pattern already present: count %d", before)
+	}
+
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, ustring.Deterministic("ZZZZZZ")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		ts.URL+"/v1/collections/prot/documents/live-doc", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	after := countOf(ts, p)
+	if after <= before {
+		t.Fatalf("put document invisible: count %d before, %d after", before, after)
+	}
+
+	// Restart: graceful close, fresh catalog, WAL replay.
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts, st = start()
+	defer ts.Close()
+	defer st.Close()
+	if got := countOf(ts, p); got != after {
+		t.Fatalf("after restart: count %d, want %d", got, after)
+	}
+	req, err = http.NewRequest(http.MethodDelete,
+		ts.URL+"/v1/collections/prot/documents/live-doc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if got := countOf(ts, p); got != before {
+		t.Fatalf("after delete: count %d, want %d", got, before)
 	}
 }

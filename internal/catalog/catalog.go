@@ -42,6 +42,12 @@ import (
 // and never serve results computed against a replaced collection.
 var collectionID atomic.Uint64
 
+// NextInstanceID draws a fresh id from the same process-unique sequence that
+// stamps collections. Serving layers that present their own mutable views
+// (internal/ingest) stamp each published snapshot from this sequence so one
+// result-cache id space covers static collections and live views alike.
+func NextInstanceID() uint64 { return collectionID.Add(1) }
+
 // Options configures catalog construction.
 type Options struct {
 	// TauMin is the construction threshold of every document index; queries
@@ -229,12 +235,25 @@ func (c *Catalog) buildAll(docs []*ustring.String) ([]*core.Index, error) {
 
 // assemble distributes built or loaded indexes round-robin over the shards.
 func (c *Catalog) assemble(name string, tauMin float64, longCap int, ixs []*core.Index) *Collection {
+	return FromIndexes(name, tauMin, longCap, c.opts.Shards, ixs)
+}
+
+// FromIndexes assembles a collection directly from already-built
+// per-document indexes, distributing them round-robin over shards (shards
+// < 1 is treated as 1). Index i becomes document i. Assembly never rebuilds
+// an index, so a collection re-assembled from the same indexes answers
+// queries bit-identically — the property the ingest layer's compaction
+// relies on when folding delta documents into a new base.
+func FromIndexes(name string, tauMin float64, longCap, shards int, ixs []*core.Index) *Collection {
+	if shards < 1 {
+		shards = 1
+	}
 	col := &Collection{
 		id:      collectionID.Add(1),
 		name:    name,
 		tauMin:  tauMin,
 		longCap: longCap,
-		shards:  make([][]docIndex, c.opts.Shards),
+		shards:  make([][]docIndex, shards),
 		docs:    len(ixs),
 	}
 	for i, ix := range ixs {
@@ -316,3 +335,16 @@ func (col *Collection) TauMin() float64 { return col.tauMin }
 
 // Shards returns the fan-out shard count.
 func (col *Collection) Shards() int { return len(col.shards) }
+
+// DocIndexes returns the per-document indexes in document order. The indexes
+// are shared, not copied — they are immutable, so callers (the ingest layer
+// seeding its live document set) may hand them to FromIndexes freely.
+func (col *Collection) DocIndexes() []*core.Index {
+	out := make([]*core.Index, col.docs)
+	for _, shard := range col.shards {
+		for _, di := range shard {
+			out[di.doc] = di.ix
+		}
+	}
+	return out
+}

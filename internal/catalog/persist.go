@@ -25,12 +25,15 @@ const manifestName = "manifest.gob"
 
 func docFileName(i int) string { return fmt.Sprintf("doc%06d.idx", i) }
 
-func safeName(name string) error {
+// SafeName reports whether a collection name is usable as an on-disk name —
+// the cache layout and the ingest layer's WAL files both embed the name in
+// file paths, so path separators and hidden-file prefixes are rejected.
+func SafeName(name string) error {
 	// Dot-prefixed names are rejected too: Load skips hidden directories, so
 	// such a collection would save fine and then silently vanish on load.
 	if name == "" || strings.HasPrefix(name, ".") ||
 		strings.ContainsAny(name, string(filepath.Separator)+"/") {
-		return fmt.Errorf("catalog: collection name %q is not cacheable", name)
+		return fmt.Errorf("catalog: collection name %q is not usable on disk", name)
 	}
 	return nil
 }
@@ -48,7 +51,7 @@ func (c *Catalog) Save(dir string) error {
 		return err
 	}
 	for name, col := range c.colls {
-		if err := safeName(name); err != nil {
+		if err := SafeName(name); err != nil {
 			return err
 		}
 		cdir := filepath.Join(dir, name)
@@ -176,6 +179,13 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 	}
 	if m.Format != cacheFormat {
 		return fmt.Errorf("catalog: %q: unsupported cache format %d (want %d)", name, m.Format, cacheFormat)
+	}
+	// A corrupted manifest can decode into garbage counts; bound Docs by the
+	// directory's contents before allocating anything proportional to it.
+	if entries, err := os.ReadDir(cdir); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	} else if m.Docs < 0 || m.Docs > len(entries) {
+		return fmt.Errorf("catalog: %q: manifest claims %d documents but the cache holds %d files", name, m.Docs, len(entries))
 	}
 	ixs := make([]*core.Index, m.Docs)
 	err = c.runPool(m.Docs, func(i int) error {

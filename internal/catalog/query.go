@@ -40,19 +40,46 @@ func (col *Collection) fanOut(fn func(shard []docIndex, out *shardResult)) ([]sh
 	return results, nil
 }
 
+// DocFilter remaps a collection-local document index to the document number
+// reported in hits, or drops the document entirely. Mutable serving layers
+// (internal/ingest) use filters to mask tombstoned documents and renumber
+// the survivors into a merged base+delta view; because the filter is applied
+// per document before any merging, the filtered results are exactly those of
+// a collection that never contained the dropped documents.
+type DocFilter func(doc int) (mapped int, ok bool)
+
+// apply resolves a document index through the filter; a nil filter keeps
+// every document under its own number.
+func (f DocFilter) apply(doc int) (int, bool) {
+	if f == nil {
+		return doc, true
+	}
+	return f(doc)
+}
+
 // Search reports every occurrence of p with probability strictly greater
 // than tau in any document, ordered by (document, position). tau must
 // satisfy TauMin ≤ tau ≤ 1.
 func (col *Collection) Search(p []byte, tau float64) ([]DocHit, error) {
+	return col.SearchFiltered(p, tau, nil)
+}
+
+// SearchFiltered is Search restricted to the documents kept by keep, with
+// hits renumbered through it.
+func (col *Collection) SearchFiltered(p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
 	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
+			doc, ok := keep.apply(di.doc)
+			if !ok {
+				continue
+			}
 			hits, err := di.ix.SearchHits(p, tau)
 			if err != nil {
 				out.err = err
 				return
 			}
 			for _, h := range hits {
-				out.hits = append(out.hits, DocHit{Doc: di.doc, Pos: int(h.Orig), Prob: h.Prob()})
+				out.hits = append(out.hits, DocHit{Doc: doc, Pos: int(h.Orig), Prob: h.Prob()})
 			}
 		}
 	})
@@ -63,20 +90,34 @@ func (col *Collection) Search(p []byte, tau float64) ([]DocHit, error) {
 	for _, r := range results {
 		merged = append(merged, r.hits...)
 	}
-	sort.Slice(merged, func(a, b int) bool {
-		if merged[a].Doc != merged[b].Doc {
-			return merged[a].Doc < merged[b].Doc
-		}
-		return merged[a].Pos < merged[b].Pos
-	})
+	SortHits(merged)
 	return merged, nil
+}
+
+// SortHits orders hits by (document, position) — the canonical Search result
+// order.
+func SortHits(hits []DocHit) {
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Doc != hits[b].Doc {
+			return hits[a].Doc < hits[b].Doc
+		}
+		return hits[a].Pos < hits[b].Pos
+	})
 }
 
 // Count returns the total number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (col *Collection) Count(p []byte, tau float64) (int, error) {
+	return col.CountFiltered(p, tau, nil)
+}
+
+// CountFiltered is Count restricted to the documents kept by keep.
+func (col *Collection) CountFiltered(p []byte, tau float64, keep DocFilter) (int, error) {
 	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
+			if _, ok := keep.apply(di.doc); !ok {
+				continue
+			}
 			n, err := di.ix.SearchCount(p, tau)
 			if err != nil {
 				out.err = err
@@ -130,30 +171,55 @@ func (h *topKHeap) Pop() any {
 // position). Every per-document index guarantees completeness only down to
 // probability TauMin, so fewer than k hits may be returned.
 func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
+	return col.TopKFiltered(p, k, nil)
+}
+
+// TopKFiltered is TopK restricted to the documents kept by keep, with hits
+// renumbered through it. Filtering happens before the merge: every kept
+// document contributes its own true top-k, so the merged result is the exact
+// global top-k of the kept documents.
+func (col *Collection) TopKFiltered(p []byte, k int, keep DocFilter) ([]DocHit, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
+			doc, ok := keep.apply(di.doc)
+			if !ok {
+				continue
+			}
 			hits, err := di.ix.SearchTopK(p, k)
 			if err != nil {
 				out.err = err
 				return
 			}
 			for _, h := range hits {
-				out.hits = append(out.hits, DocHit{Doc: di.doc, Pos: int(h.Orig), Prob: h.Prob()})
+				out.hits = append(out.hits, DocHit{Doc: doc, Pos: int(h.Orig), Prob: h.Prob()})
 			}
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Global top-k: a bounded min-heap over the per-shard candidates. Each
-	// document contributed its own true top-k, so the global top-k is a
-	// subset of the candidates.
+	lists := make([][]DocHit, len(results))
+	for i, r := range results {
+		lists[i] = r.hits
+	}
+	return MergeTopK(k, lists...), nil
+}
+
+// MergeTopK folds candidate hit lists into the k globally best hits in
+// decreasing probability order (ties by document, then position), through a
+// bounded min-heap. Each list must already contain the true per-document
+// top-k of every document it covers — then the merge is exact. The mutable
+// serving layer reuses it to combine base and delta candidates.
+func MergeTopK(k int, lists ...[]DocHit) []DocHit {
+	if k <= 0 {
+		return nil
+	}
 	h := make(topKHeap, 0, k+1)
-	for _, r := range results {
-		for _, dh := range r.hits {
+	for _, list := range lists {
+		for _, dh := range list {
 			if len(h) < k {
 				heap.Push(&h, dh)
 				continue
@@ -168,7 +234,7 @@ func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(DocHit)
 	}
-	return out, nil
+	return out
 }
 
 // Validate pre-checks a (pattern, tau) query against the collection's

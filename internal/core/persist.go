@@ -42,8 +42,18 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadIndex deserialises an index written by WriteTo and rebuilds its query
-// structures.
-func ReadIndex(r io.Reader) (*Index, error) {
+// structures. A corrupted or truncated payload — bit flips surviving gob's
+// framing, a short file, internally inconsistent arrays — is reported as an
+// error, never a panic: the decoded transformation is cross-checked before
+// any query structure is rebuilt, and the rebuild itself runs under a
+// recover so callers (the daemon's index cache) can fall back to rebuilding
+// from source data.
+func ReadIndex(r io.Reader) (ix *Index, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ix, err = nil, fmt.Errorf("core: corrupt index payload: %v", p)
+		}
+	}()
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var p persisted
 	if err := dec.Decode(&p); err != nil {
@@ -58,7 +68,10 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := p.Source.Validate(); err != nil {
 		return nil, fmt.Errorf("core: persisted source invalid: %w", err)
 	}
-	ix := &Index{tr: p.Tr, src: p.Source, tauMin: p.TauMin}
+	if err := checkTransformed(p.Tr, p.Source.Len()); err != nil {
+		return nil, err
+	}
+	ix = &Index{tr: p.Tr, src: p.Source, tauMin: p.TauMin}
 	var corr func(xStart, length int) float64
 	if len(p.Source.Corr) > 0 {
 		corr = ix.corrAdjust
@@ -74,6 +87,33 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		MaxWindow: p.Tr.MaxFactorLen,
 	})
 	return ix, nil
+}
+
+// checkTransformed verifies the structural invariants of a decoded
+// transformation: parallel arrays of one length, position maps inside the
+// source string, span references inside the span list. Everything the
+// engine rebuild indexes by must be proven in-bounds here.
+func checkTransformed(tr *factor.Transformed, sourceLen int) error {
+	n := len(tr.T)
+	if len(tr.LogP) != n || len(tr.Pos) != n || len(tr.SpanOf) != n {
+		return fmt.Errorf("core: corrupt index payload: array lengths T=%d LogP=%d Pos=%d SpanOf=%d disagree",
+			n, len(tr.LogP), len(tr.Pos), len(tr.SpanOf))
+	}
+	if tr.MaxFactorLen < 0 || tr.MaxFactorLen > n {
+		return fmt.Errorf("core: corrupt index payload: MaxFactorLen %d outside [0, %d]", tr.MaxFactorLen, n)
+	}
+	if tr.SourceLen != sourceLen {
+		return fmt.Errorf("core: corrupt index payload: SourceLen %d but source has %d positions", tr.SourceLen, sourceLen)
+	}
+	for i := 0; i < n; i++ {
+		if p := tr.Pos[i]; p < -1 || int(p) >= sourceLen {
+			return fmt.Errorf("core: corrupt index payload: Pos[%d] = %d outside source", i, p)
+		}
+		if s := tr.SpanOf[i]; s < -1 || int(s) >= len(tr.Spans) {
+			return fmt.Errorf("core: corrupt index payload: SpanOf[%d] = %d outside span list", i, s)
+		}
+	}
+	return nil
 }
 
 type countingWriter struct {

@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/ustring"
+)
+
+// checkpointFormat tags the on-disk checkpoint layout; bump on incompatible
+// changes.
+const checkpointFormat = 1
+
+// checkpoint is the durable image of a collection's complete live document
+// set at compaction time. Like the WAL it stores document *content*, not
+// built indexes: a restart rebuilds indexes with the store's current
+// options. Replaying a WAL whose prefix predates the checkpoint is safe —
+// puts rewrite the same content and deletes of absent documents are no-ops —
+// so the compactor may rename a checkpoint into place before truncating the
+// log and a crash between the two loses nothing.
+type checkpoint struct {
+	Format int
+	// IDs and Docs are parallel: document IDs[i] has content Docs[i]. IDs
+	// are sorted (the collection's canonical document order).
+	IDs  []string
+	Docs []*ustring.String
+}
+
+// writeCheckpoint writes the image to a temporary file next to path and
+// syncs it; the caller renames it into place once it decides the image is
+// still current. Returns the temporary path.
+func writeCheckpoint(path string, ids []string, docs []*ustring.String) (string, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("ingest: %w", err)
+	}
+	err = gob.NewEncoder(f).Encode(checkpoint{Format: checkpointFormat, IDs: ids, Docs: docs})
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("ingest: writing checkpoint %s: %w", tmp, err)
+	}
+	return tmp, nil
+}
+
+// readCheckpoint loads a checkpoint; a missing file returns (nil, nil). The
+// write path is atomic (tmp + rename), so a present-but-unreadable file
+// means external damage and is surfaced as an error rather than silently
+// starting empty and re-acknowledging lost documents.
+func readCheckpoint(path string) (*checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	var ck checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("ingest: reading checkpoint %s: %w", path, err)
+	}
+	if ck.Format != checkpointFormat {
+		return nil, fmt.Errorf("ingest: checkpoint %s: unsupported format %d (want %d)", path, ck.Format, checkpointFormat)
+	}
+	if len(ck.IDs) != len(ck.Docs) {
+		return nil, fmt.Errorf("ingest: checkpoint %s: %d ids but %d documents", path, len(ck.IDs), len(ck.Docs))
+	}
+	return &ck, nil
+}

@@ -1,0 +1,778 @@
+// Package ingest is the write path of the serving tier: a mutable layer
+// over internal/catalog that accepts document Put and Delete at runtime
+// while queries keep flowing.
+//
+// Each collection is split into an immutable sharded base (assembled at
+// startup or at the last compaction) and a small delta of documents put
+// since, with deletes recorded as tombstones masking base documents out of
+// every query. Mutations are made durable first — appended to a
+// per-collection write-ahead log and fsynced before they are acknowledged —
+// then indexed (each document whole, by its own core.Index) and published
+// by swapping in a fresh generation-stamped View. Queries run entirely
+// against the View they started with, so they observe a consistent
+// collection state and never block on writers or compaction.
+//
+// A background compactor folds the delta into a new base once the number of
+// pending documents (delta plus tombstones) crosses a threshold: it writes
+// the full live document set to an atomic checkpoint, truncates the WAL,
+// and re-assembles the base from the already-built indexes — no index is
+// ever rebuilt, so compaction cannot change any query answer. On restart,
+// Open replays checkpoint + WAL; because replay re-applies the exact logged
+// operation sequence, a WAL that still contains records already captured by
+// the checkpoint (the crash-between-rename-and-truncate window) converges
+// to the same state.
+//
+// Document numbering follows the lexicographic order of external document
+// ids, so a collection reached through any mutation history answers
+// Search/TopK/Count bit-identically — positions and probabilities — to a
+// statically built catalog over the same final document set.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/ustring"
+)
+
+// Sentinel errors mapped to HTTP statuses by the serving layer.
+var (
+	// ErrClosed reports a mutation against a closed store.
+	ErrClosed = errors.New("ingest: store is closed")
+	// ErrUnknownCollection reports a Delete or Compact against a collection
+	// the store does not hold.
+	ErrUnknownCollection = errors.New("ingest: unknown collection")
+	// ErrBadDocID reports an unusable document id.
+	ErrBadDocID = errors.New("ingest: bad document id")
+	// ErrBadCollectionName reports a collection name unusable on disk.
+	ErrBadCollectionName = errors.New("ingest: bad collection name")
+)
+
+// MaxDocIDBytes bounds external document ids.
+const MaxDocIDBytes = 512
+
+// DefaultCompactThreshold is the pending-document count (delta documents
+// plus tombstones) at which the background compactor folds a collection.
+const DefaultCompactThreshold = 64
+
+// seedIDFormat names the documents of a collection seeded from a static
+// catalog. Zero-padding keeps the lexicographic id order equal to the
+// original document order, so an unmutated collection reports the same
+// document numbers it did before the store wrapped it.
+const seedIDFormat = "doc-%06d"
+
+// Options configures a store.
+type Options struct {
+	// Dir is the directory holding per-collection WALs and checkpoints
+	// (required).
+	Dir string
+	// Catalog supplies the index construction options (threshold, shard
+	// count, build worker pool) for delta documents and replayed logs. It
+	// must match the options of the catalog passed to Open, or replayed
+	// indexes would diverge from seeded ones.
+	Catalog catalog.Options
+	// CompactThreshold is the pending-document count triggering background
+	// compaction; 0 means DefaultCompactThreshold, negative disables
+	// automatic compaction (explicit Compact still works).
+	CompactThreshold int
+	// NoSync disables the fsync after every WAL append. Throughput rises;
+	// acknowledged mutations may be lost on a machine crash (never on a
+	// process crash).
+	NoSync bool
+	// Logf receives replay and compaction diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+func (o Options) withDefaults() Options {
+	// Run the options through a throwaway catalog so shard/worker defaulting
+	// stays in one place.
+	o.Catalog = catalog.New(o.Catalog).Options()
+	if o.CompactThreshold == 0 {
+		o.CompactThreshold = DefaultCompactThreshold
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// PutResult reports where an acknowledged Put landed.
+type PutResult struct {
+	// Doc is the document's global number in the published view.
+	Doc int
+	// Docs is the collection's live document count after the Put.
+	Docs int
+	// Gen is the collection's mutation generation after the Put.
+	Gen uint64
+	// Replaced reports whether the Put overwrote an existing document.
+	Replaced bool
+}
+
+// CollectionStatus summarises one live collection for stats reporting.
+type CollectionStatus struct {
+	Name        string `json:"name"`
+	Docs        int    `json:"docs"`
+	DeltaDocs   int    `json:"delta_docs"`
+	Tombstones  int    `json:"tombstones"`
+	Gen         uint64 `json:"gen"`
+	WALRecords  int    `json:"wal_records"`
+	WALBytes    int64  `json:"wal_bytes"`
+	Compactions int64  `json:"compactions"`
+}
+
+// Store is the mutable serving layer. All methods are safe for concurrent
+// use; mutations to one collection are serialised, queries never block.
+type Store struct {
+	opts   Options
+	closed atomic.Bool
+
+	mu    sync.RWMutex
+	colls map[string]*liveColl
+
+	compactCh chan string
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+
+	puts, deletes, compactions atomic.Int64
+}
+
+// liveColl is one mutable collection. mu serialises writers (Put, Delete,
+// the compactor's swap step); readers go through the atomic view pointer
+// and never take it.
+type liveColl struct {
+	store *Store
+	name  string
+
+	compactMu sync.Mutex // at most one compaction in flight
+
+	mu          sync.Mutex
+	wal         *wal
+	live        map[string]*core.Index // every live document, id → index
+	base        *catalog.Collection    // assembled at the last compaction
+	baseIDs     []string               // base document number → id
+	baseIx      []*core.Index          // base document number → index then
+	gen         uint64
+	compactions int64
+	view        atomic.Pointer[View]
+}
+
+// Open builds a store over the WAL directory, seeding collections from cat
+// (which may be nil) and replaying each collection's checkpoint and WAL.
+// Collections present only on disk — created by Puts in a previous run —
+// are restored too. After Open returns, every previously acknowledged
+// mutation is visible.
+func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("ingest: Options.Dir is required")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	st := &Store{
+		opts:      opts,
+		colls:     make(map[string]*liveColl),
+		compactCh: make(chan string, 64),
+		stopCh:    make(chan struct{}),
+	}
+	names := make(map[string]bool)
+	if cat != nil {
+		for _, n := range cat.Names() {
+			names[n] = true
+		}
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), ".wal"):
+			names[strings.TrimSuffix(e.Name(), ".wal")] = true
+		case strings.HasSuffix(e.Name(), ".ckpt"):
+			names[strings.TrimSuffix(e.Name(), ".ckpt")] = true
+		}
+	}
+	for name := range names {
+		if err := catalog.SafeName(name); err != nil {
+			return nil, err
+		}
+		lc, err := st.openColl(name, cat)
+		if err != nil {
+			return nil, err
+		}
+		st.colls[name] = lc
+	}
+	st.wg.Add(1)
+	go st.compactor()
+	return st, nil
+}
+
+func (st *Store) walPath(name string) string  { return filepath.Join(st.opts.Dir, name+".wal") }
+func (st *Store) ckptPath(name string) string { return filepath.Join(st.opts.Dir, name+".ckpt") }
+
+// buildOpts returns the per-document core build options.
+func (st *Store) buildOpts() []core.Option {
+	if st.opts.Catalog.LongCap > 0 {
+		return []core.Option{core.WithLongCap(st.opts.Catalog.LongCap)}
+	}
+	return nil
+}
+
+// build indexes one document with the store's construction options — the
+// identical call a static catalog build would make, which is what keeps
+// dynamically reached collections bit-identical to static ones.
+func (st *Store) build(doc *ustring.String) (*core.Index, error) {
+	return core.Build(doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+}
+
+// openColl restores one collection: checkpoint (if any) else the static
+// catalog's documents as seed, then the WAL replayed on top. Replay first
+// resolves the final content of every document and only then builds
+// indexes, in parallel, so restart cost is proportional to the surviving
+// document set, not the log length.
+func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) {
+	lc := &liveColl{store: st, name: name, live: make(map[string]*core.Index)}
+	w, recs, err := openWAL(st.walPath(name), !st.opts.NoSync, st.opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	lc.wal = w
+
+	// Seed: the checkpoint supersedes the static catalog — it is the newer
+	// image of the same collection, including any surviving seed documents.
+	pending := make(map[string]*ustring.String) // content to (re)build
+	ck, err := readCheckpoint(st.ckptPath(name))
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	switch {
+	case ck != nil:
+		for i, id := range ck.IDs {
+			pending[id] = ck.Docs[i]
+		}
+		st.opts.Logf("ingest: %s: checkpoint holds %d documents", name, len(ck.IDs))
+	case cat != nil:
+		if col, ok := cat.Get(name); ok {
+			for i, ix := range col.DocIndexes() {
+				lc.live[fmt.Sprintf(seedIDFormat, i)] = ix
+			}
+		}
+	}
+	// Replay: resolve final contents first.
+	for _, rec := range recs {
+		switch rec.Op {
+		case opPut:
+			delete(lc.live, rec.ID)
+			pending[rec.ID] = rec.Doc
+		case opDelete:
+			delete(lc.live, rec.ID)
+			delete(pending, rec.ID)
+		}
+	}
+	if len(recs) > 0 {
+		st.opts.Logf("ingest: %s: replayed %d wal records", name, len(recs))
+	}
+	if err := st.buildPending(lc, pending); err != nil {
+		w.close()
+		return nil, fmt.Errorf("ingest: collection %q: %w", name, err)
+	}
+	// Fold everything into the base so the store starts with an empty
+	// delta; durability is untouched (the WAL keeps its records until the
+	// next checkpoint).
+	lc.rebaseLocked()
+	lc.publishLocked()
+	return lc, nil
+}
+
+// buildPending indexes the resolved documents on a bounded worker pool.
+func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ixs := make([]*core.Index, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, st.opts.Catalog.Workers)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ixs[i], errs[i] = st.build(pending[ids[i]])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("document %q: %w", ids[i], err)
+		}
+	}
+	for i, id := range ids {
+		lc.live[id] = ixs[i]
+	}
+	return nil
+}
+
+// sortedLiveLocked returns the live set in canonical (id-sorted) order.
+func (lc *liveColl) sortedLiveLocked() ([]string, []*core.Index) {
+	ids := make([]string, 0, len(lc.live))
+	for id := range lc.live {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ixs := make([]*core.Index, len(ids))
+	for i, id := range ids {
+		ixs[i] = lc.live[id]
+	}
+	return ids, ixs
+}
+
+// rebaseLocked re-assembles the base from the entire live set, emptying the
+// delta. Indexes are reused as-is — never rebuilt.
+func (lc *liveColl) rebaseLocked() {
+	copts := lc.store.opts.Catalog
+	ids, ixs := lc.sortedLiveLocked()
+	lc.base = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, ixs)
+	lc.baseIDs, lc.baseIx = ids, ixs
+}
+
+// publishLocked assembles and swaps in a fresh View of the current state.
+func (lc *liveColl) publishLocked() {
+	copts := lc.store.opts.Catalog
+	ids, ixs := lc.sortedLiveLocked()
+	global := make(map[string]int, len(ids))
+	for i, id := range ids {
+		global[id] = i
+	}
+	baseMap := make([]int, len(lc.baseIDs))
+	served := make(map[string]bool, len(lc.baseIDs))
+	tombstones := 0
+	for i, id := range lc.baseIDs {
+		if ix, ok := lc.live[id]; ok && ix == lc.baseIx[i] {
+			baseMap[i] = global[id]
+			served[id] = true
+		} else {
+			baseMap[i] = -1
+			tombstones++
+		}
+	}
+	var deltaIx []*core.Index
+	var deltaMap []int
+	positions := 0
+	for gi, id := range ids {
+		positions += ixs[gi].Source().Len()
+		if !served[id] {
+			deltaIx = append(deltaIx, ixs[gi])
+			deltaMap = append(deltaMap, gi)
+		}
+	}
+	v := &View{
+		id:         catalog.NextInstanceID(),
+		gen:        lc.gen,
+		name:       lc.name,
+		tauMin:     copts.TauMin,
+		docs:       len(ids),
+		positions:  positions,
+		ids:        ids,
+		tombstones: tombstones,
+	}
+	if lc.base != nil && lc.base.Docs() > 0 {
+		v.base = lc.base
+		v.baseMap = baseMap
+	}
+	if len(deltaIx) > 0 {
+		v.delta = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, deltaIx)
+		v.deltaMap = deltaMap
+	}
+	lc.view.Store(v)
+}
+
+// coll returns the named collection, creating it (with a fresh WAL) when
+// create is set.
+func (st *Store) coll(name string, create bool) (*liveColl, error) {
+	st.mu.RLock()
+	lc, ok := st.colls[name]
+	st.mu.RUnlock()
+	if ok {
+		return lc, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCollection, name)
+	}
+	if err := catalog.SafeName(name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCollectionName, err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Re-check under the lock: Close (which also takes st.mu) may have run
+	// since the fast-path check, and a collection created now would leak its
+	// WAL file with nobody left to close it.
+	if st.closed.Load() {
+		return nil, ErrClosed
+	}
+	if lc, ok := st.colls[name]; ok {
+		return lc, nil
+	}
+	lc, err := st.openColl(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	st.colls[name] = lc
+	return lc, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// validateDocID rejects unusable external document ids.
+func validateDocID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrBadDocID)
+	}
+	if len(id) > MaxDocIDBytes {
+		return fmt.Errorf("%w: %d bytes exceeds the %d limit", ErrBadDocID, len(id), MaxDocIDBytes)
+	}
+	return nil
+}
+
+// Put inserts or replaces one document. The sequence is: validate and build
+// the index (an invalid document is rejected before anything is logged),
+// append to the WAL (fsynced unless NoSync), then publish a fresh view. A
+// nil error means the mutation is durable and visible.
+func (st *Store) Put(coll, id string, doc *ustring.String) (PutResult, error) {
+	if st.closed.Load() {
+		return PutResult{}, ErrClosed
+	}
+	if err := validateDocID(id); err != nil {
+		return PutResult{}, err
+	}
+	if doc == nil {
+		return PutResult{}, errors.New("ingest: nil document")
+	}
+	lc, err := st.coll(coll, true)
+	if err != nil {
+		return PutResult{}, err
+	}
+	// Build outside the writer lock: construction is the expensive step and
+	// must not serialise against other collections' queries or writers.
+	ix, err := st.build(doc)
+	if err != nil {
+		return PutResult{}, err
+	}
+	lc.mu.Lock()
+	if err := lc.wal.append(walRecord{Op: opPut, ID: id, Doc: doc}); err != nil {
+		lc.mu.Unlock()
+		return PutResult{}, err
+	}
+	_, replaced := lc.live[id]
+	lc.live[id] = ix
+	lc.gen++
+	lc.publishLocked()
+	v := lc.view.Load()
+	lc.mu.Unlock()
+	st.puts.Add(1)
+	st.maybeCompact(coll, v)
+	docNo, _ := v.DocNumber(id)
+	return PutResult{Doc: docNo, Docs: v.Docs(), Gen: v.Gen(), Replaced: replaced}, nil
+}
+
+// Delete removes one document, reporting whether it existed. Deleting from
+// an unknown collection returns ErrUnknownCollection.
+func (st *Store) Delete(coll, id string) (bool, error) {
+	if st.closed.Load() {
+		return false, ErrClosed
+	}
+	lc, err := st.coll(coll, false)
+	if err != nil {
+		return false, err
+	}
+	lc.mu.Lock()
+	if _, ok := lc.live[id]; !ok {
+		lc.mu.Unlock()
+		return false, nil
+	}
+	if err := lc.wal.append(walRecord{Op: opDelete, ID: id}); err != nil {
+		lc.mu.Unlock()
+		return false, err
+	}
+	delete(lc.live, id)
+	lc.gen++
+	lc.publishLocked()
+	v := lc.view.Load()
+	lc.mu.Unlock()
+	st.deletes.Add(1)
+	st.maybeCompact(coll, v)
+	return true, nil
+}
+
+// maybeCompact nudges the background compactor when a collection's pending
+// work crossed the threshold. Dropping the nudge is fine — the next
+// mutation re-sends it.
+func (st *Store) maybeCompact(name string, v *View) {
+	if st.opts.CompactThreshold < 0 {
+		return
+	}
+	if v.DeltaDocs()+v.Tombstones() < st.opts.CompactThreshold {
+		return
+	}
+	select {
+	case st.compactCh <- name:
+	default:
+	}
+}
+
+// compactor is the background folding loop.
+func (st *Store) compactor() {
+	defer st.wg.Done()
+	for {
+		select {
+		case <-st.stopCh:
+			return
+		case name := <-st.compactCh:
+			if _, err := st.Compact(name); err != nil {
+				st.opts.Logf("ingest: background compaction of %q: %v", name, err)
+			}
+		}
+	}
+}
+
+// errCompactRaced aborts a compaction whose checkpoint went stale while it
+// was being written.
+var errCompactRaced = errors.New("ingest: compaction raced a writer")
+
+// Compact folds the named collection's delta and tombstones into a fresh
+// base. It reports false when there was nothing to fold. The fold is
+// optimistic: the checkpoint is written outside the writer lock, and
+// retried if a mutation lands meanwhile — queries are never blocked, and
+// writers only for the final pointer swap.
+func (st *Store) Compact(name string) (bool, error) {
+	if st.closed.Load() {
+		return false, ErrClosed
+	}
+	lc, err := st.coll(name, false)
+	if err != nil {
+		return false, err
+	}
+	lc.compactMu.Lock()
+	defer lc.compactMu.Unlock()
+	for attempt := 0; attempt < 16; attempt++ {
+		did, err := st.compactOnce(lc)
+		if !errors.Is(err, errCompactRaced) {
+			if did {
+				st.compactions.Add(1)
+			}
+			return did, err
+		}
+	}
+	return false, fmt.Errorf("ingest: collection %q: compaction kept racing writers", name)
+}
+
+// CompactAll folds every collection; used by the compact endpoint and by
+// graceful shutdown.
+func (st *Store) CompactAll() (int, error) {
+	n := 0
+	for _, name := range st.Names() {
+		did, err := st.Compact(name)
+		if err != nil {
+			return n, err
+		}
+		if did {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (st *Store) compactOnce(lc *liveColl) (bool, error) {
+	lc.mu.Lock()
+	v := lc.view.Load()
+	// A freshly opened store folds replayed records into the in-memory base,
+	// so the delta can be empty while the WAL still holds records; compacting
+	// then means checkpointing and truncating so the log cannot grow across
+	// restarts. With both empty there is truly nothing to do.
+	if v.DeltaDocs()+v.Tombstones() == 0 && lc.wal.records == 0 {
+		lc.mu.Unlock()
+		return false, nil
+	}
+	gen := lc.gen
+	ids, ixs := lc.sortedLiveLocked()
+	lc.mu.Unlock()
+
+	docs := make([]*ustring.String, len(ixs))
+	for i, ix := range ixs {
+		docs[i] = ix.Source()
+	}
+	tmp, err := writeCheckpoint(st.ckptPath(lc.name), ids, docs)
+	if err != nil {
+		return false, err
+	}
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.gen != gen {
+		os.Remove(tmp)
+		return false, errCompactRaced
+	}
+	// Rename before truncating: if the process dies between the two, replay
+	// sees checkpoint + full WAL, which converges to the same state. The
+	// directory fsync makes the rename itself durable before the truncate —
+	// otherwise a machine crash could persist the empty WAL but not the new
+	// checkpoint's directory entry.
+	if err := os.Rename(tmp, st.ckptPath(lc.name)); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("ingest: %w", err)
+	}
+	if !st.opts.NoSync {
+		if err := syncDir(st.opts.Dir); err != nil {
+			return false, err
+		}
+	}
+	if err := lc.wal.reset(); err != nil {
+		// The checkpoint already covers the log; leaving the records in
+		// place is safe (replay is idempotent), so surface the error without
+		// swapping state.
+		return false, err
+	}
+	lc.rebaseLocked()
+	lc.compactions++
+	lc.publishLocked()
+	st.opts.Logf("ingest: %s: compacted %d documents into base (gen %d)", lc.name, len(ids), lc.gen)
+	return true, nil
+}
+
+// Get returns the named collection's current snapshot.
+func (st *Store) Get(name string) (*View, bool) {
+	st.mu.RLock()
+	lc, ok := st.colls[name]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return lc.view.Load(), true
+}
+
+// Names returns the collection names in sorted order.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	names := make([]string, 0, len(st.colls))
+	for n := range st.colls {
+		names = append(names, n)
+	}
+	st.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns per-collection summaries in name order, mirroring
+// catalog.Stats for the serving layer.
+func (st *Store) Stats() []catalog.Info {
+	infos := make([]catalog.Info, 0)
+	for _, name := range st.Names() {
+		v, ok := st.Get(name)
+		if !ok {
+			continue
+		}
+		shards := v.Shards()
+		if shards == 0 {
+			shards = st.opts.Catalog.Shards
+		}
+		infos = append(infos, catalog.Info{
+			Name:      name,
+			Docs:      v.Docs(),
+			Positions: v.Positions(),
+			Shards:    shards,
+			TauMin:    v.TauMin(),
+			LongCap:   st.opts.Catalog.LongCap,
+		})
+	}
+	return infos
+}
+
+// Status reports ingest-specific counters per collection, in name order.
+func (st *Store) Status() []CollectionStatus {
+	out := make([]CollectionStatus, 0)
+	for _, name := range st.Names() {
+		st.mu.RLock()
+		lc := st.colls[name]
+		st.mu.RUnlock()
+		if lc == nil {
+			continue
+		}
+		lc.mu.Lock()
+		v := lc.view.Load()
+		cs := CollectionStatus{
+			Name:        name,
+			Docs:        v.Docs(),
+			DeltaDocs:   v.DeltaDocs(),
+			Tombstones:  v.Tombstones(),
+			Gen:         lc.gen,
+			WALRecords:  lc.wal.records,
+			WALBytes:    lc.wal.bytes,
+			Compactions: lc.compactions,
+		}
+		lc.mu.Unlock()
+		out = append(out, cs)
+	}
+	return out
+}
+
+// Counters returns the store-wide mutation totals.
+func (st *Store) Counters() (puts, deletes, compactions int64) {
+	return st.puts.Load(), st.deletes.Load(), st.compactions.Load()
+}
+
+// Close stops the background compactor and flushes and closes every WAL.
+// With NoSync set this is the moment buffered mutations reach the disk, so
+// a graceful shutdown loses nothing either way. Queries against already
+// obtained Views keep working; mutations fail with ErrClosed.
+func (st *Store) Close() error {
+	if st.closed.Swap(true) {
+		return nil
+	}
+	close(st.stopCh)
+	st.wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for _, lc := range st.colls {
+		lc.mu.Lock()
+		if err := lc.wal.close(); err != nil && first == nil {
+			first = err
+		}
+		lc.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,489 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+// testCatalogOpts is the shared construction configuration: every store and
+// every static reference catalog in these tests must build identically.
+func testCatalogOpts() catalog.Options {
+	return catalog.Options{TauMin: 0.1, Shards: 3}
+}
+
+func testOptions(t *testing.T, dir string, threshold int) Options {
+	t.Helper()
+	return Options{
+		Dir:              dir,
+		Catalog:          testCatalogOpts(),
+		CompactThreshold: threshold,
+		Logf:             t.Logf,
+	}
+}
+
+// testDocs returns small generated documents to use as put payloads.
+func testDocs(t *testing.T, n int, seed int64) []*ustring.String {
+	t.Helper()
+	docs := gen.Collection(gen.Config{N: n, Theta: 0.3, Seed: seed})
+	if len(docs) < 8 {
+		t.Fatalf("generator returned only %d documents", len(docs))
+	}
+	return docs
+}
+
+// staticEquivalent builds the reference: a static catalog over the same
+// final document set, in the view's canonical (id-sorted) order.
+func staticEquivalent(t *testing.T, byID map[string]*ustring.String) (*catalog.Collection, []*ustring.String) {
+	t.Helper()
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	docs := make([]*ustring.String, len(ids))
+	for i, id := range ids {
+		docs[i] = byID[id]
+	}
+	col, err := catalog.New(testCatalogOpts()).Add("static", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, docs
+}
+
+// assertEquivalent checks the acceptance property: the view answers
+// Search/TopK/Count bit-identically — positions and probabilities — to a
+// statically built catalog over the same final document set.
+func assertEquivalent(t *testing.T, v *View, byID map[string]*ustring.String) {
+	t.Helper()
+	static, docs := staticEquivalent(t, byID)
+	if v.Docs() != len(docs) {
+		t.Fatalf("view has %d documents, want %d", v.Docs(), len(docs))
+	}
+	if len(docs) == 0 {
+		return
+	}
+	checked := 0
+	for _, m := range []int{2, 4} {
+		for _, p := range gen.CollectionPatterns(docs, 6, m, 101) {
+			for _, tau := range []float64{0.1, 0.2} {
+				want, err := static.Search(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := v.Search(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("Search(%q, %v): dynamic %v, static %v", p, tau, got, want)
+				}
+				wantN, err := static.Count(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotN, err := v.Count(p, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != wantN {
+					t.Fatalf("Count(%q, %v) = %d, want %d", p, tau, gotN, wantN)
+				}
+				if len(want) > 0 {
+					checked++
+				}
+			}
+			for _, k := range []int{1, 3, 10} {
+				want, err := static.TopK(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := v.TopK(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("TopK(%q, %d): dynamic %v, static %v", p, k, got, want)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no query returned hits; the equivalence check was vacuous")
+	}
+}
+
+// TestDynamicStaticEquivalence is the acceptance test: a collection built
+// by replaying Puts with interleaved deletes, replacements and an explicit
+// compaction answers bit-identically to a static catalog over the same
+// final document set — before and after a restart.
+func TestDynamicStaticEquivalence(t *testing.T) {
+	docs := testDocs(t, 3000, 7)
+	dir := t.TempDir()
+	st, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	byID := make(map[string]*ustring.String)
+	put := func(id string, d *ustring.String) {
+		t.Helper()
+		if _, err := st.Put("c", id, d); err != nil {
+			t.Fatalf("put %q: %v", id, err)
+		}
+		byID[id] = d
+	}
+	del := func(id string) {
+		t.Helper()
+		ok, err := st.Delete("c", id)
+		if err != nil || !ok {
+			t.Fatalf("delete %q: ok=%v err=%v", id, ok, err)
+		}
+		delete(byID, id)
+	}
+
+	for i := 0; i < 6; i++ {
+		put(fmt.Sprintf("a%02d", i), docs[i])
+	}
+	del("a03")
+	put("a05", docs[6]) // replace an existing document
+	did, err := st.Compact("c")
+	if err != nil || !did {
+		t.Fatalf("compact: did=%v err=%v", did, err)
+	}
+	// Mutations after the compaction: new puts, a delete of a compacted
+	// document, a delete of a fresh delta document.
+	for i := 7; i < 10 && i < len(docs); i++ {
+		put(fmt.Sprintf("b%02d", i), docs[i])
+	}
+	del("a01")
+	del("b08")
+
+	v, ok := st.Get("c")
+	if !ok {
+		t.Fatal("collection vanished")
+	}
+	if v.DeltaDocs() == 0 || v.Tombstones() == 0 {
+		t.Fatalf("test is not exercising the merge: delta=%d tombstones=%d", v.DeltaDocs(), v.Tombstones())
+	}
+	assertEquivalent(t, v, byID)
+
+	// Restart: replay checkpoint + WAL and check the same property.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	v2, ok := st2.Get("c")
+	if !ok {
+		t.Fatal("collection not restored")
+	}
+	if v2.Docs() != len(byID) {
+		t.Fatalf("restored %d documents, want %d", v2.Docs(), len(byID))
+	}
+	assertEquivalent(t, v2, byID)
+
+	// The restart folded the replayed records into the in-memory base, but
+	// the WAL still holds them; an explicit compact must checkpoint and
+	// truncate so the log cannot grow across restarts.
+	if st2.Status()[0].WALRecords == 0 {
+		t.Fatal("expected replayed wal records to still be pending")
+	}
+	if did, err := st2.Compact("c"); err != nil || !did {
+		t.Fatalf("post-restart compact: did=%v err=%v", did, err)
+	}
+	if rec := st2.Status()[0].WALRecords; rec != 0 {
+		t.Fatalf("wal holds %d records after compact", rec)
+	}
+	// A third open now seeds from the checkpoint alone.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	v3, _ := st3.Get("c")
+	assertEquivalent(t, v3, byID)
+}
+
+// TestCrashRecovery is the acceptance test: after acknowledged Puts with an
+// un-compacted delta, an abrupt crash (the store is abandoned, never
+// closed) loses nothing — WAL replay restores every acknowledged document.
+func TestCrashRecovery(t *testing.T) {
+	docs := testDocs(t, 2200, 11)
+	dir := t.TempDir()
+	st, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No st.Close(): the crash is the point.
+
+	byID := make(map[string]*ustring.String)
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("doc%02d", i)
+		if _, err := st.Put("crash", id, docs[i]); err != nil {
+			t.Fatalf("put %q: %v", id, err)
+		}
+		byID[id] = docs[i]
+	}
+	for _, id := range []string{"doc02", "doc05"} {
+		if ok, err := st.Delete("crash", id); err != nil || !ok {
+			t.Fatalf("delete %q: ok=%v err=%v", id, ok, err)
+		}
+		delete(byID, id)
+	}
+	if v, _ := st.Get("crash"); v.Tombstones() != 0 || v.DeltaDocs() == 0 {
+		// With no compaction ever run, everything lives in... the base
+		// assembled at Open (empty) plus the delta.
+		t.Fatalf("expected an un-compacted delta, got delta=%d tombstones=%d", v.DeltaDocs(), v.Tombstones())
+	}
+
+	st2, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatalf("replay after crash: %v", err)
+	}
+	defer st2.Close()
+	v, ok := st2.Get("crash")
+	if !ok {
+		t.Fatal("collection not restored from WAL")
+	}
+	for id := range byID {
+		if _, ok := v.DocNumber(id); !ok {
+			t.Fatalf("acknowledged document %q lost", id)
+		}
+	}
+	for _, id := range []string{"doc02", "doc05"} {
+		if _, ok := v.DocNumber(id); ok {
+			t.Fatalf("deleted document %q resurrected", id)
+		}
+	}
+	assertEquivalent(t, v, byID)
+}
+
+// TestWALTornTail: a WAL with a torn final record (the crash-mid-append
+// signature) replays every whole record, drops the tail, and accepts new
+// appends afterwards.
+func TestWALTornTail(t *testing.T) {
+	docs := testDocs(t, 1800, 13)
+	dir := t.TempDir()
+	st, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Put("torn", fmt.Sprintf("d%d", i), docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a header promising more payload than exists.
+	walPath := filepath.Join(dir, "torn.wal")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatalf("open over torn wal: %v", err)
+	}
+	defer st2.Close()
+	v, _ := st2.Get("torn")
+	if v.Docs() != 5 {
+		t.Fatalf("restored %d documents, want 5", v.Docs())
+	}
+	// The truncated log must accept appends at the repaired offset.
+	if _, err := st2.Put("torn", "d5", docs[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if v, _ := st3.Get("torn"); v.Docs() != 6 {
+		t.Fatalf("after repair and append: %d documents, want 6", v.Docs())
+	}
+}
+
+// TestCheckpointCrashWindow: a crash between checkpoint rename and WAL
+// truncation leaves both in place; replaying the full WAL over the
+// checkpoint must converge to the same state (idempotent replay).
+func TestCheckpointCrashWindow(t *testing.T) {
+	docs := testDocs(t, 2000, 17)
+	dir := t.TempDir()
+	st, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]*ustring.String)
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("w%d", i)
+		if _, err := st.Put("win", id, docs[i]); err != nil {
+			t.Fatal(err)
+		}
+		byID[id] = docs[i]
+	}
+	if ok, err := st.Delete("win", "w2"); err != nil || !ok {
+		t.Fatal(err)
+	}
+	delete(byID, "w2")
+	walPath := filepath.Join(dir, "win.wal")
+	preCompact, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did, err := st.Compact("win"); err != nil || !did {
+		t.Fatalf("compact: did=%v err=%v", did, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the truncation: checkpoint and full pre-compaction WAL coexist.
+	if err := os.WriteFile(walPath, preCompact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(nil, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	v, _ := st2.Get("win")
+	assertEquivalent(t, v, byID)
+}
+
+// TestBackgroundCompaction: crossing the threshold folds the delta without
+// any explicit Compact call.
+func TestBackgroundCompaction(t *testing.T) {
+	docs := testDocs(t, 2200, 19)
+	dir := t.TempDir()
+	st, err := Open(nil, testOptions(t, dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := st.Put("auto", fmt.Sprintf("g%d", i), docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status := st.Status()
+		if len(status) == 1 && status[0].Compactions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never ran: %+v", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Queries must still be exact after the background fold.
+	byID := make(map[string]*ustring.String)
+	for i := 0; i < 6; i++ {
+		byID[fmt.Sprintf("g%d", i)] = docs[i]
+	}
+	v, _ := st.Get("auto")
+	assertEquivalent(t, v, byID)
+}
+
+// TestSeededFromCatalog: a store wrapped around a static catalog serves the
+// seeded documents unchanged (same numbering), and mutations on top stay
+// equivalent to a static build.
+func TestSeededFromCatalog(t *testing.T) {
+	docs := testDocs(t, 2400, 23)
+	seed := docs[:6]
+	cat := catalog.New(testCatalogOpts())
+	if _, err := cat.Add("seeded", seed); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := Open(cat, testOptions(t, dir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	byID := make(map[string]*ustring.String)
+	for i, d := range seed {
+		byID[fmt.Sprintf(seedIDFormat, i)] = d
+	}
+	v, ok := st.Get("seeded")
+	if !ok || v.Docs() != len(seed) {
+		t.Fatalf("seeded view: ok=%v docs=%d", ok, v.Docs())
+	}
+	assertEquivalent(t, v, byID)
+
+	if ok, err := st.Delete("seeded", fmt.Sprintf(seedIDFormat, 1)); err != nil || !ok {
+		t.Fatalf("delete seeded doc: ok=%v err=%v", ok, err)
+	}
+	delete(byID, fmt.Sprintf(seedIDFormat, 1))
+	if _, err := st.Put("seeded", "zzz-new", docs[6]); err != nil {
+		t.Fatal(err)
+	}
+	byID["zzz-new"] = docs[6]
+	v, _ = st.Get("seeded")
+	assertEquivalent(t, v, byID)
+}
+
+// TestMutationErrors covers the error surface.
+func TestMutationErrors(t *testing.T) {
+	docs := testDocs(t, 1500, 29)
+	st, err := Open(nil, testOptions(t, t.TempDir(), -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Delete("nope", "x"); err == nil {
+		t.Fatal("delete on unknown collection did not error")
+	}
+	if _, err := st.Put("c", "", docs[0]); err == nil {
+		t.Fatal("empty document id accepted")
+	}
+	if _, err := st.Put("../evil", "x", docs[0]); err == nil {
+		t.Fatal("path-escaping collection name accepted")
+	}
+	if _, err := st.Put("c", "x", nil); err == nil {
+		t.Fatal("nil document accepted")
+	}
+	if _, err := st.Put("c", "x", docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := st.Delete("c", "absent"); err != nil || ok {
+		t.Fatalf("delete of absent document: ok=%v err=%v", ok, err)
+	}
+	res, err := st.Put("c", "x", docs[1])
+	if err != nil || !res.Replaced {
+		t.Fatalf("replacing put: %+v err=%v", res, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("c", "y", docs[2]); err != ErrClosed {
+		t.Fatalf("put after close: %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+package ingest
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// View is one immutable, generation-stamped snapshot of a live collection.
+// Every mutation and every compaction publishes a fresh View (copy-on-write
+// pointer swap), so an in-flight query runs entirely against the snapshot it
+// started with: it can never observe half of a Put, and compaction never
+// blocks it.
+//
+// A View merges two parts behind one document numbering:
+//
+//   - base: the sharded collection assembled at the last compaction (or at
+//     startup). Documents deleted or replaced since are masked out by a
+//     DocFilter — never returned, never counted.
+//   - delta: the documents put since the last compaction, each indexed
+//     whole at Put time.
+//
+// Documents are numbered by the lexicographic rank of their ID among the
+// live documents, so a collection reached through any Put/Delete/compaction
+// history answers queries bit-identically to a statically built catalog
+// over the same final document set (see the equivalence test).
+type View struct {
+	id         uint64 // process-unique instance id (result-cache key)
+	gen        uint64 // mutation generation of the owning collection
+	name       string
+	tauMin     float64
+	docs       int
+	positions  int
+	ids        []string // global document number → external id
+	tombstones int
+
+	base     *catalog.Collection
+	baseMap  []int // base document → global number, -1 when masked
+	delta    *catalog.Collection
+	deltaMap []int // delta document → global number
+}
+
+// mapFilter turns a renumbering table into a DocFilter masking -1 entries.
+func mapFilter(m []int) catalog.DocFilter {
+	return func(doc int) (int, bool) {
+		g := m[doc]
+		return g, g >= 0
+	}
+}
+
+// ID returns the snapshot's process-unique instance id. Every published
+// View gets a fresh id from the catalog's sequence, which result caches
+// fold into their keys — a cached result can therefore never outlive the
+// snapshot it was computed against.
+func (v *View) ID() uint64 { return v.id }
+
+// Gen returns the owning collection's mutation generation at publish time.
+func (v *View) Gen() uint64 { return v.gen }
+
+// Name returns the collection name.
+func (v *View) Name() string { return v.name }
+
+// Docs returns the number of live documents.
+func (v *View) Docs() int { return v.docs }
+
+// Positions returns the total positions across live documents.
+func (v *View) Positions() int { return v.positions }
+
+// TauMin returns the construction threshold of every document index.
+func (v *View) TauMin() float64 { return v.tauMin }
+
+// Shards returns the base collection's fan-out shard count (0 when the view
+// has no base part).
+func (v *View) Shards() int {
+	if v.base == nil {
+		return 0
+	}
+	return v.base.Shards()
+}
+
+// DeltaDocs returns how many live documents are served from the delta part.
+func (v *View) DeltaDocs() int {
+	if v.delta == nil {
+		return 0
+	}
+	return v.delta.Docs()
+}
+
+// Tombstones returns how many base documents are masked out (deleted or
+// replaced since the last compaction).
+func (v *View) Tombstones() int { return v.tombstones }
+
+// DocID returns the external id of global document number doc.
+func (v *View) DocID(doc int) (string, bool) {
+	if doc < 0 || doc >= len(v.ids) {
+		return "", false
+	}
+	return v.ids[doc], true
+}
+
+// DocNumber returns the global document number of an external id.
+func (v *View) DocNumber(id string) (int, bool) {
+	i := sort.SearchStrings(v.ids, id)
+	if i < len(v.ids) && v.ids[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// Validate pre-checks a (pattern, tau) query exactly as a static collection
+// would.
+func (v *View) Validate(p []byte, tau float64) error {
+	return core.ValidateQuery(p, tau, v.tauMin)
+}
+
+// Search reports every occurrence of p with probability strictly greater
+// than tau in any live document, ordered by (document, position).
+func (v *View) Search(p []byte, tau float64) ([]catalog.DocHit, error) {
+	var merged []catalog.DocHit
+	if v.base != nil {
+		hits, err := v.base.SearchFiltered(p, tau, mapFilter(v.baseMap))
+		if err != nil {
+			return nil, err
+		}
+		merged = hits
+	}
+	if v.delta != nil {
+		hits, err := v.delta.SearchFiltered(p, tau, mapFilter(v.deltaMap))
+		if err != nil {
+			return nil, err
+		}
+		merged = append(merged, hits...)
+	}
+	catalog.SortHits(merged)
+	return merged, nil
+}
+
+// Count returns the number of occurrences of p with probability strictly
+// greater than tau across live documents.
+func (v *View) Count(p []byte, tau float64) (int, error) {
+	total := 0
+	if v.base != nil {
+		n, err := v.base.CountFiltered(p, tau, mapFilter(v.baseMap))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	if v.delta != nil {
+		n, err := v.delta.CountFiltered(p, tau, mapFilter(v.deltaMap))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// TopK reports the k most probable occurrences of p across live documents,
+// in decreasing probability order (ties by document, then position). Both
+// parts contribute their true per-document top-k — masking happens before
+// the merge — so the merged result is the exact global top-k of the live
+// document set.
+func (v *View) TopK(p []byte, k int) ([]catalog.DocHit, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	var lists [][]catalog.DocHit
+	if v.base != nil {
+		hits, err := v.base.TopKFiltered(p, k, mapFilter(v.baseMap))
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, hits)
+	}
+	if v.delta != nil {
+		hits, err := v.delta.TopKFiltered(p, k, mapFilter(v.deltaMap))
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, hits)
+	}
+	return catalog.MergeTopK(k, lists...), nil
+}

@@ -1,0 +1,217 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/ustring"
+)
+
+// Write-ahead log file format: a sequence of self-contained records, each
+//
+//	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is one gob-encoded walRecord. Every record carries its
+// own gob stream so any prefix of whole records is a valid log: a torn tail
+// (short header, short payload, or CRC mismatch — the signature of a crash
+// mid-append or of external damage) is detected on open, logged, and
+// truncated away, preserving every record before it.
+
+// Mutation opcodes.
+const (
+	opPut    = byte('P')
+	opDelete = byte('D')
+)
+
+// walRecord is one logged mutation. Doc is the document *content* (not the
+// built index): replay re-builds indexes with the store's current options,
+// so a restart with a different construction threshold yields a consistent
+// collection instead of serving mixed-threshold indexes.
+type walRecord struct {
+	Op  byte
+	ID  string
+	Doc *ustring.String // nil for deletes
+}
+
+// maxWALRecord bounds a single record's payload; a length prefix beyond it
+// is treated as corruption rather than allocated.
+const maxWALRecord = 1 << 30
+
+const walHeaderSize = 8
+
+// wal is one collection's append-only log. Callers serialise access (the
+// owning liveColl's writer mutex).
+type wal struct {
+	f       *os.File
+	path    string
+	sync    bool
+	records int
+	bytes   int64
+	// broken marks a log whose failed append could not be rolled back to a
+	// record boundary; further appends are refused rather than risked after
+	// garbage.
+	broken bool
+}
+
+// openWAL opens (creating if absent) the log at path, replays its records,
+// and positions the write offset after the last whole record, truncating a
+// torn or corrupt tail. The returned records are in append order.
+func openWAL(path string, sync bool, logf func(string, ...any)) (*wal, []walRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: %w", err)
+	}
+	w := &wal{f: f, path: path, sync: sync}
+	recs, valid, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if size, serr := f.Seek(0, io.SeekEnd); serr != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: %w", serr)
+	} else if size > valid {
+		logf("ingest: %s: dropping %d bytes of torn tail after %d whole records", path, size-valid, len(recs))
+		if terr := f.Truncate(valid); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: truncating torn tail of %s: %w", path, terr)
+		}
+		if _, serr := f.Seek(valid, io.SeekStart); serr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: %w", serr)
+		}
+	}
+	w.records = len(recs)
+	w.bytes = valid
+	return w, recs, nil
+}
+
+// scanWAL reads whole records from the start of f and returns them together
+// with the offset just past the last one. Corruption is not an error — the
+// scan simply stops, and the caller truncates.
+func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("ingest: %w", err)
+	}
+	// Buffered reads may advance the file offset past the last whole record;
+	// openWAL re-seeks from the returned valid offset afterwards.
+	r := bufio.NewReader(f)
+	var header [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// Clean EOF at a record boundary, or a torn header: stop either
+			// way. Only real I/O failures propagate.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil
+			}
+			return nil, 0, fmt.Errorf("ingest: reading %s: %w", f.Name(), err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxWALRecord {
+			return recs, valid, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil
+			}
+			return nil, 0, fmt.Errorf("ingest: reading %s: %w", f.Name(), err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, nil
+		}
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return recs, valid, nil
+		}
+		if rec.Op != opPut && rec.Op != opDelete {
+			return recs, valid, nil
+		}
+		recs = append(recs, rec)
+		valid += walHeaderSize + int64(length)
+	}
+}
+
+// append encodes and appends one record, then syncs when durability is on.
+// The record is acknowledged — and the caller may expose its effects — only
+// after append returns nil. On any failure the file is rolled back to the
+// previous record boundary, so a rejected Put can neither corrupt the
+// frames of later acknowledged records (a partial write would make replay
+// stop early and drop them) nor linger in the log and replay as applied.
+func (w *wal) append(rec walRecord) error {
+	if w.broken {
+		return fmt.Errorf("ingest: wal %s is failed after an earlier append error", w.path)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("ingest: encoding wal record: %w", err)
+	}
+	if payload.Len() > maxWALRecord {
+		return fmt.Errorf("ingest: wal record of %d bytes exceeds the %d limit", payload.Len(), maxWALRecord)
+	}
+	frame := make([]byte, walHeaderSize+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[walHeaderSize:], payload.Bytes())
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
+		return fmt.Errorf("ingest: appending to %s: %w", w.path, err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.rollback()
+			return fmt.Errorf("ingest: syncing %s: %w", w.path, err)
+		}
+	}
+	w.records++
+	w.bytes += int64(len(frame))
+	return nil
+}
+
+// rollback truncates a failed append away, restoring the last record
+// boundary; if even that fails the log is poisoned against further appends.
+func (w *wal) rollback() {
+	if err := w.f.Truncate(w.bytes); err != nil {
+		w.broken = true
+		return
+	}
+	if _, err := w.f.Seek(w.bytes, io.SeekStart); err != nil {
+		w.broken = true
+	}
+}
+
+// reset empties the log after its contents have been captured by a durable
+// checkpoint. The checkpoint must already be renamed into place — reset is
+// the point of no return for the logged records.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("ingest: truncating %s: %w", w.path, err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: syncing %s: %w", w.path, err)
+		}
+	}
+	w.records = 0
+	w.bytes = 0
+	return nil
+}
+
+// close flushes and releases the file.
+func (w *wal) close() error {
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

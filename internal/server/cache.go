@@ -5,8 +5,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-
-	"repro/internal/catalog"
 )
 
 // cached is one memoised query result. Hits are stored for search/top-k,
@@ -19,10 +17,12 @@ type cached struct {
 // cacheKey builds the LRU key from the operation tag, the collection's
 // process-unique instance id, pattern and the tau-or-k parameter. Keying on
 // the instance id (not the name) means entries computed against a replaced
-// collection can never match again: Catalog.Add yields a new id. NUL
-// separators cannot appear in any component (patterns containing NUL are
-// rejected before the cache is consulted).
-func cacheKey(op string, col *catalog.Collection, pattern, param string) string {
+// collection instance can never match again: Catalog.Add yields a new id,
+// and so does every mutation of a live ingest collection — a Put or Delete
+// therefore invalidates all of that collection's cached results at once.
+// NUL separators cannot appear in any component (patterns containing NUL
+// are rejected before the cache is consulted).
+func cacheKey(op string, col Collection, pattern, param string) string {
 	id := strconv.FormatUint(col.ID(), 36)
 	var b strings.Builder
 	b.Grow(len(op) + len(id) + len(pattern) + len(param) + 3)

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/ingest"
+	"repro/internal/ustring"
+)
+
+// errReadOnly answers mutation requests on a server built without an ingest
+// store.
+var errReadOnly = &httpError{
+	status: http.StatusForbidden,
+	msg:    "read-only server: start the daemon with -wal to enable mutations",
+}
+
+// mutationStatus maps ingest-layer sentinel errors onto HTTP statuses;
+// anything unrecognised stays a 500.
+func mutationStatus(err error) error {
+	switch {
+	case errors.Is(err, ingest.ErrUnknownCollection):
+		return &httpError{status: http.StatusNotFound, msg: err.Error()}
+	case errors.Is(err, ingest.ErrBadDocID),
+		errors.Is(err, ingest.ErrBadCollectionName):
+		return &httpError{status: http.StatusBadRequest, msg: err.Error()}
+	case errors.Is(err, ingest.ErrClosed):
+		// Shutting down is transient, not a malformed request: tell the
+		// client to retry against the restarted daemon.
+		return &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
+	default:
+		return err
+	}
+}
+
+// PutResponse answers a document PUT.
+type PutResponse struct {
+	Collection string `json:"collection"`
+	ID         string `json:"id"`
+	// Doc is the document's number in the collection's current snapshot
+	// (the number Search hits report). It can shift as documents with
+	// smaller ids come and go; ID is the stable handle.
+	Doc      int    `json:"doc"`
+	Docs     int    `json:"docs"`
+	Gen      uint64 `json:"gen"`
+	Replaced bool   `json:"replaced"`
+}
+
+// DeleteResponse answers a document DELETE.
+type DeleteResponse struct {
+	Collection string `json:"collection"`
+	ID         string `json:"id"`
+	Docs       int    `json:"docs"`
+}
+
+// CompactResponse answers /v1/compact.
+type CompactResponse struct {
+	// Compacted lists the collections whose delta was folded; collections
+	// with nothing pending are skipped.
+	Compacted []string `json:"compacted"`
+}
+
+// handlePut parses the request body as one uncertain string in the text
+// encoding and inserts or replaces it under the path's document id.
+func (s *Server) handlePut(r *http.Request) (any, error) {
+	if s.ingest == nil {
+		return nil, errReadOnly
+	}
+	coll := r.PathValue("collection")
+	id := r.PathValue("doc")
+	doc, err := ustring.Unmarshal(http.MaxBytesReader(nil, r.Body, s.cfg.MaxDocBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, badRequest("document larger than the %d byte limit", s.cfg.MaxDocBytes)
+		}
+		return nil, badRequest("bad document body: %v", err)
+	}
+	if doc.Len() == 0 {
+		return nil, badRequest("empty document")
+	}
+	res, err := s.ingest.Put(coll, id, doc)
+	if err != nil {
+		return nil, mutationStatus(err)
+	}
+	return &PutResponse{
+		Collection: coll, ID: id,
+		Doc: res.Doc, Docs: res.Docs, Gen: res.Gen, Replaced: res.Replaced,
+	}, nil
+}
+
+// handleDelete tombstones one document.
+func (s *Server) handleDelete(r *http.Request) (any, error) {
+	if s.ingest == nil {
+		return nil, errReadOnly
+	}
+	coll := r.PathValue("collection")
+	id := r.PathValue("doc")
+	ok, err := s.ingest.Delete(coll, id)
+	if err != nil {
+		return nil, mutationStatus(err)
+	}
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("no document %q in collection %q", id, coll)}
+	}
+	docs := 0
+	if v, found := s.ingest.Get(coll); found {
+		docs = v.Docs()
+	}
+	return &DeleteResponse{Collection: coll, ID: id, Docs: docs}, nil
+}
+
+// handleCompact folds the named collection (or, without a collection
+// parameter, every collection) synchronously.
+func (s *Server) handleCompact(r *http.Request) (any, error) {
+	if s.ingest == nil {
+		return nil, errReadOnly
+	}
+	resp := &CompactResponse{Compacted: []string{}}
+	if name := r.URL.Query().Get("collection"); name != "" {
+		did, err := s.ingest.Compact(name)
+		if err != nil {
+			return nil, mutationStatus(err)
+		}
+		if did {
+			resp.Compacted = append(resp.Compacted, name)
+		}
+		return resp, nil
+	}
+	for _, name := range s.ingest.Names() {
+		did, err := s.ingest.Compact(name)
+		if err != nil {
+			return nil, mutationStatus(err)
+		}
+		if did {
+			resp.Compacted = append(resp.Compacted, name)
+		}
+	}
+	return resp, nil
+}

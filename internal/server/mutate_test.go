@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/ustring"
+)
+
+// testIngestServer builds a mutable server over a store seeded with one
+// collection "prot".
+func testIngestServer(t *testing.T, cfg Config) (*Server, *ingest.Store, []*ustring.String) {
+	t.Helper()
+	docs := gen.Collection(gen.Config{N: 900, Theta: 0.3, Seed: 77})
+	copts := catalog.Options{TauMin: 0.1, Shards: 3}
+	cat := catalog.New(copts)
+	if _, err := cat.Add("prot", docs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ingest.Open(cat, ingest.Options{
+		Dir: t.TempDir(), Catalog: copts, CompactThreshold: -1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return NewIngest(st, cfg), st, docs
+}
+
+// do performs a request with a body and decodes the JSON response.
+func do(t *testing.T, s *Server, method, target, body string, wantStatus int, out any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body %s", method, target, rec.Code, wantStatus, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, target, rec.Body, err)
+		}
+	}
+}
+
+// marshalDoc renders a document in the text encoding for a PUT body.
+func marshalDoc(t *testing.T, d *ustring.String) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ustring.Marshal(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMutationInvalidatesCache is the regression for the write path vs the
+// result cache: a Put or Delete followed by the same query must never serve
+// stale cached hits.
+func TestMutationInvalidatesCache(t *testing.T) {
+	s, _, docs := testIngestServer(t, Config{})
+	// A pattern sampled from docs[0], which we will insert and then delete.
+	p := string(gen.Patterns(docs[0], 1, 3, 79)[0])
+	q := "/v1/query?collection=prot&p=" + url.QueryEscape(p) + "&tau=0.1"
+
+	var before QueryResponse
+	get(t, s, q, http.StatusOK, &before)
+	var cachedRun QueryResponse
+	get(t, s, q, http.StatusOK, &cachedRun)
+	if !cachedRun.Cached {
+		t.Fatal("second identical query not served from cache")
+	}
+
+	// Put a fresh document that certainly matches the pattern.
+	var put PutResponse
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/zzz-fresh",
+		marshalDoc(t, docs[0]), http.StatusOK, &put)
+	if put.Docs != len(docs)+1 {
+		t.Fatalf("put reported %d documents, want %d", put.Docs, len(docs)+1)
+	}
+
+	var after QueryResponse
+	get(t, s, q, http.StatusOK, &after)
+	if after.Cached {
+		t.Fatal("query after Put served from cache (stale instance id)")
+	}
+	if after.Count <= before.Count {
+		t.Fatalf("new document invisible: count %d before, %d after put", before.Count, after.Count)
+	}
+	fresh := false
+	for _, h := range after.Hits {
+		if h.Doc == put.Doc {
+			fresh = true
+			break
+		}
+	}
+	if !fresh {
+		t.Fatalf("no hit in the freshly put document %d: %+v", put.Doc, after.Hits)
+	}
+
+	// Delete it again: the cache entry stored after the Put must not be
+	// served either, and the hits must revert exactly.
+	get(t, s, q, http.StatusOK, &QueryResponse{}) // warm the post-put cache entry
+	var del DeleteResponse
+	do(t, s, http.MethodDelete, "/v1/collections/prot/documents/zzz-fresh", "", http.StatusOK, &del)
+	var reverted QueryResponse
+	get(t, s, q, http.StatusOK, &reverted)
+	if reverted.Cached {
+		t.Fatal("query after Delete served from cache")
+	}
+	if !reflect.DeepEqual(reverted.Hits, before.Hits) {
+		t.Fatalf("hits after put+delete differ from the original: %v vs %v", reverted.Hits, before.Hits)
+	}
+}
+
+// TestOversizedPatternRejected: a multi-megabyte pattern must be rejected
+// at the HTTP layer with 400 and a JSON error, before any fan-out runs.
+func TestOversizedPatternRejected(t *testing.T) {
+	s, _ := testServer(t, Config{}) // default MaxPatternBytes = 4096
+	huge := strings.Repeat("A", 3<<20)
+	var e errorResponse
+	get(t, s, "/v1/query?collection=prot&p="+huge+"&tau=0.2", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "4096") {
+		t.Fatalf("error %q does not name the limit", e.Error)
+	}
+	get(t, s, "/v1/topk?collection=prot&p="+huge+"&k=3", http.StatusBadRequest, &e)
+	get(t, s, "/v1/count?collection=prot&p="+huge+"&tau=0.2", http.StatusBadRequest, &e)
+
+	// The limit is configurable.
+	small, _ := testServer(t, Config{MaxPatternBytes: 2})
+	get(t, small, "/v1/query?collection=prot&p=ABC&tau=0.2", http.StatusBadRequest, &e)
+}
+
+// TestPutEndpointErrors covers the mutation error surface.
+func TestPutEndpointErrors(t *testing.T) {
+	s, _, _ := testIngestServer(t, Config{MaxDocBytes: 256})
+	body := marshalDoc(t, ustring.Deterministic("PATTERN"))
+
+	var e errorResponse
+	// Garbage body.
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/x", "A:not-a-prob", http.StatusBadRequest, &e)
+	// Oversized body.
+	big := body
+	for len(big) <= 256 {
+		big += big
+	}
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/x", big, http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "256") {
+		t.Fatalf("oversized-document error %q does not name the limit", e.Error)
+	}
+	// Empty body.
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/x", "# nothing\n", http.StatusBadRequest, &e)
+	// Path-escaping collection name.
+	do(t, s, http.MethodPut, "/v1/collections/.evil/documents/x", body, http.StatusBadRequest, &e)
+	// Delete on collections/documents that do not exist.
+	do(t, s, http.MethodDelete, "/v1/collections/ghost/documents/x", "", http.StatusNotFound, &e)
+	do(t, s, http.MethodDelete, "/v1/collections/prot/documents/ghost", "", http.StatusNotFound, &e)
+	// A valid put lands in a brand-new collection.
+	var put PutResponse
+	do(t, s, http.MethodPut, "/v1/collections/fresh/documents/d1", body, http.StatusOK, &put)
+	if put.Docs != 1 || put.Replaced {
+		t.Fatalf("put into fresh collection: %+v", put)
+	}
+	var qr QueryResponse
+	get(t, s, "/v1/query?collection=fresh&p=ATTER&tau=0.5", http.StatusOK, &qr)
+	if qr.Count != 1 {
+		t.Fatalf("freshly created collection: count %d, want 1", qr.Count)
+	}
+}
+
+// TestReadOnlyServerRejectsMutations: a server without an ingest store
+// answers mutation endpoints with 403 and a JSON error.
+func TestReadOnlyServerRejectsMutations(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	body := marshalDoc(t, docs[0])
+	var e errorResponse
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/x", body, http.StatusForbidden, &e)
+	do(t, s, http.MethodDelete, "/v1/collections/prot/documents/x", "", http.StatusForbidden, &e)
+	do(t, s, http.MethodPost, "/v1/compact", "", http.StatusForbidden, &e)
+	if !strings.Contains(e.Error, "read-only") {
+		t.Fatalf("error %q does not explain the server is read-only", e.Error)
+	}
+}
+
+// TestCompactEndpoint: compaction over HTTP folds the delta and leaves
+// queries exact.
+func TestCompactEndpoint(t *testing.T) {
+	s, st, docs := testIngestServer(t, Config{})
+	p := string(gen.Patterns(docs[0], 1, 3, 89)[0])
+	q := "/v1/query?collection=prot&p=" + url.QueryEscape(p) + "&tau=0.1"
+	do(t, s, http.MethodPut, "/v1/collections/prot/documents/extra",
+		marshalDoc(t, docs[0]), http.StatusOK, nil)
+	var before QueryResponse
+	get(t, s, q, http.StatusOK, &before)
+
+	var cr CompactResponse
+	do(t, s, http.MethodPost, "/v1/compact?collection=prot", "", http.StatusOK, &cr)
+	if len(cr.Compacted) != 1 || cr.Compacted[0] != "prot" {
+		t.Fatalf("compacted %v, want [prot]", cr.Compacted)
+	}
+	if v, _ := st.Get("prot"); v.DeltaDocs() != 0 || v.Tombstones() != 0 {
+		t.Fatalf("delta not folded: %d delta, %d tombstones", v.DeltaDocs(), v.Tombstones())
+	}
+	var after QueryResponse
+	get(t, s, q, http.StatusOK, &after)
+	if !reflect.DeepEqual(after.Hits, before.Hits) {
+		t.Fatal("hits changed across compaction")
+	}
+	// Nothing pending: a second compact is a no-op.
+	do(t, s, http.MethodPost, "/v1/compact", "", http.StatusOK, &cr)
+	if len(cr.Compacted) != 0 {
+		t.Fatalf("idle compact folded %v", cr.Compacted)
+	}
+	// Mutation counters are exposed.
+	var stats struct {
+		Mutations map[string]int64          `json:"mutations"`
+		Ingest    []ingest.CollectionStatus `json:"ingest"`
+	}
+	get(t, s, "/v1/stats", http.StatusOK, &stats)
+	if stats.Mutations["puts"] != 1 || stats.Mutations["compactions"] != 1 {
+		t.Fatalf("mutation counters: %+v", stats.Mutations)
+	}
+	if len(stats.Ingest) != 1 || stats.Ingest[0].Name != "prot" {
+		t.Fatalf("ingest status: %+v", stats.Ingest)
+	}
+}

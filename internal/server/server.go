@@ -7,14 +7,24 @@
 //	GET /v1/topk?collection=C&p=PATTERN&k=10       global top-k
 //	GET /v1/count?collection=C&p=PATTERN&tau=0.2   occurrence count
 //	POST /v1/batch                                 many queries, one request
+//	PUT /v1/collections/{c}/documents/{id}         insert/replace a document
+//	DELETE /v1/collections/{c}/documents/{id}      delete a document
+//	POST /v1/compact[?collection=C]                fold delta into base
 //	GET /v1/stats                                  counters and collections
 //	GET /healthz                                   liveness
 //
+// The mutation endpoints are live when the server is built over an ingest
+// store (NewIngest); a read-only server (New) answers them with 403. The
+// document body of a PUT is the text encoding of internal/ustring.
+//
 // The server keeps an LRU cache of successful results keyed by
-// (operation, collection, pattern, tau-or-k), bounds the number of in-flight
-// query requests with a semaphore (excess requests wait; if the client gives
-// up first the request is dropped with 503), and tracks per-endpoint request,
-// error and latency counters exposed via /v1/stats.
+// (operation, collection-instance, pattern, tau-or-k), bounds the number of
+// in-flight query requests with a semaphore (excess requests wait; if the
+// client gives up first the request is dropped with 503), and tracks
+// per-endpoint request, error and latency counters exposed via /v1/stats.
+// Because mutable collections stamp every published snapshot with a fresh
+// instance id, a mutation implicitly invalidates all cached results of the
+// collection it touched.
 package server
 
 import (
@@ -28,6 +38,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/ingest"
 )
 
 // Config tunes the server. The zero value is usable.
@@ -43,14 +54,74 @@ type Config struct {
 	// MaxInFlight bounds concurrently served query requests; 0 means
 	// 4×GOMAXPROCS.
 	MaxInFlight int
-	// MaxPattern bounds accepted pattern lengths; 0 means 4096.
-	MaxPattern int
+	// MaxPatternBytes bounds accepted pattern lengths; oversized patterns
+	// are rejected with 400 before any fan-out is paid. 0 means
+	// DefaultMaxPatternBytes.
+	MaxPatternBytes int
 	// MaxK bounds accepted top-k sizes; 0 means 10000.
 	MaxK int
 	// MaxBatch bounds the number of queries in one batch request; 0 means
 	// 256.
 	MaxBatch int
+	// MaxDocBytes bounds the body of a document PUT; 0 means
+	// DefaultMaxDocBytes.
+	MaxDocBytes int64
 }
+
+// DefaultMaxPatternBytes is the default pattern length limit (4 KiB).
+const DefaultMaxPatternBytes = 4096
+
+// DefaultMaxDocBytes is the default document PUT body limit (16 MiB).
+const DefaultMaxDocBytes = 16 << 20
+
+// Collection is the query surface the server needs from a collection: both
+// the immutable catalog.Collection and the ingest layer's mutable View
+// satisfy it. ID must be process-unique per collection *instance* (any
+// mutation yields a new instance), which is what keys the result cache.
+type Collection interface {
+	ID() uint64
+	Name() string
+	TauMin() float64
+	Validate(p []byte, tau float64) error
+	Search(p []byte, tau float64) ([]catalog.DocHit, error)
+	TopK(p []byte, k int) ([]catalog.DocHit, error)
+	Count(p []byte, tau float64) (int, error)
+}
+
+// source resolves collections by name; adapters wrap the static catalog and
+// the ingest store.
+type source interface {
+	Get(name string) (Collection, bool)
+	Names() []string
+	Stats() []catalog.Info
+}
+
+// catalogSource adapts the immutable catalog.
+type catalogSource struct{ cat *catalog.Catalog }
+
+func (c catalogSource) Get(name string) (Collection, bool) {
+	col, ok := c.cat.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return col, true
+}
+func (c catalogSource) Names() []string       { return c.cat.Names() }
+func (c catalogSource) Stats() []catalog.Info { return c.cat.Stats() }
+
+// ingestSource adapts the mutable store; every Get returns the collection's
+// current snapshot.
+type ingestSource struct{ st *ingest.Store }
+
+func (i ingestSource) Get(name string) (Collection, bool) {
+	v, ok := i.st.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+func (i ingestSource) Names() []string       { return i.st.Names() }
+func (i ingestSource) Stats() []catalog.Info { return i.st.Stats() }
 
 // DefaultCacheEntries is the default LRU capacity.
 const DefaultCacheEntries = 1024
@@ -69,8 +140,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
-	if c.MaxPattern <= 0 {
-		c.MaxPattern = 4096
+	if c.MaxPatternBytes <= 0 {
+		c.MaxPatternBytes = DefaultMaxPatternBytes
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 10000
@@ -78,30 +149,46 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	if c.MaxDocBytes <= 0 {
+		c.MaxDocBytes = DefaultMaxDocBytes
+	}
 	return c
 }
 
-// Server is the HTTP handler serving a catalog.
+// Server is the HTTP handler serving a catalog or an ingest store.
 type Server struct {
-	cat   *catalog.Catalog
-	cfg   Config
-	cache *lru
-	stats *stats
-	sem   chan struct{}
-	mux   *http.ServeMux
-	start time.Time
+	src    source
+	ingest *ingest.Store // nil on a read-only server
+	cfg    Config
+	cache  *lru
+	stats  *stats
+	sem    chan struct{}
+	mux    *http.ServeMux
+	start  time.Time
 }
 
-// New builds a server over cat.
+// New builds a read-only server over cat; mutation endpoints answer 403.
 func New(cat *catalog.Catalog, cfg Config) *Server {
+	return newServer(catalogSource{cat}, nil, cfg)
+}
+
+// NewIngest builds a mutable server over an ingest store: queries are
+// answered from each collection's current snapshot, and the mutation
+// endpoints are live.
+func NewIngest(st *ingest.Store, cfg Config) *Server {
+	return newServer(ingestSource{st}, st, cfg)
+}
+
+func newServer(src source, st *ingest.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cat:   cat,
-		cfg:   cfg,
-		stats: newStats(),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		src:    src,
+		ingest: st,
+		cfg:    cfg,
+		stats:  newStats(),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newLRU(cfg.CacheEntries)
@@ -112,6 +199,11 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/topk", s.limited("topk", http.MethodGet, s.handleTopK))
 	s.mux.HandleFunc("/v1/count", s.limited("count", http.MethodGet, s.handleCount))
 	s.mux.HandleFunc("/v1/batch", s.limited("batch", http.MethodPost, s.handleBatch))
+	s.mux.HandleFunc("PUT /v1/collections/{collection}/documents/{doc}",
+		s.limited("put", http.MethodPut, s.handlePut))
+	s.mux.HandleFunc("DELETE /v1/collections/{collection}/documents/{doc}",
+		s.limited("delete", http.MethodDelete, s.handleDelete))
+	s.mux.HandleFunc("/v1/compact", s.limited("compact", http.MethodPost, s.handleCompact))
 	return s
 }
 
@@ -224,11 +316,11 @@ type CountResponse struct {
 }
 
 // collection resolves the collection query parameter.
-func (s *Server) collection(name string) (*catalog.Collection, error) {
+func (s *Server) collection(name string) (Collection, error) {
 	if name == "" {
 		return nil, badRequest("missing collection parameter")
 	}
-	col, ok := s.cat.Get(name)
+	col, ok := s.src.Get(name)
 	if !ok {
 		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown collection %q", name)}
 	}
@@ -239,8 +331,8 @@ func (s *Server) pattern(raw string) ([]byte, error) {
 	if raw == "" {
 		return nil, badRequest("missing or empty pattern parameter p")
 	}
-	if len(raw) > s.cfg.MaxPattern {
-		return nil, badRequest("pattern longer than the %d byte limit", s.cfg.MaxPattern)
+	if len(raw) > s.cfg.MaxPatternBytes {
+		return nil, badRequest("pattern longer than the %d byte limit", s.cfg.MaxPatternBytes)
 	}
 	return []byte(raw), nil
 }
@@ -271,7 +363,7 @@ func (s *Server) parseK(raw string) (int, error) {
 }
 
 // search answers one threshold query, consulting the cache first.
-func (s *Server) search(col *catalog.Collection, collName string, p []byte, tau float64) (*QueryResponse, error) {
+func (s *Server) search(col Collection, collName string, p []byte, tau float64) (*QueryResponse, error) {
 	if err := col.Validate(p, tau); err != nil {
 		return nil, err
 	}
@@ -308,7 +400,7 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 }
 
 // topk answers one top-k query, consulting the cache first.
-func (s *Server) topk(col *catalog.Collection, collName string, p []byte, k int) (*QueryResponse, error) {
+func (s *Server) topk(col Collection, collName string, p []byte, k int) (*QueryResponse, error) {
 	// Top-k has no tau; validate the pattern alone (tau=1 is always valid).
 	if err := col.Validate(p, 1); err != nil {
 		return nil, err
@@ -346,7 +438,7 @@ func (s *Server) handleTopK(r *http.Request) (any, error) {
 }
 
 // count answers one count query, consulting the cache first.
-func (s *Server) count(col *catalog.Collection, collName string, p []byte, tau float64) (*CountResponse, error) {
+func (s *Server) count(col Collection, collName string, p []byte, tau float64) (*CountResponse, error) {
 	if err := col.Validate(p, tau); err != nil {
 		return nil, err
 	}
@@ -459,7 +551,7 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
-		"collections": len(s.cat.Names()),
+		"collections": len(s.src.Names()),
 		"uptime_s":    int(time.Since(s.start).Seconds()),
 	})
 }
@@ -480,7 +572,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	colls := make([]CollectionStats, 0)
-	for _, info := range s.cat.Stats() {
+	for _, info := range s.src.Stats() {
 		colls = append(colls, CollectionStats{
 			Name:      info.Name,
 			Docs:      info.Docs,
@@ -496,6 +588,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"limit":   s.cfg.MaxInFlight,
 			"current": len(s.sem),
 		},
+	}
+	if s.ingest != nil {
+		puts, deletes, compactions := s.ingest.Counters()
+		out["mutations"] = map[string]any{
+			"puts":        puts,
+			"deletes":     deletes,
+			"compactions": compactions,
+		}
+		out["ingest"] = s.ingest.Status()
 	}
 	if s.cache != nil {
 		hits, misses := s.stats.cacheCounts()

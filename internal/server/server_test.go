@@ -124,7 +124,7 @@ func TestCountEndpoint(t *testing.T) {
 }
 
 func TestErrorPaths(t *testing.T) {
-	s, docs := testServer(t, Config{MaxPattern: 8, MaxK: 50})
+	s, docs := testServer(t, Config{MaxPatternBytes: 8, MaxK: 50})
 	p := pattern(t, docs, 3)
 	cases := []struct {
 		name string

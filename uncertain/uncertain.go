@@ -40,6 +40,17 @@
 // across the shards concurrently and merge the results. cmd/ustridxd serves
 // a catalog over HTTP/JSON.
 //
+// # Live ingestion
+//
+// IngestStore (OpenIngest) adds a write path on top of a catalog: Put and
+// Delete mutate collections at runtime, every mutation is appended to a
+// write-ahead log before it is acknowledged, queries run against immutable
+// generation-stamped snapshots (LiveView) merging the compacted base with a
+// delta of recent writes, and a background compactor folds the delta back
+// into the base. A collection reached through any mutation history answers
+// queries bit-identically to a statically built catalog over the same final
+// document set.
+//
 // See the examples directory for complete programs modelled on the paper's
 // motivating applications (genomics, ECG annotation streams, RFID event
 // monitoring).
@@ -53,6 +64,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/ingest"
 	"repro/internal/listing"
 	"repro/internal/special"
 	"repro/internal/ustring"
@@ -216,4 +228,27 @@ func OpenCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
 // reusing the persisted per-document transformations.
 func LoadCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
 	return catalog.Load(dir, opts)
+}
+
+// IngestStore is the mutable serving layer: WAL-backed document Put/Delete
+// over a catalog, with delta indexes, tombstones and background compaction.
+type IngestStore = ingest.Store
+
+// IngestOptions configures an IngestStore (WAL directory, construction
+// options, compaction threshold, durability).
+type IngestOptions = ingest.Options
+
+// LiveView is one immutable snapshot of a mutable collection; all query
+// methods are safe for concurrent use and never block on writers.
+type LiveView = ingest.View
+
+// PutResult reports where an acknowledged Put landed.
+type PutResult = ingest.PutResult
+
+// OpenIngest builds a mutable store over cat (which may be nil to start
+// empty), replaying the WAL directory's checkpoints and logs so every
+// previously acknowledged mutation is visible. Close the store to flush and
+// release the logs.
+func OpenIngest(cat *Catalog, opts IngestOptions) (*IngestStore, error) {
+	return ingest.Open(cat, opts)
 }

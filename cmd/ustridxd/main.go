@@ -8,6 +8,7 @@
 //	         [-index-cache DIR] [-cache-entries 1024] [-inflight 0]
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
+//	ustridxd -follow URL [-addr :7332] [-taumin 0.1] [-follow-poll 250ms]
 //
 // Every non-hidden file in -data is parsed as one '%'-separated collection
 // (see internal/ustring's text encoding) and served under its base name.
@@ -22,9 +23,18 @@
 // compaction checkpoints) are replayed, so acknowledged mutations survive
 // crashes; on graceful shutdown the logs are flushed and closed.
 //
+// With -follow, the daemon is a read replica of another ustridxd started
+// with -wal: it bootstraps every collection from the primary's snapshot
+// endpoint, tails the primary's write-ahead logs over HTTP (resuming from
+// its offset, reconnecting with backoff, and re-bootstrapping after a
+// primary compaction), and serves the same read-only query API with
+// bit-identical results. Replication lag is reported under "replication" in
+// /v1/stats. The -taumin/-shards/-longcap flags must match the primary's; a
+// mismatch is detected at bootstrap and logged instead of applied.
+//
 // Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/collections/…,
-// /v1/compact, /v1/stats, /healthz — see internal/server for the wire
-// format.
+// /v1/compact, /v1/replication/…, /v1/stats, /healthz — see internal/server
+// for the wire format.
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -67,12 +78,21 @@ func run(args []string) error {
 	wal := fs.String("wal", "", "write-ahead-log directory; enables the mutation endpoints (PUT/DELETE documents, POST compact)")
 	compactThreshold := fs.Int("compact-threshold", ingest.DefaultCompactThreshold, "pending documents (delta + tombstones) triggering background compaction (negative disables)")
 	walNoSync := fs.Bool("wal-nosync", false, "skip the fsync after every WAL append (faster ingestion; acknowledged mutations may be lost on machine crash)")
+	follow := fs.String("follow", "", "primary ustridxd base URL; run as a read replica tailing its write-ahead logs (incompatible with -data and -wal)")
+	followPoll := fs.Duration("follow-poll", replica.DefaultPollInterval, "WAL poll interval in replica mode")
 	fs.Parse(args)
+
+	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap}
+	cfgBase := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
+	if *follow != "" {
+		if *data != "" || *wal != "" {
+			return errors.New("-follow runs a replica with no local data: drop -data and -wal")
+		}
+		return runReplica(*follow, *addr, opts, *compactThreshold, *followPoll, cfgBase)
+	}
 	if *data == "" {
 		return errors.New("-data is required")
 	}
-
-	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap}
 	cat, err := loadCatalog(*data, *indexCache, opts, log.Printf)
 	if err != nil {
 		return err
@@ -82,7 +102,7 @@ func run(args []string) error {
 			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin)
 	}
 
-	cfg := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
+	cfg := cfgBase
 	var handler http.Handler
 	var store *ingest.Store
 	if *wal != "" {
@@ -102,21 +122,9 @@ func run(args []string) error {
 		handler = server.New(cat, cfg)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- srv.ListenAndServe()
-	}()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	// closeStore flushes and closes the WALs once no more mutations can
+	// The cleanup flushes and closes the WALs once no more mutations can
 	// arrive — after the HTTP server has stopped.
-	closeStore := func() error {
+	return serve(*addr, handler, func() error {
 		if store == nil {
 			return nil
 		}
@@ -125,10 +133,75 @@ func run(args []string) error {
 		}
 		log.Printf("ingest store flushed and closed")
 		return nil
+	})
+}
+
+// runReplica starts the daemon as a read replica of the primary at
+// primaryURL: an empty local store (scratch files live in a throwaway
+// directory), a follower tailing the primary's WAL feed into it, and the
+// read-only HTTP front end. Shutdown stops the HTTP server first, then the
+// tailers, then the store.
+func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold int, poll time.Duration, cfg server.Config) error {
+	scratch, err := os.MkdirTemp("", "ustridxd-replica-")
+	if err != nil {
+		return err
 	}
+	defer os.RemoveAll(scratch)
+	// The replica's files are disposable (a restart re-bootstraps from the
+	// primary), so nothing is fsynced.
+	store, err := ingest.Open(nil, ingest.Options{
+		Dir:              scratch,
+		Catalog:          opts,
+		CompactThreshold: compactThreshold,
+		NoSync:           true,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	flw, err := replica.NewFollower(replica.FollowerOptions{
+		Primary:      primaryURL,
+		Store:        store,
+		PollInterval: poll,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tailersDone := make(chan struct{})
+	go func() {
+		defer close(tailersDone)
+		flw.Run(ctx)
+	}()
+	log.Printf("replica mode: following %s (poll %v)", primaryURL, poll)
+	return serve(addr, server.NewReplica(flw, cfg), func() error {
+		cancel()
+		<-tailersDone
+		log.Printf("replication tailers stopped")
+		return store.Close()
+	})
+}
+
+// serve runs the HTTP server until it fails or a termination signal
+// arrives, then shuts it down gracefully and runs cleanup.
+func serve(addr string, handler http.Handler, cleanup func() error) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		if cerr := closeStore(); cerr != nil {
+		if cerr := cleanup(); cerr != nil {
 			log.Printf("%v", cerr)
 		}
 		return err
@@ -137,7 +210,7 @@ func run(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(ctx)
-		if cerr := closeStore(); err == nil {
+		if cerr := cleanup(); err == nil {
 			err = cerr
 		}
 		return err

@@ -191,6 +191,22 @@ func TestLoadCatalogErrors(t *testing.T) {
 	}
 }
 
+// TestFlagValidation: replica mode excludes the local-data flags, and plain
+// mode still requires -data; the errors must fire before anything listens.
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("missing -data not rejected: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-follow", "http://127.0.0.1:1", "-wal", t.TempDir()},
+		{"-follow", "http://127.0.0.1:1", "-data", t.TempDir()},
+	} {
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "-follow") {
+			t.Fatalf("run(%v) = %v, want a -follow incompatibility error", args, err)
+		}
+	}
+}
+
 // TestDaemonServes wires the daemon's catalog into the HTTP stack end to
 // end, as run() does, and exercises one query.
 func TestDaemonServes(t *testing.T) {

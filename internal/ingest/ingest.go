@@ -123,6 +123,7 @@ type CollectionStatus struct {
 	DeltaDocs   int    `json:"delta_docs"`
 	Tombstones  int    `json:"tombstones"`
 	Gen         uint64 `json:"gen"`
+	Epoch       uint64 `json:"epoch"`
 	WALRecords  int    `json:"wal_records"`
 	WALBytes    int64  `json:"wal_bytes"`
 	Compactions int64  `json:"compactions"`
@@ -274,10 +275,10 @@ func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) 
 	// Replay: resolve final contents first.
 	for _, rec := range recs {
 		switch rec.Op {
-		case opPut:
+		case OpPut:
 			delete(lc.live, rec.ID)
 			pending[rec.ID] = rec.Doc
-		case opDelete:
+		case OpDelete:
 			delete(lc.live, rec.ID)
 			delete(pending, rec.ID)
 		}
@@ -299,8 +300,21 @@ func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) 
 
 // buildPending indexes the resolved documents on a bounded worker pool.
 func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) error {
+	built, err := st.buildDocs(pending)
+	if err != nil {
+		return err
+	}
+	for id, ix := range built {
+		lc.live[id] = ix
+	}
+	return nil
+}
+
+// buildDocs indexes every document of pending on a bounded worker pool and
+// returns the id → index map.
+func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core.Index, error) {
 	if len(pending) == 0 {
-		return nil
+		return nil, nil
 	}
 	ids := make([]string, 0, len(pending))
 	for id := range pending {
@@ -323,13 +337,14 @@ func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) 
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("document %q: %w", ids[i], err)
+			return nil, fmt.Errorf("document %q: %w", ids[i], err)
 		}
 	}
+	built := make(map[string]*core.Index, len(ids))
 	for i, id := range ids {
-		lc.live[id] = ixs[i]
+		built[id] = ixs[i]
 	}
-	return nil
+	return built, nil
 }
 
 // sortedLiveLocked returns the live set in canonical (id-sorted) order.
@@ -493,7 +508,7 @@ func (st *Store) Put(coll, id string, doc *ustring.String) (PutResult, error) {
 		return PutResult{}, err
 	}
 	lc.mu.Lock()
-	if err := lc.wal.append(walRecord{Op: opPut, ID: id, Doc: doc}); err != nil {
+	if err := lc.wal.append(WALRecord{Op: OpPut, ID: id, Doc: doc}); err != nil {
 		lc.mu.Unlock()
 		return PutResult{}, err
 	}
@@ -524,7 +539,7 @@ func (st *Store) Delete(coll, id string) (bool, error) {
 		lc.mu.Unlock()
 		return false, nil
 	}
-	if err := lc.wal.append(walRecord{Op: opDelete, ID: id}); err != nil {
+	if err := lc.wal.append(WALRecord{Op: OpDelete, ID: id}); err != nil {
 		lc.mu.Unlock()
 		return false, err
 	}
@@ -739,6 +754,7 @@ func (st *Store) Status() []CollectionStatus {
 			DeltaDocs:   v.DeltaDocs(),
 			Tombstones:  v.Tombstones(),
 			Gen:         lc.gen,
+			Epoch:       lc.wal.epoch,
 			WALRecords:  lc.wal.records,
 			WALBytes:    lc.wal.bytes,
 			Compactions: lc.compactions,
@@ -753,6 +769,11 @@ func (st *Store) Status() []CollectionStatus {
 func (st *Store) Counters() (puts, deletes, compactions int64) {
 	return st.puts.Load(), st.deletes.Load(), st.compactions.Load()
 }
+
+// Options returns the store's effective (defaulted) configuration. The
+// replication snapshot carries the construction options so a follower built
+// with different ones fails loudly instead of silently diverging.
+func (st *Store) Options() Options { return st.opts }
 
 // Close stops the background compactor and flushes and closes every WAL.
 // With NoSync set this is the moment buffered mutations reach the disk, so

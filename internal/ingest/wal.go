@@ -9,6 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 
 	"repro/internal/ustring"
 )
@@ -17,23 +19,35 @@ import (
 //
 //	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
 //
-// where the payload is one gob-encoded walRecord. Every record carries its
+// where the payload is one gob-encoded WALRecord. Every record carries its
 // own gob stream so any prefix of whole records is a valid log: a torn tail
 // (short header, short payload, or CRC mismatch — the signature of a crash
 // mid-append or of external damage) is detected on open, logged, and
 // truncated away, preserving every record before it.
+//
+// Replication addresses records by (epoch, byte offset): the offset of a
+// record is the byte position of its frame in the log file, and the epoch is
+// a durable per-collection counter bumped whenever the file's bytes stop
+// being append-only history — at compaction (the log is truncated to empty)
+// and when a torn tail is dropped. An (epoch, offset) pair therefore names
+// one immutable byte range forever: a follower holding a stale epoch can
+// never misread recycled offsets as a continuation of the stream.
 
 // Mutation opcodes.
 const (
-	opPut    = byte('P')
-	opDelete = byte('D')
+	// OpPut marks a WALRecord inserting or replacing one document.
+	OpPut = byte('P')
+	// OpDelete marks a WALRecord removing one document.
+	OpDelete = byte('D')
 )
 
-// walRecord is one logged mutation. Doc is the document *content* (not the
+// WALRecord is one logged mutation. Doc is the document *content* (not the
 // built index): replay re-builds indexes with the store's current options,
 // so a restart with a different construction threshold yields a consistent
-// collection instead of serving mixed-threshold indexes.
-type walRecord struct {
+// collection instead of serving mixed-threshold indexes. The same records,
+// shipped over the replication feed, are applied by followers without
+// re-logging.
+type WALRecord struct {
 	Op  byte
 	ID  string
 	Doc *ustring.String // nil for deletes
@@ -45,6 +59,70 @@ const maxWALRecord = 1 << 30
 
 const walHeaderSize = 8
 
+// MarshalWALRecord encodes one record as a self-contained log frame
+// (length, CRC, gob payload) — the exact bytes append writes and the
+// replication feed ships.
+func MarshalWALRecord(rec WALRecord) ([]byte, error) {
+	if rec.Op != OpPut && rec.Op != OpDelete {
+		return nil, fmt.Errorf("ingest: unknown wal opcode %q", rec.Op)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("ingest: encoding wal record: %w", err)
+	}
+	if payload.Len() > maxWALRecord {
+		return nil, fmt.Errorf("ingest: wal record of %d bytes exceeds the %d limit", payload.Len(), maxWALRecord)
+	}
+	frame := make([]byte, walHeaderSize+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[walHeaderSize:], payload.Bytes())
+	return frame, nil
+}
+
+// ScanWAL decodes whole records from the head of r, returning them together
+// with the byte length of the longest valid record prefix. Corruption is not
+// an error: the scan simply stops at the first frame that is torn, fails its
+// CRC, or does not decode, so any byte stream yields the records of its
+// longest valid prefix. Only real reader failures (non-EOF) are returned.
+func ScanWAL(r io.Reader) (recs []WALRecord, valid int64, err error) {
+	var header [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// Clean EOF at a record boundary, or a torn header: stop either
+			// way. Only real I/O failures propagate.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil
+			}
+			return recs, valid, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxWALRecord {
+			return recs, valid, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil
+			}
+			return recs, valid, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, nil
+		}
+		var rec WALRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return recs, valid, nil
+		}
+		if rec.Op != OpPut && rec.Op != OpDelete {
+			return recs, valid, nil
+		}
+		recs = append(recs, rec)
+		valid += walHeaderSize + int64(length)
+	}
+}
+
 // wal is one collection's append-only log. Callers serialise access (the
 // owning liveColl's writer mutex).
 type wal struct {
@@ -53,22 +131,83 @@ type wal struct {
 	sync    bool
 	records int
 	bytes   int64
+	// epoch counts the times this log's byte history was invalidated
+	// (compaction truncate, torn-tail repair); see the format comment. It is
+	// persisted in a sidecar file so offsets can never be reused across
+	// restarts within one epoch.
+	epoch     uint64
+	epochPath string
 	// broken marks a log whose failed append could not be rolled back to a
 	// record boundary; further appends are refused rather than risked after
 	// garbage.
 	broken bool
 }
 
+// loadEpoch reads the sidecar epoch; a missing or unreadable file is epoch 0
+// (a collection that never compacted or repaired).
+func loadEpoch(path string) uint64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// bumpEpoch durably advances the epoch. It must complete before the log
+// bytes it invalidates are touched: a crash after the bump but before the
+// truncate only costs followers a spurious re-bootstrap, while the reverse
+// order could hand them recycled offsets. The sidecar is written to a
+// temporary file and renamed into place so a crash mid-write can never
+// leave an empty or garbled file that would load as a *regressed* epoch —
+// the one failure the epoch scheme cannot tolerate.
+func (w *wal) bumpEpoch() error {
+	next := w.epoch + 1
+	tmp := w.epochPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	_, err = f.WriteString(strconv.FormatUint(next, 10))
+	if err == nil && w.sync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, w.epochPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: writing epoch %s: %w", w.epochPath, err)
+	}
+	if w.sync {
+		// Make the rename itself durable before the caller truncates the
+		// log: a machine crash must never persist the truncate but not the
+		// bumped epoch.
+		if err := syncDir(filepath.Dir(w.epochPath)); err != nil {
+			return err
+		}
+	}
+	w.epoch = next
+	return nil
+}
+
 // openWAL opens (creating if absent) the log at path, replays its records,
 // and positions the write offset after the last whole record, truncating a
 // torn or corrupt tail. The returned records are in append order.
-func openWAL(path string, sync bool, logf func(string, ...any)) (*wal, []walRecord, error) {
+func openWAL(path string, sync bool, logf func(string, ...any)) (*wal, []WALRecord, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ingest: %w", err)
 	}
-	w := &wal{f: f, path: path, sync: sync}
-	recs, valid, err := scanWAL(f)
+	w := &wal{f: f, path: path, sync: sync, epochPath: path + ".epoch"}
+	w.epoch = loadEpoch(w.epochPath)
+	recs, valid, err := scanFile(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
@@ -78,6 +217,13 @@ func openWAL(path string, sync bool, logf func(string, ...any)) (*wal, []walReco
 		return nil, nil, fmt.Errorf("ingest: %w", serr)
 	} else if size > valid {
 		logf("ingest: %s: dropping %d bytes of torn tail after %d whole records", path, size-valid, len(recs))
+		// The dropped bytes may have been served to a follower before the
+		// crash rolled them back; bump the epoch (durably, first) so such a
+		// follower re-bootstraps instead of resuming into rewritten offsets.
+		if berr := w.bumpEpoch(); berr != nil {
+			f.Close()
+			return nil, nil, berr
+		}
 		if terr := f.Truncate(valid); terr != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("ingest: truncating torn tail of %s: %w", path, terr)
@@ -92,51 +238,19 @@ func openWAL(path string, sync bool, logf func(string, ...any)) (*wal, []walReco
 	return w, recs, nil
 }
 
-// scanWAL reads whole records from the start of f and returns them together
-// with the offset just past the last one. Corruption is not an error — the
-// scan simply stops, and the caller truncates.
-func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
+// scanFile reads whole records from the start of f and returns them together
+// with the offset just past the last one.
+func scanFile(f *os.File) ([]WALRecord, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("ingest: %w", err)
 	}
 	// Buffered reads may advance the file offset past the last whole record;
 	// openWAL re-seeks from the returned valid offset afterwards.
-	r := bufio.NewReader(f)
-	var header [walHeaderSize]byte
-	for {
-		if _, err := io.ReadFull(r, header[:]); err != nil {
-			// Clean EOF at a record boundary, or a torn header: stop either
-			// way. Only real I/O failures propagate.
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return recs, valid, nil
-			}
-			return nil, 0, fmt.Errorf("ingest: reading %s: %w", f.Name(), err)
-		}
-		length := binary.LittleEndian.Uint32(header[0:4])
-		sum := binary.LittleEndian.Uint32(header[4:8])
-		if length == 0 || length > maxWALRecord {
-			return recs, valid, nil
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return recs, valid, nil
-			}
-			return nil, 0, fmt.Errorf("ingest: reading %s: %w", f.Name(), err)
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, valid, nil
-		}
-		var rec walRecord
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return recs, valid, nil
-		}
-		if rec.Op != opPut && rec.Op != opDelete {
-			return recs, valid, nil
-		}
-		recs = append(recs, rec)
-		valid += walHeaderSize + int64(length)
+	recs, valid, err := ScanWAL(bufio.NewReader(f))
+	if err != nil {
+		return nil, 0, fmt.Errorf("ingest: reading %s: %w", f.Name(), err)
 	}
+	return recs, valid, nil
 }
 
 // append encodes and appends one record, then syncs when durability is on.
@@ -145,21 +259,14 @@ func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
 // previous record boundary, so a rejected Put can neither corrupt the
 // frames of later acknowledged records (a partial write would make replay
 // stop early and drop them) nor linger in the log and replay as applied.
-func (w *wal) append(rec walRecord) error {
+func (w *wal) append(rec WALRecord) error {
 	if w.broken {
 		return fmt.Errorf("ingest: wal %s is failed after an earlier append error", w.path)
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
-		return fmt.Errorf("ingest: encoding wal record: %w", err)
+	frame, err := MarshalWALRecord(rec)
+	if err != nil {
+		return err
 	}
-	if payload.Len() > maxWALRecord {
-		return fmt.Errorf("ingest: wal record of %d bytes exceeds the %d limit", payload.Len(), maxWALRecord)
-	}
-	frame := make([]byte, walHeaderSize+payload.Len())
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-	copy(frame[walHeaderSize:], payload.Bytes())
 	if _, err := w.f.Write(frame); err != nil {
 		w.rollback()
 		return fmt.Errorf("ingest: appending to %s: %w", w.path, err)
@@ -189,8 +296,13 @@ func (w *wal) rollback() {
 
 // reset empties the log after its contents have been captured by a durable
 // checkpoint. The checkpoint must already be renamed into place — reset is
-// the point of no return for the logged records.
+// the point of no return for the logged records. The epoch is bumped
+// (durably) before the truncate so replication offsets into the old bytes
+// can never alias into the new, empty log.
 func (w *wal) reset() error {
+	if err := w.bumpEpoch(); err != nil {
+		return err
+	}
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("ingest: truncating %s: %w", w.path, err)
 	}

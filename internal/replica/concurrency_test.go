@@ -1,0 +1,130 @@
+package replica_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestConcurrentReplicationAndQuery hammers a live replication pair under
+// the race detector: writers mutate the primary over HTTP, the follower's
+// applier replays records and re-bootstraps across primary compactions, the
+// follower's own background compactor folds its delta, and reader
+// goroutines query the follower's views throughout. Every query must run
+// against a self-consistent snapshot — results are checked for internal
+// sanity only, since the ground truth moves underneath them.
+func TestConcurrentReplicationAndQuery(t *testing.T) {
+	docs := gen.Collection(gen.Config{N: 2600, Theta: 0.3, Seed: 113})
+	if len(docs) < 12 {
+		t.Fatalf("generator returned only %d documents", len(docs))
+	}
+	pst, ts := newPrimary(t, -1)
+	// A small threshold keeps the follower's own compactor busy while the
+	// applier publishes views.
+	fst := openStore(t, 4)
+	fw := startFollower(t, fst, ts.URL)
+
+	for i := 0; i < 4; i++ {
+		httpPut(t, ts.URL, "hammer", fmt.Sprintf("h%02d", i), docs[i])
+	}
+	waitFor(t, "bootstrap", func() bool {
+		_, ok := fst.Get("hammer")
+		return ok
+	})
+	pats := gen.CollectionPatterns(docs, 8, 3, 127)
+
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, ok := fst.Get("hammer")
+				if !ok {
+					t.Error("collection vanished mid-run")
+					return
+				}
+				p := pats[(g+i)%len(pats)]
+				hits, err := v.Search(p, 0.12)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				for j := 1; j < len(hits); j++ {
+					a, b := hits[j-1], hits[j]
+					if a.Doc > b.Doc || (a.Doc == b.Doc && a.Pos >= b.Pos) {
+						t.Errorf("unordered hits %v then %v", a, b)
+						return
+					}
+					if b.Doc >= v.Docs() {
+						t.Errorf("hit in document %d of a %d-document view", b.Doc, v.Docs())
+						return
+					}
+				}
+				if _, err := v.TopK(p, 3); err != nil {
+					t.Errorf("topk: %v", err)
+					return
+				}
+				queries.Add(1)
+			}
+		}(g)
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 30; i++ {
+				id := fmt.Sprintf("h%02d", (w*30+i)%10)
+				if i%5 == 4 {
+					// Deleting through the store keeps absent ids a no-op
+					// (the HTTP endpoint answers 404 for those).
+					if _, err := pst.Delete("hammer", id); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+					continue
+				}
+				httpPut(t, ts.URL, "hammer", id, docs[(w+i)%len(docs)])
+				if i%9 == 8 {
+					// Primary compactions move the WAL epoch mid-stream, so
+					// the applier re-bootstraps while readers keep querying.
+					httpCompact(t, ts.URL)
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	waitFor(t, "post-hammer catch-up", func() bool {
+		pos, err := pst.WALPos("hammer")
+		if err != nil {
+			return false
+		}
+		for _, cs := range fw.f.Status() {
+			if cs.Collection == "hammer" {
+				return cs.Epoch == pos.Epoch && cs.AppliedOffset >= pos.Offset
+			}
+		}
+		return false
+	})
+	close(stop)
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the hammer run")
+	}
+	pv, _ := pst.Get("hammer")
+	fv, _ := fst.Get("hammer")
+	if pv.Docs() != fv.Docs() {
+		t.Fatalf("after catch-up: primary %d documents, follower %d", pv.Docs(), fv.Docs())
+	}
+}

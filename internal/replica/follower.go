@@ -1,0 +1,440 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// Follower defaults.
+const (
+	// DefaultPollInterval is the WAL poll cadence once caught up.
+	DefaultPollInterval = 250 * time.Millisecond
+	// DefaultDiscoverInterval is the collection-discovery cadence.
+	DefaultDiscoverInterval = 2 * time.Second
+	// DefaultMaxBackoff caps the reconnect backoff after repeated errors.
+	DefaultMaxBackoff = 5 * time.Second
+)
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Primary is the primary daemon's base URL, e.g. "http://primary:7331"
+	// (required).
+	Primary string
+	// Store receives the replicated collections (required). Its catalog
+	// options (taumin, longcap) must match the primary's; a mismatch is
+	// detected at the first snapshot and reported instead of applied.
+	Store *ingest.Store
+	// PollInterval is the WAL poll cadence when caught up; 0 means
+	// DefaultPollInterval.
+	PollInterval time.Duration
+	// DiscoverInterval is how often the primary's collection list is
+	// re-fetched; 0 means DefaultDiscoverInterval.
+	DiscoverInterval time.Duration
+	// MaxBackoff caps the exponential reconnect backoff; 0 means
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Client issues the HTTP requests; nil means http.DefaultClient.
+	Client *http.Client
+	// Logf receives replication diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.PollInterval <= 0 {
+		o.PollInterval = DefaultPollInterval
+	}
+	if o.DiscoverInterval <= 0 {
+		o.DiscoverInterval = DefaultDiscoverInterval
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// CollectionLag is one collection's replication state for stats reporting.
+// Lag is measured against the primary head observed at the last successful
+// contact.
+type CollectionLag struct {
+	Collection     string `json:"collection"`
+	Epoch          uint64 `json:"epoch"`
+	AppliedOffset  int64  `json:"applied_offset"`
+	AppliedRecords int64  `json:"applied_records"`
+	PrimaryOffset  int64  `json:"primary_offset"`
+	PrimaryRecords int64  `json:"primary_records"`
+	LagBytes       int64  `json:"lag_bytes"`
+	LagRecords     int64  `json:"lag_records"`
+	// Snapshots counts bootstrap loads (initial plus every epoch change).
+	Snapshots int64 `json:"snapshots"`
+	// Connected reports whether the last primary contact succeeded.
+	Connected bool   `json:"connected"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// collState is one collection's tailer state.
+type collState struct {
+	mu           sync.Mutex
+	epoch        uint64
+	applied      int64 // bytes of the epoch applied
+	appliedRecs  int64
+	primary      int64 // primary committed head at last contact
+	primaryRecs  int64
+	snapshots    int64
+	connected    bool
+	lastErr      string
+	bootstrapped bool // a snapshot has been applied at least once
+}
+
+// Follower tails a primary's replication feed into a local store. Create
+// with NewFollower, drive with Run; queries are served from the store's
+// views as usual and never block on the applier.
+type Follower struct {
+	opts FollowerOptions
+
+	mu    sync.Mutex
+	colls map[string]*collState
+	wg    sync.WaitGroup
+}
+
+// NewFollower validates the options and builds a follower; call Run to start
+// replicating.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Primary == "" {
+		return nil, errors.New("replica: FollowerOptions.Primary is required")
+	}
+	if _, err := url.Parse(opts.Primary); err != nil {
+		return nil, fmt.Errorf("replica: bad primary URL: %w", err)
+	}
+	if opts.Store == nil {
+		return nil, errors.New("replica: FollowerOptions.Store is required")
+	}
+	return &Follower{opts: opts.withDefaults(), colls: make(map[string]*collState)}, nil
+}
+
+// Store returns the store the follower applies into (the replica's query
+// surface).
+func (f *Follower) Store() *ingest.Store { return f.opts.Store }
+
+// Primary returns the primary's base URL.
+func (f *Follower) Primary() string { return f.opts.Primary }
+
+// Run discovers the primary's collections and tails each until ctx is
+// cancelled, then waits for every tailer to stop. It always returns nil on
+// cancellation: losing the primary is an operational state (reported via
+// Status), not a fatal error.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		if err := f.discover(ctx); err != nil && ctx.Err() == nil {
+			f.opts.Logf("replica: discovering collections on %s: %v", f.opts.Primary, err)
+		}
+		select {
+		case <-ctx.Done():
+			f.wg.Wait()
+			return nil
+		case <-time.After(f.opts.DiscoverInterval):
+		}
+	}
+}
+
+// discover fetches the primary's collection list and starts a tailer for
+// every collection not yet followed. Collections are never dropped: a
+// collection deleted on the primary simply stops producing records.
+func (f *Follower) discover(ctx context.Context) error {
+	var stats struct {
+		Collections []struct {
+			Name string `json:"name"`
+		} `json:"collections"`
+		Role string `json:"role"`
+	}
+	if err := f.getJSON(ctx, "/v1/stats", &stats); err != nil {
+		return err
+	}
+	if stats.Role != "" && stats.Role != "primary" {
+		f.opts.Logf("replica: %s reports role %q; only primaries serve the replication feed",
+			f.opts.Primary, stats.Role)
+	}
+	for _, c := range stats.Collections {
+		f.mu.Lock()
+		_, known := f.colls[c.Name]
+		if !known {
+			cs := &collState{}
+			f.colls[c.Name] = cs
+			f.wg.Add(1)
+			go f.tail(ctx, c.Name, cs)
+		}
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// tail is one collection's replication loop: bootstrap from a snapshot, then
+// poll the WAL feed, applying each chunk; on any error reconnect with
+// exponential backoff, and on an epoch change re-bootstrap.
+func (f *Follower) tail(ctx context.Context, coll string, cs *collState) {
+	defer f.wg.Done()
+	backoff := f.opts.PollInterval
+	needSnapshot := true
+	for ctx.Err() == nil {
+		var err error
+		var idle bool
+		if needSnapshot {
+			err = f.bootstrap(ctx, coll, cs)
+			if err == nil {
+				needSnapshot = false
+			}
+		} else {
+			needSnapshot, idle, err = f.poll(ctx, coll, cs)
+		}
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			cs.mu.Lock()
+			cs.connected = false
+			cs.lastErr = err.Error()
+			cs.mu.Unlock()
+			f.opts.Logf("replica: %s: %v (retrying in %v)", coll, err, backoff)
+			if !f.sleep(ctx, backoff) {
+				return
+			}
+			if backoff *= 2; backoff > f.opts.MaxBackoff {
+				backoff = f.opts.MaxBackoff
+			}
+		case idle:
+			backoff = f.opts.PollInterval
+			if !f.sleep(ctx, f.opts.PollInterval) {
+				return
+			}
+		default:
+			// Progress was made (snapshot applied, records applied, or a
+			// re-bootstrap was requested): continue immediately.
+			backoff = f.opts.PollInterval
+		}
+	}
+}
+
+// bootstrap fetches and applies one snapshot.
+func (f *Follower) bootstrap(ctx context.Context, coll string, cs *collState) error {
+	snap, err := f.fetchSnapshot(ctx, coll)
+	if err != nil {
+		return err
+	}
+	if err := f.opts.Store.ApplySnapshot(snap); err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	cs.epoch = snap.Position.Epoch
+	cs.applied = snap.Position.Offset
+	cs.appliedRecs = snap.Position.Records
+	cs.primary = snap.Position.Offset
+	cs.primaryRecs = snap.Position.Records
+	cs.snapshots++
+	cs.connected = true
+	cs.lastErr = ""
+	cs.bootstrapped = true
+	cs.mu.Unlock()
+	f.opts.Logf("replica: %s: bootstrapped %d documents at epoch %d offset %d",
+		coll, len(snap.IDs), snap.Position.Epoch, snap.Position.Offset)
+	return nil
+}
+
+// poll fetches and applies one WAL chunk. It reports whether the follower
+// must re-bootstrap and whether it is caught up (idle).
+func (f *Follower) poll(ctx context.Context, coll string, cs *collState) (resnapshot, idle bool, err error) {
+	cs.mu.Lock()
+	epoch, from := cs.epoch, cs.applied
+	cs.mu.Unlock()
+	chunk, err := f.fetchWAL(ctx, coll, epoch, from)
+	if err != nil {
+		return false, false, err
+	}
+	if chunk.SnapshotRequired {
+		f.opts.Logf("replica: %s: position (epoch %d, offset %d) is gone (primary at epoch %d); re-bootstrapping",
+			coll, epoch, from, chunk.Epoch)
+		return true, false, nil
+	}
+	recs, n, err := decodeFrames(chunk.Frames)
+	if err != nil {
+		// The feed only ships whole frames; a partial or undecodable chunk
+		// means the stream is damaged. Re-bootstrap rather than guess.
+		f.opts.Logf("replica: %s: %v; re-bootstrapping", coll, err)
+		return true, false, nil
+	}
+	if len(recs) > 0 {
+		if err := f.opts.Store.Apply(coll, recs); err != nil {
+			return false, false, err
+		}
+	}
+	cs.mu.Lock()
+	cs.applied = from + n
+	cs.appliedRecs += int64(len(recs))
+	cs.primary = chunk.Committed
+	cs.primaryRecs = chunk.Records
+	cs.connected = true
+	cs.lastErr = ""
+	caughtUp := cs.applied >= cs.primary
+	cs.mu.Unlock()
+	return false, caughtUp, nil
+}
+
+// decodeFrames decodes a chunk's raw frames, requiring every byte to belong
+// to a whole record.
+func decodeFrames(frames []byte) ([]ingest.WALRecord, int64, error) {
+	if len(frames) == 0 {
+		return nil, 0, nil
+	}
+	recs, valid, err := ingest.ScanWAL(bytes.NewReader(frames))
+	if err != nil {
+		return nil, 0, err
+	}
+	if valid != int64(len(frames)) {
+		return nil, 0, fmt.Errorf("replica: chunk of %d bytes holds only %d bytes of whole frames", len(frames), valid)
+	}
+	return recs, valid, nil
+}
+
+// sleep waits d or until ctx is done, reporting whether to keep running.
+func (f *Follower) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// getJSON fetches a primary endpoint and decodes its JSON body.
+func (f *Follower) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.opts.Primary+path, nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("replica: GET %s: bad JSON: %w", path, err)
+	}
+	return nil
+}
+
+// fetchWAL polls the primary's WAL feed.
+func (f *Follower) fetchWAL(ctx context.Context, coll string, epoch uint64, from int64) (*WALChunk, error) {
+	q := url.Values{}
+	q.Set("collection", coll)
+	q.Set("epoch", strconv.FormatUint(epoch, 10))
+	q.Set("from", strconv.FormatInt(from, 10))
+	var chunk WALChunk
+	if err := f.getJSON(ctx, "/v1/replication/wal?"+q.Encode(), &chunk); err != nil {
+		return nil, err
+	}
+	return &chunk, nil
+}
+
+// fetchSnapshot downloads one bootstrap snapshot.
+func (f *Follower) fetchSnapshot(ctx context.Context, coll string) (*ingest.ReplicaSnapshot, error) {
+	q := url.Values{}
+	q.Set("collection", coll)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.opts.Primary+"/v1/replication/snapshot?"+q.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("replica: snapshot of %q: %s: %s", coll, resp.Status, bytes.TrimSpace(body))
+	}
+	return ReadSnapshot(resp.Body)
+}
+
+// Status reports per-collection replication lag in name order.
+func (f *Follower) Status() []CollectionLag {
+	f.mu.Lock()
+	names := make([]string, 0, len(f.colls))
+	for n := range f.colls {
+		names = append(names, n)
+	}
+	states := make(map[string]*collState, len(f.colls))
+	for n, cs := range f.colls {
+		states[n] = cs
+	}
+	f.mu.Unlock()
+	sort.Strings(names)
+	out := make([]CollectionLag, 0, len(names))
+	for _, n := range names {
+		cs := states[n]
+		cs.mu.Lock()
+		lag := CollectionLag{
+			Collection:     n,
+			Epoch:          cs.epoch,
+			AppliedOffset:  cs.applied,
+			AppliedRecords: cs.appliedRecs,
+			PrimaryOffset:  cs.primary,
+			PrimaryRecords: cs.primaryRecs,
+			LagBytes:       cs.primary - cs.applied,
+			LagRecords:     cs.primaryRecs - cs.appliedRecs,
+			Snapshots:      cs.snapshots,
+			Connected:      cs.connected,
+			LastError:      cs.lastErr,
+		}
+		cs.mu.Unlock()
+		if lag.LagBytes < 0 {
+			lag.LagBytes = 0
+		}
+		if lag.LagRecords < 0 {
+			lag.LagRecords = 0
+		}
+		out = append(out, lag)
+	}
+	return out
+}
+
+// CaughtUp reports whether every discovered collection is bootstrapped,
+// connected, and fully applied up to the primary head observed at the last
+// contact. It is false until discovery has seen at least one collection.
+func (f *Follower) CaughtUp() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.colls) == 0 {
+		return false
+	}
+	for _, cs := range f.colls {
+		cs.mu.Lock()
+		ok := cs.bootstrapped && cs.connected && cs.applied >= cs.primary
+		cs.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+// Package replica is the log-shipping replication layer: it lets read
+// replicas of the ustridxd serving tier tail a primary's write-ahead logs
+// over HTTP and serve bit-identical query results.
+//
+// The primary side (Feed) exposes two resources per collection:
+//
+//   - the WAL stream: whole log frames addressed by (epoch, byte offset),
+//     exactly the bytes internal/ingest appends. The epoch is bumped
+//     whenever the log's byte history is invalidated (compaction, torn-tail
+//     repair), so an (epoch, offset) pair names one immutable byte range
+//     forever;
+//   - the snapshot: a gob-encoded image of the complete live document set
+//     together with the WAL position it is consistent with, used for
+//     bootstrap and for recovering from an epoch change.
+//
+// The follower side (Follower) discovers the primary's collections, fetches
+// a snapshot for each, applies it into its own ingest.Store through the
+// apply-without-logging path, then tails the WAL stream — decoding frames
+// with ingest.ScanWAL and applying the records batch by batch. A follower
+// that falls off the stream (primary compacted, primary restarted after a
+// crash, arbitrary network failure) re-bootstraps from a fresh snapshot;
+// index construction is skipped for documents whose content is unchanged,
+// so recovering from a compaction costs no rebuilds.
+//
+// Invariants:
+//
+//   - frames returned by the feed always end on a record boundary, so a
+//     follower never buffers partial frames across polls;
+//   - a snapshot's Position replays nothing older than the snapshot:
+//     tailing from it observes exactly the mutations after the image;
+//   - applying the same final document set yields bit-identical
+//     Search/TopK/Count answers on primary and follower (both are
+//     equivalent to a static catalog over that set).
+package replica
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/ingest"
+)
+
+// DefaultMaxChunkBytes bounds one WAL feed response (before the
+// whole-first-frame guarantee, which may exceed it for oversized records).
+const DefaultMaxChunkBytes = 1 << 20
+
+// WALChunk is the JSON body answering a WAL feed request. Frames holds raw
+// log frames (base64 over the wire) starting at From in epoch Epoch;
+// Committed and Records describe the primary's current committed head, so a
+// caught-up follower still learns how far behind it is.
+type WALChunk struct {
+	Collection string `json:"collection"`
+	Epoch      uint64 `json:"epoch"`
+	From       int64  `json:"from"`
+	Committed  int64  `json:"committed"`
+	Records    int64  `json:"records"`
+	Frames     []byte `json:"frames,omitempty"`
+	// SnapshotRequired tells the follower its (epoch, from) position does
+	// not name live history — the log was compacted or repaired since — and
+	// it must re-bootstrap from a snapshot.
+	SnapshotRequired bool `json:"snapshot_required,omitempty"`
+}
+
+// Feed is the primary-side replication surface over an ingest store.
+type Feed struct {
+	st *ingest.Store
+	// MaxChunkBytes bounds one WAL response; 0 means DefaultMaxChunkBytes.
+	MaxChunkBytes int
+}
+
+// NewFeed builds the feed over a primary's store.
+func NewFeed(st *ingest.Store) *Feed { return &Feed{st: st} }
+
+// WAL answers one feed poll: frames from (epoch, from), or a
+// snapshot-required signal when that position is not live history. Unknown
+// collections and a closed store surface as the store's sentinel errors.
+func (f *Feed) WAL(coll string, epoch uint64, from int64) (*WALChunk, error) {
+	max := f.MaxChunkBytes
+	if max <= 0 {
+		max = DefaultMaxChunkBytes
+	}
+	frames, pos, err := f.st.ReadWAL(coll, from, max)
+	if err != nil {
+		return nil, err
+	}
+	chunk := &WALChunk{
+		Collection: coll,
+		Epoch:      pos.Epoch,
+		From:       from,
+		Committed:  pos.Offset,
+		Records:    pos.Records,
+	}
+	if epoch != pos.Epoch || from < 0 || from > pos.Offset {
+		chunk.SnapshotRequired = true
+		return chunk, nil
+	}
+	chunk.Frames = frames
+	return chunk, nil
+}
+
+// snapshotFormat tags the snapshot wire layout; bump on incompatible change.
+const snapshotFormat = 1
+
+// snapshotWire wraps the store's snapshot with a format tag for the wire.
+type snapshotWire struct {
+	Format   int
+	Snapshot *ingest.ReplicaSnapshot
+}
+
+// WriteSnapshot captures and streams a bootstrap snapshot of one collection.
+func (f *Feed) WriteSnapshot(w io.Writer, coll string) error {
+	snap, err := f.st.Snapshot(coll)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(snapshotWire{Format: snapshotFormat, Snapshot: snap}); err != nil {
+		return fmt.Errorf("replica: encoding snapshot of %q: %w", coll, err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*ingest.ReplicaSnapshot, error) {
+	var wire snapshotWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("replica: decoding snapshot: %w", err)
+	}
+	if wire.Format != snapshotFormat {
+		return nil, fmt.Errorf("replica: unsupported snapshot format %d (want %d)", wire.Format, snapshotFormat)
+	}
+	if wire.Snapshot == nil {
+		return nil, fmt.Errorf("replica: snapshot body missing")
+	}
+	return wire.Snapshot, nil
+}

@@ -9,11 +9,17 @@ import (
 	"repro/internal/ustring"
 )
 
-// errReadOnly answers mutation requests on a server built without an ingest
-// store.
-var errReadOnly = &httpError{
-	status: http.StatusForbidden,
-	msg:    "read-only server: start the daemon with -wal to enable mutations",
+// readOnlyError answers mutation requests on a server that accepts no
+// writes, naming where writes should go instead.
+func (s *Server) readOnlyError() *httpError {
+	msg := "read-only server: start the daemon with -wal to enable mutations"
+	if s.role == RoleReplica {
+		msg = "read-only replica: send mutations to the primary"
+		if s.follower != nil {
+			msg += " at " + s.follower.Primary()
+		}
+	}
+	return &httpError{status: http.StatusForbidden, msg: msg}
 }
 
 // mutationStatus maps ingest-layer sentinel errors onto HTTP statuses;
@@ -64,8 +70,8 @@ type CompactResponse struct {
 // handlePut parses the request body as one uncertain string in the text
 // encoding and inserts or replaces it under the path's document id.
 func (s *Server) handlePut(r *http.Request) (any, error) {
-	if s.ingest == nil {
-		return nil, errReadOnly
+	if !s.mutable() {
+		return nil, s.readOnlyError()
 	}
 	coll := r.PathValue("collection")
 	id := r.PathValue("doc")
@@ -92,8 +98,8 @@ func (s *Server) handlePut(r *http.Request) (any, error) {
 
 // handleDelete tombstones one document.
 func (s *Server) handleDelete(r *http.Request) (any, error) {
-	if s.ingest == nil {
-		return nil, errReadOnly
+	if !s.mutable() {
+		return nil, s.readOnlyError()
 	}
 	coll := r.PathValue("collection")
 	id := r.PathValue("doc")
@@ -115,8 +121,8 @@ func (s *Server) handleDelete(r *http.Request) (any, error) {
 // handleCompact folds the named collection (or, without a collection
 // parameter, every collection) synchronously.
 func (s *Server) handleCompact(r *http.Request) (any, error) {
-	if s.ingest == nil {
-		return nil, errReadOnly
+	if !s.mutable() {
+		return nil, s.readOnlyError()
 	}
 	resp := &CompactResponse{Compacted: []string{}}
 	if name := r.URL.Query().Get("collection"); name != "" {

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleReplicationWAL answers one follower poll against the primary's WAL
+// feed: frames from the requested (epoch, from), or a snapshot-required
+// signal when that position no longer names live history.
+func (s *Server) handleReplicationWAL(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	coll := q.Get("collection")
+	if coll == "" {
+		return nil, badRequest("missing collection parameter")
+	}
+	var epoch uint64
+	if raw := q.Get("epoch"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return nil, badRequest("bad epoch %q", raw)
+		}
+		epoch = v
+	}
+	var from int64
+	if raw := q.Get("from"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return nil, badRequest("bad from offset %q", raw)
+		}
+		from = v
+	}
+	chunk, err := s.feed.WAL(coll, epoch, from)
+	if err != nil {
+		return nil, mutationStatus(err)
+	}
+	return chunk, nil
+}
+
+// handleReplicationSnapshot streams a gob-encoded bootstrap snapshot of one
+// collection. Unlike the JSON endpoints it writes a binary body, so it
+// bypasses the limited() wrapper and does its own accounting; the snapshot
+// is buffered before the status is committed so an encoding failure can
+// still answer with a proper error response.
+func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats.endpoint("replication_snapshot")
+	ep.requests.Add(1)
+	if r.Method != http.MethodGet {
+		ep.errors.Add(1)
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		return
+	}
+	coll := r.URL.Query().Get("collection")
+	if coll == "" {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing collection parameter"})
+		return
+	}
+	// Snapshots buffer a full copy of the collection, so they must respect
+	// the in-flight bound like every other expensive request — a fleet of
+	// replicas bootstrapping at once is otherwise an unbounded memory
+	// amplifier.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
+		return
+	}
+	begin := time.Now()
+	var buf bytes.Buffer
+	err := s.feed.WriteSnapshot(&buf, coll)
+	ep.observe(time.Since(begin))
+	if err != nil {
+		ep.errors.Add(1)
+		err = mutationStatus(err)
+		writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
+}

@@ -10,12 +10,18 @@
 //	PUT /v1/collections/{c}/documents/{id}         insert/replace a document
 //	DELETE /v1/collections/{c}/documents/{id}      delete a document
 //	POST /v1/compact[?collection=C]                fold delta into base
-//	GET /v1/stats                                  counters and collections
+//	GET /v1/replication/wal?collection=C&epoch=E&from=O   tail the WAL feed
+//	GET /v1/replication/snapshot?collection=C      bootstrap snapshot (gob)
+//	GET /v1/stats                                  counters, collections, role
 //	GET /healthz                                   liveness
 //
-// The mutation endpoints are live when the server is built over an ingest
-// store (NewIngest); a read-only server (New) answers them with 403. The
-// document body of a PUT is the text encoding of internal/ustring.
+// The mutation endpoints are live when the server is a primary over an
+// ingest store (NewIngest); a static server (New) and a replica
+// (NewReplica) answer them with 403. The replication endpoints exist only
+// on primaries; /v1/stats carries a "role" field (static, primary or
+// replica) so clients and followers can tell the three apart, and on a
+// replica a "replication" section with per-collection lag. The document
+// body of a PUT is the text encoding of internal/ustring.
 //
 // The server keeps an LRU cache of successful results keyed by
 // (operation, collection-instance, pattern, tau-or-k), bounds the number of
@@ -39,6 +45,23 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/replica"
+)
+
+// Role names what this server is, reported in /v1/stats so operators (and
+// followers probing a would-be primary) can tell a static catalog, a
+// mutable primary, and a read replica apart.
+type Role string
+
+// Server roles.
+const (
+	// RoleStatic serves an immutable catalog; mutations answer 403.
+	RoleStatic Role = "static"
+	// RolePrimary serves a mutable ingest store and the replication feed.
+	RolePrimary Role = "primary"
+	// RoleReplica serves a store replicated from a primary; mutations
+	// answer 403 and must go to the primary.
+	RoleReplica Role = "replica"
 )
 
 // Config tunes the server. The zero value is usable.
@@ -155,34 +178,48 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP handler serving a catalog or an ingest store.
+// Server is the HTTP handler serving a catalog, an ingest store, or a
+// replicated store.
 type Server struct {
-	src    source
-	ingest *ingest.Store // nil on a read-only server
-	cfg    Config
-	cache  *lru
-	stats  *stats
-	sem    chan struct{}
-	mux    *http.ServeMux
-	start  time.Time
+	src      source
+	role     Role
+	ingest   *ingest.Store     // the local store; nil on a static server
+	feed     *replica.Feed     // primary only
+	follower *replica.Follower // replica only
+	cfg      Config
+	cache    *lru
+	stats    *stats
+	sem      chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
 }
 
 // New builds a read-only server over cat; mutation endpoints answer 403.
 func New(cat *catalog.Catalog, cfg Config) *Server {
-	return newServer(catalogSource{cat}, nil, cfg)
+	return newServer(catalogSource{cat}, RoleStatic, nil, cfg)
 }
 
-// NewIngest builds a mutable server over an ingest store: queries are
-// answered from each collection's current snapshot, and the mutation
-// endpoints are live.
+// NewIngest builds a mutable primary over an ingest store: queries are
+// answered from each collection's current snapshot, the mutation endpoints
+// are live, and followers can tail the replication feed.
 func NewIngest(st *ingest.Store, cfg Config) *Server {
-	return newServer(ingestSource{st}, st, cfg)
+	return newServer(ingestSource{st}, RolePrimary, st, cfg)
 }
 
-func newServer(src source, st *ingest.Store, cfg Config) *Server {
+// NewReplica builds a read-only server over a follower's replicated store:
+// queries are answered from the follower's views, mutations answer 403
+// pointing at the primary, and /v1/stats reports replication lag.
+func NewReplica(f *replica.Follower, cfg Config) *Server {
+	s := newServer(ingestSource{f.Store()}, RoleReplica, f.Store(), cfg)
+	s.follower = f
+	return s
+}
+
+func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		src:    src,
+		role:   role,
 		ingest: st,
 		cfg:    cfg,
 		stats:  newStats(),
@@ -204,8 +241,17 @@ func newServer(src source, st *ingest.Store, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/collections/{collection}/documents/{doc}",
 		s.limited("delete", http.MethodDelete, s.handleDelete))
 	s.mux.HandleFunc("/v1/compact", s.limited("compact", http.MethodPost, s.handleCompact))
+	if role == RolePrimary {
+		s.feed = replica.NewFeed(st)
+		s.mux.HandleFunc("/v1/replication/wal",
+			s.limited("replication_wal", http.MethodGet, s.handleReplicationWAL))
+		s.mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
+	}
 	return s
 }
+
+// mutable reports whether this server accepts writes.
+func (s *Server) mutable() bool { return s.role == RolePrimary && s.ingest != nil }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -582,6 +628,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	out := map[string]any{
+		"role":        string(s.role),
 		"collections": colls,
 		"endpoints":   s.stats.snapshot(),
 		"inflight": map[string]any{
@@ -590,13 +637,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	if s.ingest != nil {
+		out["ingest"] = s.ingest.Status()
+	}
+	if s.mutable() {
 		puts, deletes, compactions := s.ingest.Counters()
 		out["mutations"] = map[string]any{
 			"puts":        puts,
 			"deletes":     deletes,
 			"compactions": compactions,
 		}
-		out["ingest"] = s.ingest.Status()
+	}
+	if s.follower != nil {
+		out["replication"] = map[string]any{
+			"primary":     s.follower.Primary(),
+			"caught_up":   s.follower.CaughtUp(),
+			"collections": s.follower.Status(),
+		}
 	}
 	if s.cache != nil {
 		hits, misses := s.stats.cacheCounts()

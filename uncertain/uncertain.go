@@ -51,6 +51,16 @@
 // queries bit-identically to a statically built catalog over the same final
 // document set.
 //
+// # Replication
+//
+// A mutable store's write-ahead logs double as a replication feed: a
+// primary daemon serves them over HTTP, and a Follower (NewFollower) tails
+// them into a local read-only IngestStore — bootstrapping from a snapshot,
+// resuming from its byte offset after reconnects, and re-bootstrapping when
+// the primary compacts a log away. A caught-up follower answers
+// Search/TopK/Count bit-identically to its primary. See cmd/ustridxd's
+// -follow flag for the packaged replica daemon.
+//
 // See the examples directory for complete programs modelled on the paper's
 // motivating applications (genomics, ECG annotation streams, RFID event
 // monitoring).
@@ -66,6 +76,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/ingest"
 	"repro/internal/listing"
+	"repro/internal/replica"
 	"repro/internal/special"
 	"repro/internal/ustring"
 )
@@ -251,4 +262,31 @@ type PutResult = ingest.PutResult
 // release the logs.
 func OpenIngest(cat *Catalog, opts IngestOptions) (*IngestStore, error) {
 	return ingest.Open(cat, opts)
+}
+
+// WALRecord is one logged (and replicated) mutation of an IngestStore.
+type WALRecord = ingest.WALRecord
+
+// ReplicaSnapshot is the bootstrap image a primary hands a follower: one
+// collection's complete live document set plus the log position it is
+// consistent with.
+type ReplicaSnapshot = ingest.ReplicaSnapshot
+
+// Follower tails a primary daemon's write-ahead logs into a local
+// IngestStore, turning it into a read replica with bit-identical query
+// results. Drive it with Run; inspect lag with Status.
+type Follower = replica.Follower
+
+// FollowerOptions configures a Follower (primary URL, target store, poll
+// cadence).
+type FollowerOptions = replica.FollowerOptions
+
+// CollectionLag is one collection's replication state (applied and primary
+// offsets, lag, bootstrap count).
+type CollectionLag = replica.CollectionLag
+
+// NewFollower validates opts and builds a replication follower; call Run to
+// start tailing the primary.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	return replica.NewFollower(opts)
 }

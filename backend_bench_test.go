@@ -1,0 +1,247 @@
+// Backend benchmarks: the memory/latency trade-off between the plain
+// (suffix array + RMQ levels) and compressed (FM-index) per-document index
+// backends, measured — not asserted — on one standard generated workload.
+// TestWriteBench4JSON snapshots the numbers to BENCH_4.json (set BENCH4_OUT)
+// for the repo's perf trajectory; CI regenerates and uploads it on every
+// run.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+// The standard backend workload: a catalog collection of moderate documents
+// (long enough that per-document constants do not dominate either backend).
+const (
+	backendBenchDocs   = 48
+	backendBenchDocLen = 1200
+	backendBenchTheta  = 0.3
+	backendBenchTauMin = 0.1
+	backendBenchTau    = 0.12
+)
+
+type backendBenchState struct {
+	docs  []*ustring.String
+	colls map[string]*catalog.Collection // backend → collection
+	pats  map[int][][]byte               // pattern length → patterns
+}
+
+var (
+	backendBenchOnce sync.Once
+	backendBench     backendBenchState
+)
+
+func backendBenchSetup(tb testing.TB) *backendBenchState {
+	tb.Helper()
+	backendBenchOnce.Do(func() {
+		st := &backendBench
+		st.docs = make([]*ustring.String, backendBenchDocs)
+		for i := range st.docs {
+			st.docs[i] = gen.Single(gen.Config{
+				N: backendBenchDocLen, Theta: backendBenchTheta, Seed: int64(1000 + i),
+			})
+		}
+		st.colls = make(map[string]*catalog.Collection)
+		for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+			c := catalog.New(catalog.Options{TauMin: backendBenchTauMin, Shards: 4})
+			col, err := c.AddWithBackend("bench", st.docs, backend)
+			if err != nil {
+				panic(err)
+			}
+			st.colls[backend] = col
+		}
+		st.pats = make(map[int][][]byte)
+		for _, m := range []int{4, 12} {
+			st.pats[m] = gen.CollectionPatterns(st.docs, 32, m, 19)
+		}
+	})
+	return &backendBench
+}
+
+// bytesPerDoc is the headline space metric of a collection.
+func bytesPerDoc(col *catalog.Collection) float64 {
+	return float64(col.IndexBytes()) / float64(col.Docs())
+}
+
+func BenchmarkBackendSearch(b *testing.B) {
+	st := backendBenchSetup(b)
+	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		col := st.colls[backend]
+		for _, m := range []int{4, 12} {
+			b.Run(fmt.Sprintf("backend=%s/m=%d", backend, m), func(b *testing.B) {
+				pats := st.pats[m]
+				b.ReportMetric(bytesPerDoc(col), "index-B/doc")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := col.Search(pats[i%len(pats)], backendBenchTau); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBackendTopK(b *testing.B) {
+	st := backendBenchSetup(b)
+	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		col := st.colls[backend]
+		b.Run("backend="+backend, func(b *testing.B) {
+			pats := st.pats[4]
+			b.ReportMetric(bytesPerDoc(col), "index-B/doc")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.TopK(pats[i%len(pats)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBackendCount(b *testing.B) {
+	st := backendBenchSetup(b)
+	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		col := st.colls[backend]
+		b.Run("backend="+backend, func(b *testing.B) {
+			pats := st.pats[4]
+			b.ReportMetric(bytesPerDoc(col), "index-B/doc")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.Count(pats[i%len(pats)], backendBenchTau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBackendBuild(b *testing.B) {
+	st := backendBenchSetup(b)
+	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				doc := st.docs[i%len(st.docs)]
+				if _, err := core.BuildBackend(backend, doc, backendBenchTauMin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// bench4Backend is one backend's measured slice of BENCH_4.json.
+type bench4Backend struct {
+	BytesPerDoc     float64          `json:"bytes_per_doc"`
+	TotalIndexBytes int              `json:"total_index_bytes"`
+	BuildNsPerDoc   int64            `json:"build_ns_per_doc"`
+	SearchNsPerOp   map[string]int64 `json:"search_ns_per_op"`
+	TopKNsPerOp     int64            `json:"topk_ns_per_op"`
+	CountNsPerOp    int64            `json:"count_ns_per_op"`
+}
+
+// bench4 is the BENCH_4.json document.
+type bench4 struct {
+	Bench    string `json:"bench"`
+	Workload struct {
+		Docs            int     `json:"docs"`
+		PositionsPerDoc int     `json:"positions_per_doc"`
+		Theta           float64 `json:"theta"`
+		TauMin          float64 `json:"tau_min"`
+		Tau             float64 `json:"tau"`
+	} `json:"workload"`
+	Backends         map[string]bench4Backend `json:"backends"`
+	BytesPerDocRatio float64                  `json:"bytes_per_doc_ratio_plain_over_compressed"`
+}
+
+// TestWriteBench4JSON measures both backends on the standard workload and
+// writes the snapshot named by BENCH4_OUT (skipped when unset, so the
+// regular test run stays fast). CI runs it in the bench-smoke step and
+// uploads the file as a workflow artifact.
+func TestWriteBench4JSON(t *testing.T) {
+	out := os.Getenv("BENCH4_OUT")
+	if out == "" {
+		t.Skip("BENCH4_OUT not set")
+	}
+	st := backendBenchSetup(t)
+	doc := bench4{Bench: "index backend comparison (plain vs compressed)"}
+	doc.Workload.Docs = backendBenchDocs
+	doc.Workload.PositionsPerDoc = backendBenchDocLen
+	doc.Workload.Theta = backendBenchTheta
+	doc.Workload.TauMin = backendBenchTauMin
+	doc.Workload.Tau = backendBenchTau
+	doc.Backends = make(map[string]bench4Backend)
+	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		col := st.colls[backend]
+		entry := bench4Backend{
+			BytesPerDoc:     bytesPerDoc(col),
+			TotalIndexBytes: col.IndexBytes(),
+			SearchNsPerOp:   make(map[string]int64),
+		}
+		build := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildBackend(backend, st.docs[i%len(st.docs)], backendBenchTauMin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.BuildNsPerDoc = build.NsPerOp()
+		for _, m := range []int{4, 12} {
+			pats := st.pats[m]
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := col.Search(pats[i%len(pats)], backendBenchTau); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			entry.SearchNsPerOp[fmt.Sprintf("m=%d", m)] = r.NsPerOp()
+		}
+		topk := testing.Benchmark(func(b *testing.B) {
+			pats := st.pats[4]
+			for i := 0; i < b.N; i++ {
+				if _, err := col.TopK(pats[i%len(pats)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.TopKNsPerOp = topk.NsPerOp()
+		count := testing.Benchmark(func(b *testing.B) {
+			pats := st.pats[4]
+			for i := 0; i < b.N; i++ {
+				if _, err := col.Count(pats[i%len(pats)], backendBenchTau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.CountNsPerOp = count.NsPerOp()
+		doc.Backends[backend] = entry
+	}
+	doc.BytesPerDocRatio = doc.Backends[core.BackendPlain].BytesPerDoc /
+		doc.Backends[core.BackendCompressed].BytesPerDoc
+	if doc.BytesPerDocRatio < 2 {
+		t.Errorf("compressed backend saves only %.2fx on bytes/doc (acceptance bar: ≥ 2x)",
+			doc.BytesPerDocRatio)
+	}
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: plain %.0f B/doc, compressed %.0f B/doc (%.2fx)", out,
+		doc.Backends[core.BackendPlain].BytesPerDoc,
+		doc.Backends[core.BackendCompressed].BytesPerDoc,
+		doc.BytesPerDocRatio)
+}

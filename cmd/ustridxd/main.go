@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
-//	         [-index-cache DIR] [-cache-entries 1024] [-inflight 0]
+//	         [-backend plain|compressed] [-index-cache DIR]
+//	         [-cache-entries 1024] [-inflight 0]
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
 //	ustridxd -follow URL [-addr :7332] [-taumin 0.1] [-follow-poll 250ms]
@@ -14,6 +15,14 @@
 // (see internal/ustring's text encoding) and served under its base name.
 // With -index-cache, built indexes are persisted to (and on restart loaded
 // from) the given directory, skipping the expensive Lemma 2 transformation.
+//
+// -backend selects the default index representation: "plain" (the paper's
+// suffix-array structure; fastest queries) or "compressed" (FM-index;
+// several-fold smaller resident memory at a bounded query-time cost).
+// Results are bit-identical either way. Mutable collections may override
+// the default per collection at creation time via the PUT backend query
+// parameter; /v1/stats reports every collection's backend and index bytes.
+// See OPERATIONS.md for capacity planning.
 //
 // With -wal, the daemon serves a mutable catalog: documents can be added,
 // replaced and deleted at runtime through PUT/DELETE
@@ -71,6 +80,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "query fan-out shards per collection (0 = GOMAXPROCS, capped at 16)")
 	workers := fs.Int("workers", 0, "index build worker pool size (0 = GOMAXPROCS)")
 	longCap := fs.Int("longcap", 0, "long-pattern blocking cap (0 = library default)")
+	backend := fs.String("backend", core.BackendPlain, "index backend for collections: plain (fastest queries) or compressed (FM-index; several-fold smaller resident memory, results bit-identical)")
 	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
 	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
@@ -82,7 +92,11 @@ func run(args []string) error {
 	followPoll := fs.Duration("follow-poll", replica.DefaultPollInterval, "WAL poll interval in replica mode")
 	fs.Parse(args)
 
-	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap}
+	backendName, err := core.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap, Backend: backendName}
 	cfgBase := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
 	if *follow != "" {
 		if *data != "" || *wal != "" {
@@ -98,8 +112,8 @@ func run(args []string) error {
 		return err
 	}
 	for _, info := range cat.Stats() {
-		log.Printf("collection %q: %d documents, %d positions, %d shards, taumin %g",
-			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin)
+		log.Printf("collection %q: %d documents, %d positions, %d shards, taumin %g, %s backend (%d index bytes)",
+			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin, info.Backend, info.IndexBytes)
 	}
 
 	cfg := cfgBase
@@ -272,6 +286,9 @@ func cacheMismatch(cat *catalog.Catalog, dataDir string) error {
 		}
 		if effectiveLongCap(info.LongCap) != effectiveLongCap(want.LongCap) {
 			return fmt.Errorf("was built with longcap %d (want %d)", info.LongCap, want.LongCap)
+		}
+		if info.Backend != want.Backend {
+			return fmt.Errorf("was built with the %s backend (want %s)", info.Backend, want.Backend)
 		}
 	}
 	sources, err := catalog.ScanDir(dataDir)

@@ -1,11 +1,17 @@
 // Package repro is a from-scratch Go reproduction of "Probabilistic
 // Threshold Indexing for Uncertain Strings" (Thankachan, Patil, Shah,
-// Biswas; EDBT 2016, arXiv:1509.08608).
+// Biswas; EDBT 2016, arXiv:1509.08608), grown into a servable system: the
+// paper's index library, a sharded multi-document catalog with pluggable
+// per-collection index backends (plain suffix-array or compressed
+// FM-index), WAL-backed live ingestion, and log-shipping read replicas —
+// all answering queries bit-identically through every layer.
 //
 // The public API lives in repro/uncertain; the executables in cmd/ustridx
-// (CLI) and cmd/experiments (figure reproductions); runnable programs
-// modelled on the paper's motivating applications in examples/.
+// (CLI), cmd/ustridxd (the HTTP serving daemon) and cmd/experiments
+// (figure reproductions); runnable programs modelled on the paper's
+// motivating applications in examples/.
 //
 // See README.md for an overview, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured record.
+// per-experiment index, EXPERIMENTS.md for the paper-vs-measured record,
+// and OPERATIONS.md for deploying and operating the daemon.
 package repro

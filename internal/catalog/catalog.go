@@ -1,9 +1,11 @@
 // Package catalog manages a sharded, multi-document collection of uncertain
-// strings behind the single-string index of internal/core — the serving-tier
-// counterpart of the paper's single-document library.
+// strings behind the single-string indexes of internal/core — the
+// serving-tier counterpart of the paper's single-document library.
 //
 // A Catalog holds named Collections. Each Collection is a set of uncertain
-// string documents, every document indexed whole by its own core.Index and
+// string documents, every document indexed whole by its own core.Backend —
+// the plain suffix-array index or the compressed FM-index representation,
+// chosen per collection at creation (Options.Backend, AddWithBackend) — and
 // assigned round-robin to one of a fixed number of shards. Queries fan out
 // across shards concurrently and merge the per-shard results:
 //
@@ -15,7 +17,10 @@
 //
 // Because a document is always indexed as one unit, the shard count affects
 // only the fan-out: results are bit-identical for every shard count,
-// including the reported probabilities (see the equivalence test).
+// including the reported probabilities (see the equivalence test). The same
+// holds for the backend choice — both representations compute probabilities
+// through identical arithmetic, so a mixed-backend catalog answers exactly
+// like an all-plain one, trading only memory for query latency.
 //
 // Index construction is the expensive step, so Build runs the per-document
 // builds on a bounded worker pool, and a built catalog can be written to a
@@ -61,11 +66,19 @@ type Options struct {
 	Workers int
 	// LongCap is passed through to core.WithLongCap when positive.
 	LongCap int
+	// Backend selects the default index representation for new collections
+	// (core.BackendPlain or core.BackendCompressed; empty means plain).
+	// Individual collections may override it via AddWithBackend — the
+	// choice affects memory and latency only, never query answers.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
 	if o.TauMin <= 0 {
 		o.TauMin = 0.1
+	}
+	if o.Backend == "" {
+		o.Backend = core.BackendPlain
 	}
 	if o.Shards <= 0 {
 		o.Shards = runtime.GOMAXPROCS(0)
@@ -89,22 +102,24 @@ type DocHit struct {
 	Prob float64
 }
 
-// docIndex pairs a document id with its index.
+// docIndex pairs a document id with its index backend.
 type docIndex struct {
 	doc int
-	ix  *core.Index
+	ix  core.Backend
 }
 
 // Collection is one named, sharded document set. It is immutable after
 // construction and safe for concurrent use.
 type Collection struct {
-	id        uint64
-	name      string
-	tauMin    float64
-	longCap   int
-	shards    [][]docIndex
-	docs      int
-	positions int
+	id         uint64
+	name       string
+	tauMin     float64
+	longCap    int
+	backend    string
+	shards     [][]docIndex
+	docs       int
+	positions  int
+	indexBytes int
 }
 
 // Catalog is a set of named collections. All methods are safe for concurrent
@@ -175,16 +190,32 @@ func Open(dir string, opts Options) (*Catalog, error) {
 }
 
 // Add builds indexes for docs on the catalog's worker pool and registers the
-// collection under name, replacing any previous collection of that name.
+// collection under name, replacing any previous collection of that name. The
+// catalog's default backend is used; AddWithBackend overrides it.
 func (c *Catalog) Add(name string, docs []*ustring.String) (*Collection, error) {
+	return c.AddWithBackend(name, docs, c.opts.Backend)
+}
+
+// AddWithBackend is Add with an explicit index backend for this collection
+// (empty means the catalog default). Collections of different backends
+// coexist in one catalog and answer queries bit-identically; only their
+// memory footprint and query latency differ.
+func (c *Catalog) AddWithBackend(name string, docs []*ustring.String, backend string) (*Collection, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty collection name")
 	}
-	ixs, err := c.buildAll(docs)
+	if backend == "" {
+		backend = c.opts.Backend
+	}
+	backend, err := core.ParseBackend(backend)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
-	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, ixs)
+	ixs, err := c.buildAll(docs, backend)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
+	}
+	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, backend, ixs)
 	c.mu.Lock()
 	c.colls[name] = col
 	c.mu.Unlock()
@@ -215,16 +246,17 @@ func (c *Catalog) runPool(n int, fn func(i int) error) error {
 	return nil
 }
 
-// buildAll builds one index per document on the worker pool.
-func (c *Catalog) buildAll(docs []*ustring.String) ([]*core.Index, error) {
+// buildAll builds one index per document on the worker pool, all with the
+// same backend.
+func (c *Catalog) buildAll(docs []*ustring.String, backend string) ([]core.Backend, error) {
 	var buildOpts []core.Option
 	if c.opts.LongCap > 0 {
 		buildOpts = append(buildOpts, core.WithLongCap(c.opts.LongCap))
 	}
-	ixs := make([]*core.Index, len(docs))
+	ixs := make([]core.Backend, len(docs))
 	err := c.runPool(len(docs), func(i int) error {
 		var err error
-		ixs[i], err = core.Build(docs[i], c.opts.TauMin, buildOpts...)
+		ixs[i], err = core.BuildBackend(backend, docs[i], c.opts.TauMin, buildOpts...)
 		return err
 	})
 	if err != nil {
@@ -234,25 +266,30 @@ func (c *Catalog) buildAll(docs []*ustring.String) ([]*core.Index, error) {
 }
 
 // assemble distributes built or loaded indexes round-robin over the shards.
-func (c *Catalog) assemble(name string, tauMin float64, longCap int, ixs []*core.Index) *Collection {
-	return FromIndexes(name, tauMin, longCap, c.opts.Shards, ixs)
+func (c *Catalog) assemble(name string, tauMin float64, longCap int, backend string, ixs []core.Backend) *Collection {
+	return FromIndexes(name, tauMin, longCap, c.opts.Shards, backend, ixs)
 }
 
 // FromIndexes assembles a collection directly from already-built
 // per-document indexes, distributing them round-robin over shards (shards
-// < 1 is treated as 1). Index i becomes document i. Assembly never rebuilds
-// an index, so a collection re-assembled from the same indexes answers
-// queries bit-identically — the property the ingest layer's compaction
-// relies on when folding delta documents into a new base.
-func FromIndexes(name string, tauMin float64, longCap, shards int, ixs []*core.Index) *Collection {
+// < 1 is treated as 1). Index i becomes document i; backend labels the
+// collection's configured representation (empty means plain). Assembly
+// never rebuilds an index, so a collection re-assembled from the same
+// indexes answers queries bit-identically — the property the ingest layer's
+// compaction relies on when folding delta documents into a new base.
+func FromIndexes(name string, tauMin float64, longCap, shards int, backend string, ixs []core.Backend) *Collection {
 	if shards < 1 {
 		shards = 1
+	}
+	if backend == "" {
+		backend = core.BackendPlain
 	}
 	col := &Collection{
 		id:      collectionID.Add(1),
 		name:    name,
 		tauMin:  tauMin,
 		longCap: longCap,
+		backend: backend,
 		shards:  make([][]docIndex, shards),
 		docs:    len(ixs),
 	}
@@ -260,6 +297,7 @@ func FromIndexes(name string, tauMin float64, longCap, shards int, ixs []*core.I
 		s := i % len(col.shards)
 		col.shards[s] = append(col.shards[s], docIndex{doc: i, ix: ix})
 		col.positions += ix.Source().Len()
+		col.indexBytes += ix.Bytes()
 	}
 	return col
 }
@@ -295,6 +333,13 @@ type Info struct {
 	// with (0 = library default); serving layers compare it against their
 	// requested options to detect stale caches.
 	LongCap int
+	// Backend names the collection's index representation (core.BackendPlain
+	// or core.BackendCompressed).
+	Backend string
+	// IndexBytes is the summed resident footprint of the collection's
+	// per-document indexes — the number that makes the compressed backend's
+	// savings observable per collection.
+	IndexBytes int
 }
 
 // Stats returns per-collection summaries in name order.
@@ -304,12 +349,14 @@ func (c *Catalog) Stats() []Info {
 	infos := make([]Info, 0, len(c.colls))
 	for _, col := range c.colls {
 		infos = append(infos, Info{
-			Name:      col.name,
-			Docs:      col.docs,
-			Positions: col.positions,
-			Shards:    len(col.shards),
-			TauMin:    col.tauMin,
-			LongCap:   col.longCap,
+			Name:       col.name,
+			Docs:       col.docs,
+			Positions:  col.positions,
+			Shards:     len(col.shards),
+			TauMin:     col.tauMin,
+			LongCap:    col.longCap,
+			Backend:    col.backend,
+			IndexBytes: col.indexBytes,
 		})
 	}
 	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
@@ -336,11 +383,18 @@ func (col *Collection) TauMin() float64 { return col.tauMin }
 // Shards returns the fan-out shard count.
 func (col *Collection) Shards() int { return len(col.shards) }
 
+// Backend returns the collection's index representation name.
+func (col *Collection) Backend() string { return col.backend }
+
+// IndexBytes returns the summed resident footprint of the collection's
+// per-document indexes.
+func (col *Collection) IndexBytes() int { return col.indexBytes }
+
 // DocIndexes returns the per-document indexes in document order. The indexes
 // are shared, not copied — they are immutable, so callers (the ingest layer
 // seeding its live document set) may hand them to FromIndexes freely.
-func (col *Collection) DocIndexes() []*core.Index {
-	out := make([]*core.Index, col.docs)
+func (col *Collection) DocIndexes() []core.Backend {
+	out := make([]core.Backend, col.docs)
 	for _, shard := range col.shards {
 		for _, di := range shard {
 			out[di.doc] = di.ix

@@ -11,6 +11,9 @@ import (
 )
 
 // cacheFormat tags the on-disk cache layout; bump on incompatible changes.
+// (Adding the Backend field did not bump it: caches written before the field
+// existed decode with an empty Backend, which means plain — exactly what
+// their document files hold.)
 const cacheFormat = 1
 
 // manifest describes one cached collection.
@@ -19,6 +22,8 @@ type manifest struct {
 	TauMin  float64
 	LongCap int
 	Docs    int
+	// Backend is the collection's index representation; empty means plain.
+	Backend string
 }
 
 const manifestName = "manifest.gob"
@@ -63,7 +68,8 @@ func (c *Catalog) Save(dir string) error {
 			return fmt.Errorf("catalog: %w", err)
 		}
 		err = gob.NewEncoder(mf).Encode(manifest{
-			Format: cacheFormat, TauMin: col.tauMin, LongCap: col.longCap, Docs: col.docs,
+			Format: cacheFormat, TauMin: col.tauMin, LongCap: col.longCap,
+			Docs: col.docs, Backend: col.backend,
 		})
 		if cerr := mf.Close(); err == nil {
 			err = cerr
@@ -125,7 +131,7 @@ func (c *Catalog) pruneCache(dir string) error {
 	return nil
 }
 
-func writeDocIndex(path string, ix *core.Index) error {
+func writeDocIndex(path string, ix core.Backend) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -187,27 +193,39 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 	} else if m.Docs < 0 || m.Docs > len(entries) {
 		return fmt.Errorf("catalog: %q: manifest claims %d documents but the cache holds %d files", name, m.Docs, len(entries))
 	}
-	ixs := make([]*core.Index, m.Docs)
+	backend, err := core.ParseBackend(m.Backend)
+	if err != nil {
+		return fmt.Errorf("catalog: reading manifest for %q: %w", name, err)
+	}
+	ixs := make([]core.Backend, m.Docs)
 	err = c.runPool(m.Docs, func(i int) error {
-		var err error
-		ixs[i], err = readDocIndex(filepath.Join(cdir, docFileName(i)))
-		return err
+		ix, err := readDocIndex(filepath.Join(cdir, docFileName(i)))
+		if err != nil {
+			return err
+		}
+		// A document file of the wrong representation means the cache was
+		// written under different options; fail so the caller rebuilds.
+		if ix.Kind() != backend {
+			return fmt.Errorf("cached index holds the %q backend, manifest says %q", ix.Kind(), backend)
+		}
+		ixs[i] = ix
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
-	col := c.assemble(name, m.TauMin, m.LongCap, ixs)
+	col := c.assemble(name, m.TauMin, m.LongCap, backend, ixs)
 	c.mu.Lock()
 	c.colls[name] = col
 	c.mu.Unlock()
 	return nil
 }
 
-func readDocIndex(path string) (*core.Index, error) {
+func readDocIndex(path string) (core.Backend, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return core.ReadIndex(f)
+	return core.ReadBackend(f)
 }

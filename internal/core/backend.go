@@ -1,0 +1,110 @@
+package core
+
+// Backend abstraction: the serving tier (catalog → ingest → replica) talks
+// to per-document indexes through the Backend interface, so the index
+// *representation* is pluggable per collection while every layer above keeps
+// its bit-identical-results guarantee. Two implementations exist:
+//
+//   - BackendPlain (*Index): the paper's Section 4/5 structure — explicit
+//     suffix array + per-length RMQ levels. Fastest queries, largest
+//     footprint.
+//   - BackendCompressed (*CompressedIndex): the Section 8.7 alternative —
+//     suffix ranges from an FM-index (wavelet-tree BWT, internal/fm) with a
+//     sampled suffix array, probabilities from the shared log-domain prefix
+//     sums. Several-fold smaller resident footprint at a bounded query-time
+//     cost (qualifying ranges are scanned and located instead of
+//     RMQ-extracted).
+//
+// Both backends compute window probabilities through the identical
+// prob.Prefix arithmetic over the identical Lemma 2 transformation, so they
+// answer Search/TopK/Count with bit-identical positions and probabilities
+// (see backend_test.go for the equivalence grid).
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ustring"
+)
+
+// Backend kind names, as spelled in configuration flags, manifests and the
+// persisted index envelope.
+const (
+	// BackendPlain is the uncompressed Section 4/5 index (*Index).
+	BackendPlain = "plain"
+	// BackendCompressed is the FM-index-backed representation
+	// (*CompressedIndex).
+	BackendCompressed = "compressed"
+)
+
+// ParseBackend normalises a backend name: the empty string selects
+// BackendPlain, anything unrecognised is an error.
+func ParseBackend(s string) (string, error) {
+	switch s {
+	case "", BackendPlain:
+		return BackendPlain, nil
+	case BackendCompressed:
+		return BackendCompressed, nil
+	}
+	return "", fmt.Errorf("core: unknown index backend %q (want %q or %q)", s, BackendPlain, BackendCompressed)
+}
+
+// Backend is the per-document index contract of the serving tier. All
+// implementations are immutable after construction and safe for concurrent
+// use; for one document and construction threshold, every implementation
+// answers each method bit-identically — the same positions and the same
+// probabilities. Ordered results (Search's position order, SearchTopK's
+// canonical order) match as exact sequences; SearchHits guarantees the
+// identical hit *set* (position, probability), while the sequence of
+// equal-probability hits may differ by backend (the plain backend reports
+// them in extraction order, the compressed one ties-broken by position).
+type Backend interface {
+	// Search reports every starting position where p occurs with
+	// probability strictly greater than tau, in increasing position order.
+	Search(p []byte, tau float64) ([]int, error)
+	// SearchHits is Search with per-occurrence probabilities. Only the hit
+	// set is part of the cross-backend contract; the sequence is
+	// backend-specific (callers needing an order sort, as the catalog's
+	// merge does).
+	SearchHits(p []byte, tau float64) ([]Hit, error)
+	// SearchTopK reports the k most probable occurrences under the
+	// canonical order: decreasing probability, ties by increasing position.
+	SearchTopK(p []byte, k int) ([]Hit, error)
+	// SearchCount counts occurrences above tau without materialising them.
+	SearchCount(p []byte, tau float64) (int, error)
+	// TauMin returns the construction threshold.
+	TauMin() float64
+	// Source returns the indexed uncertain string.
+	Source() *ustring.String
+	// Kind returns the backend name (BackendPlain or BackendCompressed).
+	Kind() string
+	// Bytes is the resident index footprint (excluding the source string).
+	Bytes() int
+	// WriteTo persists the index in the versioned envelope ReadBackend
+	// understands.
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*Index)(nil)
+	_ Backend = (*CompressedIndex)(nil)
+)
+
+// Kind reports BackendPlain.
+func (ix *Index) Kind() string { return BackendPlain }
+
+// BuildBackend builds the named backend over s for thresholds ≥ tauMin. The
+// empty kind selects BackendPlain.
+func BuildBackend(kind string, s *ustring.String, tauMin float64, opts ...Option) (Backend, error) {
+	kind, err := ParseBackend(kind)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case BackendCompressed:
+		return BuildCompressed(s, tauMin, opts...)
+	default:
+		return Build(s, tauMin, opts...)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/factor"
+	"repro/internal/fm"
+	"repro/internal/prob"
+	"repro/internal/ustring"
+)
+
+// CompressedIndex is the space-efficient backend: substring searching in a
+// general uncertain string for any τ ≥ τmin, answered from a compressed
+// representation of the Section 4/5 machinery. Where the plain Index keeps
+// the explicit suffix array plus one RMQ level per pattern length, the
+// compressed backend keeps only
+//
+//   - an FM-index over the transformed text (the wavelet-tree BWT of
+//     internal/fm — the compressed suffix array of the paper's Section 8.7)
+//     with a sampled suffix array for locating,
+//   - the shared log-domain prefix sums (the C array), and
+//   - the Pos array mapping text positions back to original positions.
+//
+// Queries retrieve the suffix range by backward search, then scan it:
+// every entry is located through the LF walk, its window probability is
+// computed from the same prefix sums the plain engine uses, and per-key
+// keep-max dedup reproduces the duplicate-elimination bitmaps' effect. The
+// probability arithmetic is identical float64 operations on identical
+// inputs, so results are bit-identical to the plain backend's — at a query
+// cost of O(m log σ + range·rate) instead of O(m + occ).
+//
+// The FM-index reserves byte 0xFF; a document whose transformed text uses it
+// cannot be compressed and Build fails (the plain backend has no such
+// limit). Patterns containing 0xFF simply never match, exactly as with the
+// plain backend.
+type CompressedIndex struct {
+	src     *ustring.String
+	tauMin  float64
+	longCap int
+	rate    int
+
+	fm  *fm.Index
+	pre *prob.Prefix
+	pos []int32
+
+	// Correlation support: corrAdjust reads the raw transformed text and
+	// per-position log probabilities, so both are retained — but only when
+	// the source declares correlations.
+	t    []byte
+	logp []float64
+	corr func(xStart, length int) float64
+}
+
+// BuildCompressed transforms s with respect to tauMin (Lemma 2) and indexes
+// the result compressedly. Queries support any τ ≥ tauMin and answer
+// bit-identically to the plain Build.
+func BuildCompressed(s *ustring.String, tauMin float64, opts ...Option) (*CompressedIndex, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input string: %w", err)
+	}
+	tr, err := factor.Transform(s, tauMin)
+	if err != nil {
+		return nil, err
+	}
+	return newCompressed(s, tauMin, o.longCap, o.sampleRate, tr)
+}
+
+// newCompressed assembles the backend from a transformation (fresh or
+// deserialised). Only T, LogP and Pos of tr are used; the transformation
+// itself is not retained.
+func newCompressed(s *ustring.String, tauMin float64, longCap, rate int, tr *factor.Transformed) (*CompressedIndex, error) {
+	if rate <= 0 {
+		rate = fm.DefaultSampleRate
+	}
+	fmx, err := fm.New(tr.T, rate)
+	if err != nil {
+		return nil, fmt.Errorf("core: compressed backend: %w", err)
+	}
+	cx := &CompressedIndex{
+		src:     s,
+		tauMin:  tauMin,
+		longCap: longCap,
+		rate:    rate,
+		fm:      fmx,
+		pre:     prob.NewPrefix(tr.LogP),
+		pos:     tr.Pos,
+	}
+	if len(s.Corr) > 0 {
+		cx.t = tr.T
+		cx.logp = tr.LogP
+		cx.corr = cx.corrAdjust
+	}
+	return cx, nil
+}
+
+// corrAdjust routes through the package's shared correlation-correction
+// arithmetic (see index.go) over the retained arrays, keeping corrected
+// probabilities bit-identical across backends by construction.
+func (cx *CompressedIndex) corrAdjust(xStart, length int) float64 {
+	return corrAdjust(cx.src, cx.t, cx.logp, cx.pos, xStart, length)
+}
+
+// windowLogProb is the corrected log probability of the length-m window at
+// text position x — the compressed counterpart of Engine.rawCi, computed
+// from the identical prefix sums.
+func (cx *CompressedIndex) windowLogProb(x, m int) float64 {
+	lp := cx.pre.Span(x, x+m)
+	if lp == prob.LogZero {
+		return prob.LogZero
+	}
+	if cx.corr != nil {
+		lp += cx.corr(x, m)
+	}
+	return lp
+}
+
+// bestPerKey scans the suffix range of p and keeps, per dedup key (original
+// position), the most probable window — ties resolved to the first entry in
+// suffix-array order, exactly like the plain engine's duplicate bitmaps and
+// scan paths. Results come back in no particular order; callers whose
+// contract includes ordering sort (Count does not, and Search re-sorts by
+// position anyway).
+func (cx *CompressedIndex) bestPerKey(p []byte) []Hit {
+	lo, hi, ok := cx.fm.Range(p)
+	if !ok {
+		return nil
+	}
+	m := len(p)
+	best := make(map[int32]Hit)
+	for j := lo; j <= hi; j++ {
+		x := cx.fm.Locate(j)
+		lp := cx.windowLogProb(int(x), m)
+		if lp == prob.LogZero {
+			continue
+		}
+		k := cx.pos[x]
+		if k < 0 {
+			continue // separator window; unreachable past the LogZero check
+		}
+		if prev, seen := best[k]; !seen || lp > prev.LogProb {
+			best[k] = Hit{XPos: x, Orig: k, Key: k, LogProb: lp}
+		}
+	}
+	out := make([]Hit, 0, len(best))
+	for _, h := range best {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Search reports every starting position where p occurs with probability
+// strictly greater than tau, in increasing position order (Problem 1).
+func (cx *CompressedIndex) Search(p []byte, tau float64) ([]int, error) {
+	if err := ValidateQuery(p, tau, cx.tauMin); err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, h := range cx.bestPerKey(p) {
+		if prob.Greater(h.LogProb, tau) {
+			out = append(out, int(h.Orig))
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// SearchHits is Search with per-occurrence probabilities, in decreasing
+// probability order (ties by increasing position).
+func (cx *CompressedIndex) SearchHits(p []byte, tau float64) ([]Hit, error) {
+	if err := ValidateQuery(p, tau, cx.tauMin); err != nil {
+		return nil, err
+	}
+	var hits []Hit
+	for _, h := range cx.bestPerKey(p) {
+		if prob.Greater(h.LogProb, tau) {
+			hits = append(hits, h)
+		}
+	}
+	sortHitsByProb(hits)
+	return hits, nil
+}
+
+// SearchTopK reports the k most probable occurrences of p under the
+// canonical order (decreasing probability, ties by increasing position) —
+// the same sequence the plain backend reports. All returned hits have
+// probability ≥ tauMin.
+func (cx *CompressedIndex) SearchTopK(p []byte, k int) ([]Hit, error) {
+	if err := ValidateQuery(p, 1, 0); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	hits := cx.bestPerKey(p)
+	sortHitsByProb(hits)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	return hits, nil
+}
+
+// SearchCount returns the number of occurrences of p with probability
+// strictly greater than tau, without materialising positions.
+func (cx *CompressedIndex) SearchCount(p []byte, tau float64) (int, error) {
+	if err := ValidateQuery(p, tau, cx.tauMin); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, h := range cx.bestPerKey(p) {
+		if prob.Greater(h.LogProb, tau) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// TauMin returns the construction threshold.
+func (cx *CompressedIndex) TauMin() float64 { return cx.tauMin }
+
+// Source returns the indexed uncertain string.
+func (cx *CompressedIndex) Source() *ustring.String { return cx.src }
+
+// Kind reports BackendCompressed.
+func (cx *CompressedIndex) Kind() string { return BackendCompressed }
+
+// SampleRate returns the FM-index suffix-array sampling interval.
+func (cx *CompressedIndex) SampleRate() int { return cx.rate }
+
+// Space itemises the resident index memory in the plain backend's
+// categories: the FM-index stands in for text+suffix array, the prefix sums
+// are the probability array, and Pos (plus the correlation-support arrays,
+// when retained) are the position bookkeeping. The RMQ-level categories are
+// zero — the compressed backend has none.
+func (cx *CompressedIndex) Space() SpaceBreakdown {
+	return SpaceBreakdown{
+		TextAndSA:  cx.fm.Bytes(),
+		ProbArray:  cx.pre.Bytes(),
+		PosAndKeys: len(cx.pos)*4 + len(cx.t) + len(cx.logp)*8,
+	}
+}
+
+// Bytes is the total resident index footprint.
+func (cx *CompressedIndex) Bytes() int { return cx.Space().Total() }

@@ -26,6 +26,16 @@
 // take the highest-probability entry of the suffix range and stop as soon as
 // it drops to τ, giving O(m + occ) for short patterns and O(m·occ) for long
 // ones.
+//
+// # Backends
+//
+// The serving tier consumes indexes through the Backend interface, which
+// Index satisfies alongside CompressedIndex — an FM-index-backed
+// representation (Section 8.7's compressed suffix array) several-fold
+// smaller in resident memory at a bounded query-time cost. Both compute
+// window probabilities through identical prob.Prefix arithmetic over the
+// identical transformation, so every backend answers bit-identically; see
+// backend.go and compressed.go.
 package core
 
 import (

@@ -22,13 +22,22 @@ type Index struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	longCap int
+	longCap    int
+	sampleRate int
 }
 
 // WithLongCap bounds the lengths covered by the long-pattern blocking
-// scheme; longer patterns fall back to a range scan.
+// scheme; longer patterns fall back to a range scan. The compressed backend
+// has no blocking scheme and only records the value for persistence.
 func WithLongCap(n int) Option {
 	return func(o *buildOptions) { o.longCap = n }
+}
+
+// WithSampleRate sets the compressed backend's suffix-array sampling
+// interval: smaller is faster to locate, larger is smaller in memory. The
+// plain backend ignores it.
+func WithSampleRate(n int) Option {
+	return func(o *buildOptions) { o.sampleRate = n }
 }
 
 // Build transforms s with respect to tauMin (Lemma 2) and indexes the
@@ -69,33 +78,41 @@ func Build(s *ustring.String, tauMin float64, opts ...Option) (*Index, error) {
 // divide-by-pr⁺-multiply-by-correct trick in log domain, generalised to base
 // probabilities).
 func (ix *Index) corrAdjust(xStart, length int) float64 {
-	s0 := int(ix.tr.Pos[xStart])
+	return corrAdjust(ix.src, ix.tr.T, ix.tr.LogP, ix.tr.Pos, xStart, length)
+}
+
+// corrAdjust is the shared correlation-correction arithmetic. Every backend
+// routes through this one function so corrected probabilities stay in exact
+// float-operation lockstep — the bit-identical-results guarantee depends on
+// it.
+func corrAdjust(src *ustring.String, t []byte, logp []float64, pos []int32, xStart, length int) float64 {
+	s0 := int(pos[xStart])
 	adj := 0.0
-	for _, c := range ix.src.Corr {
+	for _, c := range src.Corr {
 		if c.At < s0 || c.At >= s0+length {
 			continue
 		}
 		xc := xStart + (c.At - s0)
-		if ix.tr.T[xc] != c.Char {
+		if t[xc] != c.Char {
 			continue
 		}
 		var corrected float64
 		if c.DepAt >= s0 && c.DepAt < s0+length {
 			// Case 1: the partner position is inside the window.
-			if ix.tr.T[xStart+(c.DepAt-s0)] == c.DepChar {
+			if t[xStart+(c.DepAt-s0)] == c.DepChar {
 				corrected = c.ProbWhenPresent
 			} else {
 				corrected = c.ProbWhenAbsent
 			}
 		} else {
 			// Case 2: partner outside; marginalise over its distribution.
-			dp := ix.src.ProbAt(c.DepAt, c.DepChar)
+			dp := src.ProbAt(c.DepAt, c.DepChar)
 			if dp < 0 {
 				dp = 0
 			}
 			corrected = dp*c.ProbWhenPresent + (1-dp)*c.ProbWhenAbsent
 		}
-		adj += prob.Log(corrected) - ix.tr.LogP[xc]
+		adj += prob.Log(corrected) - logp[xc]
 	}
 	return adj
 }
@@ -126,9 +143,9 @@ func (ix *Index) SearchHits(p []byte, tau float64) ([]Hit, error) {
 }
 
 // SearchTopK reports the k most probable occurrences of p, in decreasing
-// probability order. Because every transformed occurrence has probability at
-// least tauMin, top-k below that mass may be incomplete; all returned hits
-// satisfy probability ≥ tauMin.
+// probability order (ties by increasing position). Because every transformed
+// occurrence has probability at least tauMin, top-k below that mass may be
+// incomplete; all returned hits satisfy probability ≥ tauMin.
 func (ix *Index) SearchTopK(p []byte, k int) ([]Hit, error) {
 	return ix.engine.TopK(p, k)
 }

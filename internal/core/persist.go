@@ -10,48 +10,85 @@ import (
 	"repro/internal/ustring"
 )
 
-// persistFormat tags the on-disk layout; bump on incompatible changes.
-const persistFormat = 1
+// Persistence format history:
+//
+//	1 — plain backend only; no Backend tag (decoded as BackendPlain).
+//	2 — adds the Backend tag and the compressed backend's SampleRate.
+//
+// Both backends persist the same payload — the source string plus the
+// Lemma 2 transformation (the dominant construction cost at low τmin) — and
+// rebuild their query structures on load: the plain backend its suffix
+// array and RMQ levels, the compressed backend its BWT/wavelet machinery.
+// ReadBackend accepts every format up to persistFormat.
+const persistFormat = 2
 
-// persisted is the gob payload: the expensive-to-recompute transformation
-// plus everything needed to rebuild the query structures. The RMQ levels and
-// bitmaps are deterministic functions of the payload and cheaper to rebuild
-// than to serialise (they are accessor-backed and mostly implicit).
+// persisted is the gob payload shared by every backend.
 type persisted struct {
 	Format  int
+	Backend string // "" (format 1) means BackendPlain
 	TauMin  float64
 	LongCap int
-	Source  *ustring.String
-	Tr      *factor.Transformed
+	// SampleRate is the compressed backend's suffix-array sampling interval
+	// (0 = default); unused by the plain backend.
+	SampleRate int
+	Source     *ustring.String
+	Tr         *factor.Transformed
 }
 
-// WriteTo serialises the index. The transformation (the dominant
-// construction cost at low τmin) is stored verbatim; ReadIndex rebuilds the
-// suffix array and RMQ levels from it.
+// WriteTo serialises the index. The transformation is stored verbatim;
+// loading rebuilds the suffix array and RMQ levels from it.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	enc := gob.NewEncoder(cw)
-	err := enc.Encode(persisted{
+	return writePersisted(w, persisted{
 		Format:  persistFormat,
+		Backend: BackendPlain,
 		TauMin:  ix.tauMin,
 		LongCap: ix.engine.longCap,
 		Source:  ix.src,
 		Tr:      ix.tr,
 	})
+}
+
+// WriteTo serialises the compressed index. The backend retains only its
+// query structures, so the transformation is recomputed here — Transform is
+// deterministic (factors are laid out in sorted order), so the persisted
+// arrays are identical to the ones the index was built from. This is a
+// deliberate trade: a save (rare — once per cold catalog build) re-pays
+// the transform so resident memory never carries the transformation
+// arrays, which would otherwise cost more than the entire compressed
+// index and defeat its purpose.
+func (cx *CompressedIndex) WriteTo(w io.Writer) (int64, error) {
+	tr, err := factor.Transform(cx.src, cx.tauMin)
+	if err != nil {
+		return 0, fmt.Errorf("core: persisting compressed index: %w", err)
+	}
+	return writePersisted(w, persisted{
+		Format:     persistFormat,
+		Backend:    BackendCompressed,
+		TauMin:     cx.tauMin,
+		LongCap:    cx.longCap,
+		SampleRate: cx.rate,
+		Source:     cx.src,
+		Tr:         tr,
+	})
+}
+
+func writePersisted(w io.Writer, p persisted) (int64, error) {
+	cw := &countingWriter{w: w}
+	err := gob.NewEncoder(cw).Encode(p)
 	return cw.n, err
 }
 
-// ReadIndex deserialises an index written by WriteTo and rebuilds its query
-// structures. A corrupted or truncated payload — bit flips surviving gob's
-// framing, a short file, internally inconsistent arrays — is reported as an
-// error, never a panic: the decoded transformation is cross-checked before
-// any query structure is rebuilt, and the rebuild itself runs under a
-// recover so callers (the daemon's index cache) can fall back to rebuilding
-// from source data.
-func ReadIndex(r io.Reader) (ix *Index, err error) {
+// ReadBackend deserialises an index written by any backend's WriteTo and
+// rebuilds its query structures. A corrupted or truncated payload — bit
+// flips surviving gob's framing, a short file, internally inconsistent
+// arrays — is reported as an error, never a panic: the decoded
+// transformation is cross-checked before any query structure is rebuilt,
+// and the rebuild itself runs under a recover so callers (the daemon's
+// index cache) can fall back to rebuilding from source data.
+func ReadBackend(r io.Reader) (b Backend, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			ix, err = nil, fmt.Errorf("core: corrupt index payload: %v", p)
+			b, err = nil, fmt.Errorf("core: corrupt index payload: %v", p)
 		}
 	}()
 	dec := gob.NewDecoder(bufio.NewReader(r))
@@ -59,8 +96,12 @@ func ReadIndex(r io.Reader) (ix *Index, err error) {
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("core: reading index: %w", err)
 	}
-	if p.Format != persistFormat {
-		return nil, fmt.Errorf("core: unsupported index format %d (want %d)", p.Format, persistFormat)
+	if p.Format < 1 || p.Format > persistFormat {
+		return nil, fmt.Errorf("core: unsupported index format %d (want 1..%d)", p.Format, persistFormat)
+	}
+	backend, err := ParseBackend(p.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt index payload: %w", err)
 	}
 	if p.Source == nil || p.Tr == nil {
 		return nil, fmt.Errorf("core: truncated index payload")
@@ -71,7 +112,10 @@ func ReadIndex(r io.Reader) (ix *Index, err error) {
 	if err := checkTransformed(p.Tr, p.Source.Len()); err != nil {
 		return nil, err
 	}
-	ix = &Index{tr: p.Tr, src: p.Source, tauMin: p.TauMin}
+	if backend == BackendCompressed {
+		return newCompressed(p.Source, p.TauMin, p.LongCap, p.SampleRate, p.Tr)
+	}
+	ix := &Index{tr: p.Tr, src: p.Source, tauMin: p.TauMin}
 	var corr func(xStart, length int) float64
 	if len(p.Source.Corr) > 0 {
 		corr = ix.corrAdjust
@@ -86,6 +130,21 @@ func ReadIndex(r io.Reader) (ix *Index, err error) {
 		LongCap:   p.LongCap,
 		MaxWindow: p.Tr.MaxFactorLen,
 	})
+	return ix, nil
+}
+
+// ReadIndex deserialises a plain index written by Index.WriteTo. Files
+// holding a different backend are rejected; use ReadBackend to load any
+// backend.
+func ReadIndex(r io.Reader) (*Index, error) {
+	b, err := ReadBackend(r)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := b.(*Index)
+	if !ok {
+		return nil, fmt.Errorf("core: index file holds the %q backend; load it with ReadBackend", b.Kind())
+	}
 	return ix, nil
 }
 

@@ -37,8 +37,11 @@ func (h fragHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
 func (h *fragHeap) Push(x any)        { *h = append(*h, x.(fragment)) }
 func (h *fragHeap) Pop() any          { old := *h; n := len(old); f := old[n-1]; *h = old[:n-1]; return f }
 
-// TopK returns the k most probable non-duplicate occurrences of p, in
-// decreasing probability order. Only short patterns (m ≤ log N) run
+// TopK returns the k most probable non-duplicate occurrences of p, in the
+// canonical order: decreasing probability, ties by increasing original
+// position. The canonical order makes the result a pure function of the
+// occurrence set, so every backend (and every shard layout above) reports
+// the identical top-k sequence. Only short patterns (m ≤ log N) run
 // best-first; longer patterns fall back to a full threshold query at τ→0
 // followed by selection.
 func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
@@ -68,13 +71,31 @@ func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
 		}
 	}
 	push(lo, hi)
+	// Best-first pops arrive in non-increasing probability order (a
+	// sub-fragment's maximum never exceeds its parent's). Gathering every
+	// hit tied with the k-th value before cutting makes the boundary
+	// deterministic: the final sort breaks probability ties by position, so
+	// which tied entry the heap happened to surface first cannot change the
+	// reported set. Cost is O((k + ties) log) where ties counts the hits
+	// sharing the k-th value exactly — the price of the canonical order
+	// cannot be avoided with early termination, because a smaller-position
+	// tie can still be hidden inside an unexpanded fragment. Worst case
+	// (all occurrences at probability 1, e.g. a fully certain region) this
+	// matches a threshold query's O(occ), never more.
 	var out []Hit
-	for h.Len() > 0 && len(out) < k {
+	for h.Len() > 0 {
+		if len(out) >= k && h[0].lp != out[k-1].LogProb {
+			break
+		}
 		f := heap.Pop(&h).(fragment)
 		x := e.tx.SA()[f.j]
 		out = append(out, Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: f.lp})
 		push(f.l, f.j-1)
 		push(f.j+1, f.r)
+	}
+	sortHitsByProb(out)
+	if len(out) > k {
+		out = out[:k]
 	}
 	return out, nil
 }

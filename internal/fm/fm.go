@@ -8,6 +8,8 @@
 // tree (internal/wavelet over internal/rank), the per-symbol cumulative
 // counts, and a sampled suffix array for locating. Backward search answers
 // Range in O(m log σ); Locate walks the LF mapping to the nearest sample.
+// It is the suffix-range substrate of the serving tier's compressed index
+// backend (core.CompressedIndex).
 //
 // The index needs a sentinel symbol smaller than every text symbol, and the
 // transformed texts of this repository already use 0x00 as the factor

@@ -7,10 +7,18 @@
 // since, with deletes recorded as tombstones masking base documents out of
 // every query. Mutations are made durable first — appended to a
 // per-collection write-ahead log and fsynced before they are acknowledged —
-// then indexed (each document whole, by its own core.Index) and published
-// by swapping in a fresh generation-stamped View. Queries run entirely
-// against the View they started with, so they observe a consistent
+// then indexed (each document whole, by its own core.Backend in the
+// collection's configured representation — plain or compressed) and
+// published by swapping in a fresh generation-stamped View. Queries run
+// entirely against the View they started with, so they observe a consistent
 // collection state and never block on writers or compaction.
+//
+// A collection's index backend is fixed when the collection is created
+// (PutWithBackend, the seed catalog's choice, or the store default) and
+// recorded in a sidecar file next to the WAL, so replay after a restart
+// rebuilds replayed documents into the same representation. Backends change
+// memory footprint and query latency only — every representation answers
+// bit-identically.
 //
 // A background compactor folds the delta into a new base once the number of
 // pending documents (delta plus tombstones) crosses a threshold: it writes
@@ -54,6 +62,9 @@ var (
 	ErrBadDocID = errors.New("ingest: bad document id")
 	// ErrBadCollectionName reports a collection name unusable on disk.
 	ErrBadCollectionName = errors.New("ingest: bad collection name")
+	// ErrBackendMismatch reports a backend requested for a collection that
+	// already uses a different one; the backend is fixed at creation.
+	ErrBackendMismatch = errors.New("ingest: collection already uses a different index backend")
 )
 
 // MaxDocIDBytes bounds external document ids.
@@ -119,7 +130,9 @@ type PutResult struct {
 // CollectionStatus summarises one live collection for stats reporting.
 type CollectionStatus struct {
 	Name        string `json:"name"`
+	Backend     string `json:"backend"`
 	Docs        int    `json:"docs"`
+	IndexBytes  int    `json:"index_bytes"`
 	DeltaDocs   int    `json:"delta_docs"`
 	Tombstones  int    `json:"tombstones"`
 	Gen         uint64 `json:"gen"`
@@ -149,17 +162,18 @@ type Store struct {
 // the compactor's swap step); readers go through the atomic view pointer
 // and never take it.
 type liveColl struct {
-	store *Store
-	name  string
+	store   *Store
+	name    string
+	backend string // index backend, fixed at creation (see the sidecar)
 
 	compactMu sync.Mutex // at most one compaction in flight
 
 	mu          sync.Mutex
 	wal         *wal
-	live        map[string]*core.Index // every live document, id → index
-	base        *catalog.Collection    // assembled at the last compaction
-	baseIDs     []string               // base document number → id
-	baseIx      []*core.Index          // base document number → index then
+	live        map[string]core.Backend // every live document, id → index
+	base        *catalog.Collection     // assembled at the last compaction
+	baseIDs     []string                // base document number → id
+	baseIx      []core.Backend          // base document number → index then
 	gen         uint64
 	compactions int64
 	view        atomic.Pointer[View]
@@ -209,7 +223,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
 		if err := catalog.SafeName(name); err != nil {
 			return nil, err
 		}
-		lc, err := st.openColl(name, cat)
+		lc, err := st.openColl(name, cat, "")
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +237,67 @@ func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
 func (st *Store) walPath(name string) string  { return filepath.Join(st.opts.Dir, name+".wal") }
 func (st *Store) ckptPath(name string) string { return filepath.Join(st.opts.Dir, name+".ckpt") }
 
+// backendPath is the sidecar recording a collection's index backend, so WAL
+// replay rebuilds replayed documents into the representation the collection
+// was created with rather than whatever the process default happens to be.
+func (st *Store) backendPath(name string) string {
+	return filepath.Join(st.opts.Dir, name+".backend")
+}
+
+// readBackendSidecar returns the recorded backend, or ok=false when the
+// collection has none recorded. A present-but-invalid sidecar — including
+// an empty file, the signature of a crash mid-write — is a loud error:
+// silently falling back could rebuild a collection into the wrong
+// representation.
+func readBackendSidecar(path string) (backend string, ok bool, err error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, fmt.Errorf("ingest: %w", err)
+	}
+	name := strings.TrimSpace(string(raw))
+	if name == "" {
+		return "", false, fmt.Errorf("ingest: backend sidecar %s is empty (torn write?); "+
+			"restore it or remove it together with the collection's wal/ckpt", path)
+	}
+	backend, err = core.ParseBackend(name)
+	if err != nil {
+		return "", false, fmt.Errorf("ingest: backend sidecar %s: %w", path, err)
+	}
+	return backend, true, nil
+}
+
+// writeBackendSidecar records a collection's backend durably, with the
+// same discipline as the WAL's epoch sidecar: write a temp file, fsync it,
+// rename into place, fsync the directory. A crash at any point leaves
+// either the old sidecar or the complete new one — never a truncated file
+// that would silently change the collection's representation on replay.
+func writeBackendSidecar(path, backend string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ingest: recording backend: %w", err)
+	}
+	_, err = f.WriteString(backend + "\n")
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: recording backend: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: recording backend: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
 // buildOpts returns the per-document core build options.
 func (st *Store) buildOpts() []core.Option {
 	if st.opts.Catalog.LongCap > 0 {
@@ -231,11 +306,12 @@ func (st *Store) buildOpts() []core.Option {
 	return nil
 }
 
-// build indexes one document with the store's construction options — the
-// identical call a static catalog build would make, which is what keeps
-// dynamically reached collections bit-identical to static ones.
-func (st *Store) build(doc *ustring.String) (*core.Index, error) {
-	return core.Build(doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+// build indexes one document with the store's construction options and the
+// collection's backend — the identical call a static catalog build with
+// that backend would make, which is what keeps dynamically reached
+// collections bit-identical to static ones.
+func (st *Store) build(doc *ustring.String, backend string) (core.Backend, error) {
+	return core.BuildBackend(backend, doc, st.opts.Catalog.TauMin, st.buildOpts()...)
 }
 
 // openColl restores one collection: checkpoint (if any) else the static
@@ -243,8 +319,25 @@ func (st *Store) build(doc *ustring.String) (*core.Index, error) {
 // resolves the final content of every document and only then builds
 // indexes, in parallel, so restart cost is proportional to the surviving
 // document set, not the log length.
-func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) {
-	lc := &liveColl{store: st, name: name, live: make(map[string]*core.Index)}
+//
+// The collection's index backend is resolved in precedence order: the seed
+// catalog's per-collection choice (when its indexes are actually reused),
+// then the durable sidecar from a previous run, then the caller's request
+// (a creating PutWithBackend), then the store default — and re-recorded in
+// the sidecar so the next replay verifies against the same choice.
+func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq string) (*liveColl, error) {
+	backend := st.opts.Catalog.Backend
+	if backendReq != "" {
+		backend = backendReq
+	}
+	recorded, hadSidecar, err := readBackendSidecar(st.backendPath(name))
+	if err != nil {
+		return nil, err
+	}
+	if hadSidecar {
+		backend = recorded
+	}
+	lc := &liveColl{store: st, name: name, live: make(map[string]core.Backend)}
 	w, recs, err := openWAL(st.walPath(name), !st.opts.NoSync, st.opts.Logf)
 	if err != nil {
 		return nil, err
@@ -267,9 +360,23 @@ func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) 
 		st.opts.Logf("ingest: %s: checkpoint holds %d documents", name, len(ck.IDs))
 	case cat != nil:
 		if col, ok := cat.Get(name); ok {
+			// The seed indexes are reused as-is, so the collection's backend
+			// is whatever the catalog built — authoritative over a stale
+			// sidecar from a run with different flags.
+			backend = col.Backend()
 			for i, ix := range col.DocIndexes() {
 				lc.live[fmt.Sprintf(seedIDFormat, i)] = ix
 			}
+		}
+	}
+	lc.backend = backend
+	// Re-record only when the choice actually changed: the common restart
+	// path then never rewrites the sidecar at all, and a genuine change goes
+	// through the atomic temp-and-rename write.
+	if !hadSidecar || recorded != backend {
+		if err := writeBackendSidecar(st.backendPath(name), backend); err != nil {
+			w.close()
+			return nil, fmt.Errorf("ingest: collection %q: %w", name, err)
 		}
 	}
 	// Replay: resolve final contents first.
@@ -300,7 +407,7 @@ func (st *Store) openColl(name string, cat *catalog.Catalog) (*liveColl, error) 
 
 // buildPending indexes the resolved documents on a bounded worker pool.
 func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) error {
-	built, err := st.buildDocs(pending)
+	built, err := st.buildDocs(pending, lc.backend)
 	if err != nil {
 		return err
 	}
@@ -310,9 +417,9 @@ func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) 
 	return nil
 }
 
-// buildDocs indexes every document of pending on a bounded worker pool and
-// returns the id → index map.
-func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core.Index, error) {
+// buildDocs indexes every document of pending with the given backend on a
+// bounded worker pool and returns the id → index map.
+func (st *Store) buildDocs(pending map[string]*ustring.String, backend string) (map[string]core.Backend, error) {
 	if len(pending) == 0 {
 		return nil, nil
 	}
@@ -321,7 +428,7 @@ func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	ixs := make([]*core.Index, len(ids))
+	ixs := make([]core.Backend, len(ids))
 	errs := make([]error, len(ids))
 	sem := make(chan struct{}, st.opts.Catalog.Workers)
 	var wg sync.WaitGroup
@@ -331,7 +438,7 @@ func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ixs[i], errs[i] = st.build(pending[ids[i]])
+			ixs[i], errs[i] = st.build(pending[ids[i]], backend)
 		}(i)
 	}
 	wg.Wait()
@@ -340,7 +447,7 @@ func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core
 			return nil, fmt.Errorf("document %q: %w", ids[i], err)
 		}
 	}
-	built := make(map[string]*core.Index, len(ids))
+	built := make(map[string]core.Backend, len(ids))
 	for i, id := range ids {
 		built[id] = ixs[i]
 	}
@@ -348,13 +455,13 @@ func (st *Store) buildDocs(pending map[string]*ustring.String) (map[string]*core
 }
 
 // sortedLiveLocked returns the live set in canonical (id-sorted) order.
-func (lc *liveColl) sortedLiveLocked() ([]string, []*core.Index) {
+func (lc *liveColl) sortedLiveLocked() ([]string, []core.Backend) {
 	ids := make([]string, 0, len(lc.live))
 	for id := range lc.live {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	ixs := make([]*core.Index, len(ids))
+	ixs := make([]core.Backend, len(ids))
 	for i, id := range ids {
 		ixs[i] = lc.live[id]
 	}
@@ -362,11 +469,12 @@ func (lc *liveColl) sortedLiveLocked() ([]string, []*core.Index) {
 }
 
 // rebaseLocked re-assembles the base from the entire live set, emptying the
-// delta. Indexes are reused as-is — never rebuilt.
+// delta. Indexes are reused as-is — never rebuilt — so the base stays in
+// the collection's configured backend (every live index was built with it).
 func (lc *liveColl) rebaseLocked() {
 	copts := lc.store.opts.Catalog
 	ids, ixs := lc.sortedLiveLocked()
-	lc.base = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, ixs)
+	lc.base = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.backend, ixs)
 	lc.baseIDs, lc.baseIx = ids, ixs
 }
 
@@ -390,11 +498,13 @@ func (lc *liveColl) publishLocked() {
 			tombstones++
 		}
 	}
-	var deltaIx []*core.Index
+	var deltaIx []core.Backend
 	var deltaMap []int
 	positions := 0
+	indexBytes := 0
 	for gi, id := range ids {
 		positions += ixs[gi].Source().Len()
+		indexBytes += ixs[gi].Bytes()
 		if !served[id] {
 			deltaIx = append(deltaIx, ixs[gi])
 			deltaMap = append(deltaMap, gi)
@@ -405,8 +515,10 @@ func (lc *liveColl) publishLocked() {
 		gen:        lc.gen,
 		name:       lc.name,
 		tauMin:     copts.TauMin,
+		backend:    lc.backend,
 		docs:       len(ids),
 		positions:  positions,
+		indexBytes: indexBytes,
 		ids:        ids,
 		tombstones: tombstones,
 	}
@@ -415,15 +527,15 @@ func (lc *liveColl) publishLocked() {
 		v.baseMap = baseMap
 	}
 	if len(deltaIx) > 0 {
-		v.delta = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, deltaIx)
+		v.delta = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.backend, deltaIx)
 		v.deltaMap = deltaMap
 	}
 	lc.view.Store(v)
 }
 
-// coll returns the named collection, creating it (with a fresh WAL) when
-// create is set.
-func (st *Store) coll(name string, create bool) (*liveColl, error) {
+// coll returns the named collection, creating it (with a fresh WAL, using
+// the requested backend) when create is set.
+func (st *Store) coll(name string, create bool, backendReq string) (*liveColl, error) {
 	st.mu.RLock()
 	lc, ok := st.colls[name]
 	st.mu.RUnlock()
@@ -447,12 +559,21 @@ func (st *Store) coll(name string, create bool) (*liveColl, error) {
 	if lc, ok := st.colls[name]; ok {
 		return lc, nil
 	}
-	lc, err := st.openColl(name, nil)
+	lc, err := st.openColl(name, nil, backendReq)
 	if err != nil {
 		return nil, err
 	}
 	st.colls[name] = lc
 	return lc, nil
+}
+
+// checkBackend verifies a requested backend against the collection's fixed
+// one; an empty request always passes.
+func (lc *liveColl) checkBackend(req string) error {
+	if req != "" && req != lc.backend {
+		return fmt.Errorf("%w: %q uses %q, requested %q", ErrBackendMismatch, lc.name, lc.backend, req)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
@@ -486,8 +607,20 @@ func validateDocID(id string) error {
 // Put inserts or replaces one document. The sequence is: validate and build
 // the index (an invalid document is rejected before anything is logged),
 // append to the WAL (fsynced unless NoSync), then publish a fresh view. A
-// nil error means the mutation is durable and visible.
+// nil error means the mutation is durable and visible. A Put that creates
+// the collection uses the store's default index backend; PutWithBackend
+// names one explicitly.
 func (st *Store) Put(coll, id string, doc *ustring.String) (PutResult, error) {
+	return st.PutWithBackend(coll, id, doc, "")
+}
+
+// PutWithBackend is Put with an explicit index backend for the collection.
+// The backend only takes effect when this Put creates the collection; on an
+// existing collection a non-empty backend that differs from the recorded
+// one fails with ErrBackendMismatch (the representation is fixed at
+// creation — queries are bit-identical either way, so a silent switch would
+// only confuse capacity accounting).
+func (st *Store) PutWithBackend(coll, id string, doc *ustring.String, backend string) (PutResult, error) {
 	if st.closed.Load() {
 		return PutResult{}, ErrClosed
 	}
@@ -497,13 +630,22 @@ func (st *Store) Put(coll, id string, doc *ustring.String) (PutResult, error) {
 	if doc == nil {
 		return PutResult{}, errors.New("ingest: nil document")
 	}
-	lc, err := st.coll(coll, true)
+	if backend != "" {
+		var err error
+		if backend, err = core.ParseBackend(backend); err != nil {
+			return PutResult{}, err
+		}
+	}
+	lc, err := st.coll(coll, true, backend)
 	if err != nil {
+		return PutResult{}, err
+	}
+	if err := lc.checkBackend(backend); err != nil {
 		return PutResult{}, err
 	}
 	// Build outside the writer lock: construction is the expensive step and
 	// must not serialise against other collections' queries or writers.
-	ix, err := st.build(doc)
+	ix, err := st.build(doc, lc.backend)
 	if err != nil {
 		return PutResult{}, err
 	}
@@ -530,7 +672,7 @@ func (st *Store) Delete(coll, id string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
 	}
-	lc, err := st.coll(coll, false)
+	lc, err := st.coll(coll, false, "")
 	if err != nil {
 		return false, err
 	}
@@ -597,7 +739,7 @@ func (st *Store) Compact(name string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
 	}
-	lc, err := st.coll(name, false)
+	lc, err := st.coll(name, false, "")
 	if err != nil {
 		return false, err
 	}
@@ -725,12 +867,14 @@ func (st *Store) Stats() []catalog.Info {
 			shards = st.opts.Catalog.Shards
 		}
 		infos = append(infos, catalog.Info{
-			Name:      name,
-			Docs:      v.Docs(),
-			Positions: v.Positions(),
-			Shards:    shards,
-			TauMin:    v.TauMin(),
-			LongCap:   st.opts.Catalog.LongCap,
+			Name:       name,
+			Docs:       v.Docs(),
+			Positions:  v.Positions(),
+			Shards:     shards,
+			TauMin:     v.TauMin(),
+			LongCap:    st.opts.Catalog.LongCap,
+			Backend:    v.Backend(),
+			IndexBytes: v.IndexBytes(),
 		})
 	}
 	return infos
@@ -750,7 +894,9 @@ func (st *Store) Status() []CollectionStatus {
 		v := lc.view.Load()
 		cs := CollectionStatus{
 			Name:        name,
+			Backend:     v.Backend(),
 			Docs:        v.Docs(),
+			IndexBytes:  v.IndexBytes(),
 			DeltaDocs:   v.DeltaDocs(),
 			Tombstones:  v.Tombstones(),
 			Gen:         lc.gen,

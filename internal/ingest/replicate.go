@@ -44,9 +44,14 @@ type WALPosition struct {
 // consistent with (tailing from Position replays nothing older than the
 // snapshot), and the construction options the documents' indexes need.
 type ReplicaSnapshot struct {
-	Name     string
-	TauMin   float64
-	LongCap  int
+	Name    string
+	TauMin  float64
+	LongCap int
+	// Backend is the collection's index representation on the primary; the
+	// follower adopts it when creating the collection and fails loudly if
+	// its local copy already uses a different one. (Empty in snapshots from
+	// primaries predating pluggable backends: treated as plain.)
+	Backend  string
 	Position WALPosition
 	// IDs and Docs are parallel, in the collection's canonical (id-sorted)
 	// order.
@@ -59,7 +64,7 @@ func (st *Store) WALPos(coll string) (WALPosition, error) {
 	if st.closed.Load() {
 		return WALPosition{}, ErrClosed
 	}
-	lc, err := st.coll(coll, false)
+	lc, err := st.coll(coll, false, "")
 	if err != nil {
 		return WALPosition{}, err
 	}
@@ -84,7 +89,7 @@ func (st *Store) ReadWAL(coll string, from int64, maxBytes int) ([]byte, WALPosi
 	if st.closed.Load() {
 		return nil, WALPosition{}, ErrClosed
 	}
-	lc, err := st.coll(coll, false)
+	lc, err := st.coll(coll, false, "")
 	if err != nil {
 		return nil, WALPosition{}, err
 	}
@@ -166,7 +171,7 @@ func (st *Store) Snapshot(coll string) (*ReplicaSnapshot, error) {
 	if st.closed.Load() {
 		return nil, ErrClosed
 	}
-	lc, err := st.coll(coll, false)
+	lc, err := st.coll(coll, false, "")
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +186,7 @@ func (st *Store) Snapshot(coll string) (*ReplicaSnapshot, error) {
 		Name:     lc.name,
 		TauMin:   st.opts.Catalog.TauMin,
 		LongCap:  st.opts.Catalog.LongCap,
+		Backend:  lc.backend,
 		Position: lc.posLocked(),
 		IDs:      ids,
 		Docs:     docs,
@@ -245,11 +251,11 @@ func (st *Store) Apply(coll string, recs []WALRecord) error {
 			return fmt.Errorf("ingest: unknown replicated opcode %q", rec.Op)
 		}
 	}
-	lc, err := st.coll(coll, true)
+	lc, err := st.coll(coll, true, "")
 	if err != nil {
 		return err
 	}
-	built, err := st.buildDocs(pending)
+	built, err := st.buildDocs(pending, lc.backend)
 	if err != nil {
 		return fmt.Errorf("ingest: collection %q: %w", coll, err)
 	}
@@ -293,18 +299,29 @@ func (st *Store) ApplySnapshot(snap *ReplicaSnapshot) error {
 			return err
 		}
 	}
-	lc, err := st.coll(snap.Name, true)
+	snapBackend, err := core.ParseBackend(snap.Backend)
+	if err != nil {
+		return fmt.Errorf("ingest: snapshot of %q: %w", snap.Name, err)
+	}
+	lc, err := st.coll(snap.Name, true, snapBackend)
 	if err != nil {
 		return err
 	}
+	// A local collection that predates this snapshot may have been created
+	// with a different backend (a stale sidecar, or a follower configured
+	// differently); applying the snapshot anyway would split the collection
+	// across representations, so fail loudly instead.
+	if err := lc.checkBackend(snapBackend); err != nil {
+		return err
+	}
 	lc.mu.Lock()
-	prev := make(map[string]*core.Index, len(lc.live))
+	prev := make(map[string]core.Backend, len(lc.live))
 	for id, ix := range lc.live {
 		prev[id] = ix
 	}
 	lc.mu.Unlock()
 	pending := make(map[string]*ustring.String)
-	reused := make(map[string]*core.Index)
+	reused := make(map[string]core.Backend)
 	for i, id := range snap.IDs {
 		if snap.Docs[i] == nil {
 			return fmt.Errorf("ingest: snapshot of %q: nil document %q", snap.Name, id)
@@ -315,11 +332,11 @@ func (st *Store) ApplySnapshot(snap *ReplicaSnapshot) error {
 		}
 		pending[id] = snap.Docs[i]
 	}
-	built, err := st.buildDocs(pending)
+	built, err := st.buildDocs(pending, lc.backend)
 	if err != nil {
 		return fmt.Errorf("ingest: collection %q: %w", snap.Name, err)
 	}
-	next := make(map[string]*core.Index, len(snap.IDs))
+	next := make(map[string]core.Backend, len(snap.IDs))
 	for id, ix := range reused {
 		next[id] = ix
 	}

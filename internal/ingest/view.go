@@ -30,8 +30,10 @@ type View struct {
 	gen        uint64 // mutation generation of the owning collection
 	name       string
 	tauMin     float64
+	backend    string // index representation of every live document
 	docs       int
 	positions  int
+	indexBytes int      // summed resident footprint of the live indexes
 	ids        []string // global document number → external id
 	tombstones int
 
@@ -69,6 +71,14 @@ func (v *View) Positions() int { return v.positions }
 
 // TauMin returns the construction threshold of every document index.
 func (v *View) TauMin() float64 { return v.tauMin }
+
+// Backend returns the index representation of the live documents
+// (core.BackendPlain or core.BackendCompressed).
+func (v *View) Backend() string { return v.backend }
+
+// IndexBytes returns the summed resident footprint of the live documents'
+// indexes at publish time.
+func (v *View) IndexBytes() int { return v.indexBytes }
 
 // Shards returns the base collection's fan-out shard count (0 when the view
 // has no base part).

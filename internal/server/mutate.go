@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/ustring"
 )
@@ -31,6 +32,10 @@ func mutationStatus(err error) error {
 	case errors.Is(err, ingest.ErrBadDocID),
 		errors.Is(err, ingest.ErrBadCollectionName):
 		return &httpError{status: http.StatusBadRequest, msg: err.Error()}
+	case errors.Is(err, ingest.ErrBackendMismatch):
+		// The collection exists with a different representation; the request
+		// conflicts with server state rather than being malformed.
+		return &httpError{status: http.StatusConflict, msg: err.Error()}
 	case errors.Is(err, ingest.ErrClosed):
 		// Shutting down is transient, not a malformed request: tell the
 		// client to retry against the restarted daemon.
@@ -51,6 +56,9 @@ type PutResponse struct {
 	Docs     int    `json:"docs"`
 	Gen      uint64 `json:"gen"`
 	Replaced bool   `json:"replaced"`
+	// Backend is the collection's index representation (chosen at creation
+	// via the backend query parameter, or the daemon default).
+	Backend string `json:"backend"`
 }
 
 // DeleteResponse answers a document DELETE.
@@ -68,13 +76,23 @@ type CompactResponse struct {
 }
 
 // handlePut parses the request body as one uncertain string in the text
-// encoding and inserts or replaces it under the path's document id.
+// encoding and inserts or replaces it under the path's document id. An
+// optional ?backend=plain|compressed parameter names the collection's index
+// representation; it takes effect only when this PUT creates the collection
+// and answers 409 when it conflicts with an existing collection's backend.
 func (s *Server) handlePut(r *http.Request) (any, error) {
 	if !s.mutable() {
 		return nil, s.readOnlyError()
 	}
 	coll := r.PathValue("collection")
 	id := r.PathValue("doc")
+	backend := r.URL.Query().Get("backend")
+	if backend != "" {
+		var err error
+		if backend, err = core.ParseBackend(backend); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
 	doc, err := ustring.Unmarshal(http.MaxBytesReader(nil, r.Body, s.cfg.MaxDocBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -86,14 +104,18 @@ func (s *Server) handlePut(r *http.Request) (any, error) {
 	if doc.Len() == 0 {
 		return nil, badRequest("empty document")
 	}
-	res, err := s.ingest.Put(coll, id, doc)
+	res, err := s.ingest.PutWithBackend(coll, id, doc, backend)
 	if err != nil {
 		return nil, mutationStatus(err)
 	}
-	return &PutResponse{
+	resp := &PutResponse{
 		Collection: coll, ID: id,
 		Doc: res.Doc, Docs: res.Docs, Gen: res.Gen, Replaced: res.Replaced,
-	}, nil
+	}
+	if v, ok := s.ingest.Get(coll); ok {
+		resp.Backend = v.Backend()
+	}
+	return resp, nil
 }
 
 // handleDelete tombstones one document.

@@ -7,12 +7,19 @@
 //	GET /v1/topk?collection=C&p=PATTERN&k=10       global top-k
 //	GET /v1/count?collection=C&p=PATTERN&tau=0.2   occurrence count
 //	POST /v1/batch                                 many queries, one request
-//	PUT /v1/collections/{c}/documents/{id}         insert/replace a document
+//	PUT /v1/collections/{c}/documents/{id}[?backend=plain|compressed]
+//	                                               insert/replace a document
+//	                                               (backend fixes the index
+//	                                               representation when this
+//	                                               PUT creates the collection;
+//	                                               a conflict answers 409)
 //	DELETE /v1/collections/{c}/documents/{id}      delete a document
 //	POST /v1/compact[?collection=C]                fold delta into base
 //	GET /v1/replication/wal?collection=C&epoch=E&from=O   tail the WAL feed
 //	GET /v1/replication/snapshot?collection=C      bootstrap snapshot (gob)
-//	GET /v1/stats                                  counters, collections, role
+//	GET /v1/stats                                  counters, collections,
+//	                                               role, per-collection
+//	                                               memory (see OPERATIONS.md)
 //	GET /healthz                                   liveness
 //
 // The mutation endpoints are live when the server is a primary over an
@@ -609,6 +616,36 @@ type CollectionStats struct {
 	Positions int     `json:"positions"`
 	Shards    int     `json:"shards"`
 	TauMin    float64 `json:"tau_min"`
+	// Backend names the collection's index representation ("plain" or
+	// "compressed").
+	Backend string `json:"backend"`
+	// IndexBytes is the summed resident footprint of the collection's
+	// per-document indexes, so the compressed backend's savings are
+	// observable per collection.
+	IndexBytes int `json:"index_bytes"`
+}
+
+// memoryStats is the /v1/stats "memory" section: the process-wide heap
+// alongside the per-collection index accounting that explains it.
+type memoryStats struct {
+	// HeapAllocBytes and HeapSysBytes are the Go runtime's live-heap and
+	// OS-reserved sizes.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	// IndexBytesTotal sums IndexBytes over every collection.
+	IndexBytesTotal int `json:"index_bytes_total"`
+	// Collections itemises index memory per collection.
+	Collections []collectionMemory `json:"collections"`
+}
+
+// collectionMemory is one collection's entry in the memory section.
+type collectionMemory struct {
+	Name       string `json:"name"`
+	Backend    string `json:"backend"`
+	Docs       int    `json:"docs"`
+	IndexBytes int    `json:"index_bytes"`
+	// BytesPerDoc is IndexBytes/Docs — the capacity-planning number.
+	BytesPerDoc int `json:"bytes_per_doc"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -618,18 +655,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	colls := make([]CollectionStats, 0)
+	mem := memoryStats{Collections: make([]collectionMemory, 0)}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mem.HeapAllocBytes = ms.HeapAlloc
+	mem.HeapSysBytes = ms.HeapSys
 	for _, info := range s.src.Stats() {
 		colls = append(colls, CollectionStats{
-			Name:      info.Name,
-			Docs:      info.Docs,
-			Positions: info.Positions,
-			Shards:    info.Shards,
-			TauMin:    info.TauMin,
+			Name:       info.Name,
+			Docs:       info.Docs,
+			Positions:  info.Positions,
+			Shards:     info.Shards,
+			TauMin:     info.TauMin,
+			Backend:    info.Backend,
+			IndexBytes: info.IndexBytes,
 		})
+		cm := collectionMemory{
+			Name:       info.Name,
+			Backend:    info.Backend,
+			Docs:       info.Docs,
+			IndexBytes: info.IndexBytes,
+		}
+		if info.Docs > 0 {
+			cm.BytesPerDoc = info.IndexBytes / info.Docs
+		}
+		mem.IndexBytesTotal += info.IndexBytes
+		mem.Collections = append(mem.Collections, cm)
 	}
 	out := map[string]any{
 		"role":        string(s.role),
 		"collections": colls,
+		"memory":      mem,
 		"endpoints":   s.stats.snapshot(),
 		"inflight": map[string]any{
 			"limit":   s.cfg.MaxInFlight,

@@ -38,7 +38,10 @@
 // Catalog manages many documents behind one query surface: documents are
 // spread over shards, each indexed whole, and Search/TopK/Count fan out
 // across the shards concurrently and merge the results. cmd/ustridxd serves
-// a catalog over HTTP/JSON.
+// a catalog over HTTP/JSON. The index representation is pluggable per
+// collection (CatalogOptions.Backend / Catalog.AddWithBackend): the plain
+// backend is the paper's structure, the compressed backend answers from an
+// FM-index at a several-fold smaller footprint — bit-identically.
 //
 // # Live ingestion
 //
@@ -100,6 +103,24 @@ type World = ustring.World
 // Index answers substring-search queries on a single uncertain string
 // (the paper's Problem 1).
 type Index = core.Index
+
+// IndexBackend is the pluggable per-document index contract of the serving
+// tier: the plain Index and the CompressedIndex both satisfy it and answer
+// every query bit-identically — only memory footprint and query latency
+// differ.
+type IndexBackend = core.Backend
+
+// CompressedIndex is the space-efficient index backend: suffix ranges from
+// an FM-index (wavelet-tree BWT) instead of an explicit suffix array,
+// cutting resident memory several-fold at a bounded query-time cost.
+type CompressedIndex = core.CompressedIndex
+
+// Index backend names, as used in CatalogOptions.Backend, the daemon's
+// -backend flag, and the PUT backend query parameter.
+const (
+	BackendPlain      = core.BackendPlain
+	BackendCompressed = core.BackendCompressed
+)
 
 // Hit is one search result with its probability.
 type Hit = core.Hit
@@ -201,7 +222,20 @@ func SearchOnline(s *String, p []byte, tau float64) []int {
 
 // ReadIndex loads an index previously saved with Index.WriteTo. The
 // transformation is restored verbatim; the query structures are rebuilt.
+// Files holding a different backend are rejected; use ReadIndexBackend to
+// load any backend.
 func ReadIndex(r io.Reader) (*Index, error) { return core.ReadIndex(r) }
+
+// NewIndexBackend builds the named index backend (BackendPlain or
+// BackendCompressed; empty means plain) for thresholds τ ≥ tauMin. Every
+// backend answers queries bit-identically.
+func NewIndexBackend(kind string, s *String, tauMin float64) (IndexBackend, error) {
+	return core.BuildBackend(kind, s, tauMin)
+}
+
+// ReadIndexBackend loads an index of any backend previously saved with its
+// WriteTo, dispatching on the versioned envelope's backend tag.
+func ReadIndexBackend(r io.Reader) (IndexBackend, error) { return core.ReadBackend(r) }
 
 // GenerateString synthesises one uncertain string with the paper's corpus
 // statistics (protein alphabet, uncertainty fraction cfg.Theta, ~5 choices

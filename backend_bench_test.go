@@ -1,17 +1,21 @@
 // Backend benchmarks: the memory/latency trade-off between the plain
-// (suffix array + RMQ levels) and compressed (FM-index) per-document index
-// backends, measured — not asserted — on one standard generated workload.
-// TestWriteBench4JSON snapshots the numbers to BENCH_4.json (set BENCH4_OUT)
-// for the repo's perf trajectory; CI regenerates and uploads it on every
-// run.
+// (suffix array + RMQ levels), compressed (FM-index) and approximate
+// (Section 7 ε-index) per-document index backends, measured on one standard
+// generated workload. TestWriteBench4JSON snapshots the exact-backend
+// numbers to BENCH_4.json (set BENCH4_OUT); TestWriteBench5JSON snapshots
+// the exact-vs-approx comparison to BENCH_5.json (set BENCH5_OUT) and
+// enforces the approx backend's long-pattern latency win. CI regenerates
+// and uploads both on every run.
 package repro_test
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -22,16 +26,25 @@ import (
 // The standard backend workload: a catalog collection of moderate documents
 // (long enough that per-document constants do not dominate either backend).
 const (
-	backendBenchDocs   = 48
-	backendBenchDocLen = 1200
-	backendBenchTheta  = 0.3
-	backendBenchTauMin = 0.1
-	backendBenchTau    = 0.12
+	backendBenchDocs    = 48
+	backendBenchDocLen  = 1200
+	backendBenchTheta   = 0.3
+	backendBenchTauMin  = 0.1
+	backendBenchTau     = 0.12
+	backendBenchEpsilon = 0.05
 )
+
+// backendBenchSpecs are the specs of the three standard collections, keyed
+// by kind in backendBenchState.colls.
+var backendBenchSpecs = []core.BackendSpec{
+	{Kind: core.BackendPlain},
+	{Kind: core.BackendCompressed},
+	{Kind: core.BackendApprox, Epsilon: backendBenchEpsilon},
+}
 
 type backendBenchState struct {
 	docs  []*ustring.String
-	colls map[string]*catalog.Collection // backend → collection
+	colls map[string]*catalog.Collection // backend kind → collection
 	pats  map[int][][]byte               // pattern length → patterns
 }
 
@@ -51,16 +64,16 @@ func backendBenchSetup(tb testing.TB) *backendBenchState {
 			})
 		}
 		st.colls = make(map[string]*catalog.Collection)
-		for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
+		for _, spec := range backendBenchSpecs {
 			c := catalog.New(catalog.Options{TauMin: backendBenchTauMin, Shards: 4})
-			col, err := c.AddWithBackend("bench", st.docs, backend)
+			col, err := c.AddWithSpec("bench", st.docs, spec)
 			if err != nil {
 				panic(err)
 			}
-			st.colls[backend] = col
+			st.colls[spec.Kind] = col
 		}
 		st.pats = make(map[int][][]byte)
-		for _, m := range []int{4, 12} {
+		for _, m := range []int{4, 12, 24, 48} {
 			st.pats[m] = gen.CollectionPatterns(st.docs, 32, m, 19)
 		}
 	})
@@ -74,10 +87,10 @@ func bytesPerDoc(col *catalog.Collection) float64 {
 
 func BenchmarkBackendSearch(b *testing.B) {
 	st := backendBenchSetup(b)
-	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
-		col := st.colls[backend]
-		for _, m := range []int{4, 12} {
-			b.Run(fmt.Sprintf("backend=%s/m=%d", backend, m), func(b *testing.B) {
+	for _, spec := range backendBenchSpecs {
+		col := st.colls[spec.Kind]
+		for _, m := range []int{4, 12, 24, 48} {
+			b.Run(fmt.Sprintf("backend=%s/m=%d", spec.Kind, m), func(b *testing.B) {
 				pats := st.pats[m]
 				b.ReportMetric(bytesPerDoc(col), "index-B/doc")
 				b.ResetTimer()
@@ -91,6 +104,8 @@ func BenchmarkBackendSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendTopK covers the exact backends only: the approx backend
+// rejects top-k by contract (core.ErrUnsupportedQuery).
 func BenchmarkBackendTopK(b *testing.B) {
 	st := backendBenchSetup(b)
 	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
@@ -110,9 +125,9 @@ func BenchmarkBackendTopK(b *testing.B) {
 
 func BenchmarkBackendCount(b *testing.B) {
 	st := backendBenchSetup(b)
-	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
-		col := st.colls[backend]
-		b.Run("backend="+backend, func(b *testing.B) {
+	for _, spec := range backendBenchSpecs {
+		col := st.colls[spec.Kind]
+		b.Run("backend="+spec.Kind, func(b *testing.B) {
 			pats := st.pats[4]
 			b.ReportMetric(bytesPerDoc(col), "index-B/doc")
 			b.ResetTimer()
@@ -127,11 +142,11 @@ func BenchmarkBackendCount(b *testing.B) {
 
 func BenchmarkBackendBuild(b *testing.B) {
 	st := backendBenchSetup(b)
-	for _, backend := range []string{core.BackendPlain, core.BackendCompressed} {
-		b.Run("backend="+backend, func(b *testing.B) {
+	for _, spec := range backendBenchSpecs {
+		b.Run("backend="+spec.Kind, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				doc := st.docs[i%len(st.docs)]
-				if _, err := core.BuildBackend(backend, doc, backendBenchTauMin); err != nil {
+				if _, err := spec.Build(doc, backendBenchTauMin); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -244,4 +259,170 @@ func TestWriteBench4JSON(t *testing.T) {
 		doc.Backends[core.BackendPlain].BytesPerDoc,
 		doc.Backends[core.BackendCompressed].BytesPerDoc,
 		doc.BytesPerDocRatio)
+}
+
+// bench5LongPatternLens is the long-pattern slice of the standard workload:
+// every length beyond the plain backend's optimal-time window (log N ≈ 11
+// for the standard document), where the paper's Section 7 structure
+// guarantees optimal query time and the Section 4/5 structure does not.
+var bench5LongPatternLens = []int{12, 24, 48}
+
+// medianSearchNs measures one collection's Search latency over pats at tau:
+// median of rounds, each a fixed-size batch. Callers interleave two
+// collections' rounds so clock-frequency and thermal drift hit both
+// equally — the property the enforced plain-vs-approx comparison relies on.
+func medianSearchNs(tb testing.TB, col *catalog.Collection, pats [][]byte, rounds, batch int) func(r int) int64 {
+	tb.Helper()
+	samples := make([]int64, 0, rounds)
+	return func(r int) int64 {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			if _, err := col.Search(pats[i%len(pats)], backendBenchTau); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		samples = append(samples, time.Since(start).Nanoseconds()/int64(batch))
+		if r < rounds-1 {
+			return 0
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		return samples[len(samples)/2]
+	}
+}
+
+// bench5Backend is one backend's measured slice of BENCH_5.json.
+type bench5Backend struct {
+	BytesPerDoc   float64          `json:"bytes_per_doc"`
+	BuildNsPerDoc int64            `json:"build_ns_per_doc"`
+	SearchNsPerOp map[string]int64 `json:"search_ns_per_op"`
+	CountNsPerOp  int64            `json:"count_ns_per_op"`
+	// Epsilon is the approx backend's additive error bound (0 elsewhere).
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// bench5 is the BENCH_5.json document.
+type bench5 struct {
+	Bench    string `json:"bench"`
+	Workload struct {
+		Docs            int     `json:"docs"`
+		PositionsPerDoc int     `json:"positions_per_doc"`
+		Theta           float64 `json:"theta"`
+		TauMin          float64 `json:"tau_min"`
+		Tau             float64 `json:"tau"`
+		Epsilon         float64 `json:"epsilon"`
+		PatternLens     []int   `json:"pattern_lens"`
+	} `json:"workload"`
+	Backends map[string]bench5Backend `json:"backends"`
+	// LongPattern is the enforced comparison: interleaved median Search
+	// latency summed over the long-pattern lengths (m > log N), plain vs
+	// approx at ε=0.05. SpeedupPlainOverApprox > 1 means approx is faster —
+	// the acceptance bar.
+	LongPattern struct {
+		PatternLens            []int   `json:"pattern_lens"`
+		PlainNsPerOp           int64   `json:"plain_ns_per_op"`
+		ApproxNsPerOp          int64   `json:"approx_ns_per_op"`
+		SpeedupPlainOverApprox float64 `json:"speedup_plain_over_approx"`
+	} `json:"long_pattern"`
+}
+
+// TestWriteBench5JSON measures the exact-vs-approx trade on the standard
+// workload and writes the snapshot named by BENCH5_OUT (skipped when unset,
+// so the regular test run stays fast). The acceptance bar: on the
+// long-pattern slice of the workload — where the ε-index's optimal-time
+// guarantee applies and the plain backend's does not — the approx backend
+// at ε=0.05 must beat the plain backend's query latency, measured as
+// interleaved medians so machine drift cannot bias either side. CI runs it
+// in the bench step and uploads the file as a workflow artifact.
+func TestWriteBench5JSON(t *testing.T) {
+	out := os.Getenv("BENCH5_OUT")
+	if out == "" {
+		t.Skip("BENCH5_OUT not set")
+	}
+	st := backendBenchSetup(t)
+	doc := bench5{Bench: "approximate ε-index vs exact backends"}
+	doc.Workload.Docs = backendBenchDocs
+	doc.Workload.PositionsPerDoc = backendBenchDocLen
+	doc.Workload.Theta = backendBenchTheta
+	doc.Workload.TauMin = backendBenchTauMin
+	doc.Workload.Tau = backendBenchTau
+	doc.Workload.Epsilon = backendBenchEpsilon
+	doc.Workload.PatternLens = []int{4, 12, 24, 48}
+	doc.Backends = make(map[string]bench5Backend)
+	for _, spec := range backendBenchSpecs {
+		col := st.colls[spec.Kind]
+		entry := bench5Backend{
+			BytesPerDoc:   bytesPerDoc(col),
+			SearchNsPerOp: make(map[string]int64),
+			Epsilon:       spec.Epsilon,
+		}
+		build := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Build(st.docs[i%len(st.docs)], backendBenchTauMin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.BuildNsPerDoc = build.NsPerOp()
+		for _, m := range doc.Workload.PatternLens {
+			pats := st.pats[m]
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := col.Search(pats[i%len(pats)], backendBenchTau); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			entry.SearchNsPerOp[fmt.Sprintf("m=%d", m)] = r.NsPerOp()
+		}
+		count := testing.Benchmark(func(b *testing.B) {
+			pats := st.pats[4]
+			for i := 0; i < b.N; i++ {
+				if _, err := col.Count(pats[i%len(pats)], backendBenchTau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.CountNsPerOp = count.NsPerOp()
+		doc.Backends[spec.Kind] = entry
+	}
+
+	// The enforced long-pattern comparison, interleaved per round.
+	const rounds, batch = 15, 64
+	plainCol := st.colls[core.BackendPlain]
+	approxCol := st.colls[core.BackendApprox]
+	var plainNs, approxNs int64
+	for _, m := range bench5LongPatternLens {
+		pats := st.pats[m]
+		plainM := medianSearchNs(t, plainCol, pats, rounds, batch)
+		approxM := medianSearchNs(t, approxCol, pats, rounds, batch)
+		// Warm both before sampling.
+		medianSearchNs(t, plainCol, pats, 1, batch)(0)
+		medianSearchNs(t, approxCol, pats, 1, batch)(0)
+		var pm, am int64
+		for r := 0; r < rounds; r++ {
+			pm = plainM(r)
+			am = approxM(r)
+		}
+		plainNs += pm
+		approxNs += am
+	}
+	doc.LongPattern.PatternLens = bench5LongPatternLens
+	doc.LongPattern.PlainNsPerOp = plainNs
+	doc.LongPattern.ApproxNsPerOp = approxNs
+	doc.LongPattern.SpeedupPlainOverApprox = float64(plainNs) / float64(approxNs)
+	if approxNs >= plainNs {
+		t.Errorf("approx backend (ε=%g) does not beat plain on the long-pattern workload: approx %d ns/op, plain %d ns/op",
+			backendBenchEpsilon, approxNs, plainNs)
+	}
+
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: long-pattern plain %d ns/op vs approx %d ns/op (%.2fx)",
+		out, plainNs, approxNs, doc.LongPattern.SpeedupPlainOverApprox)
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
-//	         [-backend plain|compressed] [-index-cache DIR]
+//	         [-backend plain|compressed|approx] [-epsilon 0.05]
+//	         [-index-cache DIR]
 //	         [-cache-entries 1024] [-inflight 0]
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
@@ -16,13 +17,18 @@
 // With -index-cache, built indexes are persisted to (and on restart loaded
 // from) the given directory, skipping the expensive Lemma 2 transformation.
 //
-// -backend selects the default index representation: "plain" (the paper's
-// suffix-array structure; fastest queries) or "compressed" (FM-index;
-// several-fold smaller resident memory at a bounded query-time cost).
-// Results are bit-identical either way. Mutable collections may override
-// the default per collection at creation time via the PUT backend query
-// parameter; /v1/stats reports every collection's backend and index bytes.
-// See OPERATIONS.md for capacity planning.
+// -backend selects the default index backend: "plain" (the paper's
+// suffix-array structure; fastest exact queries), "compressed" (FM-index;
+// several-fold smaller resident memory at a bounded query-time cost,
+// results bit-identical to plain) or "approx" (the paper's Section 7
+// ε-index; optimal query time for any pattern length with an additive
+// error -epsilon — every reported hit has true probability above τ−ε and
+// nothing above τ is missed; query responses carry "approx": true and the
+// effective ε, and top-k requests answer 422 because the ε-index cannot
+// rank exactly). Mutable collections may override the default per
+// collection at creation time via the PUT backend/epsilon query
+// parameters; /v1/stats reports every collection's backend, ε and index
+// bytes. See OPERATIONS.md for capacity planning.
 //
 // With -wal, the daemon serves a mutable catalog: documents can be added,
 // replaced and deleted at runtime through PUT/DELETE
@@ -80,7 +86,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "query fan-out shards per collection (0 = GOMAXPROCS, capped at 16)")
 	workers := fs.Int("workers", 0, "index build worker pool size (0 = GOMAXPROCS)")
 	longCap := fs.Int("longcap", 0, "long-pattern blocking cap (0 = library default)")
-	backend := fs.String("backend", core.BackendPlain, "index backend for collections: plain (fastest queries) or compressed (FM-index; several-fold smaller resident memory, results bit-identical)")
+	backend := fs.String("backend", core.BackendPlain, "index backend for collections: plain (fastest exact queries), compressed (FM-index; several-fold smaller resident memory, results bit-identical) or approx (Section 7 ε-index; optimal query time for any pattern length, additive error epsilon, no top-k)")
+	epsilon := fs.Float64("epsilon", 0, "additive error bound for the approx backend (0 = library default); requires -backend approx")
 	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
 	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
@@ -96,7 +103,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap, Backend: backendName}
+	if *epsilon != 0 && backendName != core.BackendApprox {
+		return fmt.Errorf("-epsilon requires -backend %s", core.BackendApprox)
+	}
+	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap, Backend: backendName, Epsilon: *epsilon}
+	// Resolve the spec once so the default ε is pinned and every layer (and
+	// the cache-mismatch check) compares against the same value.
+	spec, err := opts.Spec("")
+	if err != nil {
+		return err
+	}
+	opts.Epsilon = spec.Epsilon
 	cfgBase := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
 	if *follow != "" {
 		if *data != "" || *wal != "" {
@@ -112,8 +129,12 @@ func run(args []string) error {
 		return err
 	}
 	for _, info := range cat.Stats() {
+		backendDesc := info.Backend
+		if info.Backend == core.BackendApprox {
+			backendDesc = fmt.Sprintf("%s ε=%g", info.Backend, info.Epsilon)
+		}
 		log.Printf("collection %q: %d documents, %d positions, %d shards, taumin %g, %s backend (%d index bytes)",
-			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin, info.Backend, info.IndexBytes)
+			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin, backendDesc, info.IndexBytes)
 	}
 
 	cfg := cfgBase
@@ -289,6 +310,9 @@ func cacheMismatch(cat *catalog.Catalog, dataDir string) error {
 		}
 		if info.Backend != want.Backend {
 			return fmt.Errorf("was built with the %s backend (want %s)", info.Backend, want.Backend)
+		}
+		if info.Backend == core.BackendApprox && info.Epsilon != want.Epsilon {
+			return fmt.Errorf("was built with epsilon %g (want %g)", info.Epsilon, want.Epsilon)
 		}
 	}
 	sources, err := catalog.ScanDir(dataDir)

@@ -85,6 +85,12 @@ type Index struct {
 	linkPos   []int32
 	linkProb  []float64
 	probRMQ   *rmq.Block
+	// linkStart[r] is the number of links with base preorder < r
+	// (len = numNodes+1), so the link range of a preorder interval [a, b]
+	// is [linkStart[a], linkStart[b+1]) — two O(1) lookups instead of two
+	// binary searches over the (large, usually cache-cold) link arrays on
+	// every query.
+	linkStart []int32
 }
 
 // Build constructs the approximate index for thresholds τ ≥ tauMin with
@@ -207,6 +213,14 @@ func (ix *Index) buildLinks(tx *suffix.Text) {
 	}
 	ix.linkProb = probs
 	ix.probRMQ = rmq.NewBlock(len(ix.linkProb), func(i int) float64 { return ix.linkProb[i] })
+
+	ix.linkStart = make([]int32, t.NumNodes()+1)
+	for _, pre := range ix.linkPre {
+		ix.linkStart[pre+1]++
+	}
+	for r := 1; r < len(ix.linkStart); r++ {
+		ix.linkStart[r] += ix.linkStart[r-1]
+	}
 }
 
 // emitChain splits the path piece from node v (string depth depth(v)) up to
@@ -270,26 +284,47 @@ func (ix *Index) Search(p []byte, tau float64) ([]Match, error) {
 	if tau < ix.tauMin-prob.Eps {
 		return nil, fmt.Errorf("%w (tau=%v, tau_min=%v)", ErrTauBelowTauMin, tau, ix.tauMin)
 	}
+	return ix.SearchPrevalidated(p, tau), nil
+}
+
+// SearchPrevalidated is Search for callers that have already validated
+// (p, tau) — a serving backend running one shared validation pass must not
+// pay a second per-document pattern scan on every shard fan-out. Passing an
+// unvalidated query is undefined behaviour.
+func (ix *Index) SearchPrevalidated(p []byte, tau float64) []Match {
 	if ix.tree.Root() < 0 {
-		return nil, nil
+		return nil
+	}
+	// A match lives entirely inside one transformed factor (patterns cannot
+	// contain the separator byte), so a pattern longer than the longest
+	// factor can never occur — answer without touching the suffix
+	// structure. This is what keeps very long patterns O(1) instead of
+	// paying a full binary search that is guaranteed to miss.
+	if len(p) > ix.tr.MaxFactorLen {
+		return nil
 	}
 	node, _, _, ok := ix.tree.Locus(p)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	a, b := ix.tree.PreRange(node)
 	// Link index range with base preorder in [a, b].
-	lo := sort.Search(len(ix.linkPre), func(i int) bool { return ix.linkPre[i] >= a })
-	hi := sort.Search(len(ix.linkPre), func(i int) bool { return ix.linkPre[i] > b }) - 1
+	lo := int(ix.linkStart[a])
+	hi := int(ix.linkStart[b+1]) - 1
 	if lo > hi {
-		return nil, nil
+		return nil
 	}
 	m := int32(len(p))
 	thr := tau - ix.epsilon
 
+	// The extraction stack lives in a fixed scratch array in the common
+	// case: its depth is bounded by the number of qualifying links, which is
+	// small for typical queries, and the reflection-free sort below keeps
+	// the per-query constant factors at the plain backend's level.
 	var out []Match
 	type span struct{ l, r int }
-	stack := []span{{lo, hi}}
+	var scratch [12]span
+	stack := append(scratch[:0], span{lo, hi})
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -305,12 +340,36 @@ func (ix *Index) Search(p []byte, tau float64) ([]Match, error) {
 		}
 		stack = append(stack, span{s.l, j - 1}, span{j + 1, s.r})
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Pos < out[b].Pos })
-	return out, nil
+	sortMatches(out)
+	return out
 }
+
+// sortMatches orders matches by position: insertion sort for the tiny
+// result sets threshold queries typically produce, sort.Sort (on a concrete
+// type, no reflection) beyond.
+func sortMatches(ms []Match) {
+	if len(ms) <= 24 {
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && ms[j].Pos < ms[j-1].Pos; j-- {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			}
+		}
+		return
+	}
+	sort.Sort(matchesByPos(ms))
+}
+
+type matchesByPos []Match
+
+func (ms matchesByPos) Len() int           { return len(ms) }
+func (ms matchesByPos) Less(a, b int) bool { return ms[a].Pos < ms[b].Pos }
+func (ms matchesByPos) Swap(a, b int)      { ms[a], ms[b] = ms[b], ms[a] }
 
 // Epsilon returns the construction error bound.
 func (ix *Index) Epsilon() float64 { return ix.epsilon }
+
+// Source returns the indexed uncertain string.
+func (ix *Index) Source() *ustring.String { return ix.src }
 
 // TauMin returns the construction threshold.
 func (ix *Index) TauMin() float64 { return ix.tauMin }
@@ -321,7 +380,7 @@ func (ix *Index) NumLinks() int { return len(ix.linkProb) }
 // Bytes reports the memory footprint.
 func (ix *Index) Bytes() int {
 	b := ix.tr.Bytes() + ix.tree.Bytes() + ix.pre.Bytes()
-	b += len(ix.linkPre)*4*5 + len(ix.linkProb)*8
+	b += len(ix.linkPre)*4*5 + len(ix.linkProb)*8 + len(ix.linkStart)*4
 	if ix.probRMQ != nil {
 		b += ix.probRMQ.Bytes()
 	}

@@ -32,9 +32,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, err
 }
 
-// sourceOf reconstructs the indexed string handle. The approximate index
-// does not retain the source directly, so it is captured at Build time.
-func sourceOf(ix *Index) *ustring.String { return ix.src }
+// sourceOf reconstructs the indexed string handle captured at Build time.
+func sourceOf(ix *Index) *ustring.String { return ix.Source() }
 
 // ReadIndex loads an index written by WriteTo.
 func ReadIndex(r io.Reader) (*Index, error) {

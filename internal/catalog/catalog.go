@@ -66,11 +66,32 @@ type Options struct {
 	Workers int
 	// LongCap is passed through to core.WithLongCap when positive.
 	LongCap int
-	// Backend selects the default index representation for new collections
-	// (core.BackendPlain or core.BackendCompressed; empty means plain).
-	// Individual collections may override it via AddWithBackend — the
-	// choice affects memory and latency only, never query answers.
+	// Backend selects the default index backend for new collections
+	// (core.BackendPlain, core.BackendCompressed or core.BackendApprox;
+	// empty means plain). Individual collections may override it via
+	// AddWithBackend/AddWithSpec. Exact backends trade memory against
+	// latency only; the approx backend additionally trades exactness for
+	// speed (additive error Epsilon).
 	Backend string
+	// Epsilon is the additive error bound used when Backend (or an
+	// AddWithBackend override) selects the approx backend; 0 means
+	// core.DefaultEpsilon. Ignored by exact backends.
+	Epsilon float64
+}
+
+// Spec resolves a per-collection backend kind override (empty = the catalog
+// default) into a validated core.BackendSpec carrying the catalog's ε. The
+// ingest layer and the daemon route their backend choices through it so
+// every layer derives the identical spec from the same options.
+func (o Options) Spec(kind string) (core.BackendSpec, error) {
+	if kind == "" {
+		kind = o.Backend
+	}
+	eps := 0.0
+	if kind == core.BackendApprox {
+		eps = o.Epsilon
+	}
+	return core.NewBackendSpec(kind, eps)
 }
 
 func (o Options) withDefaults() Options {
@@ -115,7 +136,7 @@ type Collection struct {
 	name       string
 	tauMin     float64
 	longCap    int
-	backend    string
+	spec       core.BackendSpec
 	shards     [][]docIndex
 	docs       int
 	positions  int
@@ -191,31 +212,39 @@ func Open(dir string, opts Options) (*Catalog, error) {
 
 // Add builds indexes for docs on the catalog's worker pool and registers the
 // collection under name, replacing any previous collection of that name. The
-// catalog's default backend is used; AddWithBackend overrides it.
+// catalog's default backend is used; AddWithBackend/AddWithSpec override it.
 func (c *Catalog) Add(name string, docs []*ustring.String) (*Collection, error) {
 	return c.AddWithBackend(name, docs, c.opts.Backend)
 }
 
-// AddWithBackend is Add with an explicit index backend for this collection
-// (empty means the catalog default). Collections of different backends
-// coexist in one catalog and answer queries bit-identically; only their
-// memory footprint and query latency differ.
+// AddWithBackend is Add with an explicit index backend kind for this
+// collection (empty means the catalog default; the approx kind picks up the
+// catalog's Epsilon). Collections of different backends coexist in one
+// catalog; exact backends answer queries bit-identically, the approx backend
+// under its declared ε.
 func (c *Catalog) AddWithBackend(name string, docs []*ustring.String, backend string) (*Collection, error) {
+	spec, err := c.opts.Spec(backend)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
+	}
+	return c.AddWithSpec(name, docs, spec)
+}
+
+// AddWithSpec is Add with a full backend spec (kind plus construction
+// parameters) for this collection. The zero spec means the plain backend.
+func (c *Catalog) AddWithSpec(name string, docs []*ustring.String, spec core.BackendSpec) (*Collection, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty collection name")
 	}
-	if backend == "" {
-		backend = c.opts.Backend
-	}
-	backend, err := core.ParseBackend(backend)
+	spec, err := core.NewBackendSpec(spec.Kind, spec.Epsilon)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
-	ixs, err := c.buildAll(docs, backend)
+	ixs, err := c.buildAll(docs, spec)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
-	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, backend, ixs)
+	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, spec, ixs)
 	c.mu.Lock()
 	c.colls[name] = col
 	c.mu.Unlock()
@@ -247,8 +276,8 @@ func (c *Catalog) runPool(n int, fn func(i int) error) error {
 }
 
 // buildAll builds one index per document on the worker pool, all with the
-// same backend.
-func (c *Catalog) buildAll(docs []*ustring.String, backend string) ([]core.Backend, error) {
+// same backend spec.
+func (c *Catalog) buildAll(docs []*ustring.String, spec core.BackendSpec) ([]core.Backend, error) {
 	var buildOpts []core.Option
 	if c.opts.LongCap > 0 {
 		buildOpts = append(buildOpts, core.WithLongCap(c.opts.LongCap))
@@ -256,7 +285,7 @@ func (c *Catalog) buildAll(docs []*ustring.String, backend string) ([]core.Backe
 	ixs := make([]core.Backend, len(docs))
 	err := c.runPool(len(docs), func(i int) error {
 		var err error
-		ixs[i], err = core.BuildBackend(backend, docs[i], c.opts.TauMin, buildOpts...)
+		ixs[i], err = spec.Build(docs[i], c.opts.TauMin, buildOpts...)
 		return err
 	})
 	if err != nil {
@@ -266,30 +295,30 @@ func (c *Catalog) buildAll(docs []*ustring.String, backend string) ([]core.Backe
 }
 
 // assemble distributes built or loaded indexes round-robin over the shards.
-func (c *Catalog) assemble(name string, tauMin float64, longCap int, backend string, ixs []core.Backend) *Collection {
-	return FromIndexes(name, tauMin, longCap, c.opts.Shards, backend, ixs)
+func (c *Catalog) assemble(name string, tauMin float64, longCap int, spec core.BackendSpec, ixs []core.Backend) *Collection {
+	return FromIndexes(name, tauMin, longCap, c.opts.Shards, spec, ixs)
 }
 
 // FromIndexes assembles a collection directly from already-built
 // per-document indexes, distributing them round-robin over shards (shards
-// < 1 is treated as 1). Index i becomes document i; backend labels the
-// collection's configured representation (empty means plain). Assembly
+// < 1 is treated as 1). Index i becomes document i; spec labels the
+// collection's configured backend (the zero spec means plain). Assembly
 // never rebuilds an index, so a collection re-assembled from the same
-// indexes answers queries bit-identically — the property the ingest layer's
+// indexes answers queries identically — the property the ingest layer's
 // compaction relies on when folding delta documents into a new base.
-func FromIndexes(name string, tauMin float64, longCap, shards int, backend string, ixs []core.Backend) *Collection {
+func FromIndexes(name string, tauMin float64, longCap, shards int, spec core.BackendSpec, ixs []core.Backend) *Collection {
 	if shards < 1 {
 		shards = 1
 	}
-	if backend == "" {
-		backend = core.BackendPlain
+	if spec.Kind == "" {
+		spec.Kind = core.BackendPlain
 	}
 	col := &Collection{
 		id:      collectionID.Add(1),
 		name:    name,
 		tauMin:  tauMin,
 		longCap: longCap,
-		backend: backend,
+		spec:    spec,
 		shards:  make([][]docIndex, shards),
 		docs:    len(ixs),
 	}
@@ -333,9 +362,12 @@ type Info struct {
 	// with (0 = library default); serving layers compare it against their
 	// requested options to detect stale caches.
 	LongCap int
-	// Backend names the collection's index representation (core.BackendPlain
-	// or core.BackendCompressed).
+	// Backend names the collection's index backend kind (core.BackendPlain,
+	// core.BackendCompressed or core.BackendApprox).
 	Backend string
+	// Epsilon is the approx backend's additive error bound; 0 for exact
+	// backends.
+	Epsilon float64
 	// IndexBytes is the summed resident footprint of the collection's
 	// per-document indexes — the number that makes the compressed backend's
 	// savings observable per collection.
@@ -355,7 +387,8 @@ func (c *Catalog) Stats() []Info {
 			Shards:     len(col.shards),
 			TauMin:     col.tauMin,
 			LongCap:    col.longCap,
-			Backend:    col.backend,
+			Backend:    col.spec.Kind,
+			Epsilon:    col.spec.Epsilon,
 			IndexBytes: col.indexBytes,
 		})
 	}
@@ -383,8 +416,17 @@ func (col *Collection) TauMin() float64 { return col.tauMin }
 // Shards returns the fan-out shard count.
 func (col *Collection) Shards() int { return len(col.shards) }
 
-// Backend returns the collection's index representation name.
-func (col *Collection) Backend() string { return col.backend }
+// Backend returns the collection's index backend kind.
+func (col *Collection) Backend() string { return col.spec.Kind }
+
+// Epsilon returns the approx backend's additive error bound (0 for exact
+// backends).
+func (col *Collection) Epsilon() float64 { return col.spec.Epsilon }
+
+// Spec returns the collection's full backend spec (kind plus construction
+// parameters) — the value serving layers consult for capabilities and fold
+// into result-cache keys.
+func (col *Collection) Spec() core.BackendSpec { return col.spec }
 
 // IndexBytes returns the summed resident footprint of the collection's
 // per-document indexes.

@@ -11,9 +11,9 @@ import (
 )
 
 // cacheFormat tags the on-disk cache layout; bump on incompatible changes.
-// (Adding the Backend field did not bump it: caches written before the field
-// existed decode with an empty Backend, which means plain — exactly what
-// their document files hold.)
+// (Adding the Backend and Epsilon fields did not bump it: caches written
+// before the fields existed decode with the zero values, which mean the
+// plain backend — exactly what their document files hold.)
 const cacheFormat = 1
 
 // manifest describes one cached collection.
@@ -22,8 +22,13 @@ type manifest struct {
 	TauMin  float64
 	LongCap int
 	Docs    int
-	// Backend is the collection's index representation; empty means plain.
+	// Backend is the collection's index backend kind; empty means plain.
 	Backend string
+	// Epsilon is the approx backend's additive error bound; 0 elsewhere.
+	// Together with Backend it reconstructs the collection's BackendSpec, so
+	// a cache load verifies every document file against the same parameters
+	// the collection was built with.
+	Epsilon float64
 }
 
 const manifestName = "manifest.gob"
@@ -69,7 +74,7 @@ func (c *Catalog) Save(dir string) error {
 		}
 		err = gob.NewEncoder(mf).Encode(manifest{
 			Format: cacheFormat, TauMin: col.tauMin, LongCap: col.longCap,
-			Docs: col.docs, Backend: col.backend,
+			Docs: col.docs, Backend: col.spec.Kind, Epsilon: col.spec.Epsilon,
 		})
 		if cerr := mf.Close(); err == nil {
 			err = cerr
@@ -193,7 +198,7 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 	} else if m.Docs < 0 || m.Docs > len(entries) {
 		return fmt.Errorf("catalog: %q: manifest claims %d documents but the cache holds %d files", name, m.Docs, len(entries))
 	}
-	backend, err := core.ParseBackend(m.Backend)
+	spec, err := core.NewBackendSpec(m.Backend, m.Epsilon)
 	if err != nil {
 		return fmt.Errorf("catalog: reading manifest for %q: %w", name, err)
 	}
@@ -203,10 +208,11 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 		if err != nil {
 			return err
 		}
-		// A document file of the wrong representation means the cache was
-		// written under different options; fail so the caller rebuilds.
-		if ix.Kind() != backend {
-			return fmt.Errorf("cached index holds the %q backend, manifest says %q", ix.Kind(), backend)
+		// A document file of the wrong representation (or, for approx, a
+		// different ε) means the cache was written under different options;
+		// fail so the caller rebuilds.
+		if got := core.SpecOf(ix); got != spec {
+			return fmt.Errorf("cached index holds the %s backend, manifest says %s", got, spec)
 		}
 		ixs[i] = ix
 		return nil
@@ -214,7 +220,7 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 	if err != nil {
 		return fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
-	col := c.assemble(name, m.TauMin, m.LongCap, backend, ixs)
+	col := c.assemble(name, m.TauMin, m.LongCap, spec, ixs)
 	c.mu.Lock()
 	c.colls[name] = col
 	c.mu.Unlock()

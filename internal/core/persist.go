@@ -14,13 +14,17 @@ import (
 //
 //	1 — plain backend only; no Backend tag (decoded as BackendPlain).
 //	2 — adds the Backend tag and the compressed backend's SampleRate.
+//	3 — adds the approx backend and its Epsilon parameter.
 //
-// Both backends persist the same payload — the source string plus the
+// The exact backends persist the same payload — the source string plus the
 // Lemma 2 transformation (the dominant construction cost at low τmin) — and
 // rebuild their query structures on load: the plain backend its suffix
 // array and RMQ levels, the compressed backend its BWT/wavelet machinery.
+// The approx backend persists only the source and its (τmin, ε) parameters;
+// its transformation and link structure are deterministic and rebuilt on
+// load (retaining the transformation would cost more than the whole index).
 // ReadBackend accepts every format up to persistFormat.
-const persistFormat = 2
+const persistFormat = 3
 
 // persisted is the gob payload shared by every backend.
 type persisted struct {
@@ -29,10 +33,14 @@ type persisted struct {
 	TauMin  float64
 	LongCap int
 	// SampleRate is the compressed backend's suffix-array sampling interval
-	// (0 = default); unused by the plain backend.
+	// (0 = default); unused by the other backends.
 	SampleRate int
-	Source     *ustring.String
-	Tr         *factor.Transformed
+	// Epsilon is the approx backend's additive error bound; 0 elsewhere.
+	Epsilon float64
+	Source  *ustring.String
+	// Tr is nil for the approx backend, which rebuilds its own
+	// transformation from Source.
+	Tr *factor.Transformed
 }
 
 // WriteTo serialises the index. The transformation is stored verbatim;
@@ -72,6 +80,19 @@ func (cx *CompressedIndex) WriteTo(w io.Writer) (int64, error) {
 	})
 }
 
+// WriteTo serialises the approximate backend: source string and the
+// (τmin, ε) construction parameters. The transformation and ε-link
+// structure are deterministic, so loading rebuilds them from the source.
+func (ab *ApproxBackend) WriteTo(w io.Writer) (int64, error) {
+	return writePersisted(w, persisted{
+		Format:  persistFormat,
+		Backend: BackendApprox,
+		TauMin:  ab.TauMin(),
+		Epsilon: ab.Epsilon(),
+		Source:  ab.Source(),
+	})
+}
+
 func writePersisted(w io.Writer, p persisted) (int64, error) {
 	cw := &countingWriter{w: w}
 	err := gob.NewEncoder(cw).Encode(p)
@@ -103,11 +124,22 @@ func ReadBackend(r io.Reader) (b Backend, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: corrupt index payload: %w", err)
 	}
-	if p.Source == nil || p.Tr == nil {
+	if p.Source == nil {
 		return nil, fmt.Errorf("core: truncated index payload")
 	}
 	if err := p.Source.Validate(); err != nil {
 		return nil, fmt.Errorf("core: persisted source invalid: %w", err)
+	}
+	if backend == BackendApprox {
+		if !(p.Epsilon > 0 && p.Epsilon < 1) {
+			return nil, fmt.Errorf("core: corrupt index payload: approx epsilon %v outside (0, 1)", p.Epsilon)
+		}
+		// The approx payload carries no transformation: the index rebuilds
+		// its own (deterministically) from the validated source.
+		return BuildApprox(p.Source, p.TauMin, p.Epsilon)
+	}
+	if p.Tr == nil {
+		return nil, fmt.Errorf("core: truncated index payload")
 	}
 	if err := checkTransformed(p.Tr, p.Source.Len()); err != nil {
 		return nil, err

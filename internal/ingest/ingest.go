@@ -13,12 +13,19 @@
 // entirely against the View they started with, so they observe a consistent
 // collection state and never block on writers or compaction.
 //
-// A collection's index backend is fixed when the collection is created
-// (PutWithBackend, the seed catalog's choice, or the store default) and
-// recorded in a sidecar file next to the WAL, so replay after a restart
-// rebuilds replayed documents into the same representation. Backends change
-// memory footprint and query latency only — every representation answers
-// bit-identically.
+// A collection's index backend spec — the kind and, for the approximate
+// ε-index, its error bound — is fixed when the collection is created
+// (PutWithSpec/PutWithBackend, the seed catalog's choice, or the store
+// default) and recorded in a sidecar file next to the WAL, so replay after
+// a restart rebuilds replayed documents into the same representation with
+// the same parameters. Exact backends change memory footprint and query
+// latency only and answer bit-identically; an approx collection answers
+// every query under its fixed additive error ε — the base+delta overlay
+// needs no special casing because each document is served by exactly one
+// ε-index, so the per-document guarantee (no miss above τ, nothing at or
+// below τ−ε) survives the merge unchanged. Top-k is the one operation an
+// approx collection cannot answer; it is rejected with the typed
+// core.ErrUnsupportedQuery at dispatch.
 //
 // A background compactor folds the delta into a new base once the number of
 // pending documents (delta plus tombstones) crosses a threshold: it writes
@@ -62,8 +69,9 @@ var (
 	ErrBadDocID = errors.New("ingest: bad document id")
 	// ErrBadCollectionName reports a collection name unusable on disk.
 	ErrBadCollectionName = errors.New("ingest: bad collection name")
-	// ErrBackendMismatch reports a backend requested for a collection that
-	// already uses a different one; the backend is fixed at creation.
+	// ErrBackendMismatch reports a backend spec requested for a collection
+	// that already uses a different one — a different kind, or the same
+	// approx kind with a different ε; the spec is fixed at creation.
 	ErrBackendMismatch = errors.New("ingest: collection already uses a different index backend")
 )
 
@@ -129,17 +137,20 @@ type PutResult struct {
 
 // CollectionStatus summarises one live collection for stats reporting.
 type CollectionStatus struct {
-	Name        string `json:"name"`
-	Backend     string `json:"backend"`
-	Docs        int    `json:"docs"`
-	IndexBytes  int    `json:"index_bytes"`
-	DeltaDocs   int    `json:"delta_docs"`
-	Tombstones  int    `json:"tombstones"`
-	Gen         uint64 `json:"gen"`
-	Epoch       uint64 `json:"epoch"`
-	WALRecords  int    `json:"wal_records"`
-	WALBytes    int64  `json:"wal_bytes"`
-	Compactions int64  `json:"compactions"`
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	// Epsilon is the approx backend's additive error bound; omitted for
+	// exact backends.
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Docs        int     `json:"docs"`
+	IndexBytes  int     `json:"index_bytes"`
+	DeltaDocs   int     `json:"delta_docs"`
+	Tombstones  int     `json:"tombstones"`
+	Gen         uint64  `json:"gen"`
+	Epoch       uint64  `json:"epoch"`
+	WALRecords  int     `json:"wal_records"`
+	WALBytes    int64   `json:"wal_bytes"`
+	Compactions int64   `json:"compactions"`
 }
 
 // Store is the mutable serving layer. All methods are safe for concurrent
@@ -162,9 +173,9 @@ type Store struct {
 // the compactor's swap step); readers go through the atomic view pointer
 // and never take it.
 type liveColl struct {
-	store   *Store
-	name    string
-	backend string // index backend, fixed at creation (see the sidecar)
+	store *Store
+	name  string
+	spec  core.BackendSpec // index backend, fixed at creation (see the sidecar)
 
 	compactMu sync.Mutex // at most one compaction in flight
 
@@ -223,7 +234,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
 		if err := catalog.SafeName(name); err != nil {
 			return nil, err
 		}
-		lc, err := st.openColl(name, cat, "")
+		lc, err := st.openColl(name, cat, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -237,50 +248,52 @@ func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
 func (st *Store) walPath(name string) string  { return filepath.Join(st.opts.Dir, name+".wal") }
 func (st *Store) ckptPath(name string) string { return filepath.Join(st.opts.Dir, name+".ckpt") }
 
-// backendPath is the sidecar recording a collection's index backend, so WAL
-// replay rebuilds replayed documents into the representation the collection
-// was created with rather than whatever the process default happens to be.
+// backendPath is the sidecar recording a collection's index backend spec
+// (kind plus, for the approx backend, its ε), so WAL replay rebuilds
+// replayed documents into the representation — and the parameters — the
+// collection was created with rather than whatever the process default
+// happens to be.
 func (st *Store) backendPath(name string) string {
 	return filepath.Join(st.opts.Dir, name+".backend")
 }
 
-// readBackendSidecar returns the recorded backend, or ok=false when the
-// collection has none recorded. A present-but-invalid sidecar — including
-// an empty file, the signature of a crash mid-write — is a loud error:
-// silently falling back could rebuild a collection into the wrong
-// representation.
-func readBackendSidecar(path string) (backend string, ok bool, err error) {
+// readBackendSidecar returns the recorded backend spec, or ok=false when
+// the collection has none recorded. A present-but-invalid sidecar —
+// including an empty file, the signature of a crash mid-write — is a loud
+// error: silently falling back could rebuild a collection into the wrong
+// representation (or the wrong ε).
+func readBackendSidecar(path string) (spec core.BackendSpec, ok bool, err error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return "", false, nil
+		return core.BackendSpec{}, false, nil
 	}
 	if err != nil {
-		return "", false, fmt.Errorf("ingest: %w", err)
+		return core.BackendSpec{}, false, fmt.Errorf("ingest: %w", err)
 	}
-	name := strings.TrimSpace(string(raw))
-	if name == "" {
-		return "", false, fmt.Errorf("ingest: backend sidecar %s is empty (torn write?); "+
+	line := strings.TrimSpace(string(raw))
+	if line == "" {
+		return core.BackendSpec{}, false, fmt.Errorf("ingest: backend sidecar %s is empty (torn write?); "+
 			"restore it or remove it together with the collection's wal/ckpt", path)
 	}
-	backend, err = core.ParseBackend(name)
+	spec, err = core.DecodeBackendSpec(line)
 	if err != nil {
-		return "", false, fmt.Errorf("ingest: backend sidecar %s: %w", path, err)
+		return core.BackendSpec{}, false, fmt.Errorf("ingest: backend sidecar %s: %w", path, err)
 	}
-	return backend, true, nil
+	return spec, true, nil
 }
 
-// writeBackendSidecar records a collection's backend durably, with the
+// writeBackendSidecar records a collection's backend spec durably, with the
 // same discipline as the WAL's epoch sidecar: write a temp file, fsync it,
 // rename into place, fsync the directory. A crash at any point leaves
 // either the old sidecar or the complete new one — never a truncated file
 // that would silently change the collection's representation on replay.
-func writeBackendSidecar(path, backend string) error {
+func writeBackendSidecar(path string, spec core.BackendSpec) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("ingest: recording backend: %w", err)
 	}
-	_, err = f.WriteString(backend + "\n")
+	_, err = f.WriteString(spec.Encode() + "\n")
 	if err == nil {
 		err = f.Sync()
 	}
@@ -307,11 +320,29 @@ func (st *Store) buildOpts() []core.Option {
 }
 
 // build indexes one document with the store's construction options and the
-// collection's backend — the identical call a static catalog build with
-// that backend would make, which is what keeps dynamically reached
-// collections bit-identical to static ones.
-func (st *Store) build(doc *ustring.String, backend string) (core.Backend, error) {
-	return core.BuildBackend(backend, doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+// collection's backend spec — the identical call a static catalog build
+// with that spec would make, which is what keeps dynamically reached
+// collections bit-identical (exact backends) or ε-identical (approx) to
+// static ones.
+func (st *Store) build(doc *ustring.String, spec core.BackendSpec) (core.Backend, error) {
+	return spec.Build(doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+}
+
+// defaultSpec is the backend spec a collection created without an explicit
+// request gets: the store's configured default kind with its configured ε.
+func (st *Store) defaultSpec() (core.BackendSpec, error) {
+	return st.opts.Catalog.Spec("")
+}
+
+// resolveSpec turns a caller-supplied non-zero spec request into the
+// validated spec a creating mutation would use: an approx spec with ε 0
+// picks up the store's configured ε. Callers pass the zero spec straight
+// through as "no request" (openColl supplies the store default then).
+func (st *Store) resolveSpec(req core.BackendSpec) (core.BackendSpec, error) {
+	if req.Kind == core.BackendApprox && req.Epsilon == 0 {
+		return st.opts.Catalog.Spec(req.Kind)
+	}
+	return core.NewBackendSpec(req.Kind, req.Epsilon)
 }
 
 // openColl restores one collection: checkpoint (if any) else the static
@@ -320,22 +351,26 @@ func (st *Store) build(doc *ustring.String, backend string) (core.Backend, error
 // indexes, in parallel, so restart cost is proportional to the surviving
 // document set, not the log length.
 //
-// The collection's index backend is resolved in precedence order: the seed
-// catalog's per-collection choice (when its indexes are actually reused),
-// then the durable sidecar from a previous run, then the caller's request
-// (a creating PutWithBackend), then the store default — and re-recorded in
-// the sidecar so the next replay verifies against the same choice.
-func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq string) (*liveColl, error) {
-	backend := st.opts.Catalog.Backend
-	if backendReq != "" {
-		backend = backendReq
+// The collection's index backend spec is resolved in precedence order: the
+// seed catalog's per-collection choice (when its indexes are actually
+// reused), then the durable sidecar from a previous run, then the caller's
+// request (a creating PutWithSpec), then the store default — and
+// re-recorded in the sidecar so the next replay verifies against the same
+// choice, ε included.
+func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq *core.BackendSpec) (*liveColl, error) {
+	spec, err := st.defaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	if backendReq != nil {
+		spec = *backendReq
 	}
 	recorded, hadSidecar, err := readBackendSidecar(st.backendPath(name))
 	if err != nil {
 		return nil, err
 	}
 	if hadSidecar {
-		backend = recorded
+		spec = recorded
 	}
 	lc := &liveColl{store: st, name: name, live: make(map[string]core.Backend)}
 	w, recs, err := openWAL(st.walPath(name), !st.opts.NoSync, st.opts.Logf)
@@ -361,20 +396,20 @@ func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq string) 
 	case cat != nil:
 		if col, ok := cat.Get(name); ok {
 			// The seed indexes are reused as-is, so the collection's backend
-			// is whatever the catalog built — authoritative over a stale
+			// spec is whatever the catalog built — authoritative over a stale
 			// sidecar from a run with different flags.
-			backend = col.Backend()
+			spec = col.Spec()
 			for i, ix := range col.DocIndexes() {
 				lc.live[fmt.Sprintf(seedIDFormat, i)] = ix
 			}
 		}
 	}
-	lc.backend = backend
+	lc.spec = spec
 	// Re-record only when the choice actually changed: the common restart
 	// path then never rewrites the sidecar at all, and a genuine change goes
 	// through the atomic temp-and-rename write.
-	if !hadSidecar || recorded != backend {
-		if err := writeBackendSidecar(st.backendPath(name), backend); err != nil {
+	if !hadSidecar || recorded != spec {
+		if err := writeBackendSidecar(st.backendPath(name), spec); err != nil {
 			w.close()
 			return nil, fmt.Errorf("ingest: collection %q: %w", name, err)
 		}
@@ -407,7 +442,7 @@ func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq string) 
 
 // buildPending indexes the resolved documents on a bounded worker pool.
 func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) error {
-	built, err := st.buildDocs(pending, lc.backend)
+	built, err := st.buildDocs(pending, lc.spec)
 	if err != nil {
 		return err
 	}
@@ -417,9 +452,9 @@ func (st *Store) buildPending(lc *liveColl, pending map[string]*ustring.String) 
 	return nil
 }
 
-// buildDocs indexes every document of pending with the given backend on a
-// bounded worker pool and returns the id → index map.
-func (st *Store) buildDocs(pending map[string]*ustring.String, backend string) (map[string]core.Backend, error) {
+// buildDocs indexes every document of pending with the given backend spec
+// on a bounded worker pool and returns the id → index map.
+func (st *Store) buildDocs(pending map[string]*ustring.String, spec core.BackendSpec) (map[string]core.Backend, error) {
 	if len(pending) == 0 {
 		return nil, nil
 	}
@@ -438,7 +473,7 @@ func (st *Store) buildDocs(pending map[string]*ustring.String, backend string) (
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ixs[i], errs[i] = st.build(pending[ids[i]], backend)
+			ixs[i], errs[i] = st.build(pending[ids[i]], spec)
 		}(i)
 	}
 	wg.Wait()
@@ -474,7 +509,7 @@ func (lc *liveColl) sortedLiveLocked() ([]string, []core.Backend) {
 func (lc *liveColl) rebaseLocked() {
 	copts := lc.store.opts.Catalog
 	ids, ixs := lc.sortedLiveLocked()
-	lc.base = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.backend, ixs)
+	lc.base = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.spec, ixs)
 	lc.baseIDs, lc.baseIx = ids, ixs
 }
 
@@ -515,7 +550,7 @@ func (lc *liveColl) publishLocked() {
 		gen:        lc.gen,
 		name:       lc.name,
 		tauMin:     copts.TauMin,
-		backend:    lc.backend,
+		spec:       lc.spec,
 		docs:       len(ids),
 		positions:  positions,
 		indexBytes: indexBytes,
@@ -527,15 +562,16 @@ func (lc *liveColl) publishLocked() {
 		v.baseMap = baseMap
 	}
 	if len(deltaIx) > 0 {
-		v.delta = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.backend, deltaIx)
+		v.delta = catalog.FromIndexes(lc.name, copts.TauMin, copts.LongCap, copts.Shards, lc.spec, deltaIx)
 		v.deltaMap = deltaMap
 	}
 	lc.view.Store(v)
 }
 
 // coll returns the named collection, creating it (with a fresh WAL, using
-// the requested backend) when create is set.
-func (st *Store) coll(name string, create bool, backendReq string) (*liveColl, error) {
+// the requested backend spec; nil means the store default) when create is
+// set.
+func (st *Store) coll(name string, create bool, backendReq *core.BackendSpec) (*liveColl, error) {
 	st.mu.RLock()
 	lc, ok := st.colls[name]
 	st.mu.RUnlock()
@@ -567,11 +603,13 @@ func (st *Store) coll(name string, create bool, backendReq string) (*liveColl, e
 	return lc, nil
 }
 
-// checkBackend verifies a requested backend against the collection's fixed
-// one; an empty request always passes.
-func (lc *liveColl) checkBackend(req string) error {
-	if req != "" && req != lc.backend {
-		return fmt.Errorf("%w: %q uses %q, requested %q", ErrBackendMismatch, lc.name, lc.backend, req)
+// checkBackend verifies a requested backend spec against the collection's
+// fixed one; a nil request always passes. Kind and parameters must both
+// match — an approx collection at ε=0.05 conflicts with a request for
+// ε=0.1 exactly as it conflicts with a request for plain.
+func (lc *liveColl) checkBackend(req *core.BackendSpec) error {
+	if req != nil && *req != lc.spec {
+		return fmt.Errorf("%w: %q uses %s, requested %s", ErrBackendMismatch, lc.name, lc.spec, *req)
 	}
 	return nil
 }
@@ -608,19 +646,35 @@ func validateDocID(id string) error {
 // the index (an invalid document is rejected before anything is logged),
 // append to the WAL (fsynced unless NoSync), then publish a fresh view. A
 // nil error means the mutation is durable and visible. A Put that creates
-// the collection uses the store's default index backend; PutWithBackend
-// names one explicitly.
+// the collection uses the store's default index backend; PutWithBackend and
+// PutWithSpec name one explicitly.
 func (st *Store) Put(coll, id string, doc *ustring.String) (PutResult, error) {
-	return st.PutWithBackend(coll, id, doc, "")
+	return st.PutWithSpec(coll, id, doc, core.BackendSpec{})
 }
 
-// PutWithBackend is Put with an explicit index backend for the collection.
-// The backend only takes effect when this Put creates the collection; on an
-// existing collection a non-empty backend that differs from the recorded
-// one fails with ErrBackendMismatch (the representation is fixed at
-// creation — queries are bit-identical either way, so a silent switch would
-// only confuse capacity accounting).
+// PutWithBackend is Put with an explicit index backend kind for the
+// collection, with that kind's store-configured parameters (the approx kind
+// picks up the store's ε). Use PutWithSpec to control parameters per call.
 func (st *Store) PutWithBackend(coll, id string, doc *ustring.String, backend string) (PutResult, error) {
+	var req core.BackendSpec
+	if backend != "" {
+		var err error
+		if req, err = st.opts.Catalog.Spec(backend); err != nil {
+			return PutResult{}, err
+		}
+	}
+	return st.PutWithSpec(coll, id, doc, req)
+}
+
+// PutWithSpec is Put with an explicit index backend spec for the
+// collection; the zero spec means "no request" (the store default on
+// creation, no verification on an existing collection). A non-zero spec
+// only takes effect when this Put creates the collection; on an existing
+// collection a spec that differs from the recorded one — a different kind,
+// or a different ε — fails with ErrBackendMismatch: the spec is fixed at
+// creation, so a silent switch would split the collection across
+// representations or error bounds.
+func (st *Store) PutWithSpec(coll, id string, doc *ustring.String, req core.BackendSpec) (PutResult, error) {
 	if st.closed.Load() {
 		return PutResult{}, ErrClosed
 	}
@@ -630,22 +684,24 @@ func (st *Store) PutWithBackend(coll, id string, doc *ustring.String, backend st
 	if doc == nil {
 		return PutResult{}, errors.New("ingest: nil document")
 	}
-	if backend != "" {
-		var err error
-		if backend, err = core.ParseBackend(backend); err != nil {
+	var reqSpec *core.BackendSpec
+	if req != (core.BackendSpec{}) {
+		resolved, err := st.resolveSpec(req)
+		if err != nil {
 			return PutResult{}, err
 		}
+		reqSpec = &resolved
 	}
-	lc, err := st.coll(coll, true, backend)
+	lc, err := st.coll(coll, true, reqSpec)
 	if err != nil {
 		return PutResult{}, err
 	}
-	if err := lc.checkBackend(backend); err != nil {
+	if err := lc.checkBackend(reqSpec); err != nil {
 		return PutResult{}, err
 	}
 	// Build outside the writer lock: construction is the expensive step and
 	// must not serialise against other collections' queries or writers.
-	ix, err := st.build(doc, lc.backend)
+	ix, err := st.build(doc, lc.spec)
 	if err != nil {
 		return PutResult{}, err
 	}
@@ -672,7 +728,7 @@ func (st *Store) Delete(coll, id string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
 	}
-	lc, err := st.coll(coll, false, "")
+	lc, err := st.coll(coll, false, nil)
 	if err != nil {
 		return false, err
 	}
@@ -739,7 +795,7 @@ func (st *Store) Compact(name string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
 	}
-	lc, err := st.coll(name, false, "")
+	lc, err := st.coll(name, false, nil)
 	if err != nil {
 		return false, err
 	}
@@ -874,6 +930,7 @@ func (st *Store) Stats() []catalog.Info {
 			TauMin:     v.TauMin(),
 			LongCap:    st.opts.Catalog.LongCap,
 			Backend:    v.Backend(),
+			Epsilon:    v.Epsilon(),
 			IndexBytes: v.IndexBytes(),
 		})
 	}
@@ -895,6 +952,7 @@ func (st *Store) Status() []CollectionStatus {
 		cs := CollectionStatus{
 			Name:        name,
 			Backend:     v.Backend(),
+			Epsilon:     v.Epsilon(),
 			Docs:        v.Docs(),
 			IndexBytes:  v.IndexBytes(),
 			DeltaDocs:   v.DeltaDocs(),

@@ -47,11 +47,16 @@ type ReplicaSnapshot struct {
 	Name    string
 	TauMin  float64
 	LongCap int
-	// Backend is the collection's index representation on the primary; the
+	// Backend is the collection's index backend kind on the primary; the
 	// follower adopts it when creating the collection and fails loudly if
 	// its local copy already uses a different one. (Empty in snapshots from
 	// primaries predating pluggable backends: treated as plain.)
-	Backend  string
+	Backend string
+	// Epsilon is the approx backend's additive error bound on the primary;
+	// 0 for exact backends (and in snapshots from primaries predating the
+	// approx backend). Followers adopt it together with Backend, so a
+	// replicated ε-collection answers under the identical error bound.
+	Epsilon  float64
 	Position WALPosition
 	// IDs and Docs are parallel, in the collection's canonical (id-sorted)
 	// order.
@@ -64,7 +69,7 @@ func (st *Store) WALPos(coll string) (WALPosition, error) {
 	if st.closed.Load() {
 		return WALPosition{}, ErrClosed
 	}
-	lc, err := st.coll(coll, false, "")
+	lc, err := st.coll(coll, false, nil)
 	if err != nil {
 		return WALPosition{}, err
 	}
@@ -89,7 +94,7 @@ func (st *Store) ReadWAL(coll string, from int64, maxBytes int) ([]byte, WALPosi
 	if st.closed.Load() {
 		return nil, WALPosition{}, ErrClosed
 	}
-	lc, err := st.coll(coll, false, "")
+	lc, err := st.coll(coll, false, nil)
 	if err != nil {
 		return nil, WALPosition{}, err
 	}
@@ -171,7 +176,7 @@ func (st *Store) Snapshot(coll string) (*ReplicaSnapshot, error) {
 	if st.closed.Load() {
 		return nil, ErrClosed
 	}
-	lc, err := st.coll(coll, false, "")
+	lc, err := st.coll(coll, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +191,8 @@ func (st *Store) Snapshot(coll string) (*ReplicaSnapshot, error) {
 		Name:     lc.name,
 		TauMin:   st.opts.Catalog.TauMin,
 		LongCap:  st.opts.Catalog.LongCap,
-		Backend:  lc.backend,
+		Backend:  lc.spec.Kind,
+		Epsilon:  lc.spec.Epsilon,
 		Position: lc.posLocked(),
 		IDs:      ids,
 		Docs:     docs,
@@ -251,11 +257,11 @@ func (st *Store) Apply(coll string, recs []WALRecord) error {
 			return fmt.Errorf("ingest: unknown replicated opcode %q", rec.Op)
 		}
 	}
-	lc, err := st.coll(coll, true, "")
+	lc, err := st.coll(coll, true, nil)
 	if err != nil {
 		return err
 	}
-	built, err := st.buildDocs(pending, lc.backend)
+	built, err := st.buildDocs(pending, lc.spec)
 	if err != nil {
 		return fmt.Errorf("ingest: collection %q: %w", coll, err)
 	}
@@ -299,19 +305,20 @@ func (st *Store) ApplySnapshot(snap *ReplicaSnapshot) error {
 			return err
 		}
 	}
-	snapBackend, err := core.ParseBackend(snap.Backend)
+	snapSpec, err := core.NewBackendSpec(snap.Backend, snap.Epsilon)
 	if err != nil {
 		return fmt.Errorf("ingest: snapshot of %q: %w", snap.Name, err)
 	}
-	lc, err := st.coll(snap.Name, true, snapBackend)
+	lc, err := st.coll(snap.Name, true, &snapSpec)
 	if err != nil {
 		return err
 	}
 	// A local collection that predates this snapshot may have been created
-	// with a different backend (a stale sidecar, or a follower configured
-	// differently); applying the snapshot anyway would split the collection
-	// across representations, so fail loudly instead.
-	if err := lc.checkBackend(snapBackend); err != nil {
+	// with a different backend spec (a stale sidecar, or a follower
+	// configured differently); applying the snapshot anyway would split the
+	// collection across representations or error bounds, so fail loudly
+	// instead.
+	if err := lc.checkBackend(&snapSpec); err != nil {
 		return err
 	}
 	lc.mu.Lock()
@@ -332,7 +339,7 @@ func (st *Store) ApplySnapshot(snap *ReplicaSnapshot) error {
 		}
 		pending[id] = snap.Docs[i]
 	}
-	built, err := st.buildDocs(pending, lc.backend)
+	built, err := st.buildDocs(pending, lc.spec)
 	if err != nil {
 		return fmt.Errorf("ingest: collection %q: %w", snap.Name, err)
 	}

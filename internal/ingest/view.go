@@ -30,7 +30,7 @@ type View struct {
 	gen        uint64 // mutation generation of the owning collection
 	name       string
 	tauMin     float64
-	backend    string // index representation of every live document
+	spec       core.BackendSpec // index backend of every live document
 	docs       int
 	positions  int
 	indexBytes int      // summed resident footprint of the live indexes
@@ -72,9 +72,18 @@ func (v *View) Positions() int { return v.positions }
 // TauMin returns the construction threshold of every document index.
 func (v *View) TauMin() float64 { return v.tauMin }
 
-// Backend returns the index representation of the live documents
-// (core.BackendPlain or core.BackendCompressed).
-func (v *View) Backend() string { return v.backend }
+// Backend returns the index backend kind of the live documents
+// (core.BackendPlain, core.BackendCompressed or core.BackendApprox).
+func (v *View) Backend() string { return v.spec.Kind }
+
+// Epsilon returns the approx backend's additive error bound (0 for exact
+// backends).
+func (v *View) Epsilon() float64 { return v.spec.Epsilon }
+
+// Spec returns the view's full backend spec (kind plus construction
+// parameters) — consulted by serving layers for capabilities and folded
+// into result-cache keys.
+func (v *View) Spec() core.BackendSpec { return v.spec }
 
 // IndexBytes returns the summed resident footprint of the live documents'
 // indexes at publish time.

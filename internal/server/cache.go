@@ -15,20 +15,28 @@ type cached struct {
 }
 
 // cacheKey builds the LRU key from the operation tag, the collection's
-// process-unique instance id, pattern and the tau-or-k parameter. Keying on
-// the instance id (not the name) means entries computed against a replaced
-// collection instance can never match again: Catalog.Add yields a new id,
-// and so does every mutation of a live ingest collection — a Put or Delete
-// therefore invalidates all of that collection's cached results at once.
-// NUL separators cannot appear in any component (patterns containing NUL
-// are rejected before the cache is consulted).
+// process-unique instance id, its backend spec (kind and, for the
+// ε-approximate backend, its ε), pattern and the tau-or-k parameter.
+// Keying on the instance id (not the name) means entries computed against a
+// replaced collection instance can never match again: Catalog.Add yields a
+// new id, and so does every mutation of a live ingest collection — a Put or
+// Delete therefore invalidates all of that collection's cached results at
+// once. The backend spec makes answer *semantics* part of the key: an
+// approx collection's results and an exact collection's results (or two
+// approx collections at different ε) can never alias, even if a future id
+// scheme ever reused ids across instances. NUL separators cannot appear in
+// any component (patterns containing NUL are rejected before the cache is
+// consulted, and spec encodings are NUL-free by construction).
 func cacheKey(op string, col Collection, pattern, param string) string {
 	id := strconv.FormatUint(col.ID(), 36)
+	spec := col.Spec().Encode()
 	var b strings.Builder
-	b.Grow(len(op) + len(id) + len(pattern) + len(param) + 3)
+	b.Grow(len(op) + len(id) + len(spec) + len(pattern) + len(param) + 4)
 	b.WriteString(op)
 	b.WriteByte(0)
 	b.WriteString(id)
+	b.WriteByte(0)
+	b.WriteString(spec)
 	b.WriteByte(0)
 	b.WriteString(pattern)
 	b.WriteByte(0)

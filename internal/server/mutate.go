@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ingest"
@@ -56,9 +57,13 @@ type PutResponse struct {
 	Docs     int    `json:"docs"`
 	Gen      uint64 `json:"gen"`
 	Replaced bool   `json:"replaced"`
-	// Backend is the collection's index representation (chosen at creation
+	// Backend is the collection's index backend kind (chosen at creation
 	// via the backend query parameter, or the daemon default).
 	Backend string `json:"backend"`
+	// Epsilon is the collection's additive error bound when Backend is
+	// approx (from the epsilon query parameter at creation, or the daemon
+	// default); omitted for exact backends.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // DeleteResponse answers a document DELETE.
@@ -77,21 +82,21 @@ type CompactResponse struct {
 
 // handlePut parses the request body as one uncertain string in the text
 // encoding and inserts or replaces it under the path's document id. An
-// optional ?backend=plain|compressed parameter names the collection's index
-// representation; it takes effect only when this PUT creates the collection
-// and answers 409 when it conflicts with an existing collection's backend.
+// optional ?backend=plain|compressed|approx parameter names the
+// collection's index backend, and ?epsilon= sets the approx backend's
+// additive error bound (it requires backend=approx; omitted, the daemon's
+// configured ε applies). The spec takes effect only when this PUT creates
+// the collection and answers 409 when it conflicts with an existing
+// collection's backend kind or ε.
 func (s *Server) handlePut(r *http.Request) (any, error) {
 	if !s.mutable() {
 		return nil, s.readOnlyError()
 	}
 	coll := r.PathValue("collection")
 	id := r.PathValue("doc")
-	backend := r.URL.Query().Get("backend")
-	if backend != "" {
-		var err error
-		if backend, err = core.ParseBackend(backend); err != nil {
-			return nil, badRequest("%v", err)
-		}
+	req, err := parseBackendParams(r.URL.Query().Get("backend"), r.URL.Query().Get("epsilon"))
+	if err != nil {
+		return nil, err
 	}
 	doc, err := ustring.Unmarshal(http.MaxBytesReader(nil, r.Body, s.cfg.MaxDocBytes))
 	if err != nil {
@@ -104,7 +109,7 @@ func (s *Server) handlePut(r *http.Request) (any, error) {
 	if doc.Len() == 0 {
 		return nil, badRequest("empty document")
 	}
-	res, err := s.ingest.PutWithBackend(coll, id, doc, backend)
+	res, err := s.ingest.PutWithSpec(coll, id, doc, req)
 	if err != nil {
 		return nil, mutationStatus(err)
 	}
@@ -114,8 +119,45 @@ func (s *Server) handlePut(r *http.Request) (any, error) {
 	}
 	if v, ok := s.ingest.Get(coll); ok {
 		resp.Backend = v.Backend()
+		resp.Epsilon = v.Epsilon()
 	}
 	return resp, nil
+}
+
+// parseBackendParams turns the PUT backend/epsilon query parameters into a
+// (possibly partial) backend spec request: the zero spec when neither is
+// given, a kind-only request when only backend is, and a full spec when
+// epsilon is supplied (which requires backend=approx — an epsilon on an
+// exact backend is a contradiction worth rejecting loudly).
+func parseBackendParams(backend, epsilon string) (core.BackendSpec, error) {
+	var req core.BackendSpec
+	if backend != "" {
+		kind, err := core.ParseBackend(backend)
+		if err != nil {
+			return core.BackendSpec{}, badRequest("%v", err)
+		}
+		req.Kind = kind
+	}
+	if epsilon != "" {
+		if req.Kind != core.BackendApprox {
+			return core.BackendSpec{}, badRequest("epsilon requires backend=%s", core.BackendApprox)
+		}
+		eps, err := strconv.ParseFloat(epsilon, 64)
+		if err != nil {
+			return core.BackendSpec{}, badRequest("bad epsilon %q", epsilon)
+		}
+		// An explicit epsilon must be a usable value: 0 is rejected here
+		// rather than silently reinterpreted as "use the daemon default"
+		// (which is what omitting the parameter means).
+		if eps == 0 {
+			return core.BackendSpec{}, badRequest("epsilon must be in (0, 1)")
+		}
+		if _, err := core.NewBackendSpec(req.Kind, eps); err != nil {
+			return core.BackendSpec{}, badRequest("%v", err)
+		}
+		req.Epsilon = eps
+	}
+	return req, nil
 }
 
 // handleDelete tombstones one document.

@@ -4,14 +4,16 @@
 // Endpoints (all responses are JSON):
 //
 //	GET /v1/query?collection=C&p=PATTERN&tau=0.2   threshold search
-//	GET /v1/topk?collection=C&p=PATTERN&k=10       global top-k
+//	GET /v1/topk?collection=C&p=PATTERN&k=10       global top-k (422 on
+//	                                               collections whose backend
+//	                                               cannot rank exactly)
 //	GET /v1/count?collection=C&p=PATTERN&tau=0.2   occurrence count
 //	POST /v1/batch                                 many queries, one request
-//	PUT /v1/collections/{c}/documents/{id}[?backend=plain|compressed]
+//	PUT /v1/collections/{c}/documents/{id}[?backend=plain|compressed|approx][&epsilon=0.05]
 //	                                               insert/replace a document
-//	                                               (backend fixes the index
-//	                                               representation when this
-//	                                               PUT creates the collection;
+//	                                               (backend+epsilon fix the
+//	                                               index spec when this PUT
+//	                                               creates the collection;
 //	                                               a conflict answers 409)
 //	DELETE /v1/collections/{c}/documents/{id}      delete a document
 //	POST /v1/compact[?collection=C]                fold delta into base
@@ -30,14 +32,23 @@
 // replica a "replication" section with per-collection lag. The document
 // body of a PUT is the text encoding of internal/ustring.
 //
+// Every query — single or batch — runs through one shared execution path
+// that consults the collection backend's capabilities before dispatch:
+// collections on the ε-approximate backend answer search and count under
+// their declared additive error (responses carry "approx": true and the
+// effective "epsilon"), and operations their backend cannot answer (top-k
+// on the ε-index) are rejected with the typed core.ErrUnsupportedQuery
+// mapped to 422 — in a batch, per op, never failing the whole request.
+//
 // The server keeps an LRU cache of successful results keyed by
-// (operation, collection-instance, pattern, tau-or-k), bounds the number of
-// in-flight query requests with a semaphore (excess requests wait; if the
-// client gives up first the request is dropped with 503), and tracks
-// per-endpoint request, error and latency counters exposed via /v1/stats.
-// Because mutable collections stamp every published snapshot with a fresh
-// instance id, a mutation implicitly invalidates all cached results of the
-// collection it touched.
+// (operation, collection-instance, backend-spec, pattern, tau-or-k), bounds
+// the number of in-flight query requests with a semaphore (excess requests
+// wait; if the client gives up first the request is dropped with 503), and
+// tracks per-endpoint request, error and latency counters exposed via
+// /v1/stats, alongside approximate-query counters and every collection's
+// backend and ε. Because mutable collections stamp every published snapshot
+// with a fresh instance id, a mutation implicitly invalidates all cached
+// results of the collection it touched.
 package server
 
 import (
@@ -107,51 +118,58 @@ const DefaultMaxDocBytes = 16 << 20
 // Collection is the query surface the server needs from a collection: both
 // the immutable catalog.Collection and the ingest layer's mutable View
 // satisfy it. ID must be process-unique per collection *instance* (any
-// mutation yields a new instance), which is what keys the result cache.
+// mutation yields a new instance), which — together with the backend Spec —
+// keys the result cache. Spec names the collection's index backend and its
+// parameters; the server consults its Capabilities before dispatching an
+// operation, so a combination the backend cannot answer (top-k on the
+// approximate ε-index) is rejected with a typed 4xx instead of reaching the
+// fan-out.
 type Collection interface {
 	ID() uint64
 	Name() string
 	TauMin() float64
+	Spec() core.BackendSpec
 	Validate(p []byte, tau float64) error
 	Search(p []byte, tau float64) ([]catalog.DocHit, error)
 	TopK(p []byte, k int) ([]catalog.DocHit, error)
 	Count(p []byte, tau float64) (int, error)
 }
 
-// source resolves collections by name; adapters wrap the static catalog and
-// the ingest store.
+// source resolves collections by name. One generic adapter covers every
+// provider (the static catalog, the ingest store, a follower's store):
+// anything with Get/Names/Stats whose collections satisfy Collection is a
+// source, so the query path is written once against this interface instead
+// of once per provider.
 type source interface {
 	Get(name string) (Collection, bool)
 	Names() []string
 	Stats() []catalog.Info
 }
 
-// catalogSource adapts the immutable catalog.
-type catalogSource struct{ cat *catalog.Catalog }
+// provider is the concrete surface of a collection provider; C is its own
+// collection type (*catalog.Collection, *ingest.View, …).
+type provider[C Collection] interface {
+	Get(name string) (C, bool)
+	Names() []string
+	Stats() []catalog.Info
+}
 
-func (c catalogSource) Get(name string) (Collection, bool) {
-	col, ok := c.cat.Get(name)
+// adapted lifts a provider's concrete collection type to the Collection
+// interface — the one bit Go's type system cannot do implicitly.
+type adapted[C Collection, P provider[C]] struct{ p P }
+
+func (a adapted[C, P]) Get(name string) (Collection, bool) {
+	col, ok := a.p.Get(name)
 	if !ok {
 		return nil, false
 	}
 	return col, true
 }
-func (c catalogSource) Names() []string       { return c.cat.Names() }
-func (c catalogSource) Stats() []catalog.Info { return c.cat.Stats() }
+func (a adapted[C, P]) Names() []string       { return a.p.Names() }
+func (a adapted[C, P]) Stats() []catalog.Info { return a.p.Stats() }
 
-// ingestSource adapts the mutable store; every Get returns the collection's
-// current snapshot.
-type ingestSource struct{ st *ingest.Store }
-
-func (i ingestSource) Get(name string) (Collection, bool) {
-	v, ok := i.st.Get(name)
-	if !ok {
-		return nil, false
-	}
-	return v, true
-}
-func (i ingestSource) Names() []string       { return i.st.Names() }
-func (i ingestSource) Stats() []catalog.Info { return i.st.Stats() }
+// newSource adapts any provider into a source.
+func newSource[C Collection, P provider[C]](p P) source { return adapted[C, P]{p} }
 
 // DefaultCacheEntries is the default LRU capacity.
 const DefaultCacheEntries = 1024
@@ -203,21 +221,21 @@ type Server struct {
 
 // New builds a read-only server over cat; mutation endpoints answer 403.
 func New(cat *catalog.Catalog, cfg Config) *Server {
-	return newServer(catalogSource{cat}, RoleStatic, nil, cfg)
+	return newServer(newSource[*catalog.Collection](cat), RoleStatic, nil, cfg)
 }
 
 // NewIngest builds a mutable primary over an ingest store: queries are
 // answered from each collection's current snapshot, the mutation endpoints
 // are live, and followers can tail the replication feed.
 func NewIngest(st *ingest.Store, cfg Config) *Server {
-	return newServer(ingestSource{st}, RolePrimary, st, cfg)
+	return newServer(newSource[*ingest.View](st), RolePrimary, st, cfg)
 }
 
 // NewReplica builds a read-only server over a follower's replicated store:
 // queries are answered from the follower's views, mutations answer 403
 // pointing at the primary, and /v1/stats reports replication lag.
 func NewReplica(f *replica.Follower, cfg Config) *Server {
-	s := newServer(ingestSource{f.Store()}, RoleReplica, f.Store(), cfg)
+	s := newServer(newSource[*ingest.View](f.Store()), RoleReplica, f.Store(), cfg)
 	s.follower = f
 	return s
 }
@@ -275,12 +293,16 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// errorStatus maps an error to its HTTP status code.
+// errorStatus maps an error to its HTTP status code. Capability rejections
+// (core.ErrUnsupportedQuery) are 422: the request is well-formed, the
+// collection's backend just cannot answer it.
 func errorStatus(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		return he.status
+	case errors.Is(err, core.ErrUnsupportedQuery):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, core.ErrEmptyPattern),
 		errors.Is(err, core.ErrBadPattern),
 		errors.Is(err, core.ErrTauOutOfRange),
@@ -357,6 +379,13 @@ type QueryResponse struct {
 	Count      int     `json:"count"`
 	Hits       []Hit   `json:"hits"`
 	Cached     bool    `json:"cached"`
+	// Approx marks results served by an ε-approximate backend: every hit's
+	// true probability exceeds Tau−Epsilon, nothing above Tau was missed,
+	// and reported probabilities are within Epsilon below the truth.
+	Approx bool `json:"approx,omitempty"`
+	// Epsilon is the serving collection's effective additive error bound;
+	// omitted for exact backends.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // CountResponse answers /v1/count.
@@ -366,6 +395,10 @@ type CountResponse struct {
 	Tau        float64 `json:"tau"`
 	Count      int     `json:"count"`
 	Cached     bool    `json:"cached"`
+	// Approx and Epsilon carry the serving backend's error bound, exactly
+	// as on QueryResponse.
+	Approx  bool    `json:"approx,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // collection resolves the collection query parameter.
@@ -415,24 +448,105 @@ func (s *Server) parseK(raw string) (int, error) {
 	return k, nil
 }
 
-// search answers one threshold query, consulting the cache first.
-func (s *Server) search(col Collection, collName string, p []byte, tau float64) (*QueryResponse, error) {
-	if err := col.Validate(p, tau); err != nil {
+// queryKind is one operation of the unified query-execution path.
+type queryKind int
+
+// Query operations.
+const (
+	qSearch queryKind = iota
+	qTopK
+	qCount
+)
+
+// tag returns the cache-key operation tag.
+func (q queryKind) tag() string {
+	switch q {
+	case qTopK:
+		return "k"
+	case qCount:
+		return "c"
+	default:
+		return "q"
+	}
+}
+
+// execQuery is the single query-execution path behind /v1/query, /v1/topk,
+// /v1/count and every /v1/batch op. It consults the collection backend's
+// capabilities before dispatch (top-k on a backend without top-k support is
+// a typed core.ErrUnsupportedQuery, mapped to 422), validates, consults the
+// result cache (whose key folds in the backend spec), fans out, and
+// assembles the response — including the approx/epsilon annotation for
+// ε-approximate collections. tau is ignored for qTopK; k for the others.
+func (s *Server) execQuery(kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
+	spec := col.Spec()
+	caps := spec.Capabilities()
+	if kind == qTopK && !caps.TopK {
+		return nil, fmt.Errorf("%w: top-k requires an exact backend; collection %q uses %s",
+			core.ErrUnsupportedQuery, collName, spec)
+	}
+	// Top-k has no tau; validate the pattern alone (tau=1 is always valid).
+	vtau := tau
+	if kind == qTopK {
+		vtau = 1
+	}
+	if err := col.Validate(p, vtau); err != nil {
 		return nil, err
 	}
-	key := cacheKey("q", col, string(p), strconv.FormatFloat(tau, 'g', -1, 64))
-	if hits, _, ok := s.lookup(key); ok {
-		return &QueryResponse{Collection: collName, Pattern: string(p), Tau: tau,
-			Count: len(hits), Hits: hits, Cached: true}, nil
+	if !caps.Exact {
+		s.stats.approxQueries.Add(1)
 	}
-	dh, err := col.Search(p, tau)
-	if err != nil {
-		return nil, err
+	param := strconv.FormatFloat(tau, 'g', -1, 64)
+	if kind == qTopK {
+		param = strconv.Itoa(k)
 	}
-	hits := toHits(dh)
-	s.store(key, hits, len(hits))
-	return &QueryResponse{Collection: collName, Pattern: string(p), Tau: tau,
-		Count: len(hits), Hits: hits}, nil
+	key := cacheKey(kind.tag(), col, string(p), param)
+	if hits, n, ok := s.lookup(key); ok {
+		if !caps.Exact {
+			s.stats.approxCacheHits.Add(1)
+		}
+		return assembleResponse(kind, collName, caps, p, tau, k, hits, n, true), nil
+	}
+	var (
+		hits []Hit
+		n    int
+	)
+	switch kind {
+	case qTopK:
+		dh, err := col.TopK(p, k)
+		if err != nil {
+			return nil, err
+		}
+		hits, n = toHits(dh), len(dh)
+	case qCount:
+		var err error
+		if n, err = col.Count(p, tau); err != nil {
+			return nil, err
+		}
+	default:
+		dh, err := col.Search(p, tau)
+		if err != nil {
+			return nil, err
+		}
+		hits, n = toHits(dh), len(dh)
+	}
+	s.store(key, hits, n)
+	return assembleResponse(kind, collName, caps, p, tau, k, hits, n, false), nil
+}
+
+// assembleResponse builds the JSON shape for one executed query.
+func assembleResponse(kind queryKind, collName string, caps core.Capabilities, p []byte, tau float64, k int, hits []Hit, n int, cached bool) any {
+	if kind == qCount {
+		return &CountResponse{Collection: collName, Pattern: string(p), Tau: tau,
+			Count: n, Cached: cached, Approx: !caps.Exact, Epsilon: caps.Epsilon}
+	}
+	resp := &QueryResponse{Collection: collName, Pattern: string(p),
+		Count: len(hits), Hits: hits, Cached: cached, Approx: !caps.Exact, Epsilon: caps.Epsilon}
+	if kind == qTopK {
+		resp.K = k
+	} else {
+		resp.Tau = tau
+	}
+	return resp
 }
 
 func (s *Server) handleQuery(r *http.Request) (any, error) {
@@ -449,28 +563,7 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.search(col, q.Get("collection"), p, tau)
-}
-
-// topk answers one top-k query, consulting the cache first.
-func (s *Server) topk(col Collection, collName string, p []byte, k int) (*QueryResponse, error) {
-	// Top-k has no tau; validate the pattern alone (tau=1 is always valid).
-	if err := col.Validate(p, 1); err != nil {
-		return nil, err
-	}
-	key := cacheKey("k", col, string(p), strconv.Itoa(k))
-	if hits, _, ok := s.lookup(key); ok {
-		return &QueryResponse{Collection: collName, Pattern: string(p), K: k,
-			Count: len(hits), Hits: hits, Cached: true}, nil
-	}
-	dh, err := col.TopK(p, k)
-	if err != nil {
-		return nil, err
-	}
-	hits := toHits(dh)
-	s.store(key, hits, len(hits))
-	return &QueryResponse{Collection: collName, Pattern: string(p), K: k,
-		Count: len(hits), Hits: hits}, nil
+	return s.execQuery(qSearch, col, q.Get("collection"), p, tau, 0)
 }
 
 func (s *Server) handleTopK(r *http.Request) (any, error) {
@@ -487,24 +580,7 @@ func (s *Server) handleTopK(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.topk(col, q.Get("collection"), p, k)
-}
-
-// count answers one count query, consulting the cache first.
-func (s *Server) count(col Collection, collName string, p []byte, tau float64) (*CountResponse, error) {
-	if err := col.Validate(p, tau); err != nil {
-		return nil, err
-	}
-	key := cacheKey("c", col, string(p), strconv.FormatFloat(tau, 'g', -1, 64))
-	if _, n, ok := s.lookup(key); ok {
-		return &CountResponse{Collection: collName, Pattern: string(p), Tau: tau, Count: n, Cached: true}, nil
-	}
-	n, err := col.Count(p, tau)
-	if err != nil {
-		return nil, err
-	}
-	s.store(key, nil, n)
-	return &CountResponse{Collection: collName, Pattern: string(p), Tau: tau, Count: n}, nil
+	return s.execQuery(qTopK, col, q.Get("collection"), p, 0, k)
 }
 
 func (s *Server) handleCount(r *http.Request) (any, error) {
@@ -521,7 +597,7 @@ func (s *Server) handleCount(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.count(col, q.Get("collection"), p, tau)
+	return s.execQuery(qCount, col, q.Get("collection"), p, tau, 0)
 }
 
 // BatchQuery is one entry of a batch request. Op selects the operation:
@@ -540,10 +616,15 @@ type BatchRequest struct {
 }
 
 // BatchResult is one entry of a batch response: the matching single-query
-// response, or an error message for that entry alone.
+// response, or an error for that entry alone — a failing op never fails the
+// whole batch. Code classifies the failure ("unsupported_query" for a
+// capability rejection, "bad_request" otherwise) so clients can tell a
+// backend that cannot answer the op from a malformed op without parsing the
+// message.
 type BatchResult struct {
 	Result any    `json:"result,omitempty"`
 	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"`
 }
 
 // BatchResponse answers /v1/batch.
@@ -577,23 +658,30 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 		)
 		p, qerr := s.pattern(q.Pattern)
 		if qerr == nil {
+			// Every op funnels through the same execQuery path the single
+			// endpoints use, so capability checks, cache keys and the
+			// approx/epsilon annotations are identical batch or not.
 			switch q.Op {
 			case "", "search":
-				result, qerr = s.search(col, req.Collection, p, q.Tau)
+				result, qerr = s.execQuery(qSearch, col, req.Collection, p, q.Tau, 0)
 			case "topk":
 				if q.K <= 0 || q.K > s.cfg.MaxK {
 					qerr = badRequest("bad k %d", q.K)
 				} else {
-					result, qerr = s.topk(col, req.Collection, p, q.K)
+					result, qerr = s.execQuery(qTopK, col, req.Collection, p, 0, q.K)
 				}
 			case "count":
-				result, qerr = s.count(col, req.Collection, p, q.Tau)
+				result, qerr = s.execQuery(qCount, col, req.Collection, p, q.Tau, 0)
 			default:
 				qerr = badRequest("unknown op %q", q.Op)
 			}
 		}
 		if qerr != nil {
-			resp.Results[i] = BatchResult{Error: qerr.Error()}
+			code := "bad_request"
+			if errors.Is(qerr, core.ErrUnsupportedQuery) {
+				code = "unsupported_query"
+			}
+			resp.Results[i] = BatchResult{Error: qerr.Error(), Code: code}
 			continue
 		}
 		resp.Results[i] = BatchResult{Result: result}
@@ -616,9 +704,12 @@ type CollectionStats struct {
 	Positions int     `json:"positions"`
 	Shards    int     `json:"shards"`
 	TauMin    float64 `json:"tau_min"`
-	// Backend names the collection's index representation ("plain" or
-	// "compressed").
+	// Backend names the collection's index backend kind ("plain",
+	// "compressed" or "approx").
 	Backend string `json:"backend"`
+	// Epsilon is the approx backend's additive error bound; omitted for
+	// exact backends.
+	Epsilon float64 `json:"epsilon,omitempty"`
 	// IndexBytes is the summed resident footprint of the collection's
 	// per-document indexes, so the compressed backend's savings are
 	// observable per collection.
@@ -668,6 +759,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shards:     info.Shards,
 			TauMin:     info.TauMin,
 			Backend:    info.Backend,
+			Epsilon:    info.Epsilon,
 			IndexBytes: info.IndexBytes,
 		})
 		cm := collectionMemory{
@@ -682,6 +774,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		mem.IndexBytesTotal += info.IndexBytes
 		mem.Collections = append(mem.Collections, cm)
 	}
+	approxQ, approxHits := s.stats.approxCounts()
 	out := map[string]any{
 		"role":        string(s.role),
 		"collections": colls,
@@ -690,6 +783,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"inflight": map[string]any{
 			"limit":   s.cfg.MaxInFlight,
 			"current": len(s.sem),
+		},
+		// Queries answered by ε-approximate collections (cache hits
+		// included), and how many of those were served from the cache.
+		"approx": map[string]any{
+			"queries":    approxQ,
+			"cache_hits": approxHits,
 		},
 	}
 	if s.ingest != nil {

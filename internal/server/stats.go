@@ -45,6 +45,12 @@ type stats struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// approxQueries counts queries answered by ε-approximate collections
+	// (cache hits included); approxCacheHits counts how many of those were
+	// served from the result cache.
+	approxQueries   atomic.Int64
+	approxCacheHits atomic.Int64
 }
 
 func newStats() *stats {
@@ -86,4 +92,9 @@ func (s *stats) snapshot() map[string]EndpointSnapshot {
 // cacheCounts returns the cache hit/miss counters.
 func (s *stats) cacheCounts() (hits, misses int64) {
 	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// approxCounts returns the approximate-collection query counters.
+func (s *stats) approxCounts() (queries, cacheHits int64) {
+	return s.approxQueries.Load(), s.approxCacheHits.Load()
 }

@@ -38,10 +38,14 @@
 // Catalog manages many documents behind one query surface: documents are
 // spread over shards, each indexed whole, and Search/TopK/Count fan out
 // across the shards concurrently and merge the results. cmd/ustridxd serves
-// a catalog over HTTP/JSON. The index representation is pluggable per
-// collection (CatalogOptions.Backend / Catalog.AddWithBackend): the plain
-// backend is the paper's structure, the compressed backend answers from an
-// FM-index at a several-fold smaller footprint — bit-identically.
+// a catalog over HTTP/JSON. The index backend is pluggable per collection
+// (CatalogOptions.Backend / Catalog.AddWithBackend / AddWithSpec): the
+// plain backend is the paper's structure, the compressed backend answers
+// from an FM-index at a several-fold smaller footprint — bit-identically —
+// and the approx backend serves the Section 7 ε-index, trading an additive
+// error ε for optimal query time at any pattern length (top-k is rejected
+// with ErrUnsupportedQuery; backends declare their semantics through
+// BackendCapabilities).
 //
 // # Live ingestion
 //
@@ -105,9 +109,11 @@ type World = ustring.World
 type Index = core.Index
 
 // IndexBackend is the pluggable per-document index contract of the serving
-// tier: the plain Index and the CompressedIndex both satisfy it and answer
-// every query bit-identically — only memory footprint and query latency
-// differ.
+// tier: the plain Index, the CompressedIndex and the ApproxBackend all
+// satisfy it. The exact backends answer every query bit-identically — only
+// memory footprint and query latency differ; the approximate backend
+// declares its additive error ε through BackendCapabilities and answers
+// under that bound.
 type IndexBackend = core.Backend
 
 // CompressedIndex is the space-efficient index backend: suffix ranges from
@@ -115,12 +121,38 @@ type IndexBackend = core.Backend
 // cutting resident memory several-fold at a bounded query-time cost.
 type CompressedIndex = core.CompressedIndex
 
+// ApproxBackend serves the Section 7 approximate ε-index through the
+// serving tier's backend contract: optimal query time for any pattern
+// length, additive error ε, no top-k (rejected with ErrUnsupportedQuery).
+type ApproxBackend = core.ApproxBackend
+
+// BackendSpec names a backend kind plus its construction parameters (the
+// approx backend's ε); it travels through catalog options, ingest sidecars
+// and replication snapshots so every layer rebuilds a collection into the
+// identical representation.
+type BackendSpec = core.BackendSpec
+
+// BackendCapabilities declares a backend's answer semantics (exact or
+// ε-approximate, top-k support); serving layers consult it before
+// dispatching an operation.
+type BackendCapabilities = core.Capabilities
+
+// ErrUnsupportedQuery reports an operation a backend's semantics cannot
+// answer, e.g. top-k on the approximate ε-index. The HTTP tier maps it to
+// 422.
+var ErrUnsupportedQuery = core.ErrUnsupportedQuery
+
 // Index backend names, as used in CatalogOptions.Backend, the daemon's
 // -backend flag, and the PUT backend query parameter.
 const (
 	BackendPlain      = core.BackendPlain
 	BackendCompressed = core.BackendCompressed
+	BackendApprox     = core.BackendApprox
 )
+
+// DefaultEpsilon is the additive error bound approx backends get when none
+// is configured.
+const DefaultEpsilon = core.DefaultEpsilon
 
 // Hit is one search result with its probability.
 type Hit = core.Hit
@@ -226,11 +258,19 @@ func SearchOnline(s *String, p []byte, tau float64) []int {
 // load any backend.
 func ReadIndex(r io.Reader) (*Index, error) { return core.ReadIndex(r) }
 
-// NewIndexBackend builds the named index backend (BackendPlain or
-// BackendCompressed; empty means plain) for thresholds τ ≥ tauMin. Every
-// backend answers queries bit-identically.
+// NewIndexBackend builds the named index backend (BackendPlain,
+// BackendCompressed or BackendApprox; empty means plain) for thresholds
+// τ ≥ tauMin, with that kind's default parameters. Exact backends answer
+// queries bit-identically; the approx backend under DefaultEpsilon.
 func NewIndexBackend(kind string, s *String, tauMin float64) (IndexBackend, error) {
 	return core.BuildBackend(kind, s, tauMin)
+}
+
+// NewApproxBackend builds the approximate serving backend with additive
+// error epsilon (0 means DefaultEpsilon) — NewApproxIndex wrapped in the
+// serving tier's backend contract.
+func NewApproxBackend(s *String, tauMin, epsilon float64) (*ApproxBackend, error) {
+	return core.BuildApprox(s, tauMin, epsilon)
 }
 
 // ReadIndexBackend loads an index of any backend previously saved with its

@@ -1,0 +1,51 @@
+// Command promlint validates a Prometheus text exposition (format 0.0.4)
+// against the checks internal/obs enforces on its own output: exactly one
+// HELP and TYPE line per family, TYPE before the first sample, no duplicate
+// series, cumulative histogram buckets whose +Inf bucket equals _count, and
+// a _sum next to every histogram. It reads the exposition from stdin, or
+// from the file named by its single argument:
+//
+//	curl -s http://localhost:7331/metrics | promlint
+//	promlint scrape.prom
+//
+// Exit status 0 means the exposition is clean; 1 means it is not (the
+// first problem is printed) or the input could not be read.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var data []byte
+	var err error
+	switch len(args) {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("usage: promlint [file] (default stdin)")
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	if err := obs.Lint(data); err != nil {
+		return err
+	}
+	return nil
+}

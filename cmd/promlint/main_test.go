@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "scrape.prom")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLintsCleanExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "A counter.").Add(3)
+	reg.Histogram("x_seconds", "A histogram.", nil).Observe(0.01)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if err := run([]string{write(t, sb.String())}); err != nil {
+		t.Fatalf("clean exposition rejected: %v", err)
+	}
+}
+
+func TestRejectsBrokenExposition(t *testing.T) {
+	for name, body := range map[string]string{
+		"duplicate series":   "# HELP a_total A.\n# TYPE a_total counter\na_total 1\na_total 2\n",
+		"sample before TYPE": "a_total 1\n# TYPE a_total counter\n",
+		"empty":              "",
+	} {
+		if err := run([]string{write(t, body)}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if err := run([]string{"a", "b"}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("extra args accepted: %v", err)
+	}
+}

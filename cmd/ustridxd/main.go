@@ -10,7 +10,9 @@
 //	         [-cache-entries 1024] [-inflight 0]
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
+//	         [-slow-query-ms 0] [-debug-addr ""]
 //	ustridxd -follow URL [-addr :7332] [-taumin 0.1] [-follow-poll 250ms]
+//	ustridxd -version
 //
 // Every non-hidden file in -data is parsed as one '%'-separated collection
 // (see internal/ustring's text encoding) and served under its base name.
@@ -48,8 +50,18 @@
 // mismatch is detected at bootstrap and logged instead of applied.
 //
 // Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/collections/…,
-// /v1/compact, /v1/replication/…, /v1/stats, /healthz — see internal/server
-// for the wire format.
+// /v1/compact, /v1/replication/…, /v1/stats, /metrics (Prometheus text
+// exposition covering serving, ingest and replication — see OPERATIONS.md's
+// Monitoring section), /v1/debug/slowlog, /healthz — see internal/server for
+// the wire format.
+//
+// -slow-query-ms enables the slow-query log: requests at or above the
+// threshold are retained in a ring buffer with a per-stage timing breakdown,
+// readable at GET /v1/debug/slowlog. -debug-addr starts a second listener
+// serving net/http/pprof under /debug/pprof/ — keep it on a loopback or
+// otherwise private address, it is deliberately not exposed on the main
+// port. -version prints the build's version, Go toolchain and compiled-in
+// backends and exits.
 package main
 
 import (
@@ -67,8 +79,14 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
+
+	// Registered on debugMux below, never on the serving mux: the profiler
+	// is only reachable through -debug-addr.
+	"net/http/pprof"
+	"strings"
 )
 
 func main() {
@@ -97,7 +115,17 @@ func run(args []string) error {
 	walNoSync := fs.Bool("wal-nosync", false, "skip the fsync after every WAL append (faster ingestion; acknowledged mutations may be lost on machine crash)")
 	follow := fs.String("follow", "", "primary ustridxd base URL; run as a read replica tailing its write-ahead logs (incompatible with -data and -wal)")
 	followPoll := fs.Duration("follow-poll", replica.DefaultPollInterval, "WAL poll interval in replica mode")
+	slowQueryMs := fs.Float64("slow-query-ms", 0, "retain requests at or above this many milliseconds in the slow-query log at /v1/debug/slowlog (0 disables)")
+	slowLogEntries := fs.Int("slowlog-entries", 0, "slow-query log ring capacity (0 = library default)")
+	debugAddr := fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it private)")
+	version := fs.Bool("version", false, "print version, Go toolchain and compiled-in backends, then exit")
 	fs.Parse(args)
+
+	if *version {
+		fmt.Printf("ustridxd %s %s backends=%s\n",
+			obs.Version, obs.GoVersion(), strings.Join(core.BackendKinds(), ","))
+		return nil
+	}
 
 	backendName, err := core.ParseBackend(*backend)
 	if err != nil {
@@ -114,7 +142,20 @@ func run(args []string) error {
 		return err
 	}
 	opts.Epsilon = spec.Epsilon
-	cfgBase := server.Config{CacheEntries: *cacheEntries, MaxInFlight: *inFlight, MaxPatternBytes: *maxPattern}
+	// One registry aggregates every layer's metrics — serving, ingest and
+	// replication — on the single /metrics page the server exposes.
+	metrics := obs.NewRegistry()
+	cfgBase := server.Config{
+		CacheEntries:       *cacheEntries,
+		MaxInFlight:        *inFlight,
+		MaxPatternBytes:    *maxPattern,
+		Metrics:            metrics,
+		SlowQueryThreshold: time.Duration(*slowQueryMs * float64(time.Millisecond)),
+		SlowLogEntries:     *slowLogEntries,
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 	if *follow != "" {
 		if *data != "" || *wal != "" {
 			return errors.New("-follow runs a replica with no local data: drop -data and -wal")
@@ -147,6 +188,7 @@ func run(args []string) error {
 			CompactThreshold: *compactThreshold,
 			NoSync:           *walNoSync,
 			Logf:             log.Printf,
+			Metrics:          metrics,
 		})
 		if err != nil {
 			return err
@@ -190,6 +232,7 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		CompactThreshold: compactThreshold,
 		NoSync:           true,
 		Logf:             log.Printf,
+		Metrics:          cfg.Metrics,
 	})
 	if err != nil {
 		return err
@@ -199,6 +242,7 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		Store:        store,
 		PollInterval: poll,
 		Logf:         log.Printf,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		store.Close()
@@ -217,6 +261,23 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		log.Printf("replication tailers stopped")
 		return store.Close()
 	})
+}
+
+// serveDebug exposes net/http/pprof on its own listener, so profiling never
+// rides the serving port (the default mux would also leak the profiler to
+// anyone who can reach the query API).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("debug/pprof listening on %s", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("debug listener: %v", err)
+	}
 }
 
 // serve runs the HTTP server until it fails or a termination signal

@@ -3,17 +3,20 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/ustring"
 )
@@ -330,5 +333,121 @@ func TestDaemonServesMutable(t *testing.T) {
 	}
 	if got := countOf(ts, p); got != before {
 		t.Fatalf("after delete: count %d, want %d", got, before)
+	}
+}
+
+// TestDaemonMetricsEndToEnd wires the full observability stack the way
+// run() does — one registry shared by the server and the ingest store —
+// mutates and queries, then scrapes /metrics and checks families from
+// every layer appear in a lint-clean exposition.
+func TestDaemonMetricsEndToEnd(t *testing.T) {
+	dataDir, docs := writeDataDir(t)
+	opts := catalog.Options{TauMin: 0.1, Shards: 2}
+	quiet := func(string, ...any) {}
+	cat, err := loadCatalog(dataDir, "", opts, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st, err := ingest.Open(cat, ingest.Options{
+		Dir: t.TempDir(), Catalog: opts, Logf: quiet, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.NewIngest(st, server.Config{
+		Metrics:            reg,
+		SlowQueryThreshold: time.Nanosecond,
+	}))
+	defer ts.Close()
+
+	// One WAL-logged PUT, one query, one compaction: every layer records.
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, ustring.Deterministic("ZZZZZZ")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		ts.URL+"/v1/collections/prot/documents/obs-doc", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	p := gen.CollectionPatterns(docs, 1, 3, 97)[0]
+	qr, err := http.Get(ts.URL + "/v1/query?collection=prot&p=" + string(p) + "&tau=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr.Body.Close()
+	cr, err := http.Post(ts.URL+"/v1/compact?collection=prot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mr.StatusCode)
+	}
+	if err := obs.Lint(raw); err != nil {
+		t.Fatalf("/metrics fails lint: %v", err)
+	}
+	scrapeText := string(raw)
+	for _, want := range []string{
+		// Serving layer.
+		`ustridx_requests_total{endpoint="query"} 1`,
+		`ustridx_role{role="primary"} 1`,
+		"ustridx_build_info{",
+		// Ingest layer.
+		`ustridx_puts_total 1`,
+		`ustridx_wal_appends_total{collection="prot"} 1`,
+		`ustridx_wal_append_seconds_count{collection="prot"} 1`,
+		`ustridx_compactions_total{collection="prot"} 1`,
+		`ustridx_wal_bytes{collection="prot"}`,
+		`ustridx_docs{collection="prot"}`,
+		// Slow-query log counted the traced request.
+		"ustridx_slow_queries",
+	} {
+		if !strings.Contains(scrapeText, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	sl, err := http.Get(ts.URL + "/v1/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Body.Close()
+	var slow struct {
+		Enabled bool            `json:"enabled"`
+		Entries []obs.SlowEntry `json:"entries"`
+	}
+	if err := json.NewDecoder(sl.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Enabled || len(slow.Entries) == 0 {
+		t.Fatalf("slowlog empty: %+v", slow)
+	}
+}
+
+// TestVersionFlag checks -version short-circuits startup.
+func TestVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("run(-version) = %v", err)
 	}
 }

@@ -4,22 +4,34 @@ import (
 	"container/heap"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// shardResult carries one shard's hits (or count) back to the merger.
+// shardResult carries one shard's hits (or count) back to the merger, plus
+// the time the shard spent inside the backend searches. Durations travel
+// back through the join rather than into the trace directly, so shard
+// goroutines never touch the (unsynchronised) trace.
 type shardResult struct {
 	hits  []DocHit
 	count int
+	dur   time.Duration
 	err   error
 }
 
 // fanOut runs fn once per non-empty shard concurrently and returns the
 // per-shard results in shard order. Collections are immutable, so the only
-// synchronisation is the join.
-func (col *Collection) fanOut(fn func(shard []docIndex, out *shardResult)) ([]shardResult, error) {
+// synchronisation is the join. With a non-nil trace it records two stages:
+// "fanout" (wall time of the whole scatter/join) and "backend_search" (the
+// sum of per-shard search time, i.e. the work the fan-out parallelised).
+func (col *Collection) fanOut(tr *obs.Trace, fn func(shard []docIndex, out *shardResult)) ([]shardResult, error) {
 	results := make([]shardResult, len(col.shards))
+	begin := time.Time{}
+	if tr != nil {
+		begin = time.Now()
+	}
 	var wg sync.WaitGroup
 	for s := range col.shards {
 		if len(col.shards[s]) == 0 {
@@ -28,10 +40,24 @@ func (col *Collection) fanOut(fn func(shard []docIndex, out *shardResult)) ([]sh
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			if tr != nil {
+				t0 := time.Now()
+				fn(col.shards[s], &results[s])
+				results[s].dur = time.Since(t0)
+				return
+			}
 			fn(col.shards[s], &results[s])
 		}(s)
 	}
 	wg.Wait()
+	if tr != nil {
+		tr.Add("fanout", time.Since(begin))
+		var busy time.Duration
+		for s := range results {
+			busy += results[s].dur
+		}
+		tr.Add("backend_search", busy)
+	}
 	for s := range results {
 		if results[s].err != nil {
 			return nil, results[s].err
@@ -61,13 +87,25 @@ func (f DocFilter) apply(doc int) (int, bool) {
 // than tau in any document, ordered by (document, position). tau must
 // satisfy TauMin ≤ tau ≤ 1.
 func (col *Collection) Search(p []byte, tau float64) ([]DocHit, error) {
-	return col.SearchFiltered(p, tau, nil)
+	return col.SearchFilteredTraced(nil, p, tau, nil)
+}
+
+// SearchTraced is Search recording per-stage timings into tr (nil tr means
+// no recording; the untraced methods delegate here).
+func (col *Collection) SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]DocHit, error) {
+	return col.SearchFilteredTraced(tr, p, tau, nil)
 }
 
 // SearchFiltered is Search restricted to the documents kept by keep, with
 // hits renumbered through it.
 func (col *Collection) SearchFiltered(p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
-	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+	return col.SearchFilteredTraced(nil, p, tau, keep)
+}
+
+// SearchFilteredTraced is SearchFiltered recording per-stage timings
+// ("fanout", "backend_search", "merge") into tr.
+func (col *Collection) SearchFilteredTraced(tr *obs.Trace, p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
+	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
 			doc, ok := keep.apply(di.doc)
 			if !ok {
@@ -86,11 +124,13 @@ func (col *Collection) SearchFiltered(p []byte, tau float64, keep DocFilter) ([]
 	if err != nil {
 		return nil, err
 	}
+	stop := tr.StartStage("merge")
 	var merged []DocHit
 	for _, r := range results {
 		merged = append(merged, r.hits...)
 	}
 	SortHits(merged)
+	stop()
 	return merged, nil
 }
 
@@ -108,12 +148,22 @@ func SortHits(hits []DocHit) {
 // Count returns the total number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (col *Collection) Count(p []byte, tau float64) (int, error) {
-	return col.CountFiltered(p, tau, nil)
+	return col.CountFilteredTraced(nil, p, tau, nil)
+}
+
+// CountTraced is Count recording per-stage timings into tr.
+func (col *Collection) CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error) {
+	return col.CountFilteredTraced(tr, p, tau, nil)
 }
 
 // CountFiltered is Count restricted to the documents kept by keep.
 func (col *Collection) CountFiltered(p []byte, tau float64, keep DocFilter) (int, error) {
-	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+	return col.CountFilteredTraced(nil, p, tau, keep)
+}
+
+// CountFilteredTraced is CountFiltered recording per-stage timings into tr.
+func (col *Collection) CountFilteredTraced(tr *obs.Trace, p []byte, tau float64, keep DocFilter) (int, error) {
+	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
 			if _, ok := keep.apply(di.doc); !ok {
 				continue
@@ -171,7 +221,12 @@ func (h *topKHeap) Pop() any {
 // position). Every per-document index guarantees completeness only down to
 // probability TauMin, so fewer than k hits may be returned.
 func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
-	return col.TopKFiltered(p, k, nil)
+	return col.TopKFilteredTraced(nil, p, k, nil)
+}
+
+// TopKTraced is TopK recording per-stage timings into tr.
+func (col *Collection) TopKTraced(tr *obs.Trace, p []byte, k int) ([]DocHit, error) {
+	return col.TopKFilteredTraced(tr, p, k, nil)
 }
 
 // TopKFiltered is TopK restricted to the documents kept by keep, with hits
@@ -179,10 +234,15 @@ func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
 // document contributes its own true top-k, so the merged result is the exact
 // global top-k of the kept documents.
 func (col *Collection) TopKFiltered(p []byte, k int, keep DocFilter) ([]DocHit, error) {
+	return col.TopKFilteredTraced(nil, p, k, keep)
+}
+
+// TopKFilteredTraced is TopKFiltered recording per-stage timings into tr.
+func (col *Collection) TopKFilteredTraced(tr *obs.Trace, p []byte, k int, keep DocFilter) ([]DocHit, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	results, err := col.fanOut(func(shard []docIndex, out *shardResult) {
+	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
 		for _, di := range shard {
 			doc, ok := keep.apply(di.doc)
 			if !ok {
@@ -201,11 +261,14 @@ func (col *Collection) TopKFiltered(p []byte, k int, keep DocFilter) ([]DocHit, 
 	if err != nil {
 		return nil, err
 	}
+	stop := tr.StartStage("merge")
 	lists := make([][]DocHit, len(results))
 	for i, r := range results {
 		lists[i] = r.hits
 	}
-	return MergeTopK(k, lists...), nil
+	merged := MergeTopK(k, lists...)
+	stop()
+	return merged, nil
 }
 
 // MergeTopK folds candidate hit lists into the k globally best hits in

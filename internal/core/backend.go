@@ -56,6 +56,12 @@ const (
 // none is given explicitly.
 const DefaultEpsilon = 0.05
 
+// BackendKinds lists every compiled-in backend kind in presentation order,
+// as surfaced by build_info and the -version flag.
+func BackendKinds() []string {
+	return []string{BackendPlain, BackendCompressed, BackendApprox}
+}
+
 // ErrUnsupportedQuery reports an operation a backend's semantics cannot
 // answer (for example SearchTopK on the approximate ε-index, whose ranking
 // guarantee is only ε-accurate). Serving layers map it to a 4xx status —

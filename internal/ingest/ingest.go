@@ -52,9 +52,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ustring"
 )
 
@@ -108,6 +110,11 @@ type Options struct {
 	NoSync bool
 	// Logf receives replay and compaction diagnostics; nil discards them.
 	Logf func(string, ...any)
+	// Metrics, when non-nil, receives write-path instrumentation: WAL
+	// append/fsync latency and bytes, index build latency, compaction
+	// durations and mutation counters, plus scrape-time per-collection
+	// gauges (WAL size, pending delta/tombstones, epoch).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -156,8 +163,9 @@ type CollectionStatus struct {
 // Store is the mutable serving layer. All methods are safe for concurrent
 // use; mutations to one collection are serialised, queries never block.
 type Store struct {
-	opts   Options
-	closed atomic.Bool
+	opts    Options
+	metrics storeMetrics
+	closed  atomic.Bool
 
 	mu    sync.RWMutex
 	colls map[string]*liveColl
@@ -205,10 +213,12 @@ func Open(cat *catalog.Catalog, opts Options) (*Store, error) {
 	}
 	st := &Store{
 		opts:      opts,
+		metrics:   newStoreMetrics(opts.Metrics),
 		colls:     make(map[string]*liveColl),
 		compactCh: make(chan string, 64),
 		stopCh:    make(chan struct{}),
 	}
+	st.registerStatusGauges(opts.Metrics)
 	names := make(map[string]bool)
 	if cat != nil {
 		for _, n := range cat.Names() {
@@ -325,7 +335,12 @@ func (st *Store) buildOpts() []core.Option {
 // collections bit-identical (exact backends) or ε-identical (approx) to
 // static ones.
 func (st *Store) build(doc *ustring.String, spec core.BackendSpec) (core.Backend, error) {
-	return spec.Build(doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+	begin := time.Now()
+	ix, err := spec.Build(doc, st.opts.Catalog.TauMin, st.buildOpts()...)
+	if err == nil {
+		st.metrics.buildSeconds.With(spec.Kind).ObserveDuration(time.Since(begin))
+	}
+	return ix, err
 }
 
 // defaultSpec is the backend spec a collection created without an explicit
@@ -377,6 +392,12 @@ func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq *core.Ba
 	if err != nil {
 		return nil, err
 	}
+	// Metric handles are resolved once per collection; nil handles (no
+	// registry) make every observation inside append a no-op.
+	w.appendHist = st.metrics.walAppendSeconds.With(name)
+	w.fsyncHist = st.metrics.walFsyncSeconds.With(name)
+	w.appends = st.metrics.walAppends.With(name)
+	w.appendedBytes = st.metrics.walAppendedBytes.With(name)
 	lc.wal = w
 
 	// Seed: the checkpoint supersedes the static catalog — it is the newer
@@ -717,6 +738,7 @@ func (st *Store) PutWithSpec(coll, id string, doc *ustring.String, req core.Back
 	v := lc.view.Load()
 	lc.mu.Unlock()
 	st.puts.Add(1)
+	st.metrics.puts.Inc()
 	st.maybeCompact(coll, v)
 	docNo, _ := v.DocNumber(id)
 	return PutResult{Doc: docNo, Docs: v.Docs(), Gen: v.Gen(), Replaced: replaced}, nil
@@ -747,6 +769,7 @@ func (st *Store) Delete(coll, id string) (bool, error) {
 	v := lc.view.Load()
 	lc.mu.Unlock()
 	st.deletes.Add(1)
+	st.metrics.deletes.Inc()
 	st.maybeCompact(coll, v)
 	return true, nil
 }
@@ -801,11 +824,14 @@ func (st *Store) Compact(name string) (bool, error) {
 	}
 	lc.compactMu.Lock()
 	defer lc.compactMu.Unlock()
+	begin := time.Now()
 	for attempt := 0; attempt < 16; attempt++ {
 		did, err := st.compactOnce(lc)
 		if !errors.Is(err, errCompactRaced) {
 			if did {
 				st.compactions.Add(1)
+				st.metrics.compactions.With(name).Inc()
+				st.metrics.compactSeconds.With(name).ObserveDuration(time.Since(begin))
 			}
 			return did, err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // View is one immutable, generation-stamped snapshot of a live collection.
@@ -136,38 +137,52 @@ func (v *View) Validate(p []byte, tau float64) error {
 // Search reports every occurrence of p with probability strictly greater
 // than tau in any live document, ordered by (document, position).
 func (v *View) Search(p []byte, tau float64) ([]catalog.DocHit, error) {
+	return v.SearchTraced(nil, p, tau)
+}
+
+// SearchTraced is Search recording per-stage timings into tr. Both parts
+// (base and delta) accumulate into the same stages, so "fanout" covers the
+// whole snapshot's scatter work.
+func (v *View) SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]catalog.DocHit, error) {
 	var merged []catalog.DocHit
 	if v.base != nil {
-		hits, err := v.base.SearchFiltered(p, tau, mapFilter(v.baseMap))
+		hits, err := v.base.SearchFilteredTraced(tr, p, tau, mapFilter(v.baseMap))
 		if err != nil {
 			return nil, err
 		}
 		merged = hits
 	}
 	if v.delta != nil {
-		hits, err := v.delta.SearchFiltered(p, tau, mapFilter(v.deltaMap))
+		hits, err := v.delta.SearchFilteredTraced(tr, p, tau, mapFilter(v.deltaMap))
 		if err != nil {
 			return nil, err
 		}
 		merged = append(merged, hits...)
 	}
+	stop := tr.StartStage("merge")
 	catalog.SortHits(merged)
+	stop()
 	return merged, nil
 }
 
 // Count returns the number of occurrences of p with probability strictly
 // greater than tau across live documents.
 func (v *View) Count(p []byte, tau float64) (int, error) {
+	return v.CountTraced(nil, p, tau)
+}
+
+// CountTraced is Count recording per-stage timings into tr.
+func (v *View) CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error) {
 	total := 0
 	if v.base != nil {
-		n, err := v.base.CountFiltered(p, tau, mapFilter(v.baseMap))
+		n, err := v.base.CountFilteredTraced(tr, p, tau, mapFilter(v.baseMap))
 		if err != nil {
 			return 0, err
 		}
 		total += n
 	}
 	if v.delta != nil {
-		n, err := v.delta.CountFiltered(p, tau, mapFilter(v.deltaMap))
+		n, err := v.delta.CountFilteredTraced(tr, p, tau, mapFilter(v.deltaMap))
 		if err != nil {
 			return 0, err
 		}
@@ -182,23 +197,31 @@ func (v *View) Count(p []byte, tau float64) (int, error) {
 // the merge — so the merged result is the exact global top-k of the live
 // document set.
 func (v *View) TopK(p []byte, k int) ([]catalog.DocHit, error) {
+	return v.TopKTraced(nil, p, k)
+}
+
+// TopKTraced is TopK recording per-stage timings into tr.
+func (v *View) TopKTraced(tr *obs.Trace, p []byte, k int) ([]catalog.DocHit, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	var lists [][]catalog.DocHit
 	if v.base != nil {
-		hits, err := v.base.TopKFiltered(p, k, mapFilter(v.baseMap))
+		hits, err := v.base.TopKFilteredTraced(tr, p, k, mapFilter(v.baseMap))
 		if err != nil {
 			return nil, err
 		}
 		lists = append(lists, hits)
 	}
 	if v.delta != nil {
-		hits, err := v.delta.TopKFiltered(p, k, mapFilter(v.deltaMap))
+		hits, err := v.delta.TopKFilteredTraced(tr, p, k, mapFilter(v.deltaMap))
 		if err != nil {
 			return nil, err
 		}
 		lists = append(lists, hits)
 	}
-	return catalog.MergeTopK(k, lists...), nil
+	stop := tr.StartStage("merge")
+	merged := catalog.MergeTopK(k, lists...)
+	stop()
+	return merged, nil
 }

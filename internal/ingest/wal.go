@@ -11,7 +11,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ustring"
 )
 
@@ -141,6 +143,13 @@ type wal struct {
 	// record boundary; further appends are refused rather than risked after
 	// garbage.
 	broken bool
+
+	// Metric handles, resolved per collection by the owning store; nil
+	// handles (no registry configured) make every observation a no-op.
+	appendHist    *obs.Histogram
+	fsyncHist     *obs.Histogram
+	appends       *obs.Counter
+	appendedBytes *obs.Counter
 }
 
 // loadEpoch reads the sidecar epoch; a missing or unreadable file is epoch 0
@@ -267,16 +276,22 @@ func (w *wal) append(rec WALRecord) error {
 	if err != nil {
 		return err
 	}
+	begin := time.Now()
 	if _, err := w.f.Write(frame); err != nil {
 		w.rollback()
 		return fmt.Errorf("ingest: appending to %s: %w", w.path, err)
 	}
 	if w.sync {
+		syncBegin := time.Now()
 		if err := w.f.Sync(); err != nil {
 			w.rollback()
 			return fmt.Errorf("ingest: syncing %s: %w", w.path, err)
 		}
+		w.fsyncHist.ObserveDuration(time.Since(syncBegin))
 	}
+	w.appendHist.ObserveDuration(time.Since(begin))
+	w.appends.Inc()
+	w.appendedBytes.Add(int64(len(frame)))
 	w.records++
 	w.bytes += int64(len(frame))
 	return nil

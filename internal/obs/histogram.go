@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds: 50µs to 10s, a
+// little denser at the low end where the query path lives. They cover
+// everything the daemon times — cache hits, shard fan-outs, WAL fsyncs,
+// compactions.
+var DefBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25,
+	0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with a lock-free hot path: an
+// observation is one atomic increment of its bucket plus one CAS loop on
+// the running sum. Bucket upper bounds are fixed at registration.
+//
+// Scrapes snapshot the bucket counts first and derive the total count from
+// their sum, so the rendered cumulative buckets are monotone by
+// construction even while observations race the render. A nil *Histogram
+// is a no-op.
+type Histogram struct {
+	bounds []float64 // upper bounds, strictly increasing
+	counts []atomic.Int64
+	// last counts observations above the final bound (the +Inf bucket's
+	// own share).
+	last    atomic.Int64
+	sumBits atomic.Uint64 // float64 running sum of observed values
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one value (for latency histograms, in seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~20) and the scan is
+	// branch-predictable, beating a binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.last.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.last.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot reads the per-bucket counts and derives the consistent total.
+func (h *Histogram) snapshot() (counts []int64, total int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	total += h.last.Load()
+	return counts, total
+}
+
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	counts, total := h.snapshot()
+	// The sum is read after the bucket snapshot; under concurrent observes
+	// it may include a few racing observations the buckets do not — scrape
+	// consistency (monotone cumulative buckets, +Inf == count) is what the
+	// format requires, and that is derived entirely from the snapshot.
+	sum := h.Sum()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, formatFloat(bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, total)
+}
+
+// bucketLabels splices the le label into an existing (possibly empty)
+// rendered label string.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// HistogramVec resolves labeled histograms. A nil *HistogramVec hands out
+// nil histograms.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use. Handles are stable: resolve once, keep the pointer.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return newHistogram(v.f.buckets) }).(*Histogram)
+}

@@ -1,0 +1,370 @@
+// Package obs is the observability substrate of the serving tier: a
+// dependency-free metrics registry (counters, gauges and fixed-bucket
+// latency histograms with lock-free atomic hot paths) rendered in the
+// Prometheus text exposition format, a lightweight per-request Trace that
+// records per-stage query timings, and a ring-buffer SlowLog that retains
+// the trace breakdown of the slowest requests.
+//
+// Design constraints, in order:
+//
+//   - The hot path is a query serving tens of thousands of requests per
+//     second. Observing a counter or histogram is a handful of atomic
+//     operations; no lock is ever taken while recording. Label resolution
+//     (Vec.With) is a lock-free map hit after the first use of a label set.
+//   - Everything is nil-safe: a nil *Registry hands out nil metric handles
+//     whose methods are no-ops, and a nil *Trace records nothing. Layers
+//     instrument unconditionally and the caller decides, once, whether the
+//     telemetry exists — no flag threading, no double code paths.
+//   - No dependencies beyond the standard library, so every internal
+//     package (ingest, replica, catalog) can import obs without cycles.
+//
+// The exposition format is rendered by Registry.WritePrometheus and checked
+// by Lint, a minimal format linter used by tests and CI against live
+// scrapes. Scrape-time values (queue depths, replication lag) are filled in
+// by hooks registered with OnScrape, which run before every render.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Version is the build version stamped at link time via
+//
+//	-ldflags "-X repro/internal/obs.Version=v1.2.3"
+//
+// and surfaced in the build_info metric, /v1/stats and the daemon's
+// -version flag. Unstamped builds report "dev".
+var Version = "dev"
+
+// GoVersion reports the toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// metric is one rendered sample owner: a Counter, Gauge or Histogram.
+type metric interface {
+	// write appends the sample lines for this child (identified by its
+	// rendered label string, possibly empty) to b.
+	write(b *strings.Builder, name, labels string)
+}
+
+// family is one metric name: its metadata plus the children per label set.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+
+	children sync.Map // rendered label string → metric
+	gauge    func() float64
+}
+
+// Registry holds metric families and scrape hooks. The zero value is not
+// usable; construct with NewRegistry. All methods are safe for concurrent
+// use, and all methods on a nil *Registry are no-ops handing out nil
+// (no-op) metric handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers fn to run before every render. Hooks fill in values
+// that are cheaper to compute at scrape time than to maintain continuously:
+// queue depths, cache sizes, per-collection replication lag.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// lookup returns (creating if needed) the family, enforcing that a name is
+// registered with one type and label set only. Conflicting re-registration
+// panics: it is a programming error that would render an invalid exposition.
+func (r *Registry) lookup(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v (was %s%v)", name, typ, labels, f.typ, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v (was %v)", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, buckets: buckets}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter named name, creating it on first
+// use. Counters only go up; Prometheus counter names end in _total by
+// convention.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec returns the counter family named name with the given label
+// names; resolve children with With.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, "counter", labels, nil)}
+}
+
+// Gauge returns the unlabeled gauge named name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec returns the gauge family named name with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, "gauge", labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, "gauge", nil, nil)
+	f.gauge = fn
+}
+
+// Histogram returns the unlabeled histogram named name with the given
+// bucket upper bounds (nil means DefBuckets), creating it on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec returns the histogram family named name with the given
+// bucket upper bounds (nil means DefBuckets) and label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing: %v", name, buckets))
+		}
+	}
+	return &HistogramVec{f: r.lookup(name, help, "histogram", labels, buckets)}
+}
+
+// child resolves (creating if needed) the family's child for the given
+// label values. The fast path is one lock-free map load.
+func (f *family) child(values []string, mk func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	if m, ok := f.children.Load(key); ok {
+		return m.(metric)
+	}
+	m, _ := f.children.LoadOrStore(key, mk())
+	return m.(metric)
+}
+
+// Counter is a monotonically increasing value. A nil *Counter is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (which must not be negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterVec resolves labeled counters. A nil *CounterVec hands out nil
+// counters.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Handles are stable: resolve once, keep the pointer.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge is a value that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+func (g *Gauge) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integral value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// GaugeVec resolves labeled gauges. A nil *GaugeVec hands out nil gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// funcGauge renders a scrape-time computed value.
+type funcGauge struct{ fn func() float64 }
+
+func (g funcGauge) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+}
+
+// renderLabels builds the {k="v",...} label string, escaping values; empty
+// for no labels. Label name order is the registration order, so one family's
+// children always agree.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value. Integral values render without an
+// exponent or trailing zeros; +Inf renders as Prometheus spells it.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	return fams
+}
+
+// runHooks executes the scrape hooks.
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenRegistry populates a registry with one of everything the
+// exposition renderer has to get right: unlabeled and labeled counters,
+// gauges (including a scrape-hook gauge and a GaugeFunc), and histograms
+// with custom buckets, plus label values that need escaping.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+
+	reqs := r.CounterVec("ustridx_requests_total", "Requests by endpoint.", "endpoint")
+	reqs.With("query").Add(42)
+	reqs.With("stats").Add(7)
+
+	r.Counter("ustridx_cache_hits_total", "Result cache hits.").Add(13)
+
+	esc := r.CounterVec("ustridx_escape_total", `Help with a backslash \ and
+newline.`, "pattern")
+	esc.With("a\"b\\c\nd").Inc()
+
+	g := r.GaugeVec("ustridx_docs", "Documents per collection.", "collection")
+	g.With("prot").SetInt(400)
+	g.With("dna").Set(12.5)
+
+	r.GaugeFunc("ustridx_up", "Always one.", func() float64 { return 1 })
+
+	hooked := r.Gauge("ustridx_inflight", "In-flight requests at scrape time.")
+	r.OnScrape(func() { hooked.SetInt(3) })
+
+	h := r.HistogramVec("ustridx_query_duration_seconds",
+		"Query latency by operation.", []float64{0.001, 0.01, 0.1}, "op")
+	qh := h.With("search")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		qh.Observe(v)
+	}
+	h.With("count").Observe(0.005)
+
+	bi := r.CounterVec("ustridx_build_info", "Build metadata.", "version", "go")
+	bi.With("v1.2.3", "go1.24").Add(1)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output differs from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// The golden output must itself pass the linter the CI scrape uses.
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("golden exposition fails Lint: %v", err)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "test", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99) // above the last bound → +Inf share only
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="2"} 2`,
+		`h_seconds_bucket{le="+Inf"} 3`,
+		`h_seconds_count 3`,
+		`h_seconds_sum 101`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count() = %d, want 3", h.Count())
+	}
+	if h.Sum() != 101 {
+		t.Errorf("Sum() = %v, want 101", h.Sum())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").Inc()
+	r.CounterVec("y_total", "", "l").With("v").Add(2)
+	r.Gauge("g", "").Set(1)
+	r.GaugeVec("gv", "", "l").With("v").SetInt(1)
+	r.Histogram("h", "", nil).Observe(1)
+	r.HistogramVec("hv", "", nil, "l").With("v").ObserveDuration(time.Second)
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	r.OnScrape(func() {})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err=%v", buf.String(), err)
+	}
+
+	var tr *Trace
+	tr.StartStage("s")()
+	tr.Add("s", time.Second)
+	if tr.Stages() != nil {
+		t.Error("nil trace has stages")
+	}
+
+	var sl *SlowLog
+	if sl.Observe(SlowEntry{DurationUs: 1e9}) {
+		t.Error("nil slowlog recorded")
+	}
+	if sl.Snapshot() != nil || sl.Total() != 0 || sl.Threshold() != 0 {
+		t.Error("nil slowlog not empty")
+	}
+}
+
+func TestReRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m_total", "help")
+}
+
+func TestLintCatchesInvalidExposition(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"duplicate sample", "# TYPE a counter\na 1\na 2\n", "duplicate sample"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\n", "duplicate TYPE"},
+		{"missing type", "a 1\n", "no preceding TYPE"},
+		{"non-cumulative buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n", "not cumulative"},
+		{"missing inf bucket", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\nh_sum 1\nh_count 5\n", "+Inf"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 7\n", "_count"},
+		{"missing sum", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_count 5\n", "_sum"},
+		{"bad value", "# TYPE a counter\na zebra\n", "bad value"},
+		{"unknown type", "# TYPE a rainbow\n", "unknown metric type"},
+	}
+	for _, tc := range cases {
+		err := Lint([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: Lint accepted invalid input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLintAcceptsLabeledHistograms(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		`h_bucket{op="search",le="1"} 2` + "\n" +
+		`h_bucket{op="search",le="+Inf"} 3` + "\n" +
+		`h_sum{op="search"} 4.5` + "\n" +
+		`h_count{op="search"} 3` + "\n" +
+		`h_bucket{op="count",le="1"} 0` + "\n" +
+		`h_bucket{op="count",le="+Inf"} 1` + "\n" +
+		`h_sum{op="count"} 9` + "\n" +
+		`h_count{op="count"} 1` + "\n"
+	if err := Lint([]byte(in)); err != nil {
+		t.Errorf("Lint rejected valid labeled histogram: %v", err)
+	}
+}
+
+func TestLintHandlesEscapedLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "h", "v").With("comma , quote \" slash \\ nl \n end").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("Lint rejected escaped labels: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTraceAccumulatesStages(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("fanout", 2*time.Millisecond)
+	tr.Add("merge", time.Millisecond)
+	tr.Add("fanout", 3*time.Millisecond)
+	st := tr.Stages()
+	if len(st) != 2 {
+		t.Fatalf("got %d stages, want 2: %+v", len(st), st)
+	}
+	if st[0].Name != "fanout" || st[0].DurationUs != 5000 {
+		t.Errorf("fanout stage = %+v, want 5000us", st[0])
+	}
+	if st[1].Name != "merge" || st[1].DurationUs != 1000 {
+		t.Errorf("merge stage = %+v, want 1000us", st[1])
+	}
+
+	stop := tr.StartStage("encode")
+	stop()
+	if got := tr.Stages(); len(got) != 3 || got[2].Name != "encode" {
+		t.Errorf("StartStage did not append: %+v", got)
+	}
+}
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	if NewSlowLog(0, 4) != nil {
+		t.Error("zero threshold should disable the log")
+	}
+	l := NewSlowLog(time.Millisecond, 3)
+	if l.Threshold() != time.Millisecond {
+		t.Errorf("Threshold = %v", l.Threshold())
+	}
+	if l.Observe(SlowEntry{Endpoint: "fast", DurationUs: 10}) {
+		t.Error("under-threshold entry recorded")
+	}
+	for i, ep := range []string{"a", "b", "c", "d", "e"} {
+		if !l.Observe(SlowEntry{Endpoint: ep, DurationUs: float64(2000 + i)}) {
+			t.Fatalf("entry %s not recorded", ep)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total = %d, want 5", l.Total())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want ring capacity 3", len(snap))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if snap[i].Endpoint != want {
+			t.Errorf("snap[%d] = %q, want %q", i, snap[i].Endpoint, want)
+		}
+	}
+}
+
+// TestConcurrentObserveScrape hammers histograms, counters and gauges from
+// many goroutines while scraping continuously; every scrape must pass Lint
+// (in particular: monotone cumulative buckets and +Inf == _count even while
+// observations race the render). Run with -race.
+func TestConcurrentObserveScrape(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("hammer_seconds", "hammered", nil, "op")
+	cv := r.CounterVec("hammer_total", "hammered", "op")
+	gv := r.GaugeVec("hammer_gauge", "hammered", "op")
+	ops := []string{"search", "count", "topk"}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := ops[w%len(ops)]
+			h, c, g := hv.With(op), cv.With(op), gv.With(op)
+			v := 0.00001 * float64(w+1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v * float64(i%1000+1))
+				c.Inc()
+				g.SetInt(int64(i))
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := Lint(buf.Bytes()); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d fails lint under concurrency: %v\n%s", scrapes, err, buf.String())
+		}
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+}

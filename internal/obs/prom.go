@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus runs the scrape hooks, then renders every family in the
+// Prometheus text exposition format (version 0.0.4): families in name
+// order, children in label order, histograms with cumulative buckets and
+// _sum/_count series. A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runHooks()
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.gauge != nil {
+			funcGauge{f.gauge}.write(&b, f.name, "")
+			continue
+		}
+		type child struct {
+			labels string
+			m      metric
+		}
+		var children []child
+		f.children.Range(func(k, v any) bool {
+			children = append(children, child{k.(string), v.(metric)})
+			return true
+		})
+		sort.Slice(children, func(a, z int) bool { return children[a].labels < children[z].labels })
+		for _, c := range children {
+			c.m.write(&b, f.name, c.labels)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Lint validates a text-exposition scrape minimally: well-formed sample
+// lines, no duplicate sample (name plus label set), every sample preceded
+// by its family's single TYPE declaration, histogram buckets cumulative and
+// monotone with the +Inf bucket equal to _count, and _sum present for every
+// histogram child. It is the checker the golden tests and the CI scrape
+// step share; it accepts any valid exposition, not only this package's
+// output.
+func Lint(data []byte) error {
+	types := make(map[string]string)       // family → type
+	seen := make(map[string]bool)          // name+labels → present
+	helpSeen := make(map[string]bool)      // family → HELP emitted
+	type bucketKey struct{ series string } // histogram series (labels sans le)
+	buckets := make(map[bucketKey][]struct {
+		le    float64
+		count float64
+	})
+	counts := make(map[string]float64) // histogram series → _count value
+	sums := make(map[string]bool)      // histogram series → _sum present
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			fields := strings.SplitN(text[len("# HELP "):], " ", 2)
+			if fields[0] == "" {
+				return fmt.Errorf("line %d: HELP without a metric name", line)
+			}
+			if helpSeen[fields[0]] {
+				return fmt.Errorf("line %d: duplicate HELP for %q", line, fields[0])
+			}
+			helpSeen[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(text[len("# TYPE "):])
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", line, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for metric %q", line, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s%s", line, name, labels)
+		}
+		seen[key] = true
+		family := histogramFamily(name, types)
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", line, name)
+		}
+		if types[family] == "histogram" {
+			series := family + stripLE(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := leValue(labels)
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s%s has no le label", line, name, labels)
+				}
+				k := bucketKey{series}
+				buckets[k] = append(buckets[k], struct {
+					le    float64
+					count float64
+				}{le, value})
+			case strings.HasSuffix(name, "_count"):
+				counts[series] = value
+			case strings.HasSuffix(name, "_sum"):
+				sums[series] = true
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %q", line, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for k, bs := range buckets {
+		sort.Slice(bs, func(a, b int) bool { return bs[a].le < bs[b].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				return fmt.Errorf("histogram %s: bucket le=%v count %v < le=%v count %v (not cumulative)",
+					k.series, bs[i].le, bs[i].count, bs[i-1].le, bs[i-1].count)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !isInf(last.le) {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", k.series)
+		}
+		count, ok := counts[k.series]
+		if !ok {
+			return fmt.Errorf("histogram %s: missing _count", k.series)
+		}
+		if count != last.count {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", k.series, count, last.count)
+		}
+		if !sums[k.series] {
+			return fmt.Errorf("histogram %s: missing _sum", k.series)
+		}
+	}
+	return nil
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// histogramFamily maps a sample name to its family: _bucket/_sum/_count
+// suffixes belong to the histogram family when one is declared.
+func histogramFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, rendered label string and
+// value. The label block is returned verbatim (it is already canonical
+// within one scrape).
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed labels in %q", text)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("missing metric name in %q", text)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("missing value in %q", text)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		switch fields[0] {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = 0
+		default:
+			return "", "", 0, fmt.Errorf("bad value %q in %q", fields[0], text)
+		}
+	}
+	return name, labels, v, nil
+}
+
+// stripLE removes the le pair from a rendered label block, yielding the
+// histogram series key shared by its buckets, _sum and _count.
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := splitLabelPairs(inner)
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// leValue extracts the le bound from a rendered label block.
+func leValue(labels string) (float64, bool) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, p := range splitLabelPairs(inner) {
+		if raw, ok := strings.CutPrefix(p, `le="`); ok {
+			raw = strings.TrimSuffix(raw, `"`)
+			if raw == "+Inf" {
+				return math.Inf(1), true
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` on commas outside quoted values,
+// honouring backslash escapes inside values.
+func splitLabelPairs(inner string) []string {
+	var parts []string
+	var cur strings.Builder
+	inQuotes := false
+	escaped := false
+	for _, r := range inner {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\' && inQuotes:
+			cur.WriteRune(r)
+			escaped = true
+		case r == '"':
+			cur.WriteRune(r)
+			inQuotes = !inQuotes
+		case r == ',' && !inQuotes:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}

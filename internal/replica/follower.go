@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/obs"
 )
 
 // Follower defaults.
@@ -49,6 +50,10 @@ type FollowerOptions struct {
 	Client *http.Client
 	// Logf receives replication diagnostics; nil discards them.
 	Logf func(string, ...any)
+	// Metrics, when non-nil, receives follower instrumentation: snapshot
+	// bootstrap durations, applied-record counters, and scrape-time
+	// per-collection lag gauges read from Status.
+	Metrics *obs.Registry
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -109,6 +114,9 @@ type collState struct {
 type Follower struct {
 	opts FollowerOptions
 
+	snapshotSeconds *obs.HistogramVec // collection
+	appliedRecords  *obs.CounterVec   // collection
+
 	mu    sync.Mutex
 	colls map[string]*collState
 	wg    sync.WaitGroup
@@ -126,7 +134,44 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 	if opts.Store == nil {
 		return nil, errors.New("replica: FollowerOptions.Store is required")
 	}
-	return &Follower{opts: opts.withDefaults(), colls: make(map[string]*collState)}, nil
+	f := &Follower{opts: opts.withDefaults(), colls: make(map[string]*collState)}
+	f.snapshotSeconds = f.opts.Metrics.HistogramVec("ustridx_replication_snapshot_seconds",
+		"Bootstrap snapshot fetch-and-apply duration.", nil, "collection")
+	f.appliedRecords = f.opts.Metrics.CounterVec("ustridx_replication_applied_records_total",
+		"WAL records applied from the replication feed.", "collection")
+	f.registerLagGauges(f.opts.Metrics)
+	return f, nil
+}
+
+// registerLagGauges publishes scrape-time per-collection lag gauges read
+// from Status — the follower-side view of ROADMAP's replication-lag alert.
+func (f *Follower) registerLagGauges(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	lagBytes := r.GaugeVec("ustridx_replication_lag_bytes",
+		"Bytes between the primary WAL head and the applied offset.", "collection")
+	lagRecords := r.GaugeVec("ustridx_replication_lag_records",
+		"Records between the primary WAL head and the applied position.", "collection")
+	epoch := r.GaugeVec("ustridx_replication_epoch",
+		"WAL epoch the follower is applying.", "collection")
+	connected := r.GaugeVec("ustridx_replication_connected",
+		"1 when the last primary contact succeeded.", "collection")
+	snapshots := r.GaugeVec("ustridx_replication_snapshots",
+		"Bootstrap snapshot loads (initial plus every epoch change).", "collection")
+	r.OnScrape(func() {
+		for _, lag := range f.Status() {
+			lagBytes.With(lag.Collection).SetInt(lag.LagBytes)
+			lagRecords.With(lag.Collection).SetInt(lag.LagRecords)
+			epoch.With(lag.Collection).SetInt(int64(lag.Epoch))
+			c := int64(0)
+			if lag.Connected {
+				c = 1
+			}
+			connected.With(lag.Collection).SetInt(c)
+			snapshots.With(lag.Collection).SetInt(lag.Snapshots)
+		}
+	})
 }
 
 // Store returns the store the follower applies into (the replica's query
@@ -234,6 +279,7 @@ func (f *Follower) tail(ctx context.Context, coll string, cs *collState) {
 
 // bootstrap fetches and applies one snapshot.
 func (f *Follower) bootstrap(ctx context.Context, coll string, cs *collState) error {
+	begin := time.Now()
 	snap, err := f.fetchSnapshot(ctx, coll)
 	if err != nil {
 		return err
@@ -241,6 +287,7 @@ func (f *Follower) bootstrap(ctx context.Context, coll string, cs *collState) er
 	if err := f.opts.Store.ApplySnapshot(snap); err != nil {
 		return err
 	}
+	f.snapshotSeconds.With(coll).ObserveDuration(time.Since(begin))
 	cs.mu.Lock()
 	cs.epoch = snap.Position.Epoch
 	cs.applied = snap.Position.Offset
@@ -283,6 +330,7 @@ func (f *Follower) poll(ctx context.Context, coll string, cs *collState) (resnap
 		if err := f.opts.Store.Apply(coll, recs); err != nil {
 			return false, false, err
 		}
+		f.appliedRecords.With(coll).Add(int64(len(recs)))
 	}
 	cs.mu.Lock()
 	cs.applied = from + n

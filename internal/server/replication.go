@@ -5,12 +5,14 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // handleReplicationWAL answers one follower poll against the primary's WAL
 // feed: frames from the requested (epoch, from), or a snapshot-required
 // signal when that position no longer names live history.
-func (s *Server) handleReplicationWAL(r *http.Request) (any, error) {
+func (s *Server) handleReplicationWAL(r *http.Request, _ *obs.Trace) (any, error) {
 	q := r.URL.Query()
 	coll := q.Get("collection")
 	if coll == "" {
@@ -46,16 +48,16 @@ func (s *Server) handleReplicationWAL(r *http.Request) (any, error) {
 // still answer with a proper error response.
 func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
 	ep := s.stats.endpoint("replication_snapshot")
-	ep.requests.Add(1)
+	ep.requests.Inc()
 	if r.Method != http.MethodGet {
-		ep.errors.Add(1)
+		ep.reject()
 		w.Header().Set("Allow", http.MethodGet)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 		return
 	}
 	coll := r.URL.Query().Get("collection")
 	if coll == "" {
-		ep.errors.Add(1)
+		ep.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing collection parameter"})
 		return
 	}
@@ -67,7 +69,7 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		ep.errors.Add(1)
+		ep.reject()
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
 		return
 	}
@@ -76,7 +78,7 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 	err := s.feed.WriteSnapshot(&buf, coll)
 	ep.observe(time.Since(begin))
 	if err != nil {
-		ep.errors.Add(1)
+		ep.errors.Inc()
 		err = mutationStatus(err)
 		writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
 		return

@@ -58,11 +58,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/replica"
 )
 
@@ -107,6 +109,19 @@ type Config struct {
 	// MaxDocBytes bounds the body of a document PUT; 0 means
 	// DefaultMaxDocBytes.
 	MaxDocBytes int64
+	// Metrics is the registry GET /metrics renders. Nil means the server
+	// creates a private one — metrics always work; pass a shared registry
+	// (also handed to the ingest store and follower) so every layer's
+	// series appear on one scrape.
+	Metrics *obs.Registry
+	// SlowQueryThreshold enables the slow-query log: requests at or above
+	// it are retained with their per-stage trace breakdown and served at
+	// GET /v1/debug/slowlog. 0 disables the log (and the per-request trace
+	// allocation with it).
+	SlowQueryThreshold time.Duration
+	// SlowLogEntries bounds the slow-query ring buffer; 0 means
+	// obs.DefaultSlowLogEntries.
+	SlowLogEntries int
 }
 
 // DefaultMaxPatternBytes is the default pattern length limit (4 KiB).
@@ -133,6 +148,12 @@ type Collection interface {
 	Search(p []byte, tau float64) ([]catalog.DocHit, error)
 	TopK(p []byte, k int) ([]catalog.DocHit, error)
 	Count(p []byte, tau float64) (int, error)
+	// The traced variants are the same queries recording per-stage timings
+	// (shard fan-out, backend search, merge) into tr; a nil tr records
+	// nothing. The server's query path always calls these.
+	SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]catalog.DocHit, error)
+	TopKTraced(tr *obs.Trace, p []byte, k int) ([]catalog.DocHit, error)
+	CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error)
 }
 
 // source resolves collections by name. One generic adapter covers every
@@ -214,6 +235,8 @@ type Server struct {
 	cfg      Config
 	cache    *lru
 	stats    *stats
+	metrics  *obs.Registry
+	slowlog  *obs.SlowLog // nil when SlowQueryThreshold is 0
 	sem      chan struct{}
 	mux      *http.ServeMux
 	start    time.Time
@@ -242,20 +265,29 @@ func NewReplica(f *replica.Follower, cfg Config) *Server {
 
 func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
-		src:    src,
-		role:   role,
-		ingest: st,
-		cfg:    cfg,
-		stats:  newStats(),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		src:     src,
+		role:    role,
+		ingest:  st,
+		cfg:     cfg,
+		stats:   newStats(reg),
+		metrics: reg,
+		slowlog: obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogEntries),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newLRU(cfg.CacheEntries)
 	}
+	s.registerServingMetrics(reg)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/debug/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/query", s.limited("query", http.MethodGet, s.handleQuery))
 	s.mux.HandleFunc("/v1/topk", s.limited("topk", http.MethodGet, s.handleTopK))
@@ -273,6 +305,72 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 		s.mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
 	}
 	return s
+}
+
+// buildInfo is the build_info content shared by /metrics, /v1/stats and the
+// daemon's -version flag.
+func buildInfo() (version, goVersion, backends string) {
+	return obs.Version, obs.GoVersion(), strings.Join(core.BackendKinds(), ",")
+}
+
+// registerServingMetrics publishes the serving tier's registry-level series:
+// build_info, the role, and scrape-time gauges for the in-flight limiter,
+// the result cache and uptime.
+func (s *Server) registerServingMetrics(r *obs.Registry) {
+	version, goVersion, backends := buildInfo()
+	r.GaugeVec("ustridx_build_info",
+		"Build metadata; the value is always 1.",
+		"version", "go", "backends").With(version, goVersion, backends).SetInt(1)
+	r.GaugeVec("ustridx_role", "Server role; the value is always 1.",
+		"role").With(string(s.role)).SetInt(1)
+	r.GaugeFunc("ustridx_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	inflight := r.Gauge("ustridx_inflight_requests", "Query requests currently executing.")
+	inflightLimit := r.Gauge("ustridx_inflight_limit", "In-flight request bound.")
+	cacheEntries := r.Gauge("ustridx_cache_entries", "Result cache entries resident.")
+	cacheCapacity := r.Gauge("ustridx_cache_capacity", "Result cache entry bound.")
+	slowTotal := r.Gauge("ustridx_slow_queries", "Requests ever recorded in the slow-query log.")
+	r.OnScrape(func() {
+		inflight.SetInt(int64(len(s.sem)))
+		inflightLimit.SetInt(int64(s.cfg.MaxInFlight))
+		if s.cache != nil {
+			cacheEntries.SetInt(int64(s.cache.Len()))
+			cacheCapacity.SetInt(int64(s.cfg.CacheEntries))
+		}
+		slowTotal.SetInt(s.slowlog.Total())
+	})
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleSlowLog serves the slow-query ring buffer, newest first, each entry
+// with its per-stage trace breakdown.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		return
+	}
+	entries := s.slowlog.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      s.slowlog != nil,
+		"threshold_ms": float64(s.slowlog.Threshold().Microseconds()) / 1e3,
+		"total":        s.slowlog.Total(),
+		"entries":      entries,
+	})
 }
 
 // mutable reports whether this server accepts writes.
@@ -324,13 +422,15 @@ type errorResponse struct {
 }
 
 // limited wraps a query handler with method filtering, the in-flight
-// semaphore, and request/error/latency accounting.
-func (s *Server) limited(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+// semaphore, request/error/rejection/latency accounting, and — when the
+// slow-query log is on — a per-request trace whose stage breakdown is
+// retained for requests over the threshold.
+func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace) (any, error)) http.HandlerFunc {
 	ep := s.stats.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		ep.requests.Add(1)
+		ep.requests.Inc()
 		if r.Method != method {
-			ep.errors.Add(1)
+			ep.reject()
 			w.Header().Set("Allow", method)
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 			return
@@ -339,19 +439,46 @@ func (s *Server) limited(name, method string, fn func(*http.Request) (any, error
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-r.Context().Done():
-			ep.errors.Add(1)
+			ep.reject()
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
 			return
 		}
+		// The trace exists only when the slow log can consume it; a nil
+		// trace records nothing all the way down the query path.
+		var tr *obs.Trace
+		if s.slowlog != nil {
+			tr = &obs.Trace{}
+		}
 		begin := time.Now()
-		resp, err := fn(r)
+		resp, err := fn(r, tr)
 		ep.observe(time.Since(begin))
 		if err != nil {
-			ep.errors.Add(1)
+			ep.errors.Inc()
 			writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
-			return
+		} else {
+			stop := tr.StartStage("encode")
+			writeJSON(w, http.StatusOK, resp)
+			stop()
 		}
-		writeJSON(w, http.StatusOK, resp)
+		if tr != nil {
+			entry := obs.SlowEntry{
+				Time:       time.Now(),
+				Endpoint:   name,
+				Op:         tr.Op,
+				Collection: tr.Collection,
+				Pattern:    tr.Pattern,
+				Param:      tr.Param,
+				Backend:    tr.Backend,
+				Epsilon:    tr.Epsilon,
+				Cached:     tr.Cached,
+				DurationUs: float64(time.Since(begin).Nanoseconds()) / 1e3,
+				Stages:     tr.Stages(),
+			}
+			if err != nil {
+				entry.Error = err.Error()
+			}
+			s.slowlog.Observe(entry)
+		}
 	}
 }
 
@@ -470,6 +597,18 @@ func (q queryKind) tag() string {
 	}
 }
 
+// name returns the operation name used in metric labels and the slow log.
+func (q queryKind) name() string {
+	switch q {
+	case qTopK:
+		return "topk"
+	case qCount:
+		return "count"
+	default:
+		return "search"
+	}
+}
+
 // execQuery is the single query-execution path behind /v1/query, /v1/topk,
 // /v1/count and every /v1/batch op. It consults the collection backend's
 // capabilities before dispatch (top-k on a backend without top-k support is
@@ -477,7 +616,7 @@ func (q queryKind) tag() string {
 // result cache (whose key folds in the backend spec), fans out, and
 // assembles the response — including the approx/epsilon annotation for
 // ε-approximate collections. tau is ignored for qTopK; k for the others.
-func (s *Server) execQuery(kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
+func (s *Server) execQuery(tr *obs.Trace, kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
 	spec := col.Spec()
 	caps := spec.Capabilities()
 	if kind == qTopK && !caps.TopK {
@@ -493,37 +632,53 @@ func (s *Server) execQuery(kind queryKind, col Collection, collName string, p []
 		return nil, err
 	}
 	if !caps.Exact {
-		s.stats.approxQueries.Add(1)
+		s.stats.approxQueries.Inc()
 	}
 	param := strconv.FormatFloat(tau, 'g', -1, 64)
 	if kind == qTopK {
 		param = strconv.Itoa(k)
 	}
+	if tr != nil {
+		tr.Op = kind.name()
+		tr.Collection = collName
+		tr.Pattern = string(p)
+		tr.Param = param
+		tr.Backend = spec.Kind
+		tr.Epsilon = spec.Epsilon
+	}
+	begin := time.Now()
+	defer func() {
+		s.stats.query(collName, kind.name(), spec.Kind, spec.Epsilon).
+			ObserveDuration(time.Since(begin))
+	}()
 	key := cacheKey(kind.tag(), col, string(p), param)
-	if hits, n, ok := s.lookup(key); ok {
+	stop := tr.StartStage("cache_lookup")
+	hits, n, ok := s.lookup(key)
+	stop()
+	if ok {
 		if !caps.Exact {
-			s.stats.approxCacheHits.Add(1)
+			s.stats.approxCacheHits.Inc()
+		}
+		if tr != nil {
+			tr.Cached = true
 		}
 		return assembleResponse(kind, collName, caps, p, tau, k, hits, n, true), nil
 	}
-	var (
-		hits []Hit
-		n    int
-	)
+	hits, n = nil, 0
 	switch kind {
 	case qTopK:
-		dh, err := col.TopK(p, k)
+		dh, err := col.TopKTraced(tr, p, k)
 		if err != nil {
 			return nil, err
 		}
 		hits, n = toHits(dh), len(dh)
 	case qCount:
 		var err error
-		if n, err = col.Count(p, tau); err != nil {
+		if n, err = col.CountTraced(tr, p, tau); err != nil {
 			return nil, err
 		}
 	default:
-		dh, err := col.Search(p, tau)
+		dh, err := col.SearchTraced(tr, p, tau)
 		if err != nil {
 			return nil, err
 		}
@@ -549,7 +704,7 @@ func assembleResponse(kind queryKind, collName string, caps core.Capabilities, p
 	return resp
 }
 
-func (s *Server) handleQuery(r *http.Request) (any, error) {
+func (s *Server) handleQuery(r *http.Request, tr *obs.Trace) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -563,10 +718,10 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(qSearch, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tr, qSearch, col, q.Get("collection"), p, tau, 0)
 }
 
-func (s *Server) handleTopK(r *http.Request) (any, error) {
+func (s *Server) handleTopK(r *http.Request, tr *obs.Trace) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -580,10 +735,10 @@ func (s *Server) handleTopK(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(qTopK, col, q.Get("collection"), p, 0, k)
+	return s.execQuery(tr, qTopK, col, q.Get("collection"), p, 0, k)
 }
 
-func (s *Server) handleCount(r *http.Request) (any, error) {
+func (s *Server) handleCount(r *http.Request, tr *obs.Trace) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -597,7 +752,7 @@ func (s *Server) handleCount(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(qCount, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tr, qCount, col, q.Get("collection"), p, tau, 0)
 }
 
 // BatchQuery is one entry of a batch request. Op selects the operation:
@@ -633,7 +788,7 @@ type BatchResponse struct {
 	Results    []BatchResult `json:"results"`
 }
 
-func (s *Server) handleBatch(r *http.Request) (any, error) {
+func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, error) {
 	var req BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -661,17 +816,20 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 			// Every op funnels through the same execQuery path the single
 			// endpoints use, so capability checks, cache keys and the
 			// approx/epsilon annotations are identical batch or not.
+			// The batch's single trace accumulates every op's stages; the
+			// identity fields end up describing the last op, so the slow
+			// log's Op/Pattern are cleared below for multi-query batches.
 			switch q.Op {
 			case "", "search":
-				result, qerr = s.execQuery(qSearch, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tr, qSearch, col, req.Collection, p, q.Tau, 0)
 			case "topk":
 				if q.K <= 0 || q.K > s.cfg.MaxK {
 					qerr = badRequest("bad k %d", q.K)
 				} else {
-					result, qerr = s.execQuery(qTopK, col, req.Collection, p, 0, q.K)
+					result, qerr = s.execQuery(tr, qTopK, col, req.Collection, p, 0, q.K)
 				}
 			case "count":
-				result, qerr = s.execQuery(qCount, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tr, qCount, col, req.Collection, p, q.Tau, 0)
 			default:
 				qerr = badRequest("unknown op %q", q.Op)
 			}
@@ -685,6 +843,11 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 			continue
 		}
 		resp.Results[i] = BatchResult{Result: result}
+	}
+	if tr != nil && len(req.Queries) > 1 {
+		// The per-query fields describe only the last op; blank them so a
+		// slow batch's log entry does not misattribute the whole duration.
+		tr.Op, tr.Pattern, tr.Param, tr.Cached = "", "", "", false
 	}
 	return resp, nil
 }
@@ -775,11 +938,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		mem.Collections = append(mem.Collections, cm)
 	}
 	approxQ, approxHits := s.stats.approxCounts()
+	version, goVersion, backends := buildInfo()
 	out := map[string]any{
-		"role":        string(s.role),
+		"role": string(s.role),
+		"build": map[string]any{
+			"version":  version,
+			"go":       goVersion,
+			"backends": strings.Split(backends, ","),
+		},
 		"collections": colls,
 		"memory":      mem,
-		"endpoints":   s.stats.snapshot(),
+		// Per-endpoint counters. "requests" counts everything that reached
+		// the endpoint; "rejected" the subset refused before execution
+		// (wrong method, shed load); "observed" the subset that executed —
+		// avg/max latency are over "observed" only, so shed load never
+		// skews them.
+		"endpoints": s.stats.snapshot(),
 		"inflight": map[string]any{
 			"limit":   s.cfg.MaxInFlight,
 			"current": len(s.sem),
@@ -836,10 +1010,10 @@ func (s *Server) lookup(key string) ([]Hit, int, bool) {
 	}
 	v, ok := s.cache.Get(key)
 	if !ok {
-		s.stats.cacheMisses.Add(1)
+		s.stats.cacheMisses.Inc()
 		return nil, 0, false
 	}
-	s.stats.cacheHits.Add(1)
+	s.stats.cacheHits.Inc()
 	return v.hits, v.count, true
 }
 

@@ -1,27 +1,33 @@
 package server
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// endpointStats tracks one endpoint's counters with atomics; readers take a
-// consistent-enough snapshot without locking the request path.
+// endpointStats is one endpoint's handle bundle into the metrics registry:
+// the counters and the latency histogram are registry children (so /metrics
+// and /v1/stats read the same numbers), plus an atomic max the exposition
+// format has no series for.
 type endpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	observed atomic.Int64
-	totalNs  atomic.Int64
+	requests *obs.Counter
+	errors   *obs.Counter
+	rejected *obs.Counter
+	latency  *obs.Histogram
 	maxNs    atomic.Int64
 }
 
-// observe records one executed request's latency (requests rejected before
-// execution — wrong method, shed load — are not observed).
+// observe records one executed request's latency. Requests rejected before
+// execution — wrong method, shed load — are counted in requests and
+// rejected but never observed, so the latency figures describe served load
+// only (see EndpointSnapshot).
 func (e *endpointStats) observe(d time.Duration) {
+	e.latency.ObserveDuration(d)
 	ns := d.Nanoseconds()
-	e.observed.Add(1)
-	e.totalNs.Add(ns)
 	for {
 		cur := e.maxNs.Load()
 		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
@@ -30,31 +36,76 @@ func (e *endpointStats) observe(d time.Duration) {
 	}
 }
 
+// reject counts one request refused before execution.
+func (e *endpointStats) reject() {
+	e.rejected.Inc()
+	e.errors.Inc()
+}
+
 // EndpointSnapshot is the JSON shape of one endpoint's counters.
+//
+// Requests counts every request that reached the endpoint; Rejected the
+// subset refused before execution (wrong method, shed load under the
+// in-flight limit) and Observed the subset that actually executed.
+// AvgLatencyUs and MaxLatencyUs are over Observed only — rejections are
+// near-instant and would drag the average into meaninglessness, so shed
+// load must be read from Rejected, not inferred from latency.
 type EndpointSnapshot struct {
 	Requests     int64   `json:"requests"`
 	Errors       int64   `json:"errors"`
+	Rejected     int64   `json:"rejected"`
+	Observed     int64   `json:"observed"`
 	AvgLatencyUs float64 `json:"avg_latency_us"`
 	MaxLatencyUs float64 `json:"max_latency_us"`
 }
 
-// stats aggregates the server counters.
+// stats aggregates the server counters on top of the metrics registry:
+// every counter and histogram here is a registry child, so /v1/stats is a
+// JSON view over the same state /metrics exposes.
 type stats struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	requestsVec *obs.CounterVec
+	errorsVec   *obs.CounterVec
+	rejectedVec *obs.CounterVec
+	latencyVec  *obs.HistogramVec
+
+	// queryVec is the per-collection query latency histogram, labeled by
+	// operation and the serving backend (kind and ε).
+	queryVec *obs.HistogramVec
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 
 	// approxQueries counts queries answered by ε-approximate collections
 	// (cache hits included); approxCacheHits counts how many of those were
 	// served from the result cache.
-	approxQueries   atomic.Int64
-	approxCacheHits atomic.Int64
+	approxQueries   *obs.Counter
+	approxCacheHits *obs.Counter
 }
 
-func newStats() *stats {
-	return &stats{endpoints: make(map[string]*endpointStats)}
+func newStats(r *obs.Registry) *stats {
+	return &stats{
+		endpoints: make(map[string]*endpointStats),
+		requestsVec: r.CounterVec("ustridx_requests_total",
+			"Requests received, by endpoint (rejections included).", "endpoint"),
+		errorsVec: r.CounterVec("ustridx_request_errors_total",
+			"Requests answered with an error status, by endpoint.", "endpoint"),
+		rejectedVec: r.CounterVec("ustridx_requests_rejected_total",
+			"Requests refused before execution (wrong method, shed load), by endpoint.", "endpoint"),
+		latencyVec: r.HistogramVec("ustridx_request_duration_seconds",
+			"Executed request latency, by endpoint (rejections excluded).", nil, "endpoint"),
+		queryVec: r.HistogramVec("ustridx_query_duration_seconds",
+			"Query execution latency, by collection, operation and serving backend.",
+			nil, "collection", "op", "backend", "epsilon"),
+		cacheHits:   r.Counter("ustridx_cache_hits_total", "Result cache hits."),
+		cacheMisses: r.Counter("ustridx_cache_misses_total", "Result cache misses."),
+		approxQueries: r.Counter("ustridx_approx_queries_total",
+			"Queries answered by ε-approximate collections (cache hits included)."),
+		approxCacheHits: r.Counter("ustridx_approx_cache_hits_total",
+			"Approximate-collection queries served from the result cache."),
+	}
 }
 
 // endpoint returns (creating on first use) the named endpoint's counters.
@@ -63,10 +114,22 @@ func (s *stats) endpoint(name string) *endpointStats {
 	defer s.mu.Unlock()
 	ep, ok := s.endpoints[name]
 	if !ok {
-		ep = &endpointStats{}
+		ep = &endpointStats{
+			requests: s.requestsVec.With(name),
+			errors:   s.errorsVec.With(name),
+			rejected: s.rejectedVec.With(name),
+			latency:  s.latencyVec.With(name),
+		}
 		s.endpoints[name] = ep
 	}
 	return ep
+}
+
+// query returns the per-collection latency histogram for one (collection,
+// op, backend spec) combination.
+func (s *stats) query(collection, op, backend string, epsilon float64) *obs.Histogram {
+	return s.queryVec.With(collection, op, backend,
+		strconv.FormatFloat(epsilon, 'g', -1, 64))
 }
 
 // snapshot exports every endpoint's counters.
@@ -75,14 +138,15 @@ func (s *stats) snapshot() map[string]EndpointSnapshot {
 	defer s.mu.Unlock()
 	out := make(map[string]EndpointSnapshot, len(s.endpoints))
 	for name, ep := range s.endpoints {
-		req := ep.requests.Load()
 		snap := EndpointSnapshot{
-			Requests:     req,
-			Errors:       ep.errors.Load(),
+			Requests:     ep.requests.Value(),
+			Errors:       ep.errors.Value(),
+			Rejected:     ep.rejected.Value(),
+			Observed:     ep.latency.Count(),
 			MaxLatencyUs: float64(ep.maxNs.Load()) / 1e3,
 		}
-		if observed := ep.observed.Load(); observed > 0 {
-			snap.AvgLatencyUs = float64(ep.totalNs.Load()) / 1e3 / float64(observed)
+		if snap.Observed > 0 {
+			snap.AvgLatencyUs = ep.latency.Sum() * 1e6 / float64(snap.Observed)
 		}
 		out[name] = snap
 	}
@@ -91,10 +155,10 @@ func (s *stats) snapshot() map[string]EndpointSnapshot {
 
 // cacheCounts returns the cache hit/miss counters.
 func (s *stats) cacheCounts() (hits, misses int64) {
-	return s.cacheHits.Load(), s.cacheMisses.Load()
+	return s.cacheHits.Value(), s.cacheMisses.Value()
 }
 
 // approxCounts returns the approximate-collection query counters.
 func (s *stats) approxCounts() (queries, cacheHits int64) {
-	return s.approxQueries.Load(), s.approxCacheHits.Load()
+	return s.approxQueries.Value(), s.approxCacheHits.Value()
 }

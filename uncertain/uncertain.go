@@ -75,6 +75,7 @@ package uncertain
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/approx"
 	"repro/internal/baseline"
@@ -83,6 +84,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/ingest"
 	"repro/internal/listing"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/special"
 	"repro/internal/ustring"
@@ -363,4 +365,47 @@ type CollectionLag = replica.CollectionLag
 // start tailing the primary.
 func NewFollower(opts FollowerOptions) (*Follower, error) {
 	return replica.NewFollower(opts)
+}
+
+// Observability: the obs re-exports let library embedders share one metrics
+// registry across the layers they compose (catalog, ingest store, follower)
+// and read it back in the Prometheus text exposition, exactly as the
+// ustridxd daemon does. Pass a *MetricsRegistry through IngestOptions.Metrics
+// and FollowerOptions.Metrics, or into a server Config.
+
+// MetricsRegistry collects counters, gauges and histograms from every layer
+// holding it and renders them in the Prometheus text format (0.0.4).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry {
+	return obs.NewRegistry()
+}
+
+// Trace records one request's per-stage timings as it descends the query
+// path; pass it to the *Traced query variants. A nil *Trace is valid and
+// records nothing.
+type Trace = obs.Trace
+
+// TraceStage is one timed step of a Trace.
+type TraceStage = obs.Stage
+
+// SlowLog is a fixed-capacity ring buffer of the slowest recent requests,
+// each retained with its stage breakdown.
+type SlowLog = obs.SlowLog
+
+// SlowEntry is one retained slow request.
+type SlowEntry = obs.SlowEntry
+
+// NewSlowLog builds a slow-query log keeping the most recent capacity
+// requests at or above threshold; a non-positive threshold disables it
+// (nil is returned, and a nil log records nothing).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	return obs.NewSlowLog(threshold, capacity)
+}
+
+// LintMetrics validates a Prometheus text exposition (as written by
+// MetricsRegistry.WritePrometheus), reporting the first malformation.
+func LintMetrics(data []byte) error {
+	return obs.Lint(data)
 }

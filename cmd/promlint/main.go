@@ -1,9 +1,10 @@
 // Command promlint validates a Prometheus text exposition (format 0.0.4)
 // against the checks internal/obs enforces on its own output: exactly one
-// HELP and TYPE line per family, TYPE before the first sample, no duplicate
-// series, cumulative histogram buckets whose +Inf bucket equals _count, and
-// a _sum next to every histogram. It reads the exposition from stdin, or
-// from the file named by its single argument:
+// HELP and TYPE line per family with the metadata before the family's
+// samples, counter families named with the conventional _total suffix, no
+// duplicate series, cumulative histogram buckets whose +Inf bucket equals
+// _count, and a _sum next to every histogram. It reads the exposition from
+// stdin, or from the file named by its single argument:
 //
 //	curl -s http://localhost:7331/metrics | promlint
 //	promlint scrape.prom

@@ -31,9 +31,12 @@ func TestLintsCleanExposition(t *testing.T) {
 
 func TestRejectsBrokenExposition(t *testing.T) {
 	for name, body := range map[string]string{
-		"duplicate series":   "# HELP a_total A.\n# TYPE a_total counter\na_total 1\na_total 2\n",
-		"sample before TYPE": "a_total 1\n# TYPE a_total counter\n",
-		"empty":              "",
+		"duplicate series":       "# HELP a_total A.\n# TYPE a_total counter\na_total 1\na_total 2\n",
+		"sample before TYPE":     "a_total 1\n# TYPE a_total counter\n",
+		"counter without _total": "# HELP a A.\n# TYPE a counter\na 1\n",
+		"duplicate HELP":         "# HELP a_total A.\n# HELP a_total A again.\n# TYPE a_total counter\na_total 1\n",
+		"HELP after samples":     "# TYPE a_total counter\na_total 1\n# HELP a_total A.\n",
+		"empty":                  "",
 	} {
 		if err := run([]string{write(t, body)}); err == nil {
 			t.Errorf("%s accepted", name)

@@ -11,6 +11,7 @@
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
 //	         [-slow-query-ms 0] [-debug-addr ""]
+//	         [-log-level info] [-access-log PATH]
 //	ustridxd -follow URL [-addr :7332] [-taumin 0.1] [-follow-poll 250ms]
 //	ustridxd -version
 //
@@ -55,6 +56,12 @@
 // Monitoring section), /v1/debug/slowlog, /healthz — see internal/server for
 // the wire format.
 //
+// The daemon logs structured JSON lines (one object per line with ts,
+// level, msg and event fields) to stderr; -log-level sets the minimum
+// severity (debug, info, warn or error). -access-log writes one line per
+// served HTTP request — keyed by the end-to-end X-Request-Id the server
+// generates or propagates — to the given path ("-" means stderr).
+//
 // -slow-query-ms enables the slow-query log: requests at or above the
 // threshold are retained in a ring buffer with a per-stage timing breakdown,
 // readable at GET /v1/debug/slowlog. -debug-addr starts a second listener
@@ -69,7 +76,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -80,6 +86,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/replica"
 	"repro/internal/server"
 
@@ -118,6 +125,8 @@ func run(args []string) error {
 	slowQueryMs := fs.Float64("slow-query-ms", 0, "retain requests at or above this many milliseconds in the slow-query log at /v1/debug/slowlog (0 disables)")
 	slowLogEntries := fs.Int("slowlog-entries", 0, "slow-query log ring capacity (0 = library default)")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it private)")
+	logLevel := fs.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+	accessLog := fs.String("access-log", "", "write one structured JSON line per served HTTP request (keyed by X-Request-Id) to this path (\"-\" = stderr; empty disables)")
 	version := fs.Bool("version", false, "print version, Go toolchain and compiled-in backends, then exit")
 	fs.Parse(args)
 
@@ -126,6 +135,12 @@ func run(args []string) error {
 			obs.Version, obs.GoVersion(), strings.Join(core.BackendKinds(), ","))
 		return nil
 	}
+
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lg := olog.New(os.Stderr, level)
 
 	backendName, err := core.ParseBackend(*backend)
 	if err != nil {
@@ -153,19 +168,26 @@ func run(args []string) error {
 		SlowQueryThreshold: time.Duration(*slowQueryMs * float64(time.Millisecond)),
 		SlowLogEntries:     *slowLogEntries,
 	}
+	if *accessLog != "" {
+		w, err := openAccessLog(*accessLog)
+		if err != nil {
+			return err
+		}
+		cfgBase.AccessLog = olog.New(w, olog.Info)
+	}
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr)
+		go serveDebug(lg, *debugAddr)
 	}
 	if *follow != "" {
 		if *data != "" || *wal != "" {
 			return errors.New("-follow runs a replica with no local data: drop -data and -wal")
 		}
-		return runReplica(*follow, *addr, opts, *compactThreshold, *followPoll, cfgBase)
+		return runReplica(lg, *follow, *addr, opts, *compactThreshold, *followPoll, cfgBase)
 	}
 	if *data == "" {
 		return errors.New("-data is required")
 	}
-	cat, err := loadCatalog(*data, *indexCache, opts, log.Printf)
+	cat, err := loadCatalog(*data, *indexCache, opts, lg.Printf)
 	if err != nil {
 		return err
 	}
@@ -174,8 +196,10 @@ func run(args []string) error {
 		if info.Backend == core.BackendApprox {
 			backendDesc = fmt.Sprintf("%s ε=%g", info.Backend, info.Epsilon)
 		}
-		log.Printf("collection %q: %d documents, %d positions, %d shards, taumin %g, %s backend (%d index bytes)",
-			info.Name, info.Docs, info.Positions, info.Shards, info.TauMin, backendDesc, info.IndexBytes)
+		lg.Info("collection loaded",
+			"collection", info.Name, "docs", info.Docs, "positions", info.Positions,
+			"shards", info.Shards, "taumin", info.TauMin, "backend", backendDesc,
+			"index_bytes", info.IndexBytes)
 	}
 
 	cfg := cfgBase
@@ -187,13 +211,13 @@ func run(args []string) error {
 			Catalog:          opts,
 			CompactThreshold: *compactThreshold,
 			NoSync:           *walNoSync,
-			Logf:             log.Printf,
+			Logf:             lg.Printf,
 			Metrics:          metrics,
 		})
 		if err != nil {
 			return err
 		}
-		log.Printf("mutable serving enabled: wal dir %s, compact threshold %d", *wal, *compactThreshold)
+		lg.Info("mutable serving enabled", "wal_dir", *wal, "compact_threshold", *compactThreshold)
 		handler = server.NewIngest(store, cfg)
 	} else {
 		handler = server.New(cat, cfg)
@@ -201,14 +225,14 @@ func run(args []string) error {
 
 	// The cleanup flushes and closes the WALs once no more mutations can
 	// arrive — after the HTTP server has stopped.
-	return serve(*addr, handler, func() error {
+	return serve(lg, *addr, handler, func() error {
 		if store == nil {
 			return nil
 		}
 		if err := store.Close(); err != nil {
 			return fmt.Errorf("closing ingest store: %w", err)
 		}
-		log.Printf("ingest store flushed and closed")
+		lg.Info("ingest store flushed and closed")
 		return nil
 	})
 }
@@ -218,7 +242,7 @@ func run(args []string) error {
 // directory), a follower tailing the primary's WAL feed into it, and the
 // read-only HTTP front end. Shutdown stops the HTTP server first, then the
 // tailers, then the store.
-func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold int, poll time.Duration, cfg server.Config) error {
+func runReplica(lg *olog.Logger, primaryURL, addr string, opts catalog.Options, compactThreshold int, poll time.Duration, cfg server.Config) error {
 	scratch, err := os.MkdirTemp("", "ustridxd-replica-")
 	if err != nil {
 		return err
@@ -231,7 +255,7 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		Catalog:          opts,
 		CompactThreshold: compactThreshold,
 		NoSync:           true,
-		Logf:             log.Printf,
+		Logf:             lg.Printf,
 		Metrics:          cfg.Metrics,
 	})
 	if err != nil {
@@ -241,7 +265,7 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		Primary:      primaryURL,
 		Store:        store,
 		PollInterval: poll,
-		Logf:         log.Printf,
+		Log:          lg,
 		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
@@ -254,11 +278,11 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 		defer close(tailersDone)
 		flw.Run(ctx)
 	}()
-	log.Printf("replica mode: following %s (poll %v)", primaryURL, poll)
-	return serve(addr, server.NewReplica(flw, cfg), func() error {
+	lg.Info("replica mode", "primary", primaryURL, "poll", poll)
+	return serve(lg, addr, server.NewReplica(flw, cfg), func() error {
 		cancel()
 		<-tailersDone
-		log.Printf("replication tailers stopped")
+		lg.Info("replication tailers stopped")
 		return store.Close()
 	})
 }
@@ -266,7 +290,7 @@ func runReplica(primaryURL, addr string, opts catalog.Options, compactThreshold 
 // serveDebug exposes net/http/pprof on its own listener, so profiling never
 // rides the serving port (the default mux would also leak the profiler to
 // anyone who can reach the query API).
-func serveDebug(addr string) {
+func serveDebug(lg *olog.Logger, addr string) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -274,15 +298,29 @@ func serveDebug(addr string) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	log.Printf("debug/pprof listening on %s", addr)
+	lg.Info("debug/pprof listening", "addr", addr)
 	if err := srv.ListenAndServe(); err != nil {
-		log.Printf("debug listener: %v", err)
+		lg.Error("debug listener failed", "error", err)
 	}
 }
 
 // serve runs the HTTP server until it fails or a termination signal
 // arrives, then shuts it down gracefully and runs cleanup.
-func serve(addr string, handler http.Handler, cleanup func() error) error {
+// openAccessLog resolves the -access-log destination: "-" means stderr,
+// anything else is opened (created) for appending, so restarts extend the
+// log instead of truncating it.
+func openAccessLog(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stderr, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening access log: %w", err)
+	}
+	return f, nil
+}
+
+func serve(lg *olog.Logger, addr string, handler http.Handler, cleanup func() error) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -290,7 +328,7 @@ func serve(addr string, handler http.Handler, cleanup func() error) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		lg.Info("listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	sig := make(chan os.Signal, 1)
@@ -298,11 +336,11 @@ func serve(addr string, handler http.Handler, cleanup func() error) error {
 	select {
 	case err := <-errc:
 		if cerr := cleanup(); cerr != nil {
-			log.Printf("%v", cerr)
+			lg.Error("cleanup failed", "error", cerr)
 		}
 		return err
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
+		lg.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(ctx)

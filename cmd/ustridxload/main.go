@@ -1,0 +1,741 @@
+// Command ustridxload drives a running ustridxd with adversarial query
+// mixes and reports latency quantiles per pipeline stage, using the
+// server's own observability output rather than guessing from the outside:
+// every query carries X-Debug-Obs: 1, and the harness reads the per-stage
+// timings back from the Server-Timing response header and the resource
+// counters from X-Query-Cost. Client-measured total latency rides along so
+// the server-side stages can be compared against what callers experience.
+//
+// Mixes stress the dimensions that move uncertain-string query cost:
+// pattern-length bands (short patterns fan out to many candidates, long
+// ones stress the suffix structures), τ spread (low thresholds keep
+// candidates alive longer), hot-key skew (exercises the result cache), and
+// put/delete interleave (exercises snapshot swaps and cache invalidation
+// under load).
+//
+//	ustridxload -addr http://localhost:7331 -collection load -seed-docs 48
+//	ustridxload -mix hotkey,churn -requests 500 -slo-p95-ms 5 -out report.json
+//
+// The harness seeds its own collection (deterministic documents from the
+// generator, PUT through the API — the daemon must run with -wal) unless
+// -no-seed is given, in which case the target collection must already hold
+// documents seeded with the same -seed/-seed-docs so the sampled patterns
+// match. SLO bars (-slo-p95-ms, -slo-p99-ms, -slo-error-rate) are checked
+// per mix against client-side totals; any violation makes the process exit
+// non-zero after the report is written, which is what makes the harness
+// usable as a pre-deploy canary gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/ustring"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ustridxload:", err)
+		os.Exit(1)
+	}
+}
+
+// mixSpec is one adversarial workload shape. Every counter-style field is
+// "every Nth request"; zero disables that op for the mix.
+type mixSpec struct {
+	Name string
+	Desc string
+	// Pattern lengths are drawn uniformly from [MinLen, MaxLen].
+	MinLen, MaxLen int
+	// τ is drawn uniformly from [TauLo, TauHi].
+	TauLo, TauHi float64
+	// TopKEvery / CountEvery divert every Nth request to /v1/topk (k drawn
+	// from [1,10]) or /v1/count.
+	TopKEvery, CountEvery int
+	// HotFrac is the probability a request reuses one of the first HotSet
+	// patterns of the pool instead of a uniform draw.
+	HotFrac float64
+	HotSet  int
+	// PutEvery / DeleteEvery divert every Nth request to a document PUT or
+	// DELETE over a small rotating id space ("churn-0" … "churn-7").
+	PutEvery, DeleteEvery int
+}
+
+// mixCatalog is the built-in workload set; -mix selects by name.
+var mixCatalog = []mixSpec{
+	{Name: "short", Desc: "short patterns (2-4 chars), tight low-tau band",
+		MinLen: 2, MaxLen: 4, TauLo: 0.12, TauHi: 0.25, CountEvery: 4},
+	{Name: "long", Desc: "long patterns (10-24 chars), wide tau spread, top-k interleave",
+		MinLen: 10, MaxLen: 24, TauLo: 0.1, TauHi: 0.7, TopKEvery: 3},
+	{Name: "mixed", Desc: "full pattern-length and tau spread with topk/count interleave",
+		MinLen: 3, MaxLen: 16, TauLo: 0.1, TauHi: 0.9, TopKEvery: 5, CountEvery: 7},
+	{Name: "hotkey", Desc: "90% of requests hit 4 hot patterns (cache-friendly skew)",
+		MinLen: 3, MaxLen: 8, TauLo: 0.15, TauHi: 0.3, HotFrac: 0.9, HotSet: 4},
+	{Name: "churn", Desc: "query stream with put/delete interleave over a rotating id space",
+		MinLen: 3, MaxLen: 8, TauLo: 0.15, TauHi: 0.3, PutEvery: 7, DeleteEvery: 13},
+}
+
+// churnSlots is the size of the rotating document id space the churn mix
+// mutates ("churn-0" … "churn-<n-1>").
+const churnSlots = 8
+
+// options holds the parsed command line.
+type options struct {
+	addr        string
+	collection  string
+	mixes       string
+	requests    int
+	concurrency int
+	seed        int64
+	seedDocs    int
+	noSeed      bool
+	backend     string
+	epsilon     float64
+	timeout     time.Duration
+	out         string
+	sloP95Ms    float64
+	sloP99Ms    float64
+	sloErrRate  float64
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("ustridxload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "http://localhost:7331", "base URL of the daemon")
+	fs.StringVar(&o.collection, "collection", "load", "collection to drive")
+	fs.StringVar(&o.mixes, "mix", "all", "comma-separated mix names, or all")
+	fs.IntVar(&o.requests, "requests", 200, "requests per mix")
+	fs.IntVar(&o.concurrency, "concurrency", 8, "concurrent workers")
+	fs.Int64Var(&o.seed, "seed", 1, "deterministic seed for documents and patterns")
+	fs.IntVar(&o.seedDocs, "seed-docs", 32, "documents to seed the collection with")
+	fs.BoolVar(&o.noSeed, "no-seed", false, "skip seeding; the collection must already hold the same generated documents")
+	fs.StringVar(&o.backend, "backend", "", "index backend for the seeded collection (plain, compressed, approx)")
+	fs.Float64Var(&o.epsilon, "epsilon", 0, "error bound for backend=approx seeding")
+	fs.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
+	fs.StringVar(&o.out, "out", "", "write the JSON report to this file")
+	fs.Float64Var(&o.sloP95Ms, "slo-p95-ms", 0, "per-mix p95 total-latency bar in ms (0 disables)")
+	fs.Float64Var(&o.sloP99Ms, "slo-p99-ms", 0, "per-mix p99 total-latency bar in ms (0 disables)")
+	fs.Float64Var(&o.sloErrRate, "slo-error-rate", 0, "per-mix error-rate bar in [0,1] (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if o.requests <= 0 || o.concurrency <= 0 || o.seedDocs <= 0 {
+		return o, fmt.Errorf("-requests, -concurrency and -seed-docs must be positive")
+	}
+	return o, nil
+}
+
+// selectMixes resolves the -mix flag against the catalog.
+func selectMixes(spec string) ([]mixSpec, error) {
+	if spec == "" || spec == "all" {
+		return mixCatalog, nil
+	}
+	byName := make(map[string]mixSpec, len(mixCatalog))
+	for _, m := range mixCatalog {
+		byName[m.Name] = m
+	}
+	var out []mixSpec
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		m, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown mix %q (have: %s)", name, mixNames())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func mixNames() string {
+	names := make([]string, len(mixCatalog))
+	for i, m := range mixCatalog {
+		names[i] = m.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Quantiles summarises one latency sample set in milliseconds.
+type Quantiles struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50_ms"`
+	P95     float64 `json:"p95_ms"`
+	P99     float64 `json:"p99_ms"`
+	Max     float64 `json:"max_ms"`
+}
+
+// quantiles computes the standard summary over ms samples. Empty in, zero
+// out.
+func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{
+		Samples: len(s),
+		P50:     round3(at(0.50)),
+		P95:     round3(at(0.95)),
+		P99:     round3(at(0.99)),
+		Max:     round3(s[len(s)-1]),
+	}
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// CostMeans is the per-query mean of the server-reported cost counters
+// across a mix's executed queries (from X-Query-Cost).
+type CostMeans struct {
+	Samples          int64   `json:"samples"`
+	ShardsTouched    float64 `json:"shards_touched"`
+	Candidates       float64 `json:"candidates"`
+	SuffixSteps      float64 `json:"suffix_steps"`
+	IndexBytes       float64 `json:"index_bytes"`
+	MergeComparisons float64 `json:"merge_comparisons"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+}
+
+// MixReport is one mix's results: request outcomes, client-side total
+// latency, per-stage server-side latency, and mean query cost.
+type MixReport struct {
+	Mix         string               `json:"mix"`
+	Description string               `json:"description"`
+	Requests    int                  `json:"requests"`
+	Queries     int                  `json:"queries"`
+	Mutations   int                  `json:"mutations"`
+	Errors      int                  `json:"errors"`
+	Unsupported int                  `json:"unsupported"`
+	TotalMs     Quantiles            `json:"total"`
+	Stages      map[string]Quantiles `json:"stages"`
+	MutateMs    *Quantiles           `json:"mutate,omitempty"`
+	Cost        CostMeans            `json:"cost"`
+}
+
+// SLOReport records the configured bars and every violation found.
+type SLOReport struct {
+	P95Ms      float64  `json:"p95_ms,omitempty"`
+	P99Ms      float64  `json:"p99_ms,omitempty"`
+	ErrorRate  float64  `json:"error_rate,omitempty"`
+	Violations []string `json:"violations"`
+	Pass       bool     `json:"pass"`
+}
+
+// Report is the full harness output, one entry per mix.
+type Report struct {
+	Tool        string      `json:"tool"`
+	Addr        string      `json:"addr"`
+	Collection  string      `json:"collection"`
+	Backend     string      `json:"backend,omitempty"`
+	Epsilon     float64     `json:"epsilon,omitempty"`
+	Seed        int64       `json:"seed"`
+	SeedDocs    int         `json:"seed_docs"`
+	Requests    int         `json:"requests_per_mix"`
+	Concurrency int         `json:"concurrency"`
+	Mixes       []MixReport `json:"mixes"`
+	SLO         *SLOReport  `json:"slo,omitempty"`
+}
+
+// harness owns one run: the HTTP client, the deterministic document set and
+// the per-mix pattern pools.
+type harness struct {
+	opts   options
+	hc     *http.Client
+	docs   []*ustring.String
+	pools  map[string][][]byte
+	ridSeq atomic.Int64
+	// backend/epsilon as reported by the server at seeding time.
+	backend string
+	epsilon float64
+}
+
+func newHarness(o options) *harness {
+	return &harness{
+		opts: o,
+		hc:   &http.Client{Timeout: o.timeout},
+	}
+}
+
+// genConfig is the deterministic document generator configuration shared by
+// seeding and pattern sampling: same -seed and -seed-docs, same documents.
+func (h *harness) genConfig() gen.Config {
+	// ~70 positions per document keeps seeding fast while leaving room for
+	// the long mix's 24-char patterns. No correlations: the approximate
+	// backend rejects correlated documents, and one document set must be
+	// valid for every backend the harness drives.
+	return gen.Config{
+		N:      h.opts.seedDocs * 70,
+		Theta:  0.3,
+		Seed:   h.opts.seed,
+		MinLen: 40,
+		MaxLen: 90,
+	}
+}
+
+// seed PUTs every generated document through the API, creating the
+// collection (and fixing its backend spec) on the first PUT.
+func (h *harness) seed() error {
+	for i, d := range h.docs {
+		var body bytes.Buffer
+		if err := ustring.Marshal(&body, d); err != nil {
+			return fmt.Errorf("encode document %d: %v", i, err)
+		}
+		target := fmt.Sprintf("%s/v1/collections/%s/documents/doc-%04d",
+			h.opts.addr, url.PathEscape(h.opts.collection), i)
+		if i == 0 && h.opts.backend != "" {
+			q := url.Values{"backend": {h.opts.backend}}
+			if h.opts.epsilon > 0 {
+				q.Set("epsilon", strconv.FormatFloat(h.opts.epsilon, 'g', -1, 64))
+			}
+			target += "?" + q.Encode()
+		}
+		req, err := http.NewRequest(http.MethodPut, target, &body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-Request-Id", h.nextRequestID("seed"))
+		resp, err := h.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("seed PUT: %v", err)
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("seed PUT doc-%04d: status %d: %s (a read-only daemon needs -wal; use -no-seed against a pre-seeded collection)",
+				i, resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		if i == 0 {
+			var pr struct {
+				Backend string  `json:"backend"`
+				Epsilon float64 `json:"epsilon"`
+			}
+			if json.Unmarshal(raw, &pr) == nil {
+				h.backend, h.epsilon = pr.Backend, pr.Epsilon
+			}
+		}
+	}
+	return nil
+}
+
+// buildPools samples each mix's pattern pool from the generated documents:
+// a spread of lengths across the mix's band, so a run exercises the whole
+// band rather than one length.
+func (h *harness) buildPools(mixes []mixSpec) error {
+	h.pools = make(map[string][][]byte)
+	for _, m := range mixes {
+		var pool [][]byte
+		for l := m.MinLen; l <= m.MaxLen; l++ {
+			perLen := 8
+			pool = append(pool, gen.CollectionPatterns(h.docs, perLen, l, h.opts.seed+int64(l))...)
+		}
+		if len(pool) == 0 {
+			return fmt.Errorf("mix %s: no patterns sampled (documents shorter than %d positions?)", m.Name, m.MinLen)
+		}
+		h.pools[m.Name] = pool
+	}
+	return nil
+}
+
+// nextRequestID mints the end-to-end id the harness stamps on every request
+// it sends, so server access-log lines and slow-log entries can be joined
+// back to a harness run and mix.
+func (h *harness) nextRequestID(mix string) string {
+	return fmt.Sprintf("load-%s/%d", mix, h.ridSeq.Add(1))
+}
+
+// opResult is one request's outcome as the workers record it.
+type opResult struct {
+	mutation    bool
+	ms          float64
+	stages      map[string]float64
+	cost        *obs.CostSnapshot
+	unsupported bool
+	err         error
+}
+
+// runMix fires opts.requests requests of one mix through a worker pool and
+// aggregates the outcomes.
+func (h *harness) runMix(m mixSpec) MixReport {
+	pool := h.pools[m.Name]
+	hot := m.HotSet
+	if hot <= 0 || hot > len(pool) {
+		hot = 1
+	}
+	var (
+		mu       sync.Mutex
+		total    []float64
+		mutate   []float64
+		stages   = make(map[string][]float64)
+		cost     obs.CostSnapshot
+		costN    int64
+		queries  int
+		mutns    int
+		errs     int
+		unsupp   int
+		firstErr error
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < h.opts.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(h.opts.seed ^ int64(w)*9973 ^ int64(len(m.Name))<<32))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= h.opts.requests {
+					return
+				}
+				res := h.doOne(m, i, rng, pool, hot)
+				mu.Lock()
+				switch {
+				case res.err != nil:
+					errs++
+					if firstErr == nil {
+						firstErr = res.err
+					}
+				case res.unsupported:
+					unsupp++
+				case res.mutation:
+					mutns++
+					mutate = append(mutate, res.ms)
+				default:
+					queries++
+					total = append(total, res.ms)
+					for name, ms := range res.stages {
+						stages[name] = append(stages[name], ms)
+					}
+					if res.cost != nil {
+						cost.ShardsTouched += res.cost.ShardsTouched
+						cost.Candidates += res.cost.Candidates
+						cost.SuffixSteps += res.cost.SuffixSteps
+						cost.IndexBytes += res.cost.IndexBytes
+						cost.MergeComparisons += res.cost.MergeComparisons
+						cost.CacheHits += res.cost.CacheHits
+						cost.CacheMisses += res.cost.CacheMisses
+						costN++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := MixReport{
+		Mix:         m.Name,
+		Description: m.Desc,
+		Requests:    h.opts.requests,
+		Queries:     queries,
+		Mutations:   mutns,
+		Errors:      errs,
+		Unsupported: unsupp,
+		TotalMs:     quantiles(total),
+		Stages:      make(map[string]Quantiles, len(stages)),
+	}
+	for name, samples := range stages {
+		rep.Stages[name] = quantiles(samples)
+	}
+	if len(mutate) > 0 {
+		q := quantiles(mutate)
+		rep.MutateMs = &q
+	}
+	if costN > 0 {
+		n := float64(costN)
+		rep.Cost = CostMeans{
+			Samples:          costN,
+			ShardsTouched:    round3(float64(cost.ShardsTouched) / n),
+			Candidates:       round3(float64(cost.Candidates) / n),
+			SuffixSteps:      round3(float64(cost.SuffixSteps) / n),
+			IndexBytes:       round3(float64(cost.IndexBytes) / n),
+			MergeComparisons: round3(float64(cost.MergeComparisons) / n),
+		}
+		if lookups := cost.CacheHits + cost.CacheMisses; lookups > 0 {
+			rep.Cost.CacheHitRate = round3(float64(cost.CacheHits) / float64(lookups))
+		}
+	}
+	if firstErr != nil {
+		rep.Description += fmt.Sprintf(" [first error: %v]", firstErr)
+	}
+	return rep
+}
+
+// doOne executes request i of a mix: a mutation when the interleave says
+// so, otherwise a query with mix-drawn pattern, τ and op.
+func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int) opResult {
+	if m.PutEvery > 0 && i%m.PutEvery == 0 {
+		return h.doPut(m, i)
+	}
+	if m.DeleteEvery > 0 && i%m.DeleteEvery == 0 {
+		return h.doDelete(m, i)
+	}
+	op := "search"
+	switch {
+	case m.TopKEvery > 0 && i%m.TopKEvery == 0:
+		op = "topk"
+	case m.CountEvery > 0 && i%m.CountEvery == 0:
+		op = "count"
+	}
+	p := pool[rng.Intn(len(pool))]
+	tau := m.TauLo + rng.Float64()*(m.TauHi-m.TauLo)
+	if m.HotFrac > 0 && rng.Float64() < m.HotFrac {
+		// Hot requests repeat both the pattern AND one of two τ values —
+		// the result-cache key folds in τ, so a continuous draw would make
+		// every "hot" request a unique key and the skew would never
+		// exercise the cache.
+		p = pool[rng.Intn(hot)]
+		tau = m.TauLo + (m.TauHi-m.TauLo)*float64(rng.Intn(2))
+	}
+
+	q := url.Values{"collection": {h.opts.collection}, "p": {string(p)}}
+	var path string
+	switch op {
+	case "topk":
+		path = "/v1/topk"
+		q.Set("k", strconv.Itoa(1+rng.Intn(10)))
+	case "count":
+		path = "/v1/count"
+		q.Set("tau", strconv.FormatFloat(tau, 'g', -1, 64))
+	default:
+		path = "/v1/query"
+		q.Set("tau", strconv.FormatFloat(tau, 'g', -1, 64))
+	}
+	req, err := http.NewRequest(http.MethodGet, h.opts.addr+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return opResult{err: err}
+	}
+	req.Header.Set("X-Debug-Obs", "1")
+	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	begin := time.Now()
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return opResult{err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := float64(time.Since(begin).Microseconds()) / 1e3
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusUnprocessableEntity:
+		// The backend cannot answer this op (top-k on approx); the mix
+		// keeps running and the report counts it, so a harness run against
+		// any backend is meaningful.
+		return opResult{unsupported: true, ms: elapsed}
+	default:
+		return opResult{err: fmt.Errorf("%s: status %d", path, resp.StatusCode)}
+	}
+	res := opResult{ms: elapsed, stages: parseServerTiming(resp.Header.Get("Server-Timing"))}
+	if raw := resp.Header.Get("X-Query-Cost"); raw != "" {
+		var snap obs.CostSnapshot
+		if json.Unmarshal([]byte(raw), &snap) == nil {
+			res.cost = &snap
+		}
+	}
+	return res
+}
+
+// doPut inserts or replaces one churn document (regenerated
+// deterministically per slot, so replicas of the same run are identical).
+func (h *harness) doPut(m mixSpec, i int) opResult {
+	slot := i % churnSlots
+	doc := gen.Single(gen.Config{N: 48, Theta: 0.3, Seed: h.opts.seed + 1000 + int64(slot)})
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, doc); err != nil {
+		return opResult{err: err}
+	}
+	target := fmt.Sprintf("%s/v1/collections/%s/documents/churn-%d",
+		h.opts.addr, url.PathEscape(h.opts.collection), slot)
+	req, err := http.NewRequest(http.MethodPut, target, &body)
+	if err != nil {
+		return opResult{err: err}
+	}
+	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	begin := time.Now()
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return opResult{err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return opResult{err: fmt.Errorf("churn PUT: status %d", resp.StatusCode)}
+	}
+	return opResult{mutation: true, ms: float64(time.Since(begin).Microseconds()) / 1e3}
+}
+
+// doDelete tombstones one churn slot; deleting an id that was never put is
+// a no-op on the server and still a valid latency sample.
+func (h *harness) doDelete(m mixSpec, i int) opResult {
+	slot := i % churnSlots
+	target := fmt.Sprintf("%s/v1/collections/%s/documents/churn-%d",
+		h.opts.addr, url.PathEscape(h.opts.collection), slot)
+	req, err := http.NewRequest(http.MethodDelete, target, nil)
+	if err != nil {
+		return opResult{err: err}
+	}
+	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	begin := time.Now()
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return opResult{err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// 404 means the slot has no live document right now (this delete raced
+	// another delete, or ran before the slot's first put) — for a load
+	// harness that is a valid outcome, not a failure.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return opResult{err: fmt.Errorf("churn DELETE: status %d", resp.StatusCode)}
+	}
+	return opResult{mutation: true, ms: float64(time.Since(begin).Microseconds()) / 1e3}
+}
+
+// parseServerTiming reads the server's "name;dur=1.234, name2;dur=..."
+// header into a stage→ms map. Unparseable entries are skipped.
+func parseServerTiming(v string) map[string]float64 {
+	if v == "" {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(v, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(part), ";")
+		if !ok {
+			continue
+		}
+		if d, ok := strings.CutPrefix(strings.TrimSpace(rest), "dur="); ok {
+			if f, err := strconv.ParseFloat(d, 64); err == nil {
+				out[name] = f
+			}
+		}
+	}
+	return out
+}
+
+// checkSLO evaluates the configured bars against every mix and returns nil
+// when none are set.
+func checkSLO(o options, mixes []MixReport) *SLOReport {
+	if o.sloP95Ms <= 0 && o.sloP99Ms <= 0 && o.sloErrRate <= 0 {
+		return nil
+	}
+	rep := &SLOReport{P95Ms: o.sloP95Ms, P99Ms: o.sloP99Ms, ErrorRate: o.sloErrRate, Violations: []string{}}
+	for _, m := range mixes {
+		if o.sloP95Ms > 0 && m.TotalMs.P95 > o.sloP95Ms {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("mix %s: p95 %.3fms > %.3fms", m.Mix, m.TotalMs.P95, o.sloP95Ms))
+		}
+		if o.sloP99Ms > 0 && m.TotalMs.P99 > o.sloP99Ms {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("mix %s: p99 %.3fms > %.3fms", m.Mix, m.TotalMs.P99, o.sloP99Ms))
+		}
+		if o.sloErrRate > 0 && m.Requests > 0 {
+			rate := float64(m.Errors) / float64(m.Requests)
+			if rate > o.sloErrRate {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("mix %s: error rate %.4f > %.4f", m.Mix, rate, o.sloErrRate))
+			}
+		}
+	}
+	rep.Pass = len(rep.Violations) == 0
+	return rep
+}
+
+// collect runs every selected mix and assembles the report. Split from run
+// so tests can drive a harness against an in-process server.
+func (h *harness) collect(mixes []mixSpec) (*Report, error) {
+	h.docs = gen.Collection(h.genConfig())
+	if len(h.docs) == 0 {
+		return nil, fmt.Errorf("document generator produced no documents")
+	}
+	if !h.opts.noSeed {
+		if err := h.seed(); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.buildPools(mixes); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Tool:        "ustridxload",
+		Addr:        h.opts.addr,
+		Collection:  h.opts.collection,
+		Backend:     h.backend,
+		Epsilon:     h.epsilon,
+		Seed:        h.opts.seed,
+		SeedDocs:    len(h.docs),
+		Requests:    h.opts.requests,
+		Concurrency: h.opts.concurrency,
+	}
+	for _, m := range mixes {
+		rep.Mixes = append(rep.Mixes, h.runMix(m))
+	}
+	rep.SLO = checkSLO(h.opts, rep.Mixes)
+	return rep, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	mixes, err := selectMixes(o.mixes)
+	if err != nil {
+		return err
+	}
+	h := newHarness(o)
+	rep, err := h.collect(mixes)
+	if err != nil {
+		return err
+	}
+	for _, m := range rep.Mixes {
+		fmt.Fprintf(stdout, "mix %-8s requests=%d errors=%d unsupported=%d p50=%.3fms p95=%.3fms p99=%.3fms",
+			m.Mix, m.Requests, m.Errors, m.Unsupported, m.TotalMs.P50, m.TotalMs.P95, m.TotalMs.P99)
+		if fo, ok := m.Stages["fanout"]; ok {
+			fmt.Fprintf(stdout, " fanout.p95=%.3fms", fo.P95)
+		}
+		if m.Cost.Samples > 0 {
+			fmt.Fprintf(stdout, " candidates/op=%.1f cache_hit_rate=%.2f", m.Cost.Candidates, m.Cost.CacheHitRate)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if o.out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", o.out)
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		return fmt.Errorf("SLO violated:\n  %s", strings.Join(rep.SLO.Violations, "\n  "))
+	}
+	return nil
+}

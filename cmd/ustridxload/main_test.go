@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/server"
+)
+
+// bootDaemon starts a mutable in-process daemon: an empty ingest store the
+// harness seeds through the API, exactly like a real -wal daemon.
+func bootDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := ingest.Open(nil, ingest.Options{
+		Dir:              t.TempDir(),
+		Catalog:          catalog.Options{TauMin: 0.1, Shards: 2},
+		CompactThreshold: -1,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(server.NewIngest(st, server.Config{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// testOptions is the small, fast configuration the tests share.
+func testOptions(addr, collection string) options {
+	o, err := parseFlags([]string{
+		"-addr", addr,
+		"-collection", collection,
+		"-requests", "40",
+		"-concurrency", "4",
+		"-seed-docs", "8",
+	})
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// TestSmoke runs every mix against a live in-process daemon and checks the
+// report is fully populated: no errors, per-stage quantiles present, and
+// cost counters flowing back through X-Query-Cost.
+func TestSmoke(t *testing.T) {
+	ts := bootDaemon(t)
+	h := newHarness(testOptions(ts.URL, "load"))
+	mixes, err := selectMixes("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.collect(mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != core.BackendPlain {
+		t.Errorf("seeded backend = %q, want %q", rep.Backend, core.BackendPlain)
+	}
+	if len(rep.Mixes) != len(mixCatalog) {
+		t.Fatalf("got %d mix reports, want %d", len(rep.Mixes), len(mixCatalog))
+	}
+	for _, m := range rep.Mixes {
+		if m.Errors != 0 {
+			t.Errorf("mix %s: %d errors (%s)", m.Mix, m.Errors, m.Description)
+		}
+		if m.Queries == 0 || m.TotalMs.Samples == 0 {
+			t.Errorf("mix %s: no query samples", m.Mix)
+			continue
+		}
+		if m.TotalMs.P99 < m.TotalMs.P50 {
+			t.Errorf("mix %s: p99 %v < p50 %v", m.Mix, m.TotalMs.P99, m.TotalMs.P50)
+		}
+		if _, ok := m.Stages["fanout"]; !ok {
+			t.Errorf("mix %s: no fanout stage in %v", m.Mix, m.Stages)
+		}
+		if m.Cost.Samples == 0 {
+			t.Errorf("mix %s: no cost samples", m.Mix)
+		}
+		if m.Cost.Candidates == 0 && m.Cost.SuffixSteps == 0 && m.Cost.CacheHitRate == 0 {
+			t.Errorf("mix %s: cost counters all zero: %+v", m.Mix, m.Cost)
+		}
+	}
+	// The churn mix must actually have mutated.
+	for _, m := range rep.Mixes {
+		if m.Mix == "churn" && m.Mutations == 0 {
+			t.Errorf("churn mix recorded no mutations")
+		}
+		if m.Mix == "hotkey" && m.Cost.CacheHitRate == 0 {
+			t.Errorf("hotkey mix recorded no cache hits")
+		}
+	}
+}
+
+// TestSLOViolationFails checks the canary contract: an impossible latency
+// bar must make run() return an error after the report is produced.
+func TestSLOViolationFails(t *testing.T) {
+	ts := bootDaemon(t)
+	err := run([]string{
+		"-addr", ts.URL, "-collection", "slo", "-mix", "short",
+		"-requests", "20", "-concurrency", "2", "-seed-docs", "6",
+		"-slo-p95-ms", "0.000001",
+	}, os.NewFile(0, os.DevNull))
+	if err == nil {
+		t.Fatal("impossible SLO bar passed")
+	}
+}
+
+// TestUnknownMix rejects a bad -mix value up front.
+func TestUnknownMix(t *testing.T) {
+	if _, err := selectMixes("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestParseServerTiming covers the header format writeDebugHeaders emits.
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("fanout;dur=1.250, merge;dur=0.030, encode;dur=0.001")
+	if len(got) != 3 || got["fanout"] != 1.25 || got["merge"] != 0.03 {
+		t.Fatalf("parseServerTiming = %v", got)
+	}
+	if parseServerTiming("") != nil {
+		t.Fatal("empty header should parse to nil")
+	}
+}
+
+// bench7 is the committed BENCH_7.json shape: one harness report per
+// serving backend, same seed and mix set.
+type bench7 struct {
+	Bench string    `json:"bench"`
+	Note  string    `json:"note"`
+	Runs  []*Report `json:"runs"`
+}
+
+// TestWriteBench7JSON runs the full mix catalog against all three serving
+// backends on an in-process daemon and snapshots the per-stage quantiles
+// and cost figures to the file named by BENCH7_OUT (skipped when unset).
+// CI regenerates and uploads the file on every run.
+func TestWriteBench7JSON(t *testing.T) {
+	out := os.Getenv("BENCH7_OUT")
+	if out == "" {
+		t.Skip("BENCH7_OUT not set")
+	}
+	ts := bootDaemon(t)
+	mixes, err := selectMixes("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := bench7{
+		Bench: "load/SLO harness: per-stage latency quantiles and query cost by serving backend",
+		Note:  "latencies from the server's Server-Timing debug output (ms), cost counters from X-Query-Cost; totals are client-side",
+	}
+	for _, b := range []struct {
+		backend string
+		epsilon float64
+	}{
+		{core.BackendPlain, 0},
+		{core.BackendCompressed, 0},
+		{core.BackendApprox, 0.05},
+	} {
+		o := testOptions(ts.URL, b.backend)
+		o.requests = 150
+		o.concurrency = 6
+		o.seedDocs = 16
+		o.backend = b.backend
+		o.epsilon = b.epsilon
+		h := newHarness(o)
+		rep, err := h.collect(mixes)
+		if err != nil {
+			t.Fatalf("backend %s: %v", b.backend, err)
+		}
+		for _, m := range rep.Mixes {
+			if m.Errors != 0 {
+				t.Errorf("backend %s mix %s: %d errors (%s)", b.backend, m.Mix, m.Errors, m.Description)
+			}
+			if m.Cost.Samples == 0 {
+				t.Errorf("backend %s mix %s: no cost samples", b.backend, m.Mix)
+			}
+		}
+		doc.Runs = append(doc.Runs, rep)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -292,8 +292,17 @@ func (ix *Index) Search(p []byte, tau float64) ([]Match, error) {
 // pay a second per-document pattern scan on every shard fan-out. Passing an
 // unvalidated query is undefined behaviour.
 func (ix *Index) SearchPrevalidated(p []byte, tau float64) []Match {
+	ms, _, _ := ix.SearchPrevalidatedCosted(p, tau)
+	return ms
+}
+
+// SearchPrevalidatedCosted is SearchPrevalidated plus the cost counters the
+// serving layer attributes per request: examined is the number of candidate
+// links popped from the probability-RMQ stack, steps the suffix-structure
+// work (locus descent over |p| characters plus one RMQ evaluation per pop).
+func (ix *Index) SearchPrevalidatedCosted(p []byte, tau float64) (ms []Match, examined, steps int) {
 	if ix.tree.Root() < 0 {
-		return nil
+		return nil, 0, 0
 	}
 	// A match lives entirely inside one transformed factor (patterns cannot
 	// contain the separator byte), so a pattern longer than the longest
@@ -301,18 +310,19 @@ func (ix *Index) SearchPrevalidated(p []byte, tau float64) []Match {
 	// structure. This is what keeps very long patterns O(1) instead of
 	// paying a full binary search that is guaranteed to miss.
 	if len(p) > ix.tr.MaxFactorLen {
-		return nil
+		return nil, 0, 0
 	}
+	steps = len(p) // locus descent reads each pattern character once
 	node, _, _, ok := ix.tree.Locus(p)
 	if !ok {
-		return nil
+		return nil, 0, steps
 	}
 	a, b := ix.tree.PreRange(node)
 	// Link index range with base preorder in [a, b].
 	lo := int(ix.linkStart[a])
 	hi := int(ix.linkStart[b+1]) - 1
 	if lo > hi {
-		return nil
+		return nil, 0, steps
 	}
 	m := int32(len(p))
 	thr := tau - ix.epsilon
@@ -331,6 +341,8 @@ func (ix *Index) SearchPrevalidated(p []byte, tau float64) []Match {
 		if s.l > s.r {
 			continue
 		}
+		examined++
+		steps++
 		j := ix.probRMQ.Max(s.l, s.r)
 		if !(ix.linkProb[j] > thr) {
 			continue
@@ -341,7 +353,7 @@ func (ix *Index) SearchPrevalidated(p []byte, tau float64) []Match {
 		stack = append(stack, span{s.l, j - 1}, span{j + 1, s.r})
 	}
 	sortMatches(out)
-	return out
+	return out, examined, steps
 }
 
 // sortMatches orders matches by position: insertion sort for the tiny

@@ -11,13 +11,15 @@ import (
 )
 
 // shardResult carries one shard's hits (or count) back to the merger, plus
-// the time the shard spent inside the backend searches. Durations travel
-// back through the join rather than into the trace directly, so shard
-// goroutines never touch the (unsynchronised) trace.
+// the time the shard spent inside the backend searches and the backend cost
+// counters it accumulated. Durations and stats travel back through the join
+// rather than into the trace/cost directly, so shard goroutines never touch
+// the (unsynchronised) request-level observability state.
 type shardResult struct {
 	hits  []DocHit
 	count int
 	dur   time.Duration
+	stats core.QueryStats
 	err   error
 }
 
@@ -26,17 +28,21 @@ type shardResult struct {
 // synchronisation is the join. With a non-nil trace it records two stages:
 // "fanout" (wall time of the whole scatter/join) and "backend_search" (the
 // sum of per-shard search time, i.e. the work the fan-out parallelised).
-func (col *Collection) fanOut(tr *obs.Trace, fn func(shard []docIndex, out *shardResult)) ([]shardResult, error) {
+// With a non-nil cost it counts the shards that ran and sums the per-shard
+// backend stats at the join.
+func (col *Collection) fanOut(tr *obs.Trace, c *obs.Cost, fn func(shard []docIndex, out *shardResult)) ([]shardResult, error) {
 	results := make([]shardResult, len(col.shards))
 	begin := time.Time{}
 	if tr != nil {
 		begin = time.Now()
 	}
 	var wg sync.WaitGroup
+	touched := int64(0)
 	for s := range col.shards {
 		if len(col.shards[s]) == 0 {
 			continue
 		}
+		touched++
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -57,6 +63,15 @@ func (col *Collection) fanOut(tr *obs.Trace, fn func(shard []docIndex, out *shar
 			busy += results[s].dur
 		}
 		tr.Add("backend_search", busy)
+	}
+	if c != nil {
+		c.AddShards(touched)
+		for s := range results {
+			st := &results[s].stats
+			c.AddCandidates(st.Candidates)
+			c.AddSuffixSteps(st.SuffixSteps)
+			c.AddIndexBytes(st.IndexBytes)
+		}
 	}
 	for s := range results {
 		if results[s].err != nil {
@@ -87,31 +102,49 @@ func (f DocFilter) apply(doc int) (int, bool) {
 // than tau in any document, ordered by (document, position). tau must
 // satisfy TauMin ≤ tau ≤ 1.
 func (col *Collection) Search(p []byte, tau float64) ([]DocHit, error) {
-	return col.SearchFilteredTraced(nil, p, tau, nil)
+	return col.SearchFilteredObs(nil, nil, p, tau, nil)
 }
 
 // SearchTraced is Search recording per-stage timings into tr (nil tr means
 // no recording; the untraced methods delegate here).
 func (col *Collection) SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]DocHit, error) {
-	return col.SearchFilteredTraced(tr, p, tau, nil)
+	return col.SearchFilteredObs(tr, nil, p, tau, nil)
+}
+
+// SearchObs is Search recording per-stage timings into tr and resource
+// counters into c (either may be nil).
+func (col *Collection) SearchObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) ([]DocHit, error) {
+	return col.SearchFilteredObs(tr, c, p, tau, nil)
 }
 
 // SearchFiltered is Search restricted to the documents kept by keep, with
 // hits renumbered through it.
 func (col *Collection) SearchFiltered(p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
-	return col.SearchFilteredTraced(nil, p, tau, keep)
+	return col.SearchFilteredObs(nil, nil, p, tau, keep)
 }
 
 // SearchFilteredTraced is SearchFiltered recording per-stage timings
 // ("fanout", "backend_search", "merge") into tr.
 func (col *Collection) SearchFilteredTraced(tr *obs.Trace, p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
-	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
+	return col.SearchFilteredObs(tr, nil, p, tau, keep)
+}
+
+// SearchFilteredObs is SearchFiltered recording per-stage timings
+// ("fanout", "backend_search", "merge") into tr and resource counters
+// (shards touched, backend work, merge comparisons) into c.
+func (col *Collection) SearchFilteredObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64, keep DocFilter) ([]DocHit, error) {
+	costed := c != nil
+	results, err := col.fanOut(tr, c, func(shard []docIndex, out *shardResult) {
+		var st *core.QueryStats
+		if costed {
+			st = &out.stats
+		}
 		for _, di := range shard {
 			doc, ok := keep.apply(di.doc)
 			if !ok {
 				continue
 			}
-			hits, err := di.ix.SearchHits(p, tau)
+			hits, err := di.ix.SearchHitsCosted(p, tau, st)
 			if err != nil {
 				out.err = err
 				return
@@ -129,7 +162,7 @@ func (col *Collection) SearchFilteredTraced(tr *obs.Trace, p []byte, tau float64
 	for _, r := range results {
 		merged = append(merged, r.hits...)
 	}
-	SortHits(merged)
+	SortHitsObs(c, merged)
 	stop()
 	return merged, nil
 }
@@ -145,30 +178,65 @@ func SortHits(hits []DocHit) {
 	})
 }
 
+// SortHitsObs is SortHits counting sort comparisons into c; with a nil c it
+// is exactly SortHits (no per-comparison counting on the raw path).
+func SortHitsObs(c *obs.Cost, hits []DocHit) {
+	if c == nil {
+		SortHits(hits)
+		return
+	}
+	var comps int64
+	sort.Slice(hits, func(a, b int) bool {
+		comps++
+		if hits[a].Doc != hits[b].Doc {
+			return hits[a].Doc < hits[b].Doc
+		}
+		return hits[a].Pos < hits[b].Pos
+	})
+	c.AddMergeComparisons(comps)
+}
+
 // Count returns the total number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (col *Collection) Count(p []byte, tau float64) (int, error) {
-	return col.CountFilteredTraced(nil, p, tau, nil)
+	return col.CountFilteredObs(nil, nil, p, tau, nil)
 }
 
 // CountTraced is Count recording per-stage timings into tr.
 func (col *Collection) CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error) {
-	return col.CountFilteredTraced(tr, p, tau, nil)
+	return col.CountFilteredObs(tr, nil, p, tau, nil)
+}
+
+// CountObs is Count recording per-stage timings into tr and resource
+// counters into c.
+func (col *Collection) CountObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) (int, error) {
+	return col.CountFilteredObs(tr, c, p, tau, nil)
 }
 
 // CountFiltered is Count restricted to the documents kept by keep.
 func (col *Collection) CountFiltered(p []byte, tau float64, keep DocFilter) (int, error) {
-	return col.CountFilteredTraced(nil, p, tau, keep)
+	return col.CountFilteredObs(nil, nil, p, tau, keep)
 }
 
 // CountFilteredTraced is CountFiltered recording per-stage timings into tr.
 func (col *Collection) CountFilteredTraced(tr *obs.Trace, p []byte, tau float64, keep DocFilter) (int, error) {
-	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
+	return col.CountFilteredObs(tr, nil, p, tau, keep)
+}
+
+// CountFilteredObs is CountFiltered recording per-stage timings into tr and
+// resource counters into c.
+func (col *Collection) CountFilteredObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64, keep DocFilter) (int, error) {
+	costed := c != nil
+	results, err := col.fanOut(tr, c, func(shard []docIndex, out *shardResult) {
+		var st *core.QueryStats
+		if costed {
+			st = &out.stats
+		}
 		for _, di := range shard {
 			if _, ok := keep.apply(di.doc); !ok {
 				continue
 			}
-			n, err := di.ix.SearchCount(p, tau)
+			n, err := di.ix.SearchCountCosted(p, tau, st)
 			if err != nil {
 				out.err = err
 				return
@@ -201,18 +269,22 @@ func hitLess(a, b DocHit) bool {
 }
 
 // topKHeap is a bounded min-heap keeping the k best hits seen so far; the
-// root is the currently weakest kept hit.
-type topKHeap []DocHit
+// root is the currently weakest kept hit. comps counts hitLess evaluations
+// for cost attribution (read by MergeTopKObs after the fold).
+type topKHeap struct {
+	hits  []DocHit
+	comps int64
+}
 
-func (h topKHeap) Len() int           { return len(h) }
-func (h topKHeap) Less(a, b int) bool { return hitLess(h[b], h[a]) }
-func (h topKHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
-func (h *topKHeap) Push(x any)        { *h = append(*h, x.(DocHit)) }
+func (h *topKHeap) Len() int           { return len(h.hits) }
+func (h *topKHeap) Less(a, b int) bool { h.comps++; return hitLess(h.hits[b], h.hits[a]) }
+func (h *topKHeap) Swap(a, b int)      { h.hits[a], h.hits[b] = h.hits[b], h.hits[a] }
+func (h *topKHeap) Push(x any)         { h.hits = append(h.hits, x.(DocHit)) }
 func (h *topKHeap) Pop() any {
-	old := *h
+	old := h.hits
 	n := len(old)
 	x := old[n-1]
-	*h = old[:n-1]
+	h.hits = old[:n-1]
 	return x
 }
 
@@ -221,12 +293,18 @@ func (h *topKHeap) Pop() any {
 // position). Every per-document index guarantees completeness only down to
 // probability TauMin, so fewer than k hits may be returned.
 func (col *Collection) TopK(p []byte, k int) ([]DocHit, error) {
-	return col.TopKFilteredTraced(nil, p, k, nil)
+	return col.TopKFilteredObs(nil, nil, p, k, nil)
 }
 
 // TopKTraced is TopK recording per-stage timings into tr.
 func (col *Collection) TopKTraced(tr *obs.Trace, p []byte, k int) ([]DocHit, error) {
-	return col.TopKFilteredTraced(tr, p, k, nil)
+	return col.TopKFilteredObs(tr, nil, p, k, nil)
+}
+
+// TopKObs is TopK recording per-stage timings into tr and resource counters
+// into c.
+func (col *Collection) TopKObs(tr *obs.Trace, c *obs.Cost, p []byte, k int) ([]DocHit, error) {
+	return col.TopKFilteredObs(tr, c, p, k, nil)
 }
 
 // TopKFiltered is TopK restricted to the documents kept by keep, with hits
@@ -234,21 +312,32 @@ func (col *Collection) TopKTraced(tr *obs.Trace, p []byte, k int) ([]DocHit, err
 // document contributes its own true top-k, so the merged result is the exact
 // global top-k of the kept documents.
 func (col *Collection) TopKFiltered(p []byte, k int, keep DocFilter) ([]DocHit, error) {
-	return col.TopKFilteredTraced(nil, p, k, keep)
+	return col.TopKFilteredObs(nil, nil, p, k, keep)
 }
 
 // TopKFilteredTraced is TopKFiltered recording per-stage timings into tr.
 func (col *Collection) TopKFilteredTraced(tr *obs.Trace, p []byte, k int, keep DocFilter) ([]DocHit, error) {
+	return col.TopKFilteredObs(tr, nil, p, k, keep)
+}
+
+// TopKFilteredObs is TopKFiltered recording per-stage timings into tr and
+// resource counters into c.
+func (col *Collection) TopKFilteredObs(tr *obs.Trace, c *obs.Cost, p []byte, k int, keep DocFilter) ([]DocHit, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	results, err := col.fanOut(tr, func(shard []docIndex, out *shardResult) {
+	costed := c != nil
+	results, err := col.fanOut(tr, c, func(shard []docIndex, out *shardResult) {
+		var st *core.QueryStats
+		if costed {
+			st = &out.stats
+		}
 		for _, di := range shard {
 			doc, ok := keep.apply(di.doc)
 			if !ok {
 				continue
 			}
-			hits, err := di.ix.SearchTopK(p, k)
+			hits, err := di.ix.SearchTopKCosted(p, k, st)
 			if err != nil {
 				out.err = err
 				return
@@ -266,7 +355,7 @@ func (col *Collection) TopKFilteredTraced(tr *obs.Trace, p []byte, k int, keep D
 	for i, r := range results {
 		lists[i] = r.hits
 	}
-	merged := MergeTopK(k, lists...)
+	merged := MergeTopKObs(c, k, lists...)
 	stop()
 	return merged, nil
 }
@@ -277,26 +366,34 @@ func (col *Collection) TopKFilteredTraced(tr *obs.Trace, p []byte, k int, keep D
 // top-k of every document it covers — then the merge is exact. The mutable
 // serving layer reuses it to combine base and delta candidates.
 func MergeTopK(k int, lists ...[]DocHit) []DocHit {
+	return MergeTopKObs(nil, k, lists...)
+}
+
+// MergeTopKObs is MergeTopK counting heap comparisons into c (nil records
+// nothing).
+func MergeTopKObs(c *obs.Cost, k int, lists ...[]DocHit) []DocHit {
 	if k <= 0 {
 		return nil
 	}
-	h := make(topKHeap, 0, k+1)
+	h := topKHeap{hits: make([]DocHit, 0, k+1)}
 	for _, list := range lists {
 		for _, dh := range list {
-			if len(h) < k {
+			if len(h.hits) < k {
 				heap.Push(&h, dh)
 				continue
 			}
-			if hitLess(dh, h[0]) {
-				h[0] = dh
+			h.comps++
+			if hitLess(dh, h.hits[0]) {
+				h.hits[0] = dh
 				heap.Fix(&h, 0)
 			}
 		}
 	}
-	out := make([]DocHit, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
+	out := make([]DocHit, len(h.hits))
+	for i := len(h.hits) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(DocHit)
 	}
+	c.AddMergeComparisons(h.comps)
 	return out
 }
 

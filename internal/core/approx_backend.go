@@ -46,7 +46,7 @@ func BuildApprox(s *ustring.String, tauMin, epsilon float64) (*ApproxBackend, er
 // than tau, possibly with false positives down to τ−ε, in increasing
 // position order.
 func (ab *ApproxBackend) Search(p []byte, tau float64) ([]int, error) {
-	ms, err := ab.search(p, tau)
+	ms, err := ab.search(p, tau, nil)
 	if err != nil || len(ms) == 0 {
 		return nil, err
 	}
@@ -63,7 +63,13 @@ func (ab *ApproxBackend) Search(p []byte, tau float64) ([]int, error) {
 // backend-specific, and the position order is what the ε-index produces
 // without paying a per-query sort.
 func (ab *ApproxBackend) SearchHits(p []byte, tau float64) ([]Hit, error) {
-	ms, err := ab.search(p, tau)
+	return ab.SearchHitsCosted(p, tau, nil)
+}
+
+// SearchHitsCosted is SearchHits accumulating cost counters into st (nil
+// records nothing).
+func (ab *ApproxBackend) SearchHitsCosted(p []byte, tau float64, st *QueryStats) ([]Hit, error) {
+	ms, err := ab.search(p, tau, st)
 	if err != nil || len(ms) == 0 {
 		return nil, err
 	}
@@ -83,10 +89,20 @@ func (ab *ApproxBackend) SearchTopK(p []byte, k int) ([]Hit, error) {
 		ErrUnsupportedQuery, BackendApprox, ab.ix.Epsilon())
 }
 
+// SearchTopKCosted is not supported by the approximate backend.
+func (ab *ApproxBackend) SearchTopKCosted(p []byte, k int, _ *QueryStats) ([]Hit, error) {
+	return ab.SearchTopK(p, k)
+}
+
 // SearchCount counts occurrences above tau under the same ε guarantee as
 // Search, without materialising positions for the caller.
 func (ab *ApproxBackend) SearchCount(p []byte, tau float64) (int, error) {
-	ms, err := ab.search(p, tau)
+	return ab.SearchCountCosted(p, tau, nil)
+}
+
+// SearchCountCosted is SearchCount accumulating cost counters into st.
+func (ab *ApproxBackend) SearchCountCosted(p []byte, tau float64, st *QueryStats) (int, error) {
+	ms, err := ab.search(p, tau, st)
 	if err != nil {
 		return 0, err
 	}
@@ -98,11 +114,14 @@ func (ab *ApproxBackend) SearchCount(p []byte, tau float64) (int, error) {
 // prevalidated entry, whose matches arrive already sorted by position. One
 // validation pass total — the same count the plain backend pays — keeps the
 // per-document fan-out cost identical across backends.
-func (ab *ApproxBackend) search(p []byte, tau float64) ([]approx.Match, error) {
+func (ab *ApproxBackend) search(p []byte, tau float64, st *QueryStats) ([]approx.Match, error) {
 	if err := ValidateQuery(p, tau, ab.ix.TauMin()); err != nil {
 		return nil, err
 	}
-	return ab.ix.SearchPrevalidated(p, tau), nil
+	ms, examined, steps := ab.ix.SearchPrevalidatedCosted(p, tau)
+	st.add(int64(examined), int64(steps),
+		int64(examined)*approxLinkBytes+int64(len(p)))
+	return ms, nil
 }
 
 // TauMin returns the construction threshold.

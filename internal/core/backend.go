@@ -252,6 +252,14 @@ type Backend interface {
 	SearchTopK(p []byte, k int) ([]Hit, error)
 	// SearchCount counts occurrences above tau without materialising them.
 	SearchCount(p []byte, tau float64) (int, error)
+	// SearchHitsCosted, SearchTopKCosted and SearchCountCosted answer
+	// identically to their plain counterparts while accumulating the
+	// query's resource counters into st — the per-document slice of the
+	// serving tier's request-level cost attribution. A nil st is valid and
+	// records nothing; implementations must not retain st.
+	SearchHitsCosted(p []byte, tau float64, st *QueryStats) ([]Hit, error)
+	SearchTopKCosted(p []byte, k int, st *QueryStats) ([]Hit, error)
+	SearchCountCosted(p []byte, tau float64, st *QueryStats) (int, error)
 	// TauMin returns the construction threshold.
 	TauMin() float64
 	// Source returns the indexed uncertain string.

@@ -125,15 +125,18 @@ func (cx *CompressedIndex) windowLogProb(x, m int) float64 {
 // scan paths. Results come back in no particular order; callers whose
 // contract includes ordering sort (Count does not, and Search re-sorts by
 // position anyway).
-func (cx *CompressedIndex) bestPerKey(p []byte) []Hit {
-	lo, hi, ok := cx.fm.Range(p)
+func (cx *CompressedIndex) bestPerKey(p []byte, st *QueryStats) []Hit {
+	lo, hi, ok, steps := cx.fm.RangeCount(p)
 	if !ok {
+		st.add(0, int64(steps), int64(steps)*fmStepBytes)
 		return nil
 	}
 	m := len(p)
+	var hops int64
 	best := make(map[int32]Hit)
 	for j := lo; j <= hi; j++ {
-		x := cx.fm.Locate(j)
+		x, h := cx.fm.LocateCount(j)
+		hops += int64(h)
 		lp := cx.windowLogProb(int(x), m)
 		if lp == prob.LogZero {
 			continue
@@ -146,6 +149,9 @@ func (cx *CompressedIndex) bestPerKey(p []byte) []Hit {
 			best[k] = Hit{XPos: x, Orig: k, Key: k, LogProb: lp}
 		}
 	}
+	scanned := int64(hi - lo + 1)
+	st.add(scanned, int64(steps)+hops,
+		int64(steps)*fmStepBytes+hops*fmHopBytes+scanned*fmCandidateBytes)
 	out := make([]Hit, 0, len(best))
 	for _, h := range best {
 		out = append(out, h)
@@ -160,7 +166,7 @@ func (cx *CompressedIndex) Search(p []byte, tau float64) ([]int, error) {
 		return nil, err
 	}
 	var out []int
-	for _, h := range cx.bestPerKey(p) {
+	for _, h := range cx.bestPerKey(p, nil) {
 		if prob.Greater(h.LogProb, tau) {
 			out = append(out, int(h.Orig))
 		}
@@ -175,11 +181,17 @@ func (cx *CompressedIndex) Search(p []byte, tau float64) ([]int, error) {
 // SearchHits is Search with per-occurrence probabilities, in decreasing
 // probability order (ties by increasing position).
 func (cx *CompressedIndex) SearchHits(p []byte, tau float64) ([]Hit, error) {
+	return cx.SearchHitsCosted(p, tau, nil)
+}
+
+// SearchHitsCosted is SearchHits accumulating cost counters into st (nil
+// records nothing).
+func (cx *CompressedIndex) SearchHitsCosted(p []byte, tau float64, st *QueryStats) ([]Hit, error) {
 	if err := ValidateQuery(p, tau, cx.tauMin); err != nil {
 		return nil, err
 	}
 	var hits []Hit
-	for _, h := range cx.bestPerKey(p) {
+	for _, h := range cx.bestPerKey(p, st) {
 		if prob.Greater(h.LogProb, tau) {
 			hits = append(hits, h)
 		}
@@ -193,13 +205,18 @@ func (cx *CompressedIndex) SearchHits(p []byte, tau float64) ([]Hit, error) {
 // the same sequence the plain backend reports. All returned hits have
 // probability ≥ tauMin.
 func (cx *CompressedIndex) SearchTopK(p []byte, k int) ([]Hit, error) {
+	return cx.SearchTopKCosted(p, k, nil)
+}
+
+// SearchTopKCosted is SearchTopK accumulating cost counters into st.
+func (cx *CompressedIndex) SearchTopKCosted(p []byte, k int, st *QueryStats) ([]Hit, error) {
 	if err := ValidateQuery(p, 1, 0); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, nil
 	}
-	hits := cx.bestPerKey(p)
+	hits := cx.bestPerKey(p, st)
 	sortHitsByProb(hits)
 	if len(hits) > k {
 		hits = hits[:k]
@@ -213,11 +230,16 @@ func (cx *CompressedIndex) SearchTopK(p []byte, k int) ([]Hit, error) {
 // SearchCount returns the number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (cx *CompressedIndex) SearchCount(p []byte, tau float64) (int, error) {
+	return cx.SearchCountCosted(p, tau, nil)
+}
+
+// SearchCountCosted is SearchCount accumulating cost counters into st.
+func (cx *CompressedIndex) SearchCountCosted(p []byte, tau float64, st *QueryStats) (int, error) {
 	if err := ValidateQuery(p, tau, cx.tauMin); err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, h := range cx.bestPerKey(p) {
+	for _, h := range cx.bestPerKey(p, st) {
 		if prob.Greater(h.LogProb, tau) {
 			n++
 		}

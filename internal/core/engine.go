@@ -330,10 +330,17 @@ func (e *Engine) validate(p []byte, tau float64) error {
 // Query reports every non-duplicate window matching p with probability
 // strictly greater than tau, in decreasing probability order.
 func (e *Engine) Query(p []byte, tau float64) ([]Hit, error) {
+	return e.QueryCosted(p, tau, nil)
+}
+
+// QueryCosted is Query accumulating cost counters into st (nil records
+// nothing).
+func (e *Engine) QueryCosted(p []byte, tau float64, st *QueryStats) ([]Hit, error) {
 	if err := e.validate(p, tau); err != nil {
 		return nil, err
 	}
-	lo, hi, ok := e.tx.Range(p)
+	lo, hi, ok, probes := e.tx.RangeCount(p)
+	st.add(0, int64(probes), int64(probes)*int64(4+len(p)))
 	if !ok {
 		return nil, nil
 	}
@@ -345,11 +352,11 @@ func (e *Engine) Query(p []byte, tau float64) ([]Hit, error) {
 	}
 	switch {
 	case m <= e.levels:
-		e.queryShort(m, lo, hi, tau, report)
+		e.queryShort(m, lo, hi, tau, report, st)
 	case m <= e.longHi:
-		e.queryLong(m, lo, hi, tau, report)
+		e.queryLong(m, lo, hi, tau, report, st)
 	default:
-		e.queryScan(m, lo, hi, tau, report)
+		e.queryScan(m, lo, hi, tau, report, st)
 	}
 	return hits, nil
 }
@@ -357,16 +364,18 @@ func (e *Engine) Query(p []byte, tau float64) ([]Hit, error) {
 // queryShort is the optimal O(m + occ) recursive range-maximum extraction of
 // Section 4.2 (Algorithm 2). The recursion is managed on an explicit stack:
 // its depth equals the number of reported entries.
-func (e *Engine) queryShort(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+func (e *Engine) queryShort(m, lo, hi int, tau float64, report func(j int, lp float64), st *QueryStats) {
 	level := e.short[m-1]
 	type span struct{ l, r int }
 	stack := []span{{lo, hi}}
+	var pops int64
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if s.l > s.r {
 			continue
 		}
+		pops++
 		j := level.Max(s.l, s.r)
 		lp := e.ci(m, j)
 		if !prob.Greater(lp, tau) {
@@ -375,13 +384,14 @@ func (e *Engine) queryShort(m, lo, hi int, tau float64, report func(j int, lp fl
 		report(j, lp)
 		stack = append(stack, span{s.l, j - 1}, span{j + 1, s.r})
 	}
+	st.add(pops, pops, pops*plainCandidateBytes)
 }
 
 // queryLong is the O(m·occ) blocking scheme of Section 4.2: recursive
 // range-maximum over block maxima; every qualifying block is scanned in
 // full. Partial boundary blocks are scanned directly. Duplicate keys are
 // eliminated at reporting time (the bitmaps only cover short levels).
-func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp float64), st *QueryStats) {
 	idx := m - e.longLo
 	blockRMQ := e.longRMQ[idx]
 	pb := e.longPB[idx]
@@ -390,9 +400,11 @@ func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp flo
 	logTau := math.Log(tau)
 	const f32Slack = 1e-4
 
+	var scanned, blockPops int64
 	best := map[int32]Hit{} // dedup key → best hit
 	scanEntries := func(l, r int) {
 		for j := l; j <= r; j++ {
+			scanned++
 			lp := e.rawCi(m, j)
 			if !prob.Greater(lp, tau) {
 				continue
@@ -423,6 +435,7 @@ func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp flo
 			if s.l > s.r {
 				continue
 			}
+			blockPops++
 			b := blockRMQ.Max(s.l, s.r)
 			if float64(pb[b]) <= logTau-f32Slack {
 				continue
@@ -436,6 +449,7 @@ func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp flo
 			stack = append(stack, span{s.l, b - 1}, span{b + 1, s.r})
 		}
 	}
+	st.add(scanned, blockPops, scanned*plainCandidateBytes+blockPops*plainBlockBytes)
 	for _, h := range best {
 		report(int(e.tx.Rank()[h.XPos]), h.LogProb)
 	}
@@ -443,7 +457,7 @@ func (e *Engine) queryLong(m, lo, hi int, tau float64, report func(j int, lp flo
 
 // queryScan is the fallback for patterns longer than every block level: a
 // straight scan of the suffix range with keep-max dedup.
-func (e *Engine) queryScan(m, lo, hi int, tau float64, report func(j int, lp float64)) {
+func (e *Engine) queryScan(m, lo, hi int, tau float64, report func(j int, lp float64), st *QueryStats) {
 	best := map[int32]struct {
 		j  int
 		lp float64
@@ -461,6 +475,8 @@ func (e *Engine) queryScan(m, lo, hi int, tau float64, report func(j int, lp flo
 			}{j, lp}
 		}
 	}
+	scanned := int64(hi - lo + 1)
+	st.add(scanned, 0, scanned*plainCandidateBytes)
 	for _, b := range best {
 		report(b.j, b.lp)
 	}

@@ -136,10 +136,16 @@ func (ix *Index) Search(p []byte, tau float64) ([]int, error) {
 // SearchHits is Search with per-occurrence probabilities, in decreasing
 // probability order (the natural order of the recursive RMQ extraction).
 func (ix *Index) SearchHits(p []byte, tau float64) ([]Hit, error) {
+	return ix.SearchHitsCosted(p, tau, nil)
+}
+
+// SearchHitsCosted is SearchHits accumulating cost counters into st (nil
+// records nothing).
+func (ix *Index) SearchHitsCosted(p []byte, tau float64, st *QueryStats) ([]Hit, error) {
 	if err := ValidateQuery(p, tau, ix.tauMin); err != nil {
 		return nil, err
 	}
-	return ix.engine.Query(p, tau)
+	return ix.engine.QueryCosted(p, tau, st)
 }
 
 // SearchTopK reports the k most probable occurrences of p, in decreasing
@@ -150,13 +156,23 @@ func (ix *Index) SearchTopK(p []byte, k int) ([]Hit, error) {
 	return ix.engine.TopK(p, k)
 }
 
+// SearchTopKCosted is SearchTopK accumulating cost counters into st.
+func (ix *Index) SearchTopKCosted(p []byte, k int, st *QueryStats) ([]Hit, error) {
+	return ix.engine.TopKCosted(p, k, st)
+}
+
 // SearchCount returns the number of occurrences of p with probability
 // strictly greater than tau, without materialising positions.
 func (ix *Index) SearchCount(p []byte, tau float64) (int, error) {
+	return ix.SearchCountCosted(p, tau, nil)
+}
+
+// SearchCountCosted is SearchCount accumulating cost counters into st.
+func (ix *Index) SearchCountCosted(p []byte, tau float64, st *QueryStats) (int, error) {
 	if err := ValidateQuery(p, tau, ix.tauMin); err != nil {
 		return 0, err
 	}
-	return ix.engine.Count(p, tau)
+	return ix.engine.CountCosted(p, tau, st)
 }
 
 // SearchIter streams occurrences of p above tau in decreasing probability

@@ -45,26 +45,35 @@ func (h *fragHeap) Pop() any          { old := *h; n := len(old); f := old[n-1];
 // best-first; longer patterns fall back to a full threshold query at τ→0
 // followed by selection.
 func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
+	return e.TopKCosted(p, k, nil)
+}
+
+// TopKCosted is TopK accumulating cost counters into st (nil records
+// nothing).
+func (e *Engine) TopKCosted(p []byte, k int, st *QueryStats) ([]Hit, error) {
 	if err := e.validate(p, 1); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, nil
 	}
-	lo, hi, ok := e.tx.Range(p)
+	lo, hi, ok, probes := e.tx.RangeCount(p)
+	st.add(0, int64(probes), int64(probes)*int64(4+len(p)))
 	if !ok {
 		return nil, nil
 	}
 	m := len(p)
 	if m > e.levels {
-		return e.topKLong(p, m, lo, hi, k)
+		return e.topKLong(p, m, lo, hi, k, st)
 	}
 	level := e.short[m-1]
 	var h fragHeap
+	var pushes int64
 	push := func(l, r int) {
 		if l > r {
 			return
 		}
+		pushes++
 		j := level.Max(l, r)
 		if lp := e.ci(m, j); lp != prob.LogZero {
 			heap.Push(&h, fragment{l, r, j, lp})
@@ -93,6 +102,7 @@ func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
 		push(f.l, f.j-1)
 		push(f.j+1, f.r)
 	}
+	st.add(pushes, pushes, pushes*plainCandidateBytes)
 	sortHitsByProb(out)
 	if len(out) > k {
 		out = out[:k]
@@ -101,7 +111,9 @@ func (e *Engine) TopK(p []byte, k int) ([]Hit, error) {
 }
 
 // topKLong selects the k best hits from a scan of the suffix range.
-func (e *Engine) topKLong(p []byte, m, lo, hi, k int) ([]Hit, error) {
+func (e *Engine) topKLong(p []byte, m, lo, hi, k int, st *QueryStats) ([]Hit, error) {
+	scanned := int64(hi - lo + 1)
+	st.add(scanned, 0, scanned*plainCandidateBytes)
 	best := map[int32]Hit{}
 	for j := lo; j <= hi; j++ {
 		lp := e.rawCi(m, j)
@@ -140,8 +152,14 @@ func sortHitsByProb(hs []Hit) {
 // Count returns the number of non-duplicate occurrences of p with
 // probability strictly greater than tau, without materialising them.
 func (e *Engine) Count(p []byte, tau float64) (int, error) {
+	return e.CountCosted(p, tau, nil)
+}
+
+// CountCosted is Count accumulating cost counters into st (nil records
+// nothing).
+func (e *Engine) CountCosted(p []byte, tau float64, st *QueryStats) (int, error) {
 	n := 0
-	err := e.Iterate(p, tau, func(Hit) bool { n++; return true })
+	err := e.iterate(p, tau, func(Hit) bool { n++; return true }, st)
 	return n, err
 }
 
@@ -149,10 +167,15 @@ func (e *Engine) Count(p []byte, tau float64) (int, error) {
 // long patterns arrive unordered) until the callback returns false or the
 // probability falls to tau.
 func (e *Engine) Iterate(p []byte, tau float64, visit func(Hit) bool) error {
+	return e.iterate(p, tau, visit, nil)
+}
+
+func (e *Engine) iterate(p []byte, tau float64, visit func(Hit) bool, st *QueryStats) error {
 	if err := e.validate(p, tau); err != nil {
 		return err
 	}
-	lo, hi, ok := e.tx.Range(p)
+	lo, hi, ok, probes := e.tx.RangeCount(p)
+	st.add(0, int64(probes), int64(probes)*int64(4+len(p)))
 	if !ok {
 		return nil
 	}
@@ -165,9 +188,9 @@ func (e *Engine) Iterate(p []byte, tau float64, visit func(Hit) bool) error {
 			hits = append(hits, Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: lp})
 		}
 		if m <= e.longHi {
-			e.queryLong(m, lo, hi, tau, collect)
+			e.queryLong(m, lo, hi, tau, collect, st)
 		} else {
-			e.queryScan(m, lo, hi, tau, collect)
+			e.queryScan(m, lo, hi, tau, collect, st)
 		}
 		for _, h := range hits {
 			if !visit(h) {
@@ -180,10 +203,12 @@ func (e *Engine) Iterate(p []byte, tau float64, visit func(Hit) bool) error {
 	// early termination.
 	level := e.short[m-1]
 	var h fragHeap
+	var pushes int64
 	push := func(l, r int) {
 		if l > r {
 			return
 		}
+		pushes++
 		j := level.Max(l, r)
 		if lp := e.ci(m, j); prob.Greater(lp, tau) {
 			heap.Push(&h, fragment{l, r, j, lp})
@@ -194,10 +219,11 @@ func (e *Engine) Iterate(p []byte, tau float64, visit func(Hit) bool) error {
 		f := heap.Pop(&h).(fragment)
 		x := e.tx.SA()[f.j]
 		if !visit(Hit{XPos: x, Orig: e.pos[x], Key: e.key[x], LogProb: f.lp}) {
-			return nil
+			break
 		}
 		push(f.l, f.j-1)
 		push(f.j+1, f.r)
 	}
+	st.add(pushes, pushes, pushes*plainCandidateBytes)
 	return nil
 }

@@ -116,29 +116,38 @@ func (ix *Index) Len() int { return ix.n }
 // array of the text — the same coordinates as suffix.Text.Range — via
 // backward search. ok is false when p does not occur.
 func (ix *Index) Range(p []byte) (lo, hi int, ok bool) {
+	lo, hi, ok, _ = ix.RangeCount(p)
+	return lo, hi, ok
+}
+
+// RangeCount is Range plus the number of backward-search steps taken (each
+// step is two wavelet-tree Rank calls) — the wavelet-step count cost
+// attribution charges as suffix steps.
+func (ix *Index) RangeCount(p []byte) (lo, hi int, ok bool, steps int) {
 	if len(p) == 0 {
 		if ix.n == 0 {
-			return 0, -1, false
+			return 0, -1, false, 0
 		}
-		return 0, ix.n - 1, true
+		return 0, ix.n - 1, true, 0
 	}
 	// Row interval [l, r) over the n+1 rows.
 	l, r := 0, ix.n+1
 	for i := len(p) - 1; i >= 0; i-- {
 		if p[i] == 0xFF {
-			return 0, -1, false
+			return 0, -1, false, steps
 		}
 		c := p[i] + 1
 		base := int(ix.counts[c])
+		steps++
 		l = base + ix.bwt.Rank(c, l)
 		r = base + ix.bwt.Rank(c, r)
 		if l >= r {
-			return 0, -1, false
+			return 0, -1, false, steps
 		}
 	}
 	// Rows r>0 map to suffix array positions r-1; row 0 (the sentinel)
 	// cannot be in the interval since p is non-empty.
-	return l - 1, r - 2, true
+	return l - 1, r - 2, true, steps
 }
 
 // Count returns the number of occurrences of p.
@@ -160,6 +169,13 @@ func (ix *Index) lf(row int) int {
 // (the value suffix.Text would report as SA()[j]), by LF-walking to the
 // nearest sampled row.
 func (ix *Index) Locate(j int) int32 {
+	v, _ := ix.LocateCount(j)
+	return v
+}
+
+// LocateCount is Locate plus the number of LF-mapping hops walked to the
+// nearest sampled row (≤ the sample rate) — the per-candidate wavelet cost.
+func (ix *Index) LocateCount(j int) (int32, int) {
 	row := j + 1 // suffix array position → row
 	steps := 0
 	for !ix.sampled.Get(row) {
@@ -171,7 +187,7 @@ func (ix *Index) Locate(j int) int32 {
 	if v > ix.n {
 		v -= ix.n + 1
 	}
-	return int32(v)
+	return int32(v), steps
 }
 
 // Bytes reports the memory footprint — the number the paper's Section 8.7

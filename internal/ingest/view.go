@@ -144,23 +144,29 @@ func (v *View) Search(p []byte, tau float64) ([]catalog.DocHit, error) {
 // (base and delta) accumulate into the same stages, so "fanout" covers the
 // whole snapshot's scatter work.
 func (v *View) SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]catalog.DocHit, error) {
+	return v.SearchObs(tr, nil, p, tau)
+}
+
+// SearchObs is SearchTraced also accumulating resource counters into c;
+// both parts count into the same request-level cost.
+func (v *View) SearchObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) ([]catalog.DocHit, error) {
 	var merged []catalog.DocHit
 	if v.base != nil {
-		hits, err := v.base.SearchFilteredTraced(tr, p, tau, mapFilter(v.baseMap))
+		hits, err := v.base.SearchFilteredObs(tr, c, p, tau, mapFilter(v.baseMap))
 		if err != nil {
 			return nil, err
 		}
 		merged = hits
 	}
 	if v.delta != nil {
-		hits, err := v.delta.SearchFilteredTraced(tr, p, tau, mapFilter(v.deltaMap))
+		hits, err := v.delta.SearchFilteredObs(tr, c, p, tau, mapFilter(v.deltaMap))
 		if err != nil {
 			return nil, err
 		}
 		merged = append(merged, hits...)
 	}
 	stop := tr.StartStage("merge")
-	catalog.SortHits(merged)
+	catalog.SortHitsObs(c, merged)
 	stop()
 	return merged, nil
 }
@@ -173,16 +179,21 @@ func (v *View) Count(p []byte, tau float64) (int, error) {
 
 // CountTraced is Count recording per-stage timings into tr.
 func (v *View) CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error) {
+	return v.CountObs(tr, nil, p, tau)
+}
+
+// CountObs is CountTraced also accumulating resource counters into c.
+func (v *View) CountObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) (int, error) {
 	total := 0
 	if v.base != nil {
-		n, err := v.base.CountFilteredTraced(tr, p, tau, mapFilter(v.baseMap))
+		n, err := v.base.CountFilteredObs(tr, c, p, tau, mapFilter(v.baseMap))
 		if err != nil {
 			return 0, err
 		}
 		total += n
 	}
 	if v.delta != nil {
-		n, err := v.delta.CountFilteredTraced(tr, p, tau, mapFilter(v.deltaMap))
+		n, err := v.delta.CountFilteredObs(tr, c, p, tau, mapFilter(v.deltaMap))
 		if err != nil {
 			return 0, err
 		}
@@ -202,26 +213,31 @@ func (v *View) TopK(p []byte, k int) ([]catalog.DocHit, error) {
 
 // TopKTraced is TopK recording per-stage timings into tr.
 func (v *View) TopKTraced(tr *obs.Trace, p []byte, k int) ([]catalog.DocHit, error) {
+	return v.TopKObs(tr, nil, p, k)
+}
+
+// TopKObs is TopKTraced also accumulating resource counters into c.
+func (v *View) TopKObs(tr *obs.Trace, c *obs.Cost, p []byte, k int) ([]catalog.DocHit, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	var lists [][]catalog.DocHit
 	if v.base != nil {
-		hits, err := v.base.TopKFilteredTraced(tr, p, k, mapFilter(v.baseMap))
+		hits, err := v.base.TopKFilteredObs(tr, c, p, k, mapFilter(v.baseMap))
 		if err != nil {
 			return nil, err
 		}
 		lists = append(lists, hits)
 	}
 	if v.delta != nil {
-		hits, err := v.delta.TopKFilteredTraced(tr, p, k, mapFilter(v.deltaMap))
+		hits, err := v.delta.TopKFilteredObs(tr, c, p, k, mapFilter(v.deltaMap))
 		if err != nil {
 			return nil, err
 		}
 		lists = append(lists, hits)
 	}
 	stop := tr.StartStage("merge")
-	merged := catalog.MergeTopK(k, lists...)
+	merged := catalog.MergeTopKObs(c, k, lists...)
 	stop()
 	return merged, nil
 }

@@ -1,0 +1,148 @@
+package obs
+
+// Cost accumulates the resource counters of one request as it descends the
+// query path: shards touched in the catalog fan-out, candidate positions
+// examined inside the backends, suffix-structure steps (suffix-array probe
+// comparisons, FM backward-search and LF-walk steps, suffix-tree link pops),
+// bytes of index data read, heap-merge comparisons, and result-cache
+// hits/misses in the server.
+//
+// Like Trace, a Cost belongs to one request and is written from that
+// request's goroutine only: the catalog's shard goroutines count into
+// per-shard core.QueryStats values that travel back through the fan-out
+// join and are summed into the Cost there. The zero value is ready to use;
+// a nil *Cost records nothing, which is how uninstrumented paths skip the
+// bookkeeping entirely.
+type Cost struct {
+	// ShardsTouched counts fan-out shards that actually ran a backend
+	// query (empty shards are skipped).
+	ShardsTouched int64
+	// Candidates counts candidate positions examined across all backends:
+	// suffix-array entries popped from the RMQ stack or scanned, FM rows
+	// located, suffix-tree leaf links evaluated.
+	Candidates int64
+	// SuffixSteps counts steps taken inside the suffix structures:
+	// binary-search probes on the plain suffix array, FM backward-search
+	// steps and LF-walk hops, suffix-tree locus descents and probRMQ pops.
+	SuffixSteps int64
+	// IndexBytes estimates the bytes of index data read, from documented
+	// per-operation constants for each backend (see OPERATIONS.md).
+	IndexBytes int64
+	// MergeComparisons counts hit comparisons made merging and ordering
+	// shard results (sort comparisons and top-k heap comparisons).
+	MergeComparisons int64
+	// CacheHits / CacheMisses count result-cache lookups in the server.
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// AddShards adds n fan-out shards. No-op on a nil cost.
+func (c *Cost) AddShards(n int64) {
+	if c != nil {
+		c.ShardsTouched += n
+	}
+}
+
+// AddCandidates adds n examined candidate positions. No-op on nil.
+func (c *Cost) AddCandidates(n int64) {
+	if c != nil {
+		c.Candidates += n
+	}
+}
+
+// AddSuffixSteps adds n suffix-structure steps. No-op on nil.
+func (c *Cost) AddSuffixSteps(n int64) {
+	if c != nil {
+		c.SuffixSteps += n
+	}
+}
+
+// AddIndexBytes adds n estimated index bytes read. No-op on nil.
+func (c *Cost) AddIndexBytes(n int64) {
+	if c != nil {
+		c.IndexBytes += n
+	}
+}
+
+// AddMergeComparisons adds n merge comparisons. No-op on nil.
+func (c *Cost) AddMergeComparisons(n int64) {
+	if c != nil {
+		c.MergeComparisons += n
+	}
+}
+
+// CacheHit records one result-cache hit. No-op on nil.
+func (c *Cost) CacheHit() {
+	if c != nil {
+		c.CacheHits++
+	}
+}
+
+// CacheMiss records one result-cache miss. No-op on nil.
+func (c *Cost) CacheMiss() {
+	if c != nil {
+		c.CacheMisses++
+	}
+}
+
+// Snapshot returns the current counters as a serialisable CostSnapshot,
+// or nil for a nil or all-zero cost (so empty costs stay out of JSON).
+func (c *Cost) Snapshot() *CostSnapshot {
+	if c == nil {
+		return nil
+	}
+	if c.ShardsTouched == 0 && c.Candidates == 0 && c.SuffixSteps == 0 &&
+		c.IndexBytes == 0 && c.MergeComparisons == 0 &&
+		c.CacheHits == 0 && c.CacheMisses == 0 {
+		return nil
+	}
+	return &CostSnapshot{
+		ShardsTouched:    c.ShardsTouched,
+		Candidates:       c.Candidates,
+		SuffixSteps:      c.SuffixSteps,
+		IndexBytes:       c.IndexBytes,
+		MergeComparisons: c.MergeComparisons,
+		CacheHits:        c.CacheHits,
+		CacheMisses:      c.CacheMisses,
+	}
+}
+
+// DeltaSince returns the counters accumulated since prev was captured (a
+// plain value copy of an earlier state of c). Serving layers use it to
+// attribute per-operation cost when several operations — the ops of one
+// batch — share a request-level Cost.
+func (c *Cost) DeltaSince(prev Cost) Cost {
+	if c == nil {
+		return Cost{}
+	}
+	return Cost{
+		ShardsTouched:    c.ShardsTouched - prev.ShardsTouched,
+		Candidates:       c.Candidates - prev.Candidates,
+		SuffixSteps:      c.SuffixSteps - prev.SuffixSteps,
+		IndexBytes:       c.IndexBytes - prev.IndexBytes,
+		MergeComparisons: c.MergeComparisons - prev.MergeComparisons,
+		CacheHits:        c.CacheHits - prev.CacheHits,
+		CacheMisses:      c.CacheMisses - prev.CacheMisses,
+	}
+}
+
+// CostSnapshot is the JSON form of a Cost, carried in slow-log entries and
+// debug responses.
+type CostSnapshot struct {
+	ShardsTouched    int64 `json:"shards_touched,omitempty"`
+	Candidates       int64 `json:"candidates,omitempty"`
+	SuffixSteps      int64 `json:"suffix_steps,omitempty"`
+	IndexBytes       int64 `json:"index_bytes,omitempty"`
+	MergeComparisons int64 `json:"merge_comparisons,omitempty"`
+	CacheHits        int64 `json:"cache_hits,omitempty"`
+	CacheMisses      int64 `json:"cache_misses,omitempty"`
+}
+
+// CountBuckets is the default bucket layout for count-valued cost
+// histograms (candidates, steps, bytes, comparisons): powers of four from 1
+// to 16M, wide enough to separate an O(m + log N) probe from a
+// candidate-set blowup without per-family tuning.
+var CountBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384,
+	65536, 262144, 1048576, 4194304, 16777216,
+}

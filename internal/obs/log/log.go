@@ -1,0 +1,210 @@
+// Package olog is the repository's structured, leveled JSON logger: one
+// line per event, a fixed ts/level/msg prefix, then the event's key/value
+// fields in call order. It exists so the daemon, server, ingest store and
+// replication follower emit machine-parseable logs (greppable by request
+// ID, collection, epoch/offset) instead of free-form log.Printf text, while
+// staying dependency-free like the rest of internal/obs.
+//
+// A nil *Logger discards everything, so library code can thread a logger
+// unconditionally; levels below the logger's minimum are dropped before any
+// formatting work. Writes take one mutex hold so concurrent goroutines
+// cannot interleave partial lines.
+package olog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String returns the lowercase level name used on the wire.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a level name (case-insensitive) to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug, nil
+	case "info", "":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	default:
+		return Info, fmt.Errorf("unknown log level %q", s)
+	}
+}
+
+// Logger writes JSON log lines at or above a minimum level. Child loggers
+// from With share the parent's writer and mutex, so one process-wide
+// ordering holds across components.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	bound string // pre-rendered `,"k":v` pairs from With
+	now   func() time.Time
+}
+
+// New builds a logger writing to w at minimum level min. A nil writer
+// yields a nil logger (which discards everything).
+func New(w io.Writer, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a child logger that includes the given key/value pairs on
+// every line, after the parent's own bound fields. Nil-safe.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	appendFields(&b, kv)
+	child := *l
+	child.bound = l.bound + b.String()
+	return &child
+}
+
+// Enabled reports whether a line at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(Debug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(Info, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(Warn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(Error, msg, kv) }
+
+// Printf adapts the logger to the `func(format string, args ...any)` sinks
+// used by older options structs (ingest.Options.Logf, FollowerOptions.Logf):
+// the formatted text becomes an info-level msg with no fields.
+func (l *Logger) Printf(format string, args ...any) {
+	if l.Enabled(Info) {
+		l.log(Info, fmt.Sprintf(format, args...), nil)
+	}
+}
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96 + len(msg) + len(l.bound))
+	b.WriteString(`{"ts":"`)
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`","level":"`)
+	b.WriteString(level.String())
+	b.WriteString(`","msg":`)
+	b.WriteString(strconv.Quote(msg))
+	b.WriteString(l.bound)
+	appendFields(&b, kv)
+	b.WriteString("}\n")
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendFields renders kv as `,"k":v` pairs. A trailing odd value gets the
+// key "arg"; non-string keys are stringified rather than dropped, so a
+// malformed call still surfaces its data.
+func appendFields(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		} else {
+			key, val = "arg", key
+		}
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(key))
+		b.WriteByte(':')
+		appendValue(b, val)
+	}
+}
+
+func appendValue(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case string:
+		b.WriteString(strconv.Quote(x))
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+	case int:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case uint64:
+		b.WriteString(strconv.FormatUint(x, 10))
+	case float64:
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case time.Duration:
+		b.WriteString(strconv.Quote(x.String()))
+	case error:
+		b.WriteString(strconv.Quote(x.Error()))
+	default:
+		b.WriteString(strconv.Quote(fmt.Sprint(x)))
+	}
+}
+
+// printfWriter adapts a printf-style sink to io.Writer for FromPrintf.
+type printfWriter struct {
+	fn func(format string, args ...any)
+}
+
+func (p printfWriter) Write(b []byte) (int, error) {
+	p.fn("%s", strings.TrimSuffix(string(b), "\n"))
+	return len(b), nil
+}
+
+// FromPrintf wraps a legacy printf-style sink (e.g. log.Printf or a test's
+// t.Logf) as a Logger, so components migrating to structured logging keep
+// honouring the Logf hooks their options structs already expose. Returns
+// nil for a nil sink.
+func FromPrintf(fn func(format string, args ...any), min Level) *Logger {
+	if fn == nil {
+		return nil
+	}
+	return New(printfWriter{fn}, min)
+}

@@ -1,0 +1,169 @@
+package olog
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func parseLine(t *testing.T, line string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	return m
+}
+
+func TestBasicLine(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Debug)
+	l.Info("hello", "collection", "prot", "n", 42, "ok", true,
+		"dur", 1500*time.Millisecond, "err", errors.New("boom"), "f", 2.5)
+	m := parseLine(t, sb.String())
+	if m["level"] != "info" || m["msg"] != "hello" {
+		t.Fatalf("bad prefix: %v", m)
+	}
+	if m["collection"] != "prot" || m["n"] != float64(42) || m["ok"] != true {
+		t.Fatalf("bad fields: %v", m)
+	}
+	if m["dur"] != "1.5s" || m["err"] != "boom" || m["f"] != 2.5 {
+		t.Fatalf("bad typed fields: %v", m)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, m["ts"].(string)); err != nil {
+		t.Fatalf("bad ts: %v", err)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Warn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), sb.String())
+	}
+	if parseLine(t, lines[0])["level"] != "warn" || parseLine(t, lines[1])["level"] != "error" {
+		t.Fatalf("wrong levels: %q", sb.String())
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("dropped", "k", "v")
+	l.With("a", 1).Error("also dropped")
+	l.Printf("fmt %d", 1)
+	if l.Enabled(Error) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Info).With("component", "replica").With("collection", "prot")
+	l.Info("reconnect", "epoch", uint64(3), "offset", int64(4096))
+	m := parseLine(t, sb.String())
+	for k, want := range map[string]any{
+		"component": "replica", "collection": "prot",
+		"epoch": float64(3), "offset": float64(4096),
+	} {
+		if m[k] != want {
+			t.Errorf("%s = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+func TestOddFieldCount(t *testing.T) {
+	var sb strings.Builder
+	New(&sb, Info).Info("odd", "dangling")
+	if parseLine(t, sb.String())["arg"] != "dangling" {
+		t.Fatalf("dangling key lost: %s", sb.String())
+	}
+}
+
+func TestQuotingHostileValues(t *testing.T) {
+	var sb strings.Builder
+	New(&sb, Info).Info(`quote " and \ newline`+"\n", "k", "v\"w\n")
+	m := parseLine(t, sb.String())
+	if m["k"] != "v\"w\n" {
+		t.Fatalf("hostile value mangled: %v", m["k"])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": Debug, "INFO": Info, "": Info, "warning": Warn, "error": Error,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var sb strings.Builder
+	New(&sb, Info).Printf("compacted %d frames", 7)
+	if parseLine(t, sb.String())["msg"] != "compacted 7 frames" {
+		t.Fatalf("printf adapter: %s", sb.String())
+	}
+}
+
+func TestFromPrintf(t *testing.T) {
+	var got []string
+	l := FromPrintf(func(format string, args ...any) {
+		got = append(got, strings.TrimSpace(strings.ReplaceAll(format, "%s", "")))
+		for _, a := range args {
+			got = append(got, strings.TrimSpace(a.(string)))
+		}
+	}, Info)
+	l.Warn("snapshot required", "collection", "prot")
+	if len(got) == 0 || !strings.Contains(strings.Join(got, " "), "snapshot required") {
+		t.Fatalf("FromPrintf lost the line: %v", got)
+	}
+	if FromPrintf(nil, Info) != nil {
+		t.Fatal("FromPrintf(nil) should be nil")
+	}
+}
+
+func TestConcurrentLinesDoNotInterleave(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(b)
+	})
+	l := New(w, Info)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("want 400 lines, got %d", len(lines))
+	}
+	for _, line := range lines {
+		parseLine(t, line)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }

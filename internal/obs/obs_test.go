@@ -47,8 +47,8 @@ newline.`, "pattern")
 	}
 	h.With("count").Observe(0.005)
 
-	bi := r.CounterVec("ustridx_build_info", "Build metadata.", "version", "go")
-	bi.With("v1.2.3", "go1.24").Add(1)
+	bi := r.GaugeVec("ustridx_build_info", "Build metadata.", "version", "go")
+	bi.With("v1.2.3", "go1.24").SetInt(1)
 	return r
 }
 
@@ -157,9 +157,12 @@ func TestLintCatchesInvalidExposition(t *testing.T) {
 		in   string
 		want string // substring of the error
 	}{
-		{"duplicate sample", "# TYPE a counter\na 1\na 2\n", "duplicate sample"},
-		{"duplicate type", "# TYPE a counter\n# TYPE a counter\n", "duplicate TYPE"},
+		{"duplicate sample", "# TYPE a_total counter\na_total 1\na_total 2\n", "duplicate sample"},
+		{"duplicate type", "# TYPE a_total counter\n# TYPE a_total counter\n", "duplicate TYPE"},
 		{"missing type", "a 1\n", "no preceding TYPE"},
+		{"counter without _total", "# TYPE a counter\na 1\n", "_total"},
+		{"duplicate help", "# HELP a_total A.\n# HELP a_total B.\n# TYPE a_total counter\na_total 1\n", "duplicate HELP"},
+		{"help after samples", "# TYPE a_total counter\na_total 1\n# HELP a_total A.\n", "after its samples"},
 		{"non-cumulative buckets", "# TYPE h histogram\n" +
 			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
 			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n", "not cumulative"},
@@ -169,7 +172,7 @@ func TestLintCatchesInvalidExposition(t *testing.T) {
 			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 7\n", "_count"},
 		{"missing sum", "# TYPE h histogram\n" +
 			`h_bucket{le="+Inf"} 5` + "\nh_count 5\n", "_sum"},
-		{"bad value", "# TYPE a counter\na zebra\n", "bad value"},
+		{"bad value", "# TYPE a_total counter\na_total zebra\n", "bad value"},
 		{"unknown type", "# TYPE a rainbow\n", "unknown metric type"},
 	}
 	for _, tc := range cases {

@@ -48,8 +48,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // Lint validates a text-exposition scrape minimally: well-formed sample
 // lines, no duplicate sample (name plus label set), every sample preceded
-// by its family's single TYPE declaration, histogram buckets cumulative and
-// monotone with the +Inf bucket equal to _count, and _sum present for every
+// by its family's single TYPE declaration, HELP at most once per family and
+// never after the family's samples, counter families named with the
+// conventional _total suffix, histogram buckets cumulative and monotone
+// with the +Inf bucket equal to _count, and _sum present for every
 // histogram child. It is the checker the golden tests and the CI scrape
 // step share; it accepts any valid exposition, not only this package's
 // output.
@@ -57,6 +59,7 @@ func Lint(data []byte) error {
 	types := make(map[string]string)       // family → type
 	seen := make(map[string]bool)          // name+labels → present
 	helpSeen := make(map[string]bool)      // family → HELP emitted
+	sampled := make(map[string]bool)       // family → a sample was seen
 	type bucketKey struct{ series string } // histogram series (labels sans le)
 	buckets := make(map[bucketKey][]struct {
 		le    float64
@@ -82,6 +85,10 @@ func Lint(data []byte) error {
 			if helpSeen[fields[0]] {
 				return fmt.Errorf("line %d: duplicate HELP for %q", line, fields[0])
 			}
+			if sampled[fields[0]] {
+				return fmt.Errorf("line %d: HELP for %q after its samples (metadata must precede the family)",
+					line, fields[0])
+			}
 			helpSeen[fields[0]] = true
 			continue
 		}
@@ -98,6 +105,12 @@ func Lint(data []byte) error {
 			}
 			if _, dup := types[name]; dup {
 				return fmt.Errorf("line %d: duplicate TYPE for metric %q", line, name)
+			}
+			// The _total suffix is how dashboards and recording rules tell
+			// monotonic counters from gauges at a glance; enforce the
+			// convention rather than hope.
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter %q must end in _total", line, name)
 			}
 			types[name] = typ
 			continue
@@ -118,6 +131,7 @@ func Lint(data []byte) error {
 		if _, ok := types[family]; !ok {
 			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", line, name)
 		}
+		sampled[family] = true
 		if types[family] == "histogram" {
 			series := family + stripLE(labels)
 			switch {

@@ -81,6 +81,10 @@ func (t *Trace) Stages() []Stage {
 type SlowEntry struct {
 	// Time is when the request finished.
 	Time time.Time `json:"time"`
+	// RequestID is the end-to-end request id (the X-Request-Id header,
+	// generated when the client sent none), correlating the entry with the
+	// access log and the client's own records.
+	RequestID string `json:"request_id,omitempty"`
 	// Endpoint is the serving endpoint name ("query", "batch", …).
 	Endpoint string `json:"endpoint"`
 	// Op / Collection / Pattern / Param identify the query: Param is tau
@@ -101,6 +105,9 @@ type SlowEntry struct {
 	DurationUs float64 `json:"duration_us"`
 	// Stages is the per-stage breakdown from the request's trace.
 	Stages []Stage `json:"stages,omitempty"`
+	// Cost is the request's resource-cost breakdown (shards, candidates,
+	// suffix steps, index bytes, merge comparisons, cache hits/misses).
+	Cost *CostSnapshot `json:"cost,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of the most recent requests that

@@ -7,15 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 )
 
 // Follower defaults.
@@ -48,8 +51,14 @@ type FollowerOptions struct {
 	MaxBackoff time.Duration
 	// Client issues the HTTP requests; nil means http.DefaultClient.
 	Client *http.Client
-	// Logf receives replication diagnostics; nil discards them.
+	// Logf receives replication diagnostics; nil discards them. Retained
+	// for compatibility — when Log is nil, a structured logger is derived
+	// from it, so existing callers keep seeing every line.
 	Logf func(string, ...any)
+	// Log receives structured replication diagnostics (reconnects with
+	// collection and WAL position, bootstraps, re-bootstrap causes). It
+	// takes precedence over Logf; nil with a nil Logf discards everything.
+	Log *olog.Logger
 	// Metrics, when non-nil, receives follower instrumentation: snapshot
 	// bootstrap durations, applied-record counters, and scrape-time
 	// per-collection lag gauges read from Status.
@@ -69,10 +78,24 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.Log == nil {
+		o.Log = olog.FromPrintf(o.Logf, olog.Debug)
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 	return o
+}
+
+// jitter spreads a reconnect delay uniformly over ±20%, so a fleet of
+// followers that lost the same primary does not hammer it back in lockstep.
+// Backoff growth always applies to the unjittered base, keeping the
+// schedule's expected shape independent of the draws.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // CollectionLag is one collection's replication state for stats reporting.
@@ -113,6 +136,13 @@ type collState struct {
 // views as usual and never block on the applier.
 type Follower struct {
 	opts FollowerOptions
+	log  *olog.Logger
+
+	// ridPrefix/ridSeq stamp every primary fetch with an X-Request-Id of
+	// the form "follower-xxxxxxxx/N", so follower traffic is attributable
+	// in the primary's access log and slow-query log.
+	ridPrefix string
+	ridSeq    atomic.Int64
 
 	snapshotSeconds *obs.HistogramVec // collection
 	appliedRecords  *obs.CounterVec   // collection
@@ -134,7 +164,12 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 	if opts.Store == nil {
 		return nil, errors.New("replica: FollowerOptions.Store is required")
 	}
-	f := &Follower{opts: opts.withDefaults(), colls: make(map[string]*collState)}
+	f := &Follower{
+		opts:      opts.withDefaults(),
+		ridPrefix: fmt.Sprintf("follower-%08x", rand.Uint32()),
+		colls:     make(map[string]*collState),
+	}
+	f.log = f.opts.Log
 	f.snapshotSeconds = f.opts.Metrics.HistogramVec("ustridx_replication_snapshot_seconds",
 		"Bootstrap snapshot fetch-and-apply duration.", nil, "collection")
 	f.appliedRecords = f.opts.Metrics.CounterVec("ustridx_replication_applied_records_total",
@@ -188,7 +223,8 @@ func (f *Follower) Primary() string { return f.opts.Primary }
 func (f *Follower) Run(ctx context.Context) error {
 	for {
 		if err := f.discover(ctx); err != nil && ctx.Err() == nil {
-			f.opts.Logf("replica: discovering collections on %s: %v", f.opts.Primary, err)
+			f.log.Warn("replica: collection discovery failed",
+				"primary", f.opts.Primary, "error", err)
 		}
 		select {
 		case <-ctx.Done():
@@ -213,8 +249,8 @@ func (f *Follower) discover(ctx context.Context) error {
 		return err
 	}
 	if stats.Role != "" && stats.Role != "primary" {
-		f.opts.Logf("replica: %s reports role %q; only primaries serve the replication feed",
-			f.opts.Primary, stats.Role)
+		f.log.Warn("replica: primary reports non-primary role; only primaries serve the replication feed",
+			"primary", f.opts.Primary, "role", stats.Role)
 	}
 	for _, c := range stats.Collections {
 		f.mu.Lock()
@@ -256,9 +292,15 @@ func (f *Follower) tail(ctx context.Context, coll string, cs *collState) {
 			cs.mu.Lock()
 			cs.connected = false
 			cs.lastErr = err.Error()
+			epoch, offset := cs.epoch, cs.applied
 			cs.mu.Unlock()
-			f.opts.Logf("replica: %s: %v (retrying in %v)", coll, err, backoff)
-			if !f.sleep(ctx, backoff) {
+			// The actual wait is jittered ±20% (herd protection); the
+			// exponential growth below applies to the unjittered base.
+			wait := jitter(backoff)
+			f.log.Warn("replica: reconnecting",
+				"collection", coll, "epoch", epoch, "offset", offset,
+				"error", err, "backoff", wait)
+			if !f.sleep(ctx, wait) {
 				return
 			}
 			if backoff *= 2; backoff > f.opts.MaxBackoff {
@@ -299,8 +341,9 @@ func (f *Follower) bootstrap(ctx context.Context, coll string, cs *collState) er
 	cs.lastErr = ""
 	cs.bootstrapped = true
 	cs.mu.Unlock()
-	f.opts.Logf("replica: %s: bootstrapped %d documents at epoch %d offset %d",
-		coll, len(snap.IDs), snap.Position.Epoch, snap.Position.Offset)
+	f.log.Info("replica: bootstrapped",
+		"collection", coll, "docs", len(snap.IDs),
+		"epoch", snap.Position.Epoch, "offset", snap.Position.Offset)
 	return nil
 }
 
@@ -315,15 +358,17 @@ func (f *Follower) poll(ctx context.Context, coll string, cs *collState) (resnap
 		return false, false, err
 	}
 	if chunk.SnapshotRequired {
-		f.opts.Logf("replica: %s: position (epoch %d, offset %d) is gone (primary at epoch %d); re-bootstrapping",
-			coll, epoch, from, chunk.Epoch)
+		f.log.Info("replica: position gone; re-bootstrapping",
+			"collection", coll, "epoch", epoch, "offset", from,
+			"primary_epoch", chunk.Epoch)
 		return true, false, nil
 	}
 	recs, n, err := decodeFrames(chunk.Frames)
 	if err != nil {
 		// The feed only ships whole frames; a partial or undecodable chunk
 		// means the stream is damaged. Re-bootstrap rather than guess.
-		f.opts.Logf("replica: %s: %v; re-bootstrapping", coll, err)
+		f.log.Warn("replica: damaged wal chunk; re-bootstrapping",
+			"collection", coll, "epoch", epoch, "offset", from, "error", err)
 		return true, false, nil
 	}
 	if len(recs) > 0 {
@@ -370,12 +415,21 @@ func (f *Follower) sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// nextRequestID returns the follower's next X-Request-Id value
+// ("follower-xxxxxxxx/N"): one process-unique prefix, one sequence number
+// per primary fetch. The primary honours well-formed client ids, so these
+// appear verbatim in its access log.
+func (f *Follower) nextRequestID() string {
+	return f.ridPrefix + "/" + strconv.FormatInt(f.ridSeq.Add(1), 10)
+}
+
 // getJSON fetches a primary endpoint and decodes its JSON body.
 func (f *Follower) getJSON(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.opts.Primary+path, nil)
 	if err != nil {
 		return fmt.Errorf("replica: %w", err)
 	}
+	req.Header.Set("X-Request-Id", f.nextRequestID())
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("replica: %w", err)
@@ -413,6 +467,7 @@ func (f *Follower) fetchSnapshot(ctx context.Context, coll string) (*ingest.Repl
 	if err != nil {
 		return nil, fmt.Errorf("replica: %w", err)
 	}
+	req.Header.Set("X-Request-Id", f.nextRequestID())
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replica: %w", err)

@@ -198,13 +198,15 @@ func (c specColl) Validate(p []byte, tau float64) error                   { retu
 func (c specColl) Search(p []byte, tau float64) ([]catalog.DocHit, error) { return nil, nil }
 func (c specColl) TopK(p []byte, k int) ([]catalog.DocHit, error)         { return nil, nil }
 func (c specColl) Count(p []byte, tau float64) (int, error)               { return 0, nil }
-func (c specColl) SearchTraced(_ *obs.Trace, p []byte, tau float64) ([]catalog.DocHit, error) {
+func (c specColl) SearchObs(_ *obs.Trace, _ *obs.Cost, p []byte, tau float64) ([]catalog.DocHit, error) {
 	return nil, nil
 }
-func (c specColl) TopKTraced(_ *obs.Trace, p []byte, k int) ([]catalog.DocHit, error) {
+func (c specColl) TopKObs(_ *obs.Trace, _ *obs.Cost, p []byte, k int) ([]catalog.DocHit, error) {
 	return nil, nil
 }
-func (c specColl) CountTraced(_ *obs.Trace, p []byte, tau float64) (int, error) { return 0, nil }
+func (c specColl) CountObs(_ *obs.Trace, _ *obs.Cost, p []byte, tau float64) (int, error) {
+	return 0, nil
+}
 
 // TestCacheKeyIncludesBackendSpec is the aliasing regression test: even for
 // collections sharing an instance id (impossible today, cheap to defend),

@@ -89,7 +89,7 @@ type CompactResponse struct {
 // configured ε applies). The spec takes effect only when this PUT creates
 // the collection and answers 409 when it conflicts with an existing
 // collection's backend kind or ε.
-func (s *Server) handlePut(r *http.Request, _ *obs.Trace) (any, error) {
+func (s *Server) handlePut(r *http.Request, _ *obs.Trace, _ *obs.Cost) (any, error) {
 	if !s.mutable() {
 		return nil, s.readOnlyError()
 	}
@@ -162,7 +162,7 @@ func parseBackendParams(backend, epsilon string) (core.BackendSpec, error) {
 }
 
 // handleDelete tombstones one document.
-func (s *Server) handleDelete(r *http.Request, _ *obs.Trace) (any, error) {
+func (s *Server) handleDelete(r *http.Request, _ *obs.Trace, _ *obs.Cost) (any, error) {
 	if !s.mutable() {
 		return nil, s.readOnlyError()
 	}
@@ -185,7 +185,7 @@ func (s *Server) handleDelete(r *http.Request, _ *obs.Trace) (any, error) {
 
 // handleCompact folds the named collection (or, without a collection
 // parameter, every collection) synchronously.
-func (s *Server) handleCompact(r *http.Request, _ *obs.Trace) (any, error) {
+func (s *Server) handleCompact(r *http.Request, _ *obs.Trace, _ *obs.Cost) (any, error) {
 	if !s.mutable() {
 		return nil, s.readOnlyError()
 	}

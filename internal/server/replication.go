@@ -12,7 +12,7 @@ import (
 // handleReplicationWAL answers one follower poll against the primary's WAL
 // feed: frames from the requested (epoch, from), or a snapshot-required
 // signal when that position no longer names live history.
-func (s *Server) handleReplicationWAL(r *http.Request, _ *obs.Trace) (any, error) {
+func (s *Server) handleReplicationWAL(r *http.Request, _ *obs.Trace, _ *obs.Cost) (any, error) {
 	q := r.URL.Query()
 	coll := q.Get("collection")
 	if coll == "" {
@@ -70,7 +70,7 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
 		ep.reject()
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server over capacity"})
 		return
 	}
 	begin := time.Now()

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// RequestIDHeader carries the end-to-end request id. The server honours a
+// well-formed client-supplied value (so a caller — or a follower fetching
+// the replication feed — can correlate its own records with the primary's
+// access log and slow-query log) and generates one otherwise; either way
+// the id is echoed on the response and threaded through the request
+// context.
+const RequestIDHeader = "X-Request-Id"
+
+// DebugObsHeader, when set to "1" on a query request, asks the server to
+// answer with Server-Timing (the per-stage trace breakdown) and
+// X-Query-Cost (the JSON cost snapshot) headers — per-request
+// observability on demand, without turning the slow-query log on.
+const DebugObsHeader = "X-Debug-Obs"
+
+// maxRequestIDLen bounds accepted client-supplied request ids.
+const maxRequestIDLen = 128
+
+// ctxKey is the private context-key type for request-scoped values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFromContext returns the request id threaded by ServeHTTP, or ""
+// outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-digit random request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; serve a fixed id rather
+		// than refusing requests over an observability nicety.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied id only when it is short and
+// made of log-safe characters (so a hostile header cannot inject into the
+// access log or response headers); anything else is discarded and replaced
+// with a generated id.
+func sanitizeRequestID(raw string) string {
+	if raw == "" || len(raw) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.', c == '/', c == ':':
+		default:
+			return ""
+		}
+	}
+	return raw
+}
+
+// statusWriter records the committed status and body size for the access
+// log while delegating to the wrapped ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}

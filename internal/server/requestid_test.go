@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	olog "repro/internal/obs/log"
+	"repro/internal/replica"
+	"repro/internal/ustring"
+)
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestRequestIDLifecycle covers the middleware contract: a missing id is
+// generated (16 hex digits), a well-formed client id is echoed verbatim,
+// and a hostile one (header injection, oversized) is discarded for a
+// generated id.
+func TestRequestIDLifecycle(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 3)
+	target := "/v1/query?collection=prot&p=" + p + "&tau=0.15"
+
+	send := func(id string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if id != "" {
+			req.Header.Set(RequestIDHeader, id)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if got := send("").Header().Get(RequestIDHeader); !hexID.MatchString(got) {
+		t.Errorf("generated id %q is not 16 hex digits", got)
+	}
+	if got := send("client-7/3").Header().Get(RequestIDHeader); got != "client-7/3" {
+		t.Errorf("well-formed id not echoed: got %q", got)
+	}
+	for _, hostile := range []string{"bad\nheader", "sp ace", strings.Repeat("a", 200)} {
+		got := send(hostile).Header().Get(RequestIDHeader)
+		if got == hostile || !hexID.MatchString(got) {
+			t.Errorf("hostile id %q: response id %q, want a fresh generated id", hostile, got)
+		}
+	}
+}
+
+// TestBatchPerOpRequestID: every batch result — successes and per-op errors
+// alike — carries the batch's id suffixed with the op index.
+func TestBatchPerOpRequestID(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p := pattern(t, docs, 3)
+	body := fmt.Sprintf(`{"collection":"prot","queries":[
+		{"p":%q,"tau":0.15},
+		{"op":"nope","p":%q},
+		{"op":"count","p":%q,"tau":0.15}]}`, p, p, p)
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+	req.Header.Set(RequestIDHeader, "batch-1")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		want := fmt.Sprintf("batch-1/%d", i)
+		if r.RequestID != want {
+			t.Errorf("result %d: request_id %q, want %q", i, r.RequestID, want)
+		}
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("bad op did not produce a per-op error")
+	}
+}
+
+// TestRequestIDOnErrorPaths: the id must be echoed on rejected requests
+// too — 429 shed load, 422 capability rejection, 403 read-only — or the
+// one class of request an operator most wants to correlate would be the
+// one without an id.
+func TestRequestIDOnErrorPaths(t *testing.T) {
+	// 403: mutation on a read-only (static catalog) server.
+	s, docs := testServer(t, Config{MaxInFlight: 1})
+	req := httptest.NewRequest(http.MethodPut, "/v1/collections/prot/documents/d0", strings.NewReader("A:1\n"))
+	req.Header.Set(RequestIDHeader, "err-403")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden || rec.Header().Get(RequestIDHeader) != "err-403" {
+		t.Errorf("403 path: status %d, id %q", rec.Code, rec.Header().Get(RequestIDHeader))
+	}
+
+	// 429: the only in-flight slot is taken and the client has gone away.
+	p := pattern(t, docs, 3)
+	s.sem <- struct{}{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req = httptest.NewRequest(http.MethodGet, "/v1/query?collection=prot&p="+p+"&tau=0.15", nil).WithContext(ctx)
+	req.Header.Set(RequestIDHeader, "err-429")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	<-s.sem
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get(RequestIDHeader) != "err-429" {
+		t.Errorf("429 path: status %d, id %q", rec.Code, rec.Header().Get(RequestIDHeader))
+	}
+
+	// 422: top-k on an approx collection.
+	docs = gen.Collection(gen.Config{N: 600, Theta: 0.3, Seed: 331})
+	st, err := ingest.Open(nil, ingest.Options{
+		Dir: t.TempDir(), Catalog: catalog.Options{TauMin: 0.1, Shards: 2},
+		CompactThreshold: -1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	is := NewIngest(st, Config{})
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	do(t, is, http.MethodPut, "/v1/collections/ap/documents/d0?backend=approx&epsilon=0.05",
+		body.String(), http.StatusOK, nil)
+	req = httptest.NewRequest(http.MethodGet, "/v1/topk?collection=ap&p="+pattern(t, docs[:1], 3)+"&k=3", nil)
+	req.Header.Set(RequestIDHeader, "err-422")
+	rec = httptest.NewRecorder()
+	is.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity || rec.Header().Get(RequestIDHeader) != "err-422" {
+		t.Errorf("422 path: status %d, id %q", rec.Code, rec.Header().Get(RequestIDHeader))
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink for the access-log assertions.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestFollowerRequestIDInPrimaryAccessLog is the end-to-end propagation
+// check across processes: a follower stamps its own ids on replication
+// fetches, and the primary's access log records them — so a replication
+// stall can be traced from either side with one grep.
+func TestFollowerRequestIDInPrimaryAccessLog(t *testing.T) {
+	copts := catalog.Options{TauMin: 0.1, Shards: 2}
+	open := func() *ingest.Store {
+		st, err := ingest.Open(nil, ingest.Options{
+			Dir: t.TempDir(), Catalog: copts, CompactThreshold: -1, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+
+	var access syncBuffer
+	pst := open()
+	primary := NewIngest(pst, Config{AccessLog: olog.New(&access, olog.Info)})
+	ts := httptest.NewServer(primary)
+	t.Cleanup(ts.Close)
+
+	docs := gen.Collection(gen.Config{N: 600, Theta: 0.3, Seed: 337})
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	do(t, primary, http.MethodPut, "/v1/collections/prot/documents/d0", body.String(), http.StatusOK, nil)
+
+	fst := open()
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Primary:          ts.URL,
+		Store:            fst,
+		PollInterval:     2 * time.Millisecond,
+		DiscoverInterval: 5 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := fst.Get("prot"); ok && v.Docs() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower did not replicate the collection within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	log := access.String()
+	if !strings.Contains(log, `"request_id":"follower-`) {
+		t.Fatalf("primary access log has no follower request ids:\n%s", log)
+	}
+	if !strings.Contains(log, "/v1/replication/") {
+		t.Fatalf("primary access log has no replication fetches:\n%s", log)
+	}
+}

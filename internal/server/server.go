@@ -43,15 +43,28 @@
 // The server keeps an LRU cache of successful results keyed by
 // (operation, collection-instance, backend-spec, pattern, tau-or-k), bounds
 // the number of in-flight query requests with a semaphore (excess requests
-// wait; if the client gives up first the request is dropped with 503), and
+// wait; if the client gives up first the request is dropped with 429), and
 // tracks per-endpoint request, error and latency counters exposed via
 // /v1/stats, alongside approximate-query counters and every collection's
 // backend and ε. Because mutable collections stamp every published snapshot
 // with a fresh instance id, a mutation implicitly invalidates all cached
 // results of the collection it touched.
+//
+// Every request carries an end-to-end id: the X-Request-Id header when the
+// client supplies a well-formed one, a generated id otherwise. The id is
+// echoed on the response, threaded through the request context (and into
+// each per-op result of a /v1/batch as "<id>/<index>"), stamped on
+// slow-query log entries, and keys the optional access log
+// (Config.AccessLog). Query requests also accumulate an obs.Cost — shards
+// touched, candidates examined, suffix-structure steps, index bytes read,
+// merge comparisons, cache hits/misses — observed into the per-collection
+// ustridx_query_cost histograms, attached to slow-log entries, and returned
+// in Server-Timing/X-Query-Cost headers when the request sets
+// X-Debug-Obs: 1.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,6 +78,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/replica"
 )
 
@@ -122,6 +136,10 @@ type Config struct {
 	// SlowLogEntries bounds the slow-query ring buffer; 0 means
 	// obs.DefaultSlowLogEntries.
 	SlowLogEntries int
+	// AccessLog, when non-nil, receives one structured line per request
+	// (request id, method, path, status, bytes, duration). Nil disables
+	// access logging.
+	AccessLog *olog.Logger
 }
 
 // DefaultMaxPatternBytes is the default pattern length limit (4 KiB).
@@ -148,12 +166,14 @@ type Collection interface {
 	Search(p []byte, tau float64) ([]catalog.DocHit, error)
 	TopK(p []byte, k int) ([]catalog.DocHit, error)
 	Count(p []byte, tau float64) (int, error)
-	// The traced variants are the same queries recording per-stage timings
-	// (shard fan-out, backend search, merge) into tr; a nil tr records
-	// nothing. The server's query path always calls these.
-	SearchTraced(tr *obs.Trace, p []byte, tau float64) ([]catalog.DocHit, error)
-	TopKTraced(tr *obs.Trace, p []byte, k int) ([]catalog.DocHit, error)
-	CountTraced(tr *obs.Trace, p []byte, tau float64) (int, error)
+	// The observed variants are the same queries recording per-stage timings
+	// (shard fan-out, backend search, merge) into tr and resource counters
+	// (shards, candidates, suffix steps, index bytes, merge comparisons)
+	// into c; a nil tr or c records nothing. The server's query path always
+	// calls these.
+	SearchObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) ([]catalog.DocHit, error)
+	TopKObs(tr *obs.Trace, c *obs.Cost, p []byte, k int) ([]catalog.DocHit, error)
+	CountObs(tr *obs.Trace, c *obs.Cost, p []byte, tau float64) (int, error)
 }
 
 // source resolves collections by name. One generic adapter covers every
@@ -237,6 +257,7 @@ type Server struct {
 	stats    *stats
 	metrics  *obs.Registry
 	slowlog  *obs.SlowLog // nil when SlowQueryThreshold is 0
+	access   *olog.Logger // nil disables access logging
 	sem      chan struct{}
 	mux      *http.ServeMux
 	start    time.Time
@@ -277,6 +298,7 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 		stats:   newStats(reg),
 		metrics: reg,
 		slowlog: obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogEntries),
+		access:  cfg.AccessLog,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -376,8 +398,34 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 // mutable reports whether this server accepts writes.
 func (s *Server) mutable() bool { return s.role == RolePrimary && s.ingest != nil }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request is assigned its
+// end-to-end id here (honouring a well-formed client X-Request-Id,
+// generating one otherwise), which is echoed on the response, threaded
+// through the context, and — when access logging is configured — keys one
+// structured access-log line per request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+	if s.access == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	begin := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.access.Info("request",
+		"request_id", rid,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"bytes", sw.bytes,
+		"duration_us", time.Since(begin).Microseconds(),
+		"remote", r.RemoteAddr)
+}
 
 // httpError is an error with a dedicated status code.
 type httpError struct {
@@ -422,10 +470,11 @@ type errorResponse struct {
 }
 
 // limited wraps a query handler with method filtering, the in-flight
-// semaphore, request/error/rejection/latency accounting, and — when the
-// slow-query log is on — a per-request trace whose stage breakdown is
-// retained for requests over the threshold.
-func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace) (any, error)) http.HandlerFunc {
+// semaphore, request/error/rejection/latency accounting, a per-request
+// cost accumulator (always on — the counters ride existing query work),
+// and a per-request trace allocated when the slow-query log can consume it
+// or the request asks for debug headers (X-Debug-Obs: 1).
+func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace, *obs.Cost) (any, error)) http.HandlerFunc {
 	ep := s.stats.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		ep.requests.Inc()
@@ -440,18 +489,21 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace)
 			defer func() { <-s.sem }()
 		case <-r.Context().Done():
 			ep.reject()
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server over capacity"})
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server over capacity"})
 			return
 		}
-		// The trace exists only when the slow log can consume it; a nil
-		// trace records nothing all the way down the query path.
+		debug := r.Header.Get(DebugObsHeader) == "1"
 		var tr *obs.Trace
-		if s.slowlog != nil {
+		if s.slowlog != nil || debug {
 			tr = &obs.Trace{}
 		}
+		cost := &obs.Cost{}
 		begin := time.Now()
-		resp, err := fn(r, tr)
+		resp, err := fn(r, tr, cost)
 		ep.observe(time.Since(begin))
+		if debug {
+			writeDebugHeaders(w, tr, cost)
+		}
 		if err != nil {
 			ep.errors.Inc()
 			writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
@@ -460,9 +512,10 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace)
 			writeJSON(w, http.StatusOK, resp)
 			stop()
 		}
-		if tr != nil {
+		if tr != nil && s.slowlog != nil {
 			entry := obs.SlowEntry{
 				Time:       time.Now(),
+				RequestID:  RequestIDFromContext(r.Context()),
 				Endpoint:   name,
 				Op:         tr.Op,
 				Collection: tr.Collection,
@@ -473,11 +526,33 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace)
 				Cached:     tr.Cached,
 				DurationUs: float64(time.Since(begin).Nanoseconds()) / 1e3,
 				Stages:     tr.Stages(),
+				Cost:       cost.Snapshot(),
 			}
 			if err != nil {
 				entry.Error = err.Error()
 			}
 			s.slowlog.Observe(entry)
+		}
+	}
+}
+
+// writeDebugHeaders answers an X-Debug-Obs request with the per-stage
+// timings as a Server-Timing header and the cost counters as X-Query-Cost
+// (compact JSON). Must run before the status is committed.
+func writeDebugHeaders(w http.ResponseWriter, tr *obs.Trace, cost *obs.Cost) {
+	if stages := tr.Stages(); len(stages) > 0 {
+		var sb strings.Builder
+		for i, st := range stages {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s;dur=%.3f", st.Name, st.DurationUs/1e3)
+		}
+		w.Header().Set("Server-Timing", sb.String())
+	}
+	if snap := cost.Snapshot(); snap != nil {
+		if b, err := json.Marshal(snap); err == nil {
+			w.Header().Set("X-Query-Cost", string(b))
 		}
 	}
 }
@@ -616,7 +691,13 @@ func (q queryKind) name() string {
 // result cache (whose key folds in the backend spec), fans out, and
 // assembles the response — including the approx/epsilon annotation for
 // ε-approximate collections. tau is ignored for qTopK; k for the others.
-func (s *Server) execQuery(tr *obs.Trace, kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
+//
+// The request-level cost accumulates across ops (a batch shares one cost);
+// this op's own contribution — the delta since entry — is what lands in the
+// per-collection cost histograms, and only for executed queries: a cache
+// hit costs a lookup, not a fan-out, and recording zeros for it would drag
+// every cost distribution toward the hit rate.
+func (s *Server) execQuery(tr *obs.Trace, cost *obs.Cost, kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
 	spec := col.Spec()
 	caps := spec.Capabilities()
 	if kind == qTopK && !caps.TopK {
@@ -656,6 +737,7 @@ func (s *Server) execQuery(tr *obs.Trace, kind queryKind, col Collection, collNa
 	hits, n, ok := s.lookup(key)
 	stop()
 	if ok {
+		cost.CacheHit()
 		if !caps.Exact {
 			s.stats.approxCacheHits.Inc()
 		}
@@ -664,25 +746,35 @@ func (s *Server) execQuery(tr *obs.Trace, kind queryKind, col Collection, collNa
 		}
 		return assembleResponse(kind, collName, caps, p, tau, k, hits, n, true), nil
 	}
+	if s.cache != nil {
+		cost.CacheMiss()
+	}
+	var before obs.Cost
+	if cost != nil {
+		before = *cost
+	}
 	hits, n = nil, 0
 	switch kind {
 	case qTopK:
-		dh, err := col.TopKTraced(tr, p, k)
+		dh, err := col.TopKObs(tr, cost, p, k)
 		if err != nil {
 			return nil, err
 		}
 		hits, n = toHits(dh), len(dh)
 	case qCount:
 		var err error
-		if n, err = col.CountTraced(tr, p, tau); err != nil {
+		if n, err = col.CountObs(tr, cost, p, tau); err != nil {
 			return nil, err
 		}
 	default:
-		dh, err := col.SearchTraced(tr, p, tau)
+		dh, err := col.SearchObs(tr, cost, p, tau)
 		if err != nil {
 			return nil, err
 		}
 		hits, n = toHits(dh), len(dh)
+	}
+	if cost != nil {
+		s.stats.cost(collName, spec.Kind).observe(cost.DeltaSince(before))
 	}
 	s.store(key, hits, n)
 	return assembleResponse(kind, collName, caps, p, tau, k, hits, n, false), nil
@@ -704,7 +796,7 @@ func assembleResponse(kind queryKind, collName string, caps core.Capabilities, p
 	return resp
 }
 
-func (s *Server) handleQuery(r *http.Request, tr *obs.Trace) (any, error) {
+func (s *Server) handleQuery(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -718,10 +810,10 @@ func (s *Server) handleQuery(r *http.Request, tr *obs.Trace) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, qSearch, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tr, cost, qSearch, col, q.Get("collection"), p, tau, 0)
 }
 
-func (s *Server) handleTopK(r *http.Request, tr *obs.Trace) (any, error) {
+func (s *Server) handleTopK(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -735,10 +827,10 @@ func (s *Server) handleTopK(r *http.Request, tr *obs.Trace) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, qTopK, col, q.Get("collection"), p, 0, k)
+	return s.execQuery(tr, cost, qTopK, col, q.Get("collection"), p, 0, k)
 }
 
-func (s *Server) handleCount(r *http.Request, tr *obs.Trace) (any, error) {
+func (s *Server) handleCount(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
 	q := r.URL.Query()
 	col, err := s.collection(q.Get("collection"))
 	if err != nil {
@@ -752,7 +844,7 @@ func (s *Server) handleCount(r *http.Request, tr *obs.Trace) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, qCount, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tr, cost, qCount, col, q.Get("collection"), p, tau, 0)
 }
 
 // BatchQuery is one entry of a batch request. Op selects the operation:
@@ -775,11 +867,14 @@ type BatchRequest struct {
 // whole batch. Code classifies the failure ("unsupported_query" for a
 // capability rejection, "bad_request" otherwise) so clients can tell a
 // backend that cannot answer the op from a malformed op without parsing the
-// message.
+// message. RequestID is the batch request's end-to-end id suffixed with the
+// op's index ("<id>/<index>"), so one op's outcome can be correlated with
+// the batch's access-log line.
 type BatchResult struct {
-	Result any    `json:"result,omitempty"`
-	Error  string `json:"error,omitempty"`
-	Code   string `json:"code,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	Result    any    `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
 }
 
 // BatchResponse answers /v1/batch.
@@ -788,7 +883,7 @@ type BatchResponse struct {
 	Results    []BatchResult `json:"results"`
 }
 
-func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, error) {
+func (s *Server) handleBatch(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
 	var req BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -805,6 +900,7 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	rid := RequestIDFromContext(r.Context())
 	resp := BatchResponse{Collection: req.Collection, Results: make([]BatchResult, len(req.Queries))}
 	for i, q := range req.Queries {
 		var (
@@ -816,33 +912,38 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, error) {
 			// Every op funnels through the same execQuery path the single
 			// endpoints use, so capability checks, cache keys and the
 			// approx/epsilon annotations are identical batch or not.
-			// The batch's single trace accumulates every op's stages; the
-			// identity fields end up describing the last op, so the slow
-			// log's Op/Pattern are cleared below for multi-query batches.
+			// The batch's single trace and cost accumulate every op's stages
+			// and counters; the identity fields end up describing the last
+			// op, so the slow log's Op/Pattern are cleared below for
+			// multi-query batches.
 			switch q.Op {
 			case "", "search":
-				result, qerr = s.execQuery(tr, qSearch, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tr, cost, qSearch, col, req.Collection, p, q.Tau, 0)
 			case "topk":
 				if q.K <= 0 || q.K > s.cfg.MaxK {
 					qerr = badRequest("bad k %d", q.K)
 				} else {
-					result, qerr = s.execQuery(tr, qTopK, col, req.Collection, p, 0, q.K)
+					result, qerr = s.execQuery(tr, cost, qTopK, col, req.Collection, p, 0, q.K)
 				}
 			case "count":
-				result, qerr = s.execQuery(tr, qCount, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tr, cost, qCount, col, req.Collection, p, q.Tau, 0)
 			default:
 				qerr = badRequest("unknown op %q", q.Op)
 			}
+		}
+		opID := ""
+		if rid != "" {
+			opID = fmt.Sprintf("%s/%d", rid, i)
 		}
 		if qerr != nil {
 			code := "bad_request"
 			if errors.Is(qerr, core.ErrUnsupportedQuery) {
 				code = "unsupported_query"
 			}
-			resp.Results[i] = BatchResult{Error: qerr.Error(), Code: code}
+			resp.Results[i] = BatchResult{RequestID: opID, Error: qerr.Error(), Code: code}
 			continue
 		}
-		resp.Results[i] = BatchResult{Result: result}
+		resp.Results[i] = BatchResult{RequestID: opID, Result: result}
 	}
 	if tr != nil && len(req.Queries) > 1 {
 		// The per-query fields describe only the last op; blank them so a

@@ -317,7 +317,7 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 // TestInFlightLimit verifies load shedding: with the semaphore full and the
-// client already gone, the request is rejected with 503.
+// client already gone, the request is rejected with 429.
 func TestInFlightLimit(t *testing.T) {
 	s, docs := testServer(t, Config{MaxInFlight: 1})
 	p := pattern(t, docs, 3)
@@ -327,8 +327,8 @@ func TestInFlightLimit(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/v1/query?collection=prot&p="+p+"&tau=0.15", nil).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity request: status %d, want 503", rec.Code)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: status %d, want 429", rec.Code)
 	}
 	<-s.sem
 	// With the slot free again the same request succeeds.

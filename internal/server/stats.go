@@ -75,6 +75,17 @@ type stats struct {
 	// operation and the serving backend (kind and ε).
 	queryVec *obs.HistogramVec
 
+	// queryCostVec is the per-collection query cost histogram family, one
+	// series per (collection, backend, resource): how many shards a query
+	// touched, candidates it examined, suffix-structure steps it took,
+	// index bytes it read, and merge comparisons it made. Executed queries
+	// only — cache hits would pile zeros onto every distribution.
+	queryCostVec *obs.HistogramVec
+	// costHandles caches one costHandles bundle per (collection, backend),
+	// so the hot path observes through pre-resolved histogram children
+	// instead of paying the vec's label lookup five times per query.
+	costHandles sync.Map // string → *costHandles
+
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 
@@ -99,6 +110,9 @@ func newStats(r *obs.Registry) *stats {
 		queryVec: r.HistogramVec("ustridx_query_duration_seconds",
 			"Query execution latency, by collection, operation and serving backend.",
 			nil, "collection", "op", "backend", "epsilon"),
+		queryCostVec: r.HistogramVec("ustridx_query_cost",
+			"Per-query resource cost of executed (uncached) queries, by collection, serving backend and resource (shards, candidates, suffix_steps, index_bytes, merge_comparisons).",
+			obs.CountBuckets, "collection", "backend", "resource"),
 		cacheHits:   r.Counter("ustridx_cache_hits_total", "Result cache hits."),
 		cacheMisses: r.Counter("ustridx_cache_misses_total", "Result cache misses."),
 		approxQueries: r.Counter("ustridx_approx_queries_total",
@@ -130,6 +144,43 @@ func (s *stats) endpoint(name string) *endpointStats {
 func (s *stats) query(collection, op, backend string, epsilon float64) *obs.Histogram {
 	return s.queryVec.With(collection, op, backend,
 		strconv.FormatFloat(epsilon, 'g', -1, 64))
+}
+
+// costHandles is one (collection, backend)'s bundle of pre-resolved cost
+// histogram children, one per resource.
+type costHandles struct {
+	shards           *obs.Histogram
+	candidates       *obs.Histogram
+	suffixSteps      *obs.Histogram
+	indexBytes       *obs.Histogram
+	mergeComparisons *obs.Histogram
+}
+
+// observe records one executed query's cost into every resource histogram.
+func (h *costHandles) observe(c obs.Cost) {
+	h.shards.Observe(float64(c.ShardsTouched))
+	h.candidates.Observe(float64(c.Candidates))
+	h.suffixSteps.Observe(float64(c.SuffixSteps))
+	h.indexBytes.Observe(float64(c.IndexBytes))
+	h.mergeComparisons.Observe(float64(c.MergeComparisons))
+}
+
+// cost returns (creating on first use) the cost-histogram bundle for one
+// (collection, backend).
+func (s *stats) cost(collection, backend string) *costHandles {
+	key := collection + "\x00" + backend
+	if v, ok := s.costHandles.Load(key); ok {
+		return v.(*costHandles)
+	}
+	h := &costHandles{
+		shards:           s.queryCostVec.With(collection, backend, "shards"),
+		candidates:       s.queryCostVec.With(collection, backend, "candidates"),
+		suffixSteps:      s.queryCostVec.With(collection, backend, "suffix_steps"),
+		indexBytes:       s.queryCostVec.With(collection, backend, "index_bytes"),
+		mergeComparisons: s.queryCostVec.With(collection, backend, "merge_comparisons"),
+	}
+	v, _ := s.costHandles.LoadOrStore(key, h)
+	return v.(*costHandles)
 }
 
 // snapshot exports every endpoint's counters.

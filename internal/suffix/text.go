@@ -71,25 +71,34 @@ func (t *Text) Suffix(i int32) []byte { return t.data[i:] }
 // not occur. This is the paper's suffix range [sp, ep]. The search is a
 // binary search over the suffix array: O(|p| log n).
 func (t *Text) Range(p []byte) (lo, hi int, ok bool) {
+	lo, hi, ok, _ = t.RangeCount(p)
+	return lo, hi, ok
+}
+
+// RangeCount is Range plus the number of binary-search probes made — the
+// comparison count cost attribution charges as suffix steps.
+func (t *Text) RangeCount(p []byte) (lo, hi int, ok bool, probes int) {
 	if len(p) == 0 {
 		if len(t.data) == 0 {
-			return 0, -1, false
+			return 0, -1, false, 0
 		}
-		return 0, len(t.sa) - 1, true
+		return 0, len(t.sa) - 1, true, 0
 	}
 	n := len(t.sa)
 	// lo = first suffix ≥ p.
 	lo = searchSA(n, func(i int) bool {
+		probes++
 		return bytes.Compare(t.suffixPrefix(i, len(p)), p) >= 0
 	})
 	if lo == n || !bytes.HasPrefix(t.Suffix(t.sa[lo]), p) {
-		return 0, -1, false
+		return 0, -1, false, probes
 	}
 	// hi = last suffix with prefix p = first suffix > p-prefixed block, -1.
 	hi = searchSA(n, func(i int) bool {
+		probes++
 		return bytes.Compare(t.suffixPrefix(i, len(p)), p) > 0
 	}) - 1
-	return lo, hi, true
+	return lo, hi, true, probes
 }
 
 // suffixPrefix returns at most m leading bytes of the i-th smallest suffix.

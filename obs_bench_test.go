@@ -1,8 +1,10 @@
 // Observability overhead: the always-on instrumentation the server adds
-// around every catalog search (the per-collection latency histogram; the
-// trace stays nil unless -slow-query-ms enables the slow-query log) must
-// stay within 2% of the raw query path on the BENCH_5 long-pattern slice of
-// the standard backend workload. The comparison is taken as interleaved
+// around every catalog search — the per-collection latency histogram plus
+// the request cost accounting (an obs.Cost descending the fan-out and the
+// per-resource cost histogram observations; the trace stays nil unless
+// -slow-query-ms enables the slow-query log) — must stay within 2% of the
+// raw query path on the BENCH_5 long-pattern slice of the standard backend
+// workload. The comparison is taken as interleaved
 // per-round medians, like BENCH_5's enforced plain-vs-approx race, so
 // scheduler noise hits both variants equally.
 //
@@ -35,22 +37,57 @@ func searchRaw(col *catalog.Collection, p []byte) error {
 	return err
 }
 
-// searchMetrics mirrors the server's default execQuery bookkeeping: one
-// latency histogram observation around the search, no trace.
-func searchMetrics(col *catalog.Collection, hist *obs.Histogram, p []byte) error {
+// costSink mirrors the server's per-(collection, backend) cost-histogram
+// bundle: five pre-resolved histogram children fed from the request cost.
+type costSink struct {
+	shards, candidates, suffixSteps, indexBytes, mergeComparisons *obs.Histogram
+}
+
+func newCostSink(r *obs.Registry) *costSink {
+	vec := r.HistogramVec("bench_query_cost", "Bench sink.", obs.CountBuckets,
+		"collection", "backend", "resource")
+	return &costSink{
+		shards:           vec.With("bench", "plain", "shards"),
+		candidates:       vec.With("bench", "plain", "candidates"),
+		suffixSteps:      vec.With("bench", "plain", "suffix_steps"),
+		indexBytes:       vec.With("bench", "plain", "index_bytes"),
+		mergeComparisons: vec.With("bench", "plain", "merge_comparisons"),
+	}
+}
+
+func (c *costSink) observe(v obs.Cost) {
+	c.shards.Observe(float64(v.ShardsTouched))
+	c.candidates.Observe(float64(v.Candidates))
+	c.suffixSteps.Observe(float64(v.SuffixSteps))
+	c.indexBytes.Observe(float64(v.IndexBytes))
+	c.mergeComparisons.Observe(float64(v.MergeComparisons))
+}
+
+// searchMetrics mirrors the server's default execQuery bookkeeping: the
+// latency histogram observation, the always-allocated request cost
+// descending the fan-out (nil trace), and the per-resource cost histogram
+// observations for the executed query.
+func searchMetrics(col *catalog.Collection, hist *obs.Histogram, costs *costSink, p []byte) error {
+	cost := &obs.Cost{}
 	begin := time.Now()
-	_, err := col.Search(p, backendBenchTau)
+	before := *cost
+	_, err := col.SearchObs(nil, cost, p, backendBenchTau)
 	hist.ObserveDuration(time.Since(begin))
+	costs.observe(cost.DeltaSince(before))
 	return err
 }
 
 // searchTraced mirrors execQuery with the slow-query log enabled: a live
-// trace descending the fan-out plus the histogram observation.
-func searchTraced(col *catalog.Collection, hist *obs.Histogram, p []byte) error {
+// trace AND the request cost descending the fan-out, plus both histogram
+// observations.
+func searchTraced(col *catalog.Collection, hist *obs.Histogram, costs *costSink, p []byte) error {
 	tr := &obs.Trace{}
+	cost := &obs.Cost{}
 	begin := time.Now()
-	_, err := col.SearchTraced(tr, p, backendBenchTau)
+	before := *cost
+	_, err := col.SearchObs(tr, cost, p, backendBenchTau)
 	hist.ObserveDuration(time.Since(begin))
+	costs.observe(cost.DeltaSince(before))
 	return err
 }
 
@@ -81,14 +118,16 @@ func medianOverheadNs(tb testing.TB, fn func(p []byte) error, pats [][]byte, rou
 func measureObsOverhead(tb testing.TB) (rawNs, metricsNs, tracedNs int64) {
 	st := backendBenchSetup(tb)
 	col := st.colls[core.BackendPlain]
-	hist := obs.NewRegistry().Histogram("bench_query_seconds", "Bench sink.", nil)
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("bench_query_seconds", "Bench sink.", nil)
+	costs := newCostSink(reg)
 	const rounds, batch = 15, 64
 	for _, m := range bench5LongPatternLens {
 		pats := st.pats[m]
 		variants := []func(p []byte) error{
 			func(p []byte) error { return searchRaw(col, p) },
-			func(p []byte) error { return searchMetrics(col, hist, p) },
-			func(p []byte) error { return searchTraced(col, hist, p) },
+			func(p []byte) error { return searchMetrics(col, hist, costs, p) },
+			func(p []byte) error { return searchTraced(col, hist, costs, p) },
 		}
 		medians := make([]func(r int) int64, len(variants))
 		for i, fn := range variants {
@@ -138,7 +177,9 @@ func TestObsOverhead(t *testing.T) {
 func BenchmarkObsSearch(b *testing.B) {
 	st := backendBenchSetup(b)
 	col := st.colls[core.BackendPlain]
-	hist := obs.NewRegistry().Histogram("bench_query_seconds", "Bench sink.", nil)
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("bench_query_seconds", "Bench sink.", nil)
+	costs := newCostSink(reg)
 	for _, m := range bench5LongPatternLens {
 		pats := st.pats[m]
 		for _, v := range []struct {
@@ -146,8 +187,8 @@ func BenchmarkObsSearch(b *testing.B) {
 			fn   func(p []byte) error
 		}{
 			{"raw", func(p []byte) error { return searchRaw(col, p) }},
-			{"metrics", func(p []byte) error { return searchMetrics(col, hist, p) }},
-			{"traced", func(p []byte) error { return searchTraced(col, hist, p) }},
+			{"metrics", func(p []byte) error { return searchMetrics(col, hist, costs, p) }},
+			{"traced", func(p []byte) error { return searchTraced(col, hist, costs, p) }},
 		} {
 			b.Run(fmt.Sprintf("variant=%s/m=%d", v.name, m), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

@@ -7,7 +7,10 @@
 //	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
 //	         [-backend plain|compressed|approx] [-epsilon 0.05]
 //	         [-index-cache DIR]
-//	         [-cache-entries 1024] [-inflight 0]
+//	         [-cache-entries 1024] [-cache-bytes 0] [-inflight 0]
+//	         [-api-keys FILE] [-anon-rate 0] [-anon-burst 0]
+//	         [-anon-concurrent 0] [-anon-budget 0]
+//	         [-admission-queue 0] [-admission-wait 0]
 //	         [-wal DIR] [-compact-threshold 64] [-wal-nosync]
 //	         [-max-pattern-bytes 4096]
 //	         [-slow-query-ms 0] [-debug-addr ""]
@@ -32,6 +35,19 @@
 // collection at creation time via the PUT backend/epsilon query
 // parameters; /v1/stats reports every collection's backend, ε and index
 // bytes. See OPERATIONS.md for capacity planning.
+//
+// -api-keys enables per-tenant admission control: each line of the file
+// names a tenant, its X-API-Key value, and optional quotas — a token-bucket
+// request rate (rate=QPS, burst=N), a concurrent-query cap (concurrent=N),
+// a per-query cost budget in estimator units (budget=UNITS; queries whose
+// pre-execution estimate exceeds it are refused before any index work), and
+// an admission-queue weight (weight=N). Requests without a matching key run
+// as the "anonymous" tenant, whose quotas come from the -anon-* flags (or
+// from an explicit 'anonymous -' line in the file). Over-quota and
+// over-budget requests answer 429 with a Retry-After header and a typed
+// "code" in the body; per-tenant counters appear under "tenants" in
+// /v1/stats and in the ustridx_tenant_* metric families. See OPERATIONS.md
+// § "Tenants, quotas & admission".
 //
 // With -wal, the daemon serves a mutable catalog: documents can be added,
 // replaced and deleted at runtime through PUT/DELETE
@@ -115,7 +131,15 @@ func run(args []string) error {
 	epsilon := fs.Float64("epsilon", 0, "additive error bound for the approx backend (0 = library default); requires -backend approx")
 	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = 64 MiB, negative = entry count only)")
 	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
+	apiKeys := fs.String("api-keys", "", "tenant API-key file: one 'name key [rate=QPS] [burst=N] [concurrent=N] [budget=UNITS] [weight=N]' per line; requests without a matching X-API-Key run as the anonymous tenant")
+	anonRate := fs.Float64("anon-rate", 0, "anonymous tenant request rate in QPS (0 = unlimited; ignored when -api-keys defines an 'anonymous' tenant)")
+	anonBurst := fs.Int("anon-burst", 0, "anonymous tenant burst capacity (0 = max(1, rate))")
+	anonConcurrent := fs.Int("anon-concurrent", 0, "anonymous tenant concurrent-query quota (0 = unlimited)")
+	anonBudget := fs.Float64("anon-budget", 0, "anonymous tenant per-query cost budget in estimator units (0 = unlimited)")
+	admissionQueue := fs.Int("admission-queue", 0, "max requests queued for an execution slot before shedding 429 (0 = 8×inflight)")
+	admissionWait := fs.Duration("admission-wait", 0, "max time one request may queue before shedding 429 (0 = 5s)")
 	maxPattern := fs.Int("max-pattern-bytes", server.DefaultMaxPatternBytes, "reject query patterns longer than this many bytes with 400")
 	wal := fs.String("wal", "", "write-ahead-log directory; enables the mutation endpoints (PUT/DELETE documents, POST compact)")
 	compactThreshold := fs.Int("compact-threshold", ingest.DefaultCompactThreshold, "pending documents (delta + tombstones) triggering background compaction (negative disables)")
@@ -161,12 +185,38 @@ func run(args []string) error {
 	// replication — on the single /metrics page the server exposes.
 	metrics := obs.NewRegistry()
 	cfgBase := server.Config{
-		CacheEntries:       *cacheEntries,
-		MaxInFlight:        *inFlight,
-		MaxPatternBytes:    *maxPattern,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		MaxInFlight:      *inFlight,
+		MaxPatternBytes:  *maxPattern,
+		AdmissionQueue:   *admissionQueue,
+		AdmissionMaxWait: *admissionWait,
+		AnonTenant: server.TenantConfig{
+			RateQPS:       *anonRate,
+			Burst:         *anonBurst,
+			MaxConcurrent: *anonConcurrent,
+			MaxUnits:      *anonBudget,
+		},
 		Metrics:            metrics,
 		SlowQueryThreshold: time.Duration(*slowQueryMs * float64(time.Millisecond)),
 		SlowLogEntries:     *slowLogEntries,
+	}
+	if *apiKeys != "" {
+		f, err := os.Open(*apiKeys)
+		if err != nil {
+			return fmt.Errorf("opening api-keys file: %w", err)
+		}
+		tenants, err := server.ParseAPIKeys(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *apiKeys, err)
+		}
+		cfgBase.Tenants = tenants
+		for _, tc := range tenants {
+			lg.Info("tenant configured", "tenant", tc.Name,
+				"rate_qps", tc.RateQPS, "burst", tc.Burst,
+				"concurrent", tc.MaxConcurrent, "budget", tc.MaxUnits, "weight", tc.Weight)
+		}
 	}
 	if *accessLog != "" {
 		w, err := openAccessLog(*accessLog)

@@ -15,6 +15,19 @@
 //
 //	ustridxload -addr http://localhost:7331 -collection load -seed-docs 48
 //	ustridxload -mix hotkey,churn -requests 500 -slo-p95-ms 5 -out report.json
+//	ustridxload -mix hotkey -tenants 'polite=pkey@40,greedy=gkey@50!' -slo-p99-ms 100
+//
+// Tenant mode (-tenants "name=key@rps[,...]") drives every named API key
+// through the same mix concurrently, pacing each tenant to its target
+// aggregate rate, and reports latency, shed count and error count per
+// tenant. A trailing '!' marks a tenant that is EXPECTED to be shed (it is
+// driven past its server-side quota): such tenants are exempt from the
+// latency bars but must record at least one shed, proving admission
+// control actually fired. 429 responses count as shed, not errors — but a
+// 429 without a Retry-After header is always an error, pinning the
+// server's retryability contract from the outside. This is what turns the
+// harness into an isolation proof: a greedy tenant at 10x its quota must
+// be shed while a polite tenant's p99 stays inside its bar.
 //
 // The harness seeds its own collection (deterministic documents from the
 // generator, PUT through the API — the daemon must run with -wal) unless
@@ -112,6 +125,8 @@ type options struct {
 	sloP95Ms    float64
 	sloP99Ms    float64
 	sloErrRate  float64
+	apiKey      string
+	tenants     string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -132,6 +147,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.sloP95Ms, "slo-p95-ms", 0, "per-mix p95 total-latency bar in ms (0 disables)")
 	fs.Float64Var(&o.sloP99Ms, "slo-p99-ms", 0, "per-mix p99 total-latency bar in ms (0 disables)")
 	fs.Float64Var(&o.sloErrRate, "slo-error-rate", 0, "per-mix error-rate bar in [0,1] (0 disables)")
+	fs.StringVar(&o.apiKey, "api-key", "", "X-API-Key header stamped on every request")
+	fs.StringVar(&o.tenants, "tenants", "", "tenant mode: comma-separated name=key@rps entries, '!' suffix marks an expected-shed tenant")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -141,7 +158,57 @@ func parseFlags(args []string) (options, error) {
 	if o.requests <= 0 || o.concurrency <= 0 || o.seedDocs <= 0 {
 		return o, fmt.Errorf("-requests, -concurrency and -seed-docs must be positive")
 	}
+	if o.apiKey != "" && o.tenants != "" {
+		return o, fmt.Errorf("-api-key and -tenants are mutually exclusive")
+	}
 	return o, nil
+}
+
+// tenantSpec is one -tenants entry: a named API key driven at a target
+// aggregate request rate. ExpectShed tenants are deliberately driven past
+// their server-side quota: the SLO check exempts them from the latency
+// bars and instead requires that the server actually shed them.
+type tenantSpec struct {
+	Name       string
+	Key        string
+	RPS        float64
+	ExpectShed bool
+}
+
+// parseTenants parses the -tenants flag ("name=key@rps[!],...").
+func parseTenants(spec string) ([]tenantSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []tenantSpec
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		var tn tenantSpec
+		if strings.HasSuffix(entry, "!") {
+			tn.ExpectShed = true
+			entry = strings.TrimSuffix(entry, "!")
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant entry %q: want name=key@rps", entry)
+		}
+		key, rate, ok := strings.Cut(rest, "@")
+		if !ok || name == "" || key == "" {
+			return nil, fmt.Errorf("tenant entry %q: want name=key@rps", entry)
+		}
+		rps, err := strconv.ParseFloat(rate, 64)
+		if err != nil || math.IsNaN(rps) || math.IsInf(rps, 0) || rps <= 0 {
+			return nil, fmt.Errorf("tenant %s: bad rate %q", name, rate)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant %q", name)
+		}
+		seen[name] = true
+		tn.Name, tn.Key, tn.RPS = name, key, rps
+		out = append(out, tn)
+	}
+	return out, nil
 }
 
 // selectMixes resolves the -mix flag against the catalog.
@@ -224,7 +291,9 @@ type CostMeans struct {
 }
 
 // MixReport is one mix's results: request outcomes, client-side total
-// latency, per-stage server-side latency, and mean query cost.
+// latency, per-stage server-side latency, and mean query cost. In tenant
+// mode the top-level figures aggregate every tenant and Tenants carries
+// the per-tenant breakdown.
 type MixReport struct {
 	Mix         string               `json:"mix"`
 	Description string               `json:"description"`
@@ -233,10 +302,28 @@ type MixReport struct {
 	Mutations   int                  `json:"mutations"`
 	Errors      int                  `json:"errors"`
 	Unsupported int                  `json:"unsupported"`
+	Shed        int                  `json:"shed"`
 	TotalMs     Quantiles            `json:"total"`
 	Stages      map[string]Quantiles `json:"stages"`
 	MutateMs    *Quantiles           `json:"mutate,omitempty"`
 	Cost        CostMeans            `json:"cost"`
+	Tenants     []TenantReport       `json:"tenants,omitempty"`
+}
+
+// TenantReport is one tenant's slice of a tenant-mode mix: how much of its
+// traffic was served, shed (429 with Retry-After) or failed, and the
+// latency of what was served.
+type TenantReport struct {
+	Tenant     string    `json:"tenant"`
+	ExpectShed bool      `json:"expect_shed,omitempty"`
+	TargetRPS  float64   `json:"target_rps"`
+	Requests   int       `json:"requests"`
+	Queries    int       `json:"queries"`
+	Mutations  int       `json:"mutations"`
+	Shed       int       `json:"shed"`
+	ShedRate   float64   `json:"shed_rate"`
+	Errors     int       `json:"errors"`
+	TotalMs    Quantiles `json:"total"`
 }
 
 // SLOReport records the configured bars and every violation found.
@@ -259,6 +346,7 @@ type Report struct {
 	SeedDocs    int         `json:"seed_docs"`
 	Requests    int         `json:"requests_per_mix"`
 	Concurrency int         `json:"concurrency"`
+	TenantSpec  string      `json:"tenant_spec,omitempty"`
 	Mixes       []MixReport `json:"mixes"`
 	SLO         *SLOReport  `json:"slo,omitempty"`
 }
@@ -266,21 +354,27 @@ type Report struct {
 // harness owns one run: the HTTP client, the deterministic document set and
 // the per-mix pattern pools.
 type harness struct {
-	opts   options
-	hc     *http.Client
-	docs   []*ustring.String
-	pools  map[string][][]byte
-	ridSeq atomic.Int64
+	opts    options
+	tenants []tenantSpec
+	hc      *http.Client
+	docs    []*ustring.String
+	pools   map[string][][]byte
+	ridSeq  atomic.Int64
 	// backend/epsilon as reported by the server at seeding time.
 	backend string
 	epsilon float64
 }
 
-func newHarness(o options) *harness {
-	return &harness{
-		opts: o,
-		hc:   &http.Client{Timeout: o.timeout},
+func newHarness(o options) (*harness, error) {
+	tenants, err := parseTenants(o.tenants)
+	if err != nil {
+		return nil, err
 	}
+	return &harness{
+		opts:    o,
+		tenants: tenants,
+		hc:      &http.Client{Timeout: o.timeout},
+	}, nil
 }
 
 // genConfig is the deterministic document generator configuration shared by
@@ -321,6 +415,9 @@ func (h *harness) seed() error {
 			return err
 		}
 		req.Header.Set("X-Request-Id", h.nextRequestID("seed"))
+		if h.opts.apiKey != "" {
+			req.Header.Set("X-API-Key", h.opts.apiKey)
+		}
 		resp, err := h.hc.Do(req)
 		if err != nil {
 			return fmt.Errorf("seed PUT: %v", err)
@@ -377,124 +474,233 @@ type opResult struct {
 	stages      map[string]float64
 	cost        *obs.CostSnapshot
 	unsupported bool
+	shed        bool
 	err         error
 }
 
-// runMix fires opts.requests requests of one mix through a worker pool and
-// aggregates the outcomes.
-func (h *harness) runMix(m mixSpec) MixReport {
+// mixAgg accumulates worker outcomes for one (mix, tenant) stream.
+type mixAgg struct {
+	mu       sync.Mutex
+	total    []float64
+	mutate   []float64
+	stages   map[string][]float64
+	cost     obs.CostSnapshot
+	costN    int64
+	queries  int
+	mutns    int
+	errs     int
+	unsupp   int
+	shed     int
+	firstErr error
+}
+
+func newMixAgg() *mixAgg { return &mixAgg{stages: make(map[string][]float64)} }
+
+func (a *mixAgg) add(res opResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case res.err != nil:
+		a.errs++
+		if a.firstErr == nil {
+			a.firstErr = res.err
+		}
+	case res.shed:
+		a.shed++
+	case res.unsupported:
+		a.unsupp++
+	case res.mutation:
+		a.mutns++
+		a.mutate = append(a.mutate, res.ms)
+	default:
+		a.queries++
+		a.total = append(a.total, res.ms)
+		for name, ms := range res.stages {
+			a.stages[name] = append(a.stages[name], ms)
+		}
+		if res.cost != nil {
+			a.cost.ShardsTouched += res.cost.ShardsTouched
+			a.cost.Candidates += res.cost.Candidates
+			a.cost.SuffixSteps += res.cost.SuffixSteps
+			a.cost.IndexBytes += res.cost.IndexBytes
+			a.cost.MergeComparisons += res.cost.MergeComparisons
+			a.cost.CacheHits += res.cost.CacheHits
+			a.cost.CacheMisses += res.cost.CacheMisses
+			a.costN++
+		}
+	}
+}
+
+// merge folds another aggregate into this one (tenant mode builds the
+// combined mix view from the per-tenant streams).
+func (a *mixAgg) merge(b *mixAgg) {
+	a.total = append(a.total, b.total...)
+	a.mutate = append(a.mutate, b.mutate...)
+	for name, ms := range b.stages {
+		a.stages[name] = append(a.stages[name], ms...)
+	}
+	a.cost.ShardsTouched += b.cost.ShardsTouched
+	a.cost.Candidates += b.cost.Candidates
+	a.cost.SuffixSteps += b.cost.SuffixSteps
+	a.cost.IndexBytes += b.cost.IndexBytes
+	a.cost.MergeComparisons += b.cost.MergeComparisons
+	a.cost.CacheHits += b.cost.CacheHits
+	a.cost.CacheMisses += b.cost.CacheMisses
+	a.costN += b.costN
+	a.queries += b.queries
+	a.mutns += b.mutns
+	a.errs += b.errs
+	a.unsupp += b.unsupp
+	a.shed += b.shed
+	if a.firstErr == nil {
+		a.firstErr = b.firstErr
+	}
+}
+
+// report assembles the aggregate into a MixReport.
+func (a *mixAgg) report(m mixSpec, requests int) MixReport {
+	rep := MixReport{
+		Mix:         m.Name,
+		Description: m.Desc,
+		Requests:    requests,
+		Queries:     a.queries,
+		Mutations:   a.mutns,
+		Errors:      a.errs,
+		Unsupported: a.unsupp,
+		Shed:        a.shed,
+		TotalMs:     quantiles(a.total),
+		Stages:      make(map[string]Quantiles, len(a.stages)),
+	}
+	for name, samples := range a.stages {
+		rep.Stages[name] = quantiles(samples)
+	}
+	if len(a.mutate) > 0 {
+		q := quantiles(a.mutate)
+		rep.MutateMs = &q
+	}
+	if a.costN > 0 {
+		n := float64(a.costN)
+		rep.Cost = CostMeans{
+			Samples:          a.costN,
+			ShardsTouched:    round3(float64(a.cost.ShardsTouched) / n),
+			Candidates:       round3(float64(a.cost.Candidates) / n),
+			SuffixSteps:      round3(float64(a.cost.SuffixSteps) / n),
+			IndexBytes:       round3(float64(a.cost.IndexBytes) / n),
+			MergeComparisons: round3(float64(a.cost.MergeComparisons) / n),
+		}
+		if lookups := a.cost.CacheHits + a.cost.CacheMisses; lookups > 0 {
+			rep.Cost.CacheHitRate = round3(float64(a.cost.CacheHits) / float64(lookups))
+		}
+	}
+	if a.firstErr != nil {
+		rep.Description += fmt.Sprintf(" [first error: %v]", a.firstErr)
+	}
+	return rep
+}
+
+// tenantReport assembles one tenant's slice of a tenant-mode mix.
+func (a *mixAgg) tenantReport(tn tenantSpec, requests int) TenantReport {
+	tr := TenantReport{
+		Tenant:     tn.Name,
+		ExpectShed: tn.ExpectShed,
+		TargetRPS:  tn.RPS,
+		Requests:   requests,
+		Queries:    a.queries,
+		Mutations:  a.mutns,
+		Shed:       a.shed,
+		Errors:     a.errs,
+		TotalMs:    quantiles(a.total),
+	}
+	if requests > 0 {
+		tr.ShedRate = round3(float64(a.shed) / float64(requests))
+	}
+	return tr
+}
+
+// fire drives count requests of one mix through a worker pool with the
+// given API key, feeding every outcome into agg. When rps is positive the
+// pool paces itself so the aggregate request rate approximates it — that
+// is what lets tenant mode hold a greedy tenant at a fixed multiple of
+// its server-side quota instead of just racing as fast as the client can.
+func (h *harness) fire(m mixSpec, key, tag string, count, workers int, rps float64, agg *mixAgg) {
 	pool := h.pools[m.Name]
 	hot := m.HotSet
 	if hot <= 0 || hot > len(pool) {
 		hot = 1
 	}
-	var (
-		mu       sync.Mutex
-		total    []float64
-		mutate   []float64
-		stages   = make(map[string][]float64)
-		cost     obs.CostSnapshot
-		costN    int64
-		queries  int
-		mutns    int
-		errs     int
-		unsupp   int
-		firstErr error
-	)
+	var tick time.Duration
+	if rps > 0 {
+		tick = time.Duration(float64(workers) / rps * float64(time.Second))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < h.opts.concurrency; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(h.opts.seed ^ int64(w)*9973 ^ int64(len(m.Name))<<32))
-			for {
+			rng := rand.New(rand.NewSource(h.opts.seed ^ int64(w)*9973 ^ int64(len(tag))<<32))
+			start := time.Now()
+			for n := 0; ; n++ {
 				i := int(next.Add(1)) - 1
-				if i >= h.opts.requests {
+				if i >= count {
 					return
 				}
-				res := h.doOne(m, i, rng, pool, hot)
-				mu.Lock()
-				switch {
-				case res.err != nil:
-					errs++
-					if firstErr == nil {
-						firstErr = res.err
-					}
-				case res.unsupported:
-					unsupp++
-				case res.mutation:
-					mutns++
-					mutate = append(mutate, res.ms)
-				default:
-					queries++
-					total = append(total, res.ms)
-					for name, ms := range res.stages {
-						stages[name] = append(stages[name], ms)
-					}
-					if res.cost != nil {
-						cost.ShardsTouched += res.cost.ShardsTouched
-						cost.Candidates += res.cost.Candidates
-						cost.SuffixSteps += res.cost.SuffixSteps
-						cost.IndexBytes += res.cost.IndexBytes
-						cost.MergeComparisons += res.cost.MergeComparisons
-						cost.CacheHits += res.cost.CacheHits
-						cost.CacheMisses += res.cost.CacheMisses
-						costN++
+				if tick > 0 {
+					if d := time.Until(start.Add(time.Duration(n) * tick)); d > 0 {
+						time.Sleep(d)
 					}
 				}
-				mu.Unlock()
+				agg.add(h.doOne(m, i, rng, pool, hot, key, tag))
 			}
 		}(w)
 	}
 	wg.Wait()
+}
 
-	rep := MixReport{
-		Mix:         m.Name,
-		Description: m.Desc,
-		Requests:    h.opts.requests,
-		Queries:     queries,
-		Mutations:   mutns,
-		Errors:      errs,
-		Unsupported: unsupp,
-		TotalMs:     quantiles(total),
-		Stages:      make(map[string]Quantiles, len(stages)),
+// runMix fires opts.requests requests of one mix through a worker pool and
+// aggregates the outcomes. With -tenants it instead fires one paced stream
+// per tenant, concurrently, and reports both the combined view and the
+// per-tenant breakdown.
+func (h *harness) runMix(m mixSpec) MixReport {
+	if len(h.tenants) > 0 {
+		return h.runMixTenants(m)
 	}
-	for name, samples := range stages {
-		rep.Stages[name] = quantiles(samples)
+	agg := newMixAgg()
+	h.fire(m, h.opts.apiKey, m.Name, h.opts.requests, h.opts.concurrency, 0, agg)
+	return agg.report(m, h.opts.requests)
+}
+
+func (h *harness) runMixTenants(m mixSpec) MixReport {
+	aggs := make([]*mixAgg, len(h.tenants))
+	var wg sync.WaitGroup
+	for ti, tn := range h.tenants {
+		aggs[ti] = newMixAgg()
+		wg.Add(1)
+		go func(ti int, tn tenantSpec) {
+			defer wg.Done()
+			h.fire(m, tn.Key, m.Name+"-"+tn.Name, h.opts.requests, h.opts.concurrency, tn.RPS, aggs[ti])
+		}(ti, tn)
 	}
-	if len(mutate) > 0 {
-		q := quantiles(mutate)
-		rep.MutateMs = &q
+	wg.Wait()
+	combined := newMixAgg()
+	for _, a := range aggs {
+		combined.merge(a)
 	}
-	if costN > 0 {
-		n := float64(costN)
-		rep.Cost = CostMeans{
-			Samples:          costN,
-			ShardsTouched:    round3(float64(cost.ShardsTouched) / n),
-			Candidates:       round3(float64(cost.Candidates) / n),
-			SuffixSteps:      round3(float64(cost.SuffixSteps) / n),
-			IndexBytes:       round3(float64(cost.IndexBytes) / n),
-			MergeComparisons: round3(float64(cost.MergeComparisons) / n),
-		}
-		if lookups := cost.CacheHits + cost.CacheMisses; lookups > 0 {
-			rep.Cost.CacheHitRate = round3(float64(cost.CacheHits) / float64(lookups))
-		}
-	}
-	if firstErr != nil {
-		rep.Description += fmt.Sprintf(" [first error: %v]", firstErr)
+	rep := combined.report(m, h.opts.requests*len(h.tenants))
+	for ti, tn := range h.tenants {
+		rep.Tenants = append(rep.Tenants, aggs[ti].tenantReport(tn, h.opts.requests))
 	}
 	return rep
 }
 
 // doOne executes request i of a mix: a mutation when the interleave says
 // so, otherwise a query with mix-drawn pattern, τ and op.
-func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int) opResult {
+func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int, key, tag string) opResult {
 	if m.PutEvery > 0 && i%m.PutEvery == 0 {
-		return h.doPut(m, i)
+		return h.doPut(i, key, tag)
 	}
 	if m.DeleteEvery > 0 && i%m.DeleteEvery == 0 {
-		return h.doDelete(m, i)
+		return h.doDelete(i, key, tag)
 	}
 	op := "search"
 	switch {
@@ -532,7 +738,10 @@ func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int
 		return opResult{err: err}
 	}
 	req.Header.Set("X-Debug-Obs", "1")
-	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	req.Header.Set("X-Request-Id", h.nextRequestID(tag))
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
 	begin := time.Now()
 	resp, err := h.hc.Do(req)
 	if err != nil {
@@ -548,6 +757,8 @@ func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int
 		// keeps running and the report counts it, so a harness run against
 		// any backend is meaningful.
 		return opResult{unsupported: true, ms: elapsed}
+	case http.StatusTooManyRequests:
+		return h.shedResult(path, resp)
 	default:
 		return opResult{err: fmt.Errorf("%s: status %d", path, resp.StatusCode)}
 	}
@@ -561,9 +772,19 @@ func (h *harness) doOne(m mixSpec, i int, rng *rand.Rand, pool [][]byte, hot int
 	return res
 }
 
+// shedResult classifies a 429: with Retry-After it is admission control
+// doing its job (counted as shed), without it the server has broken its
+// retryability contract and the harness treats it as a hard error.
+func (h *harness) shedResult(path string, resp *http.Response) opResult {
+	if resp.Header.Get("Retry-After") == "" {
+		return opResult{err: fmt.Errorf("%s: 429 without Retry-After", path)}
+	}
+	return opResult{shed: true}
+}
+
 // doPut inserts or replaces one churn document (regenerated
 // deterministically per slot, so replicas of the same run are identical).
-func (h *harness) doPut(m mixSpec, i int) opResult {
+func (h *harness) doPut(i int, key, tag string) opResult {
 	slot := i % churnSlots
 	doc := gen.Single(gen.Config{N: 48, Theta: 0.3, Seed: h.opts.seed + 1000 + int64(slot)})
 	var body bytes.Buffer
@@ -576,7 +797,10 @@ func (h *harness) doPut(m mixSpec, i int) opResult {
 	if err != nil {
 		return opResult{err: err}
 	}
-	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	req.Header.Set("X-Request-Id", h.nextRequestID(tag))
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
 	begin := time.Now()
 	resp, err := h.hc.Do(req)
 	if err != nil {
@@ -584,6 +808,9 @@ func (h *harness) doPut(m mixSpec, i int) opResult {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return h.shedResult("churn PUT", resp)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return opResult{err: fmt.Errorf("churn PUT: status %d", resp.StatusCode)}
 	}
@@ -592,7 +819,7 @@ func (h *harness) doPut(m mixSpec, i int) opResult {
 
 // doDelete tombstones one churn slot; deleting an id that was never put is
 // a no-op on the server and still a valid latency sample.
-func (h *harness) doDelete(m mixSpec, i int) opResult {
+func (h *harness) doDelete(i int, key, tag string) opResult {
 	slot := i % churnSlots
 	target := fmt.Sprintf("%s/v1/collections/%s/documents/churn-%d",
 		h.opts.addr, url.PathEscape(h.opts.collection), slot)
@@ -600,7 +827,10 @@ func (h *harness) doDelete(m mixSpec, i int) opResult {
 	if err != nil {
 		return opResult{err: err}
 	}
-	req.Header.Set("X-Request-Id", h.nextRequestID(m.Name))
+	req.Header.Set("X-Request-Id", h.nextRequestID(tag))
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
 	begin := time.Now()
 	resp, err := h.hc.Do(req)
 	if err != nil {
@@ -608,6 +838,9 @@ func (h *harness) doDelete(m mixSpec, i int) opResult {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return h.shedResult("churn DELETE", resp)
+	}
 	// 404 means the slot has no live document right now (this delete raced
 	// another delete, or ran before the slot's first put) — for a load
 	// harness that is a valid outcome, not a failure.
@@ -639,27 +872,60 @@ func parseServerTiming(v string) map[string]float64 {
 }
 
 // checkSLO evaluates the configured bars against every mix and returns nil
-// when none are set.
+// when none apply. In tenant mode the bars are evaluated per tenant:
+// expected-shed tenants are exempt from the latency bars (they are being
+// deliberately throttled) but must actually have been shed — a greedy
+// tenant the server failed to throttle is an isolation failure even though
+// every one of its requests succeeded.
 func checkSLO(o options, mixes []MixReport) *SLOReport {
-	if o.sloP95Ms <= 0 && o.sloP99Ms <= 0 && o.sloErrRate <= 0 {
+	expectShed := false
+	for _, m := range mixes {
+		for _, tr := range m.Tenants {
+			if tr.ExpectShed {
+				expectShed = true
+			}
+		}
+	}
+	if o.sloP95Ms <= 0 && o.sloP99Ms <= 0 && o.sloErrRate <= 0 && !expectShed {
 		return nil
 	}
 	rep := &SLOReport{P95Ms: o.sloP95Ms, P99Ms: o.sloP99Ms, ErrorRate: o.sloErrRate, Violations: []string{}}
-	for _, m := range mixes {
-		if o.sloP95Ms > 0 && m.TotalMs.P95 > o.sloP95Ms {
+	latency := func(scope string, q Quantiles) {
+		if o.sloP95Ms > 0 && q.P95 > o.sloP95Ms {
 			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("mix %s: p95 %.3fms > %.3fms", m.Mix, m.TotalMs.P95, o.sloP95Ms))
+				fmt.Sprintf("%s: p95 %.3fms > %.3fms", scope, q.P95, o.sloP95Ms))
 		}
-		if o.sloP99Ms > 0 && m.TotalMs.P99 > o.sloP99Ms {
+		if o.sloP99Ms > 0 && q.P99 > o.sloP99Ms {
 			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("mix %s: p99 %.3fms > %.3fms", m.Mix, m.TotalMs.P99, o.sloP99Ms))
+				fmt.Sprintf("%s: p99 %.3fms > %.3fms", scope, q.P99, o.sloP99Ms))
 		}
-		if o.sloErrRate > 0 && m.Requests > 0 {
-			rate := float64(m.Errors) / float64(m.Requests)
+	}
+	errRate := func(scope string, errs, requests int) {
+		if o.sloErrRate > 0 && requests > 0 {
+			rate := float64(errs) / float64(requests)
 			if rate > o.sloErrRate {
 				rep.Violations = append(rep.Violations,
-					fmt.Sprintf("mix %s: error rate %.4f > %.4f", m.Mix, rate, o.sloErrRate))
+					fmt.Sprintf("%s: error rate %.4f > %.4f", scope, rate, o.sloErrRate))
 			}
+		}
+	}
+	for _, m := range mixes {
+		if len(m.Tenants) == 0 {
+			latency("mix "+m.Mix, m.TotalMs)
+			errRate("mix "+m.Mix, m.Errors, m.Requests)
+			continue
+		}
+		for _, tr := range m.Tenants {
+			scope := fmt.Sprintf("mix %s tenant %s", m.Mix, tr.Tenant)
+			errRate(scope, tr.Errors, tr.Requests)
+			if tr.ExpectShed {
+				if tr.Shed == 0 {
+					rep.Violations = append(rep.Violations,
+						scope+": expected to be shed but every request was admitted")
+				}
+				continue
+			}
+			latency(scope, tr.TotalMs)
 		}
 	}
 	rep.Pass = len(rep.Violations) == 0
@@ -691,6 +957,7 @@ func (h *harness) collect(mixes []mixSpec) (*Report, error) {
 		SeedDocs:    len(h.docs),
 		Requests:    h.opts.requests,
 		Concurrency: h.opts.concurrency,
+		TenantSpec:  h.opts.tenants,
 	}
 	for _, m := range mixes {
 		rep.Mixes = append(rep.Mixes, h.runMix(m))
@@ -708,14 +975,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	h := newHarness(o)
+	h, err := newHarness(o)
+	if err != nil {
+		return err
+	}
 	rep, err := h.collect(mixes)
 	if err != nil {
 		return err
 	}
 	for _, m := range rep.Mixes {
-		fmt.Fprintf(stdout, "mix %-8s requests=%d errors=%d unsupported=%d p50=%.3fms p95=%.3fms p99=%.3fms",
-			m.Mix, m.Requests, m.Errors, m.Unsupported, m.TotalMs.P50, m.TotalMs.P95, m.TotalMs.P99)
+		fmt.Fprintf(stdout, "mix %-8s requests=%d errors=%d unsupported=%d shed=%d p50=%.3fms p95=%.3fms p99=%.3fms",
+			m.Mix, m.Requests, m.Errors, m.Unsupported, m.Shed, m.TotalMs.P50, m.TotalMs.P95, m.TotalMs.P99)
 		if fo, ok := m.Stages["fanout"]; ok {
 			fmt.Fprintf(stdout, " fanout.p95=%.3fms", fo.P95)
 		}
@@ -723,6 +993,14 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, " candidates/op=%.1f cache_hit_rate=%.2f", m.Cost.Candidates, m.Cost.CacheHitRate)
 		}
 		fmt.Fprintln(stdout)
+		for _, tr := range m.Tenants {
+			mark := ""
+			if tr.ExpectShed {
+				mark = " (expected shed)"
+			}
+			fmt.Fprintf(stdout, "  tenant %-8s target=%.0frps requests=%d shed=%d (rate %.2f) errors=%d p99=%.3fms%s\n",
+				tr.Tenant, tr.TargetRPS, tr.Requests, tr.Shed, tr.ShedRate, tr.Errors, tr.TotalMs.P99, mark)
+		}
 	}
 	if o.out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -15,6 +15,12 @@ import (
 // bootDaemon starts a mutable in-process daemon: an empty ingest store the
 // harness seeds through the API, exactly like a real -wal daemon.
 func bootDaemon(t *testing.T) *httptest.Server {
+	return bootDaemonCfg(t, server.Config{})
+}
+
+// bootDaemonCfg is bootDaemon with an explicit server configuration (used
+// by the tenant-mode tests to provision API keys and quotas).
+func bootDaemonCfg(t *testing.T, cfg server.Config) *httptest.Server {
 	t.Helper()
 	st, err := ingest.Open(nil, ingest.Options{
 		Dir:              t.TempDir(),
@@ -26,9 +32,19 @@ func bootDaemon(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	ts := httptest.NewServer(server.NewIngest(st, server.Config{}))
+	ts := httptest.NewServer(server.NewIngest(st, cfg))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// mustHarness wraps newHarness for options the test knows are valid.
+func mustHarness(t *testing.T, o options) *harness {
+	t.Helper()
+	h, err := newHarness(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 // testOptions is the small, fast configuration the tests share.
@@ -51,7 +67,7 @@ func testOptions(addr, collection string) options {
 // cost counters flowing back through X-Query-Cost.
 func TestSmoke(t *testing.T) {
 	ts := bootDaemon(t)
-	h := newHarness(testOptions(ts.URL, "load"))
+	h := mustHarness(t, testOptions(ts.URL, "load"))
 	mixes, err := selectMixes("all")
 	if err != nil {
 		t.Fatal(err)
@@ -130,6 +146,95 @@ func TestParseServerTiming(t *testing.T) {
 	}
 }
 
+// TestParseTenants covers the -tenants entry grammar.
+func TestParseTenants(t *testing.T) {
+	tns, err := parseTenants("polite=pk@40, greedy=gk@50!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tns) != 2 {
+		t.Fatalf("parsed %d tenants, want 2", len(tns))
+	}
+	if tns[0].Name != "polite" || tns[0].Key != "pk" || tns[0].RPS != 40 || tns[0].ExpectShed {
+		t.Errorf("polite parsed as %+v", tns[0])
+	}
+	if tns[1].Name != "greedy" || tns[1].Key != "gk" || tns[1].RPS != 50 || !tns[1].ExpectShed {
+		t.Errorf("greedy parsed as %+v", tns[1])
+	}
+	if got, err := parseTenants(""); got != nil || err != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	for _, bad := range []string{
+		"x", "=k@5", "a=@5", "a=k", "a=k@", "a=k@0", "a=k@-3", "a=k@nan", "a=k@+inf",
+		"a=k@5,a=j@6",
+	} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if _, err := parseFlags([]string{"-api-key", "k", "-tenants", "a=k@5"}); err == nil {
+		t.Error("-api-key with -tenants accepted")
+	}
+}
+
+// tenantByName pulls one tenant's slice out of a tenant-mode mix report.
+func tenantByName(t *testing.T, m MixReport, name string) TenantReport {
+	t.Helper()
+	for _, tr := range m.Tenants {
+		if tr.Tenant == name {
+			return tr
+		}
+	}
+	t.Fatalf("mix %s has no tenant %q: %+v", m.Mix, name, m.Tenants)
+	return TenantReport{}
+}
+
+// TestTenantIsolation is the fast, always-on version of the BENCH_8 gate:
+// a greedy tenant driven at 10x its quota must be shed (every 429 carrying
+// Retry-After — any without count as errors), while a polite tenant on the
+// same daemon is never shed and stays within the latency bar.
+func TestTenantIsolation(t *testing.T) {
+	ts := bootDaemonCfg(t, server.Config{Tenants: []server.TenantConfig{
+		{Name: "polite", Key: "polite-key", RateQPS: 500, Burst: 100},
+		{Name: "greedy", Key: "greedy-key", RateQPS: 4, Burst: 4},
+	}})
+	o := testOptions(ts.URL, "iso")
+	o.requests = 80
+	o.tenants = "polite=polite-key@40,greedy=greedy-key@40!"
+	o.sloP99Ms = 1000
+	o.sloErrRate = 0.01
+	h := mustHarness(t, o)
+	mixes, err := selectMixes("hotkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.collect(mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Mixes[0]
+	greedy := tenantByName(t, m, "greedy")
+	polite := tenantByName(t, m, "polite")
+	if greedy.Shed == 0 {
+		t.Error("greedy tenant at 10x quota was never shed")
+	}
+	if greedy.Errors != 0 {
+		t.Errorf("greedy tenant: %d errors (a 429 without Retry-After is an error): %s", greedy.Errors, m.Description)
+	}
+	if polite.Shed != 0 {
+		t.Errorf("polite tenant within quota was shed %d times", polite.Shed)
+	}
+	if polite.Errors != 0 {
+		t.Errorf("polite tenant: %d errors: %s", polite.Errors, m.Description)
+	}
+	if m.Shed != greedy.Shed+polite.Shed {
+		t.Errorf("combined shed %d != tenant sum %d", m.Shed, greedy.Shed+polite.Shed)
+	}
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Errorf("SLO check failed: %+v", rep.SLO)
+	}
+}
+
 // bench7 is the committed BENCH_7.json shape: one harness report per
 // serving backend, same seed and mix set.
 type bench7 struct {
@@ -170,7 +275,7 @@ func TestWriteBench7JSON(t *testing.T) {
 		o.seedDocs = 16
 		o.backend = b.backend
 		o.epsilon = b.epsilon
-		h := newHarness(o)
+		h := mustHarness(t, o)
 		rep, err := h.collect(mixes)
 		if err != nil {
 			t.Fatalf("backend %s: %v", b.backend, err)
@@ -184,6 +289,80 @@ func TestWriteBench7JSON(t *testing.T) {
 			}
 		}
 		doc.Runs = append(doc.Runs, rep)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// bench8 is the committed BENCH_8.json shape: tenant-mode harness runs
+// proving admission-control isolation.
+type bench8 struct {
+	Bench string    `json:"bench"`
+	Note  string    `json:"note"`
+	Runs  []*Report `json:"runs"`
+}
+
+// TestWriteBench8JSON is the tenant-isolation acceptance gate: on one
+// daemon, a polite tenant paced inside its quota and a greedy tenant at
+// 10x its quota drive the hot-key mix concurrently. The greedy tenant must
+// be shed (429 + Retry-After, counted as shed not errors) at a high rate
+// while the polite tenant is never shed and its p99 stays inside the SLO
+// bar. Per-tenant quantiles and shed rates are snapshotted to the file
+// named by BENCH8_OUT (skipped when unset); CI regenerates the file on
+// every run, so a server change that lets a greedy tenant starve a polite
+// one fails here before it ships.
+func TestWriteBench8JSON(t *testing.T) {
+	out := os.Getenv("BENCH8_OUT")
+	if out == "" {
+		t.Skip("BENCH8_OUT not set")
+	}
+	ts := bootDaemonCfg(t, server.Config{Tenants: []server.TenantConfig{
+		{Name: "polite", Key: "polite-key", RateQPS: 200, Burst: 50},
+		{Name: "greedy", Key: "greedy-key", RateQPS: 5, Burst: 5},
+	}})
+	o := testOptions(ts.URL, "tenants")
+	o.requests = 300
+	o.concurrency = 6
+	o.seedDocs = 12
+	// Both tenants pace at 50 rps: inside polite's 200 qps quota, 10x
+	// greedy's 5 qps quota.
+	o.tenants = "polite=polite-key@50,greedy=greedy-key@50!"
+	o.sloP99Ms = 100
+	o.sloErrRate = 0.01
+	h := mustHarness(t, o)
+	mixes, err := selectMixes("hotkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.collect(mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Mixes[0]
+	greedy := tenantByName(t, m, "greedy")
+	polite := tenantByName(t, m, "polite")
+	if greedy.ShedRate < 0.5 {
+		t.Errorf("greedy tenant at 10x quota shed rate %.2f, want >= 0.5", greedy.ShedRate)
+	}
+	if polite.Shed != 0 {
+		t.Errorf("polite tenant within quota was shed %d times", polite.Shed)
+	}
+	if greedy.Errors != 0 || polite.Errors != 0 {
+		t.Errorf("tenant errors (greedy %d, polite %d): %s", greedy.Errors, polite.Errors, m.Description)
+	}
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Errorf("SLO check failed: %+v", rep.SLO)
+	}
+	doc := bench8{
+		Bench: "tenant isolation: per-tenant latency quantiles and shed rates under the hot-key mix",
+		Note:  "polite paced inside its quota, greedy at 10x its quota on the same daemon; shed = 429 with Retry-After; polite p99 bar 100ms",
+		Runs:  []*Report{rep},
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -432,6 +432,14 @@ func (col *Collection) Spec() core.BackendSpec { return col.spec }
 // per-document indexes.
 func (col *Collection) IndexBytes() int { return col.indexBytes }
 
+// Estimate prices a query of patternLen bytes against this collection from
+// its already-held statistics (documents, positions, shards, backend kind,
+// long-pattern cap) — no index structure is touched. Admission tiers call
+// it before deciding to execute; see core.EstimateQuery for the model.
+func (col *Collection) Estimate(patternLen int) core.QueryEstimate {
+	return core.EstimateQuery(col.spec, col.docs, col.positions, len(col.shards), col.longCap, patternLen)
+}
+
 // DocIndexes returns the per-document indexes in document order. The indexes
 // are shared, not copied — they are immutable, so callers (the ingest layer
 // seeding its live document set) may hand them to FromIndexes freely.

@@ -90,6 +90,26 @@ func (v *View) Spec() core.BackendSpec { return v.spec }
 // indexes at publish time.
 func (v *View) IndexBytes() int { return v.indexBytes }
 
+// Estimate prices a query of patternLen bytes against this snapshot —
+// base and delta parts summed — from statistics the view already holds,
+// without touching any index. Masked base documents are still priced: the
+// structures walk them before the filter drops their hits, so charging for
+// them is the honest estimate.
+func (v *View) Estimate(patternLen int) core.QueryEstimate {
+	var est core.QueryEstimate
+	if v.base != nil {
+		est = v.base.Estimate(patternLen)
+	}
+	if v.delta != nil {
+		d := v.delta.Estimate(patternLen)
+		est.Candidates += d.Candidates
+		est.SuffixSteps += d.SuffixSteps
+		est.IndexBytes += d.IndexBytes
+		est.Units += d.Units
+	}
+	return est
+}
+
 // Shards returns the base collection's fan-out shard count (0 when the view
 // has no base part).
 func (v *View) Shards() int {

@@ -33,6 +33,9 @@ type Trace struct {
 	Backend    string
 	Epsilon    float64
 	Cached     bool
+	// EstimatedUnits is the pre-execution cost estimate the admission tier
+	// priced this query at (core cost units); 0 when no estimate ran.
+	EstimatedUnits float64
 
 	stages []Stage
 }
@@ -97,6 +100,12 @@ type SlowEntry struct {
 	// Backend and Epsilon name the serving collection's index backend.
 	Backend string  `json:"backend,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Tenant is the admission-control tenant the request ran under.
+	Tenant string `json:"tenant,omitempty"`
+	// EstimatedUnits is the pre-execution cost estimate (core cost units)
+	// the admission tier priced the query at; compare with Cost to judge
+	// the estimator. 0 when no estimate ran.
+	EstimatedUnits float64 `json:"estimated_units,omitempty"`
 	// Cached marks results served from the result cache.
 	Cached bool `json:"cached,omitempty"`
 	// Error carries the failure when the request did not succeed.

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Typed shed reasons, carried in the 429 body's "code" field (and in batch
+// per-op errors) so clients can tell why they were refused without parsing
+// the message.
+const (
+	// codeOverQuota: the tenant exhausted its own token bucket or
+	// concurrent-query quota. Backing off per Retry-After will succeed.
+	codeOverQuota = "over_quota"
+	// codeOverBudget: the query's pre-execution cost estimate exceeds the
+	// tenant's per-query budget. Retrying the same query will be shed
+	// again; narrow it (longer pattern, smaller collection) instead.
+	codeOverBudget = "over_budget"
+	// codeOverCapacity: the server as a whole is saturated — the admission
+	// queue is full, the wait timed out, or the client gave up while
+	// queued.
+	codeOverCapacity = "over_capacity"
+)
+
+// shedError builds the typed 429 an admission refusal answers with.
+func shedError(code string, retryAfter time.Duration, msg string) *httpError {
+	return &httpError{status: 429, msg: msg, code: code, retryAfter: retryAfter}
+}
+
+// waiter is one request parked in the admission queue.
+type waiter struct {
+	ch      chan struct{} // closed on grant
+	granted bool          // guarded by admitter.mu
+}
+
+// admitter is the weighted admission queue bounding concurrently executing
+// requests. Under capacity it grants immediately; at capacity, requests
+// queue per tenant and slots freed by releases are granted by stride
+// scheduling — each grant advances the tenant's virtual time by
+// passScale/weight, and the lowest virtual time wins — so a greedy tenant
+// flooding the queue cannot starve a polite one, it only burns its own
+// share faster. The queue is bounded in depth and wait time; anything
+// beyond either bound is shed with a Retry-After derived from the queue
+// depth and the observed service time.
+type admitter struct {
+	slots    int
+	maxQueue int
+	maxWait  time.Duration
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	active   []*tenant // tenants with non-empty queues
+	vt       float64   // virtual time of the last grant
+	// ewmaServiceS tracks the decayed mean service time (seconds); it
+	// prices Retry-After. Seeded with a plausible query latency so the
+	// first sheds don't advertise zero.
+	ewmaServiceS float64
+}
+
+// passScale is the stride-scheduling numerator: a weight-w tenant's virtual
+// time advances passScale/w per grant.
+const passScale = 1 << 16
+
+func newAdmitter(slots, maxQueue int, maxWait time.Duration) *admitter {
+	return &admitter{
+		slots:        slots,
+		maxQueue:     maxQueue,
+		maxWait:      maxWait,
+		ewmaServiceS: 0.005,
+	}
+}
+
+// Inflight returns the instantaneous number of executing requests.
+func (a *admitter) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Queued returns the instantaneous admission-queue depth.
+func (a *admitter) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// occupancy returns one tenant's instantaneous execution and queue
+// occupancy.
+func (a *admitter) occupancy(t *tenant) (inflight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return t.inflight, len(t.queue)
+}
+
+// capacityRetryAfter prices how long a shed caller should back off: the
+// queue ahead of it, drained at slots per service time. Callers hold a.mu.
+func (a *admitter) capacityRetryAfter() time.Duration {
+	perSlot := a.ewmaServiceS * float64(a.queued+1) / float64(a.slots)
+	return time.Duration(math.Min(math.Max(perSlot, 0.05), 60) * float64(time.Second))
+}
+
+// admit reserves one execution slot for the tenant, queueing when the
+// server is saturated. It returns a release closure on success and a typed
+// 429 on refusal: the tenant's own rate/concurrency quota (over_quota), or
+// global saturation (over_capacity — queue full, wait bound exceeded, or
+// the client gave up while queued). system-tenant requests skip the
+// per-tenant quota checks but still occupy (and queue for) global slots.
+func (a *admitter) admit(ctx context.Context, t *tenant) (release func(), herr *httpError) {
+	if t.cfg.Name != systemTenant {
+		if ok, after := t.takeToken(time.Now()); !ok {
+			return nil, shedError(codeOverQuota, after,
+				"tenant "+t.cfg.Name+" over its request rate; retry after the bucket refills")
+		}
+	}
+	a.mu.Lock()
+	if t.cfg.MaxConcurrent > 0 && t.inflight >= t.cfg.MaxConcurrent {
+		after := time.Duration(a.ewmaServiceS * float64(time.Second))
+		a.mu.Unlock()
+		return nil, shedError(codeOverQuota, after,
+			"tenant "+t.cfg.Name+" at its concurrent-query quota")
+	}
+	if a.inflight < a.slots && a.queued == 0 {
+		a.inflight++
+		t.inflight++
+		a.mu.Unlock()
+		return a.releaseFunc(t, time.Now()), nil
+	}
+	if a.queued >= a.maxQueue {
+		after := a.capacityRetryAfter()
+		a.mu.Unlock()
+		return nil, shedError(codeOverCapacity, after, "server over capacity (admission queue full)")
+	}
+	// Park in the tenant's queue; stride scheduling picks the next grant.
+	w := &waiter{ch: make(chan struct{})}
+	if len(t.queue) == 0 {
+		// (Re-)activating: never let a long-idle tenant's stale low pass
+		// translate into a burst of back-to-back grants.
+		if t.pass < a.vt {
+			t.pass = a.vt
+		}
+		a.active = append(a.active, t)
+	}
+	t.queue = append(t.queue, w)
+	a.queued++
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	begin := time.Now()
+	select {
+	case <-w.ch:
+		return a.releaseFunc(t, begin), nil
+	case <-ctx.Done():
+		if a.abandon(t, w) {
+			// The grant raced the cancellation; the slot is ours to return.
+			a.releaseFunc(t, begin)()
+		}
+		a.mu.Lock()
+		after := a.capacityRetryAfter()
+		a.mu.Unlock()
+		return nil, shedError(codeOverCapacity, after, "server over capacity")
+	case <-timer.C:
+		if a.abandon(t, w) {
+			a.releaseFunc(t, begin)()
+		}
+		a.mu.Lock()
+		after := a.capacityRetryAfter()
+		a.mu.Unlock()
+		return nil, shedError(codeOverCapacity, after,
+			"server over capacity (gave up after queueing "+a.maxWait.String()+")")
+	}
+}
+
+// abandon removes a parked waiter after cancellation or timeout. It
+// reports true when the waiter was granted concurrently — the caller then
+// owns a slot it must release.
+func (a *admitter) abandon(t *tenant, w *waiter) (granted bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return true
+	}
+	for i, q := range t.queue {
+		if q == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	if len(t.queue) == 0 {
+		a.deactivate(t)
+	}
+	return false
+}
+
+// deactivate drops a tenant from the active list. Callers hold a.mu.
+func (a *admitter) deactivate(t *tenant) {
+	for i, at := range a.active {
+		if at == t {
+			a.active = append(a.active[:i], a.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseFunc builds the closure returning a granted slot. start is when
+// the request began waiting (or executing, for immediate grants): the
+// EWMA deliberately folds queue wait into "service time" so Retry-After
+// reflects what a retrying caller will actually experience.
+func (a *admitter) releaseFunc(t *tenant, start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			a.inflight--
+			t.inflight--
+			s := time.Since(start).Seconds()
+			a.ewmaServiceS = 0.9*a.ewmaServiceS + 0.1*s
+			a.dispatch()
+		})
+	}
+}
+
+// dispatch grants freed slots to queued waiters in stride order, skipping
+// tenants parked at their own concurrency quota. Callers hold a.mu.
+func (a *admitter) dispatch() {
+	for a.inflight < a.slots {
+		var best *tenant
+		for _, t := range a.active {
+			if t.cfg.MaxConcurrent > 0 && t.inflight >= t.cfg.MaxConcurrent {
+				continue
+			}
+			if best == nil || t.pass < best.pass {
+				best = t
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		a.queued--
+		if len(best.queue) == 0 {
+			a.deactivate(best)
+		}
+		a.vt = best.pass
+		best.pass += passScale / best.weight()
+		a.inflight++
+		best.inflight++
+		w.granted = true
+		close(w.ch)
+	}
+}

@@ -195,6 +195,7 @@ func (c specColl) Name() string                                           { retu
 func (c specColl) TauMin() float64                                        { return 0.1 }
 func (c specColl) Spec() core.BackendSpec                                 { return c.spec }
 func (c specColl) Validate(p []byte, tau float64) error                   { return nil }
+func (c specColl) Estimate(patternLen int) core.QueryEstimate             { return core.QueryEstimate{} }
 func (c specColl) Search(p []byte, tau float64) ([]catalog.DocHit, error) { return nil, nil }
 func (c specColl) TopK(p []byte, k int) ([]catalog.DocHit, error)         { return nil, nil }
 func (c specColl) Count(p []byte, tau float64) (int, error)               { return 0, nil }

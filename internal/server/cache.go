@@ -44,25 +44,49 @@ func cacheKey(op string, col Collection, pattern, param string) string {
 	return b.String()
 }
 
-// lru is a fixed-capacity least-recently-used cache, safe for concurrent
-// use.
+// hitBytes is the resident size of one Hit (three 8-byte fields); the
+// per-entry overhead approximates the list element, map bucket share and
+// the two headers. Exact malloc accounting is not the point — proportional
+// accounting is, so a handful of huge hit lists can no longer defeat an
+// entry-count bound.
+const (
+	hitBytes      = 24
+	entryOverhead = 96
+)
+
+// entrySize prices one cache entry in bytes.
+func entrySize(key string, val cached) int64 {
+	return int64(len(key)) + int64(len(val.hits))*hitBytes + entryOverhead
+}
+
+// lru is a least-recently-used cache bounded by entry count AND resident
+// bytes, safe for concurrent use. The byte budget is the real memory
+// bound: entries are priced by entrySize, inserts evict from the cold end
+// until both bounds hold, and an entry that alone exceeds an eighth of the
+// byte budget is refused outright (serving one oversized hit list is fine;
+// letting it evict a thousand useful entries is not).
 type lru struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64 // <= 0 means unbounded
+	bytes    int64
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
 }
 
 type lruEntry struct {
-	key string
-	val cached
+	key  string
+	val  cached
+	size int64
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+func newLRU(capacity int, maxBytes int64) *lru {
+	return &lru{cap: capacity, maxBytes: maxBytes, ll: list.New(), m: make(map[string]*list.Element, capacity)}
 }
 
-// Get returns the cached value and marks it most recently used.
+// Get returns the cached value and marks it most recently used. The
+// returned hits slice is shared with the cache: readers must treat it as
+// immutable (see TestCachedHitsNeverMutated).
 func (c *lru) Get(key string) (cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -74,22 +98,36 @@ func (c *lru) Get(key string) (cached, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// Put inserts or refreshes a value, evicting the least recently used entry
-// beyond capacity.
-func (c *lru) Put(key string, val cached) {
+// Put inserts or refreshes a value, evicting least-recently-used entries
+// until both the entry and byte budgets hold. It reports false — and
+// caches nothing — for values too large to admit.
+func (c *lru) Put(key string, val cached) bool {
+	size := entrySize(key, val)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxBytes > 0 && size > c.maxBytes/8 {
+		return false
+	}
 	if el, ok := c.m[key]; ok {
-		el.Value.(*lruEntry).val = val
+		ent := el.Value.(*lruEntry)
+		c.bytes += size - ent.size
+		ent.val, ent.size = val, size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val, size: size})
+		c.bytes += size
 	}
-	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
-	if c.ll.Len() > c.cap {
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*lruEntry)
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*lruEntry).key)
+		delete(c.m, ent.key)
+		c.bytes -= ent.size
 	}
+	return true
 }
 
 // Len returns the number of cached entries.
@@ -97,4 +135,11 @@ func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the accounted resident size of the cache.
+func (c *lru) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ustring"
+)
+
+// TestLRUByteBudget: the cache evicts by accounted bytes, not just entry
+// count — a handful of huge hit lists can no longer hold a thousand-entry
+// budget's worth of memory.
+func TestLRUByteBudget(t *testing.T) {
+	big := cached{hits: make([]Hit, 100)} // 100*24 + overhead ≈ 2.5 KiB
+	budget := 8 * entrySize("k00", big)   // room for 8 entries, cap for 1000
+	c := newLRU(1000, budget)
+	for i := 0; i < 20; i++ {
+		if !c.Put(fmt.Sprintf("k%02d", i), big) {
+			t.Fatalf("entry %d refused under budget", i)
+		}
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", c.Bytes(), budget)
+	}
+	if c.Len() >= 20 {
+		t.Fatalf("no entries evicted: %d resident", c.Len())
+	}
+	// The newest entries survive; the oldest were evicted.
+	if _, ok := c.Get("k19"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get("k00"); ok {
+		t.Fatal("oldest entry survived a full byte budget")
+	}
+}
+
+// TestLRURefusesOversized: a single result larger than an eighth of the
+// byte budget is served but never cached — admitting it would evict a large
+// slice of the working set for one entry.
+func TestLRURefusesOversized(t *testing.T) {
+	c := newLRU(1000, 10_000)
+	huge := cached{hits: make([]Hit, 1000)} // 24 KB >> 10000/8
+	if c.Put("huge", huge) {
+		t.Fatal("oversized entry admitted")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("refused entry left residue: len %d, bytes %d", c.Len(), c.Bytes())
+	}
+	small := cached{hits: make([]Hit, 4)}
+	if !c.Put("small", small) {
+		t.Fatal("small entry refused")
+	}
+	if got := c.Bytes(); got != entrySize("small", small) {
+		t.Fatalf("Bytes() = %d, want %d", got, entrySize("small", small))
+	}
+}
+
+// TestLRUReplaceAdjustsBytes: refreshing a key re-prices the entry instead
+// of leaking the old size into the accounting.
+func TestLRUReplaceAdjustsBytes(t *testing.T) {
+	c := newLRU(10, 1<<20)
+	c.Put("k", cached{hits: make([]Hit, 50)})
+	c.Put("k", cached{hits: make([]Hit, 2)})
+	want := entrySize("k", cached{hits: make([]Hit, 2)})
+	if got := c.Bytes(); got != want {
+		t.Fatalf("Bytes() after replace = %d, want %d", got, want)
+	}
+}
+
+// productiveQuery finds a query URL returning at least min hits at the
+// collection's tau floor.
+func productiveQuery(t *testing.T, s *Server, docs []*ustring.String, min int) (pat, url string, resp QueryResponse) {
+	t.Helper()
+	for _, m := range []int{2, 3} {
+		for _, p := range gen.CollectionPatterns(docs, 16, m, 73) {
+			url := "/v1/query?collection=prot&p=" + string(p) + "&tau=0.1"
+			var resp QueryResponse
+			get(t, s, url, http.StatusOK, &resp)
+			if len(resp.Hits) >= min {
+				return string(p), url, resp
+			}
+		}
+	}
+	t.Fatalf("no sampled pattern produced %d hits", min)
+	return "", "", QueryResponse{}
+}
+
+// TestCacheOversizedCounter: results too large to cache are still served,
+// and each refusal is counted.
+func TestCacheOversizedCounter(t *testing.T) {
+	s, docs := testServer(t, Config{MaxCachedHits: 1})
+	_, url, resp := productiveQuery(t, s, docs, 2)
+	oversized := s.stats.cacheOversized.Value()
+	if oversized < 1 {
+		t.Fatalf("oversized counter = %d, want >= 1", oversized)
+	}
+	// Served again — still uncached, counted again.
+	get(t, s, url, http.StatusOK, &resp)
+	if resp.Cached {
+		t.Fatal("oversized result reported cached")
+	}
+	if got := s.stats.cacheOversized.Value(); got != oversized+1 {
+		t.Fatalf("oversized counter = %d, want %d", got, oversized+1)
+	}
+}
+
+// TestCachedHitsNeverMutated: lru.Get hands out the stored hits slice
+// itself — one allocation shared by every hit of that entry. This test
+// pins the contract that makes that safe: nothing downstream of execQuery
+// mutates a served hits slice, so two requests served from the same entry
+// (and any later request) always see the bytes that were stored.
+func TestCachedHitsNeverMutated(t *testing.T) {
+	s, docs := testServer(t, Config{})
+	p, url, _ := productiveQuery(t, s, docs, 1)
+
+	// Snapshot the stored entry's backing slice, then deep-copy it.
+	key := cacheKey("q", mustCollection(t, s, "prot"), p, "0.1")
+	entry, ok := s.cache.Get(key)
+	if !ok {
+		t.Fatal("result not cached")
+	}
+	snapshot := append([]Hit(nil), entry.hits...)
+
+	// Hammer the cached path — every request below is served from the same
+	// shared slice.
+	for i := 0; i < 20; i++ {
+		var resp QueryResponse
+		get(t, s, url, http.StatusOK, &resp)
+		if !resp.Cached {
+			t.Fatalf("request %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(resp.Hits, snapshot) {
+			t.Fatalf("request %d: served hits diverged from the stored entry", i)
+		}
+	}
+	after, ok := s.cache.Get(key)
+	if !ok {
+		t.Fatal("entry evicted mid-test")
+	}
+	if !reflect.DeepEqual(after.hits, snapshot) {
+		t.Fatal("cached hits slice was mutated while being served")
+	}
+}
+
+// mustCollection resolves a collection the test knows exists.
+func mustCollection(t *testing.T, s *Server, name string) Collection {
+	t.Helper()
+	col, ok := s.src.Get(name)
+	if !ok {
+		t.Fatalf("collection %q missing", name)
+	}
+	return col
+}

@@ -62,17 +62,20 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 		return
 	}
 	// Snapshots buffer a full copy of the collection, so they must respect
-	// the in-flight bound like every other expensive request — a fleet of
-	// replicas bootstrapping at once is otherwise an unbounded memory
-	// amplifier.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-r.Context().Done():
+	// the global in-flight bound like every other expensive request — a
+	// fleet of replicas bootstrapping at once is otherwise an unbounded
+	// memory amplifier. They run as the system tenant: admitted past the
+	// per-tenant quotas (a bootstrapping follower has no API key) but still
+	// occupying an execution slot.
+	release, shed := s.adm.admit(r.Context(), s.tenants.system)
+	if shed != nil {
 		ep.reject()
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server over capacity"})
+		s.tenants.system.shed(shed.code)
+		s.stats.admissionShed.With(shed.code).Inc()
+		s.writeError(w, shed)
 		return
 	}
+	defer release()
 	begin := time.Now()
 	var buf bytes.Buffer
 	err := s.feed.WriteSnapshot(&buf, coll)

@@ -107,16 +107,22 @@ func TestRequestIDOnErrorPaths(t *testing.T) {
 
 	// 429: the only in-flight slot is taken and the client has gone away.
 	p := pattern(t, docs, 3)
-	s.sem <- struct{}{}
+	release, shedErr := s.adm.admit(context.Background(), s.tenants.system)
+	if shedErr != nil {
+		t.Fatalf("occupying the only slot: %v", shedErr)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req = httptest.NewRequest(http.MethodGet, "/v1/query?collection=prot&p="+p+"&tau=0.15", nil).WithContext(ctx)
 	req.Header.Set(RequestIDHeader, "err-429")
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	<-s.sem
+	release()
 	if rec.Code != http.StatusTooManyRequests || rec.Header().Get(RequestIDHeader) != "err-429" {
 		t.Errorf("429 path: status %d, id %q", rec.Code, rec.Header().Get(RequestIDHeader))
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 path: no Retry-After header")
 	}
 
 	// 422: top-k on an approx collection.

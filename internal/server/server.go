@@ -41,14 +41,24 @@
 // mapped to 422 — in a batch, per op, never failing the whole request.
 //
 // The server keeps an LRU cache of successful results keyed by
-// (operation, collection-instance, backend-spec, pattern, tau-or-k), bounds
-// the number of in-flight query requests with a semaphore (excess requests
-// wait; if the client gives up first the request is dropped with 429), and
-// tracks per-endpoint request, error and latency counters exposed via
-// /v1/stats, alongside approximate-query counters and every collection's
-// backend and ε. Because mutable collections stamp every published snapshot
-// with a fresh instance id, a mutation implicitly invalidates all cached
-// results of the collection it touched.
+// (operation, collection-instance, backend-spec, pattern, tau-or-k),
+// bounded by entry count and resident bytes, and tracks per-endpoint
+// request, error and latency counters exposed via /v1/stats, alongside
+// approximate-query counters and every collection's backend and ε. Because
+// mutable collections stamp every published snapshot with a fresh instance
+// id, a mutation implicitly invalidates all cached results of the
+// collection it touched.
+//
+// Admission control governs every query and mutation endpoint. Requests
+// are resolved to a tenant by the X-API-Key header (Config.Tenants /
+// ParseAPIKeys; unknown or missing keys run as the anonymous tenant) and
+// pass the tenant's token bucket and concurrent-query quota, then a
+// per-query cost estimate against the tenant's budget (priced from
+// collection stats before any index work), then the weighted admission
+// queue bounding global concurrency — stride-scheduled by tenant weight,
+// so a flooding tenant cannot starve a polite one. Refusals at any step
+// answer 429 with a Retry-After header and a typed code: over_quota,
+// over_budget, or over_capacity.
 //
 // Every request carries an end-to-end id: the X-Request-Id header when the
 // client supplies a well-formed one, a generated id otherwise. The id is
@@ -103,6 +113,12 @@ type Config struct {
 	// CacheEntries bounds the result cache; 0 means DefaultCacheEntries,
 	// negative disables caching.
 	CacheEntries int
+	// CacheBytes bounds the result cache's accounted resident bytes —
+	// the real memory bound; the entry count alone is not one when
+	// entries vary from empty to MaxCachedHits hits. 0 means
+	// DefaultCacheBytes, negative disables the byte bound (entry count
+	// only).
+	CacheBytes int64
 	// MaxCachedHits bounds the per-entry result size admitted to the cache:
 	// larger hit sets are served but not retained, keeping the cache's
 	// memory footprint proportional to CacheEntries. 0 means
@@ -111,6 +127,21 @@ type Config struct {
 	// MaxInFlight bounds concurrently served query requests; 0 means
 	// 4×GOMAXPROCS.
 	MaxInFlight int
+	// Tenants are the API-key tenants (see ParseAPIKeys); requests whose
+	// X-API-Key matches no tenant run as the anonymous tenant. Empty means
+	// open mode: everyone is anonymous.
+	Tenants []TenantConfig
+	// AnonTenant sets the anonymous tenant's quotas when Tenants does not
+	// define a tenant named "anonymous". The zero value means unlimited —
+	// open mode keeps its pre-tenant behaviour.
+	AnonTenant TenantConfig
+	// AdmissionQueue bounds the number of requests parked waiting for an
+	// execution slot; beyond it requests are shed with 429 over_capacity.
+	// 0 means 8×MaxInFlight.
+	AdmissionQueue int
+	// AdmissionMaxWait bounds how long one request may queue before being
+	// shed; 0 means DefaultAdmissionMaxWait.
+	AdmissionMaxWait time.Duration
 	// MaxPatternBytes bounds accepted pattern lengths; oversized patterns
 	// are rejected with 400 before any fan-out is paid. 0 means
 	// DefaultMaxPatternBytes.
@@ -163,6 +194,11 @@ type Collection interface {
 	TauMin() float64
 	Spec() core.BackendSpec
 	Validate(p []byte, tau float64) error
+	// Estimate prices a pattern of the given length against this collection
+	// from already-available stats — no index access — in core cost units;
+	// the admission tier sheds queries estimated over the tenant's budget
+	// before any fan-out is paid.
+	Estimate(patternLen int) core.QueryEstimate
 	Search(p []byte, tau float64) ([]catalog.DocHit, error)
 	TopK(p []byte, k int) ([]catalog.DocHit, error)
 	Count(p []byte, tau float64) (int, error)
@@ -215,6 +251,13 @@ func newSource[C Collection, P provider[C]](p P) source { return adapted[C, P]{p
 // DefaultCacheEntries is the default LRU capacity.
 const DefaultCacheEntries = 1024
 
+// DefaultCacheBytes is the default result-cache byte budget (64 MiB).
+const DefaultCacheBytes = 64 << 20
+
+// DefaultAdmissionMaxWait is the default bound on time spent queued for an
+// execution slot.
+const DefaultAdmissionMaxWait = 5 * time.Second
+
 // DefaultMaxCachedHits is the default per-entry size cap of the result
 // cache.
 const DefaultMaxCachedHits = 10000
@@ -223,11 +266,20 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = DefaultCacheEntries
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
 	if c.MaxCachedHits == 0 {
 		c.MaxCachedHits = DefaultMaxCachedHits
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.AdmissionQueue <= 0 {
+		c.AdmissionQueue = 8 * c.MaxInFlight
+	}
+	if c.AdmissionMaxWait <= 0 {
+		c.AdmissionMaxWait = DefaultAdmissionMaxWait
 	}
 	if c.MaxPatternBytes <= 0 {
 		c.MaxPatternBytes = DefaultMaxPatternBytes
@@ -258,7 +310,8 @@ type Server struct {
 	metrics  *obs.Registry
 	slowlog  *obs.SlowLog // nil when SlowQueryThreshold is 0
 	access   *olog.Logger // nil disables access logging
-	sem      chan struct{}
+	tenants  *tenantSet
+	adm      *admitter
 	mux      *http.ServeMux
 	start    time.Time
 }
@@ -299,12 +352,13 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 		metrics: reg,
 		slowlog: obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogEntries),
 		access:  cfg.AccessLog,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	s.tenants = newTenantSet(cfg.Tenants, cfg.AnonTenant, s.stats)
+	s.adm = newAdmitter(cfg.MaxInFlight, cfg.AdmissionQueue, cfg.AdmissionMaxWait)
 	if cfg.CacheEntries > 0 {
-		s.cache = newLRU(cfg.CacheEntries)
+		s.cache = newLRU(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	s.registerServingMetrics(reg)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -323,7 +377,7 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 	if role == RolePrimary {
 		s.feed = replica.NewFeed(st)
 		s.mux.HandleFunc("/v1/replication/wal",
-			s.limited("replication_wal", http.MethodGet, s.handleReplicationWAL))
+			s.limitedSystem("replication_wal", http.MethodGet, s.handleReplicationWAL))
 		s.mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
 	}
 	return s
@@ -349,15 +403,34 @@ func (s *Server) registerServingMetrics(r *obs.Registry) {
 		func() float64 { return time.Since(s.start).Seconds() })
 	inflight := r.Gauge("ustridx_inflight_requests", "Query requests currently executing.")
 	inflightLimit := r.Gauge("ustridx_inflight_limit", "In-flight request bound.")
+	queueDepth := r.Gauge("ustridx_admission_queue_depth", "Requests parked in the admission queue.")
+	queueLimit := r.Gauge("ustridx_admission_queue_limit", "Admission queue depth bound.")
+	tenantInflight := r.GaugeVec("ustridx_tenant_inflight",
+		"Requests currently executing, by tenant.", "tenant")
+	tenantQueued := r.GaugeVec("ustridx_tenant_queued",
+		"Requests parked in the admission queue, by tenant.", "tenant")
 	cacheEntries := r.Gauge("ustridx_cache_entries", "Result cache entries resident.")
 	cacheCapacity := r.Gauge("ustridx_cache_capacity", "Result cache entry bound.")
+	cacheBytes := r.Gauge("ustridx_cache_bytes", "Result cache accounted resident bytes.")
+	cacheMaxBytes := r.Gauge("ustridx_cache_max_bytes", "Result cache byte budget (0 = unbounded).")
 	slowTotal := r.Gauge("ustridx_slow_queries", "Requests ever recorded in the slow-query log.")
 	r.OnScrape(func() {
-		inflight.SetInt(int64(len(s.sem)))
+		inflight.SetInt(int64(s.adm.Inflight()))
 		inflightLimit.SetInt(int64(s.cfg.MaxInFlight))
+		queueDepth.SetInt(int64(s.adm.Queued()))
+		queueLimit.SetInt(int64(s.cfg.AdmissionQueue))
+		for _, t := range s.tenants.all {
+			infl, queued := s.adm.occupancy(t)
+			tenantInflight.With(t.cfg.Name).SetInt(int64(infl))
+			tenantQueued.With(t.cfg.Name).SetInt(int64(queued))
+		}
 		if s.cache != nil {
 			cacheEntries.SetInt(int64(s.cache.Len()))
 			cacheCapacity.SetInt(int64(s.cfg.CacheEntries))
+			cacheBytes.SetInt(s.cache.Bytes())
+			if s.cfg.CacheBytes > 0 {
+				cacheMaxBytes.SetInt(s.cfg.CacheBytes)
+			}
 		}
 		slowTotal.SetInt(s.slowlog.Total())
 	})
@@ -409,7 +482,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rid = newRequestID()
 	}
 	w.Header().Set(RequestIDHeader, rid)
-	r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+	tn := s.tenants.resolve(r.Header.Get(APIKeyHeader))
+	ctx := context.WithValue(r.Context(), requestIDKey, rid)
+	ctx = context.WithValue(ctx, tenantCtxKey, tn)
+	r = r.WithContext(ctx)
 	if s.access == nil {
 		s.mux.ServeHTTP(w, r)
 		return
@@ -419,6 +495,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sw, r)
 	s.access.Info("request",
 		"request_id", rid,
+		"tenant", tn.cfg.Name,
 		"method", r.Method,
 		"path", r.URL.Path,
 		"status", sw.status,
@@ -427,10 +504,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"remote", r.RemoteAddr)
 }
 
-// httpError is an error with a dedicated status code.
+// httpError is an error with a dedicated status code. Admission sheds also
+// carry a typed code (over_quota, over_budget, over_capacity) and the
+// back-off the client should honour; writeError turns those into the
+// Retry-After header and the "code"/"retry_after_s" body fields.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	code       string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -467,14 +549,68 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code types admission sheds (over_quota, over_budget, over_capacity)
+	// so clients can react without parsing the message.
+	Code string `json:"code,omitempty"`
+	// RetryAfterS is the fractional back-off in seconds; the Retry-After
+	// header carries the same value rounded up to whole seconds.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
-// limited wraps a query handler with method filtering, the in-flight
-// semaphore, request/error/rejection/latency accounting, a per-request
-// cost accumulator (always on — the counters ride existing query work),
-// and a per-request trace allocated when the slow-query log can consume it
-// or the request asks for debug headers (X-Debug-Obs: 1).
+// writeError answers a request with err's status and JSON body. Every 429
+// sets Retry-After: the bucket-refill time for rate sheds, the observed
+// service time for quota/capacity sheds — never a bare 429 the client can
+// only retry blind against.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := errorStatus(err)
+	resp := errorResponse{Error: err.Error()}
+	var he *httpError
+	if errors.As(err, &he) {
+		resp.Code = he.code
+		if status == http.StatusTooManyRequests {
+			ra := he.retryAfter
+			if ra <= 0 {
+				ra = time.Second
+			}
+			resp.RetryAfterS = ra.Seconds()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(ra)))
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// retryAfterSeconds renders a back-off as the whole-second Retry-After
+// header value: rounded up, never zero (a zero header invites an immediate
+// retry storm).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// limited wraps a query handler with method filtering, admission control
+// (the tenant's token bucket and quotas, then the weighted admission
+// queue), request/error/rejection/latency accounting, a per-request cost
+// accumulator (always on — the counters ride existing query work), and a
+// per-request trace allocated when the slow-query log can consume it or
+// the request asks for debug headers (X-Debug-Obs: 1). Sheds answer 429
+// with Retry-After and a typed code (see admission.go).
 func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace, *obs.Cost) (any, error)) http.HandlerFunc {
+	return s.governed(name, method, false, fn)
+}
+
+// limitedSystem is limited for the daemon's internal endpoints (the
+// replication feed): requests run as the built-in system tenant — never
+// rate-limited or budget-checked, only bounded by the global execution
+// slots — so a follower without an API key cannot be starved by the
+// anonymous tenant's quotas.
+func (s *Server) limitedSystem(name, method string, fn func(*http.Request, *obs.Trace, *obs.Cost) (any, error)) http.HandlerFunc {
+	return s.governed(name, method, true, fn)
+}
+
+func (s *Server) governed(name, method string, system bool, fn func(*http.Request, *obs.Trace, *obs.Cost) (any, error)) http.HandlerFunc {
 	ep := s.stats.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		ep.requests.Inc()
@@ -484,14 +620,22 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace,
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 			return
 		}
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
+		t := tenantFromContext(r.Context())
+		if system || t == nil {
+			t = s.tenants.system
+		}
+		t.requests.Inc()
+		waitBegin := time.Now()
+		release, shed := s.adm.admit(r.Context(), t)
+		if shed != nil {
 			ep.reject()
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server over capacity"})
+			t.shed(shed.code)
+			s.stats.admissionShed.With(shed.code).Inc()
+			s.writeError(w, shed)
 			return
 		}
+		defer release()
+		s.stats.admissionWait.ObserveDuration(time.Since(waitBegin))
 		debug := r.Header.Get(DebugObsHeader) == "1"
 		var tr *obs.Trace
 		if s.slowlog != nil || debug {
@@ -506,7 +650,7 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace,
 		}
 		if err != nil {
 			ep.errors.Inc()
-			writeJSON(w, errorStatus(err), errorResponse{Error: err.Error()})
+			s.writeError(w, err)
 		} else {
 			stop := tr.StartStage("encode")
 			writeJSON(w, http.StatusOK, resp)
@@ -514,19 +658,21 @@ func (s *Server) limited(name, method string, fn func(*http.Request, *obs.Trace,
 		}
 		if tr != nil && s.slowlog != nil {
 			entry := obs.SlowEntry{
-				Time:       time.Now(),
-				RequestID:  RequestIDFromContext(r.Context()),
-				Endpoint:   name,
-				Op:         tr.Op,
-				Collection: tr.Collection,
-				Pattern:    tr.Pattern,
-				Param:      tr.Param,
-				Backend:    tr.Backend,
-				Epsilon:    tr.Epsilon,
-				Cached:     tr.Cached,
-				DurationUs: float64(time.Since(begin).Nanoseconds()) / 1e3,
-				Stages:     tr.Stages(),
-				Cost:       cost.Snapshot(),
+				Time:           time.Now(),
+				RequestID:      RequestIDFromContext(r.Context()),
+				Tenant:         t.cfg.Name,
+				Endpoint:       name,
+				Op:             tr.Op,
+				Collection:     tr.Collection,
+				Pattern:        tr.Pattern,
+				Param:          tr.Param,
+				Backend:        tr.Backend,
+				Epsilon:        tr.Epsilon,
+				Cached:         tr.Cached,
+				EstimatedUnits: tr.EstimatedUnits,
+				DurationUs:     float64(time.Since(begin).Nanoseconds()) / 1e3,
+				Stages:         tr.Stages(),
+				Cost:           cost.Snapshot(),
 			}
 			if err != nil {
 				entry.Error = err.Error()
@@ -697,7 +843,17 @@ func (q queryKind) name() string {
 // per-collection cost histograms, and only for executed queries: a cache
 // hit costs a lookup, not a fan-out, and recording zeros for it would drag
 // every cost distribution toward the hit rate.
-func (s *Server) execQuery(tr *obs.Trace, cost *obs.Cost, kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
+//
+// Between the cache lookup and the fan-out sits the pre-execution cost
+// estimate: a cache miss is priced from collection stats alone, and when
+// the estimate exceeds the tenant's per-query budget the op is shed with a
+// typed over_budget 429 before any index work is paid. The order matters —
+// a cached answer is nearly free to serve, so budget sheds apply only to
+// work that would actually cost something. Executed queries then feed the
+// estimate and the measured/estimated ratio into histograms, so estimator
+// drift is observable. t may be nil (direct internal callers): no budget
+// applies.
+func (s *Server) execQuery(t *tenant, tr *obs.Trace, cost *obs.Cost, kind queryKind, col Collection, collName string, p []byte, tau float64, k int) (any, error) {
 	spec := col.Spec()
 	caps := spec.Capabilities()
 	if kind == qTopK && !caps.TopK {
@@ -749,6 +905,19 @@ func (s *Server) execQuery(tr *obs.Trace, cost *obs.Cost, kind queryKind, col Co
 	if s.cache != nil {
 		cost.CacheMiss()
 	}
+	est := col.Estimate(len(p))
+	if tr != nil {
+		tr.EstimatedUnits = est.Units
+	}
+	if t != nil && t.cfg.MaxUnits > 0 && est.Units > t.cfg.MaxUnits {
+		t.shed(codeOverBudget)
+		s.stats.admissionShed.With(codeOverBudget).Inc()
+		// Retry-After is nominal here — the code is the real signal: the
+		// same query will be shed again; narrow it instead.
+		return nil, shedError(codeOverBudget, time.Second, fmt.Sprintf(
+			"query estimated at %.0f cost units, over tenant %q's per-query budget of %g",
+			est.Units, t.cfg.Name, t.cfg.MaxUnits))
+	}
 	var before obs.Cost
 	if cost != nil {
 		before = *cost
@@ -774,7 +943,14 @@ func (s *Server) execQuery(tr *obs.Trace, cost *obs.Cost, kind queryKind, col Co
 		hits, n = toHits(dh), len(dh)
 	}
 	if cost != nil {
-		s.stats.cost(collName, spec.Kind).observe(cost.DeltaSince(before))
+		delta := cost.DeltaSince(before)
+		s.stats.cost(collName, spec.Kind).observe(delta)
+		s.stats.estimatedUnits.Observe(est.Units)
+		if est.Units > 0 {
+			measured := core.CostUnits(delta.Candidates, delta.SuffixSteps,
+				delta.IndexBytes, delta.MergeComparisons, delta.ShardsTouched)
+			s.stats.estimateRatio.Observe(measured / est.Units)
+		}
 	}
 	s.store(key, hits, n)
 	return assembleResponse(kind, collName, caps, p, tau, k, hits, n, false), nil
@@ -810,7 +986,7 @@ func (s *Server) handleQuery(r *http.Request, tr *obs.Trace, cost *obs.Cost) (an
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, cost, qSearch, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tenantFromContext(r.Context()), tr, cost, qSearch, col, q.Get("collection"), p, tau, 0)
 }
 
 func (s *Server) handleTopK(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
@@ -827,7 +1003,7 @@ func (s *Server) handleTopK(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, cost, qTopK, col, q.Get("collection"), p, 0, k)
+	return s.execQuery(tenantFromContext(r.Context()), tr, cost, qTopK, col, q.Get("collection"), p, 0, k)
 }
 
 func (s *Server) handleCount(r *http.Request, tr *obs.Trace, cost *obs.Cost) (any, error) {
@@ -844,7 +1020,7 @@ func (s *Server) handleCount(r *http.Request, tr *obs.Trace, cost *obs.Cost) (an
 	if err != nil {
 		return nil, err
 	}
-	return s.execQuery(tr, cost, qCount, col, q.Get("collection"), p, tau, 0)
+	return s.execQuery(tenantFromContext(r.Context()), tr, cost, qCount, col, q.Get("collection"), p, tau, 0)
 }
 
 // BatchQuery is one entry of a batch request. Op selects the operation:
@@ -865,16 +1041,20 @@ type BatchRequest struct {
 // BatchResult is one entry of a batch response: the matching single-query
 // response, or an error for that entry alone — a failing op never fails the
 // whole batch. Code classifies the failure ("unsupported_query" for a
-// capability rejection, "bad_request" otherwise) so clients can tell a
-// backend that cannot answer the op from a malformed op without parsing the
-// message. RequestID is the batch request's end-to-end id suffixed with the
-// op's index ("<id>/<index>"), so one op's outcome can be correlated with
-// the batch's access-log line.
+// capability rejection, "over_budget" for a per-op budget shed,
+// "bad_request" otherwise) so clients can tell a backend that cannot
+// answer the op from a malformed op without parsing the message. A shed op
+// also carries RetryAfterS — the batch's HTTP status stays 200, so the
+// per-op body is the only place the back-off can ride. RequestID is the
+// batch request's end-to-end id suffixed with the op's index
+// ("<id>/<index>"), so one op's outcome can be correlated with the batch's
+// access-log line.
 type BatchResult struct {
-	RequestID string `json:"request_id,omitempty"`
-	Result    any    `json:"result,omitempty"`
-	Error     string `json:"error,omitempty"`
-	Code      string `json:"code,omitempty"`
+	RequestID   string  `json:"request_id,omitempty"`
+	Result      any     `json:"result,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Code        string  `json:"code,omitempty"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 // BatchResponse answers /v1/batch.
@@ -901,6 +1081,7 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace, cost *obs.Cost) (an
 		return nil, err
 	}
 	rid := RequestIDFromContext(r.Context())
+	tn := tenantFromContext(r.Context())
 	resp := BatchResponse{Collection: req.Collection, Results: make([]BatchResult, len(req.Queries))}
 	for i, q := range req.Queries {
 		var (
@@ -918,15 +1099,15 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace, cost *obs.Cost) (an
 			// multi-query batches.
 			switch q.Op {
 			case "", "search":
-				result, qerr = s.execQuery(tr, cost, qSearch, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tn, tr, cost, qSearch, col, req.Collection, p, q.Tau, 0)
 			case "topk":
 				if q.K <= 0 || q.K > s.cfg.MaxK {
 					qerr = badRequest("bad k %d", q.K)
 				} else {
-					result, qerr = s.execQuery(tr, cost, qTopK, col, req.Collection, p, 0, q.K)
+					result, qerr = s.execQuery(tn, tr, cost, qTopK, col, req.Collection, p, 0, q.K)
 				}
 			case "count":
-				result, qerr = s.execQuery(tr, cost, qCount, col, req.Collection, p, q.Tau, 0)
+				result, qerr = s.execQuery(tn, tr, cost, qCount, col, req.Collection, p, q.Tau, 0)
 			default:
 				qerr = badRequest("unknown op %q", q.Op)
 			}
@@ -937,10 +1118,19 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace, cost *obs.Cost) (an
 		}
 		if qerr != nil {
 			code := "bad_request"
-			if errors.Is(qerr, core.ErrUnsupportedQuery) {
+			br := BatchResult{RequestID: opID, Error: qerr.Error()}
+			var he *httpError
+			switch {
+			case errors.Is(qerr, core.ErrUnsupportedQuery):
 				code = "unsupported_query"
+			case errors.As(qerr, &he) && he.code != "":
+				code = he.code
+				if he.retryAfter > 0 {
+					br.RetryAfterS = he.retryAfter.Seconds()
+				}
 			}
-			resp.Results[i] = BatchResult{RequestID: opID, Error: qerr.Error(), Code: code}
+			br.Code = code
+			resp.Results[i] = br
 			continue
 		}
 		resp.Results[i] = BatchResult{RequestID: opID, Result: result}
@@ -1057,8 +1247,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"endpoints": s.stats.snapshot(),
 		"inflight": map[string]any{
 			"limit":   s.cfg.MaxInFlight,
-			"current": len(s.sem),
+			"current": s.adm.Inflight(),
 		},
+		// The admission tier: global slot/queue occupancy and every
+		// tenant's counters, quotas and sheds (see OPERATIONS.md).
+		"admission": map[string]any{
+			"slots":       s.cfg.MaxInFlight,
+			"inflight":    s.adm.Inflight(),
+			"queued":      s.adm.Queued(),
+			"queue_limit": s.cfg.AdmissionQueue,
+			"max_wait_ms": float64(s.cfg.AdmissionMaxWait.Microseconds()) / 1e3,
+		},
+		"tenants": s.tenantSnapshots(),
 		// Queries answered by ε-approximate collections (cache hits
 		// included), and how many of those were served from the cache.
 		"approx": map[string]any{
@@ -1087,14 +1287,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		hits, misses := s.stats.cacheCounts()
 		out["cache"] = map[string]any{
-			"capacity": s.cfg.CacheEntries,
-			"entries":  s.cache.Len(),
-			"hits":     hits,
-			"misses":   misses,
-			"hit_rate": hitRate(hits, misses),
+			"capacity":  s.cfg.CacheEntries,
+			"entries":   s.cache.Len(),
+			"bytes":     s.cache.Bytes(),
+			"max_bytes": s.cfg.CacheBytes,
+			"oversized": s.stats.cacheOversized.Value(),
+			"hits":      hits,
+			"misses":    misses,
+			"hit_rate":  hitRate(hits, misses),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// tenantSnapshots builds the /v1/stats "tenants" section.
+func (s *Server) tenantSnapshots() []TenantSnapshot {
+	out := make([]TenantSnapshot, 0, len(s.tenants.all))
+	for _, t := range s.tenants.all {
+		infl, queued := s.adm.occupancy(t)
+		out = append(out, TenantSnapshot{
+			Name:             t.cfg.Name,
+			Requests:         t.requests.Value(),
+			ShedOverQuota:    t.shedQuota.Value(),
+			ShedOverBudget:   t.shedBudget.Value(),
+			ShedOverCapacity: t.shedCapacity.Value(),
+			Inflight:         infl,
+			Queued:           queued,
+			RateQPS:          t.cfg.RateQPS,
+			Burst:            t.cfg.Burst,
+			MaxConcurrent:    t.cfg.MaxConcurrent,
+			MaxUnits:         t.cfg.MaxUnits,
+			Weight:           t.cfg.Weight,
+		})
+	}
+	return out
 }
 
 func hitRate(hits, misses int64) float64 {
@@ -1119,11 +1345,15 @@ func (s *Server) lookup(key string) ([]Hit, int, bool) {
 }
 
 // store inserts a successful result into the cache, unless the hit set is
-// too large to retain (the entry-count bound is only a memory bound if
-// entries themselves are bounded).
+// too large to retain — either over the MaxCachedHits count or over the
+// LRU's own byte bound (the entry-count bound is only a memory bound if
+// entries themselves are bounded). Refusals are served normally and
+// counted in ustridx_cache_oversized_total.
 func (s *Server) store(key string, hits []Hit, count int) {
-	if s.cache == nil || len(hits) > s.cfg.MaxCachedHits {
+	if s.cache == nil {
 		return
 	}
-	s.cache.Put(key, cached{hits: hits, count: count})
+	if len(hits) > s.cfg.MaxCachedHits || !s.cache.Put(key, cached{hits: hits, count: count}) {
+		s.stats.cacheOversized.Inc()
+	}
 }

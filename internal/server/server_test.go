@@ -316,12 +316,15 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
-// TestInFlightLimit verifies load shedding: with the semaphore full and the
-// client already gone, the request is rejected with 429.
+// TestInFlightLimit verifies load shedding: with every execution slot
+// occupied and the client already gone, the request is rejected with 429.
 func TestInFlightLimit(t *testing.T) {
 	s, docs := testServer(t, Config{MaxInFlight: 1})
 	p := pattern(t, docs, 3)
-	s.sem <- struct{}{} // occupy the only slot
+	release, shed := s.adm.admit(context.Background(), s.tenants.system) // occupy the only slot
+	if shed != nil {
+		t.Fatalf("occupying the only slot: %v", shed)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest(http.MethodGet, "/v1/query?collection=prot&p="+p+"&tau=0.15", nil).WithContext(ctx)
@@ -330,7 +333,7 @@ func TestInFlightLimit(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity request: status %d, want 429", rec.Code)
 	}
-	<-s.sem
+	release()
 	// With the slot free again the same request succeeds.
 	get(t, s, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, nil)
 }
@@ -380,7 +383,7 @@ func TestConcurrentRequests(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU(2, 0)
 	c.Put("a", cached{count: 1})
 	c.Put("b", cached{count: 2})
 	if _, ok := c.Get("a"); !ok {

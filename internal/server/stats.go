@@ -86,8 +86,25 @@ type stats struct {
 	// instead of paying the vec's label lookup five times per query.
 	costHandles sync.Map // string → *costHandles
 
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheOversized *obs.Counter
+
+	// tenantRequests / tenantShed are the per-tenant admission-control
+	// families: every request resolved to a tenant, and the subset shed
+	// before execution by typed reason (over_quota, over_budget,
+	// over_capacity). admissionShed aggregates sheds across tenants per
+	// reason; admissionWait is how long admitted requests queued.
+	tenantRequests *obs.CounterVec
+	tenantShed     *obs.CounterVec
+	admissionShed  *obs.CounterVec
+	admissionWait  *obs.Histogram
+
+	// estimatedUnits observes every executed query's pre-execution cost
+	// estimate; estimateRatio observes measured/estimated cost units, so
+	// estimator drift is one PromQL quantile away.
+	estimatedUnits *obs.Histogram
+	estimateRatio  *obs.Histogram
 
 	// approxQueries counts queries answered by ε-approximate collections
 	// (cache hits included); approxCacheHits counts how many of those were
@@ -115,11 +132,34 @@ func newStats(r *obs.Registry) *stats {
 			obs.CountBuckets, "collection", "backend", "resource"),
 		cacheHits:   r.Counter("ustridx_cache_hits_total", "Result cache hits."),
 		cacheMisses: r.Counter("ustridx_cache_misses_total", "Result cache misses."),
+		cacheOversized: r.Counter("ustridx_cache_oversized_total",
+			"Results served but refused by the cache for exceeding the per-entry size bound."),
+		tenantRequests: r.CounterVec("ustridx_tenant_requests_total",
+			"Requests resolved to a tenant (admitted and shed alike), by tenant.", "tenant"),
+		tenantShed: r.CounterVec("ustridx_tenant_shed_total",
+			"Requests shed by admission control, by tenant and typed reason (over_quota, over_budget, over_capacity).",
+			"tenant", "reason"),
+		admissionShed: r.CounterVec("ustridx_admission_shed_total",
+			"Requests shed by admission control across all tenants, by typed reason.", "reason"),
+		admissionWait: r.Histogram("ustridx_admission_wait_seconds",
+			"Time admitted requests spent in the admission queue.", nil),
+		estimatedUnits: r.Histogram("ustridx_admission_estimated_units",
+			"Pre-execution cost estimate of executed queries, in core cost units.", obs.CountBuckets),
+		estimateRatio: r.Histogram("ustridx_admission_estimate_ratio",
+			"Measured over estimated cost units per executed query; 1 is a perfect estimate.",
+			ratioBuckets),
 		approxQueries: r.Counter("ustridx_approx_queries_total",
 			"Queries answered by ε-approximate collections (cache hits included)."),
 		approxCacheHits: r.Counter("ustridx_approx_cache_hits_total",
 			"Approximate-collection queries served from the result cache."),
 	}
+}
+
+// ratioBuckets covers the estimate-accuracy range of interest: powers of
+// two from 1/64 (gross over-estimate) to 64 (gross under-estimate).
+var ratioBuckets = []float64{
+	1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2,
+	1, 2, 4, 8, 16, 32, 64,
 }
 
 // endpoint returns (creating on first use) the named endpoint's counters.

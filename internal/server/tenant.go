@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// APIKeyHeader identifies the calling tenant. Requests without it (or with
+// a key no tenant owns) run as the anonymous tenant, so open-mode
+// deployments keep working with zero configuration.
+const APIKeyHeader = "X-API-Key"
+
+// AnonymousTenant is the name of the tenant serving unauthenticated
+// requests. An api-keys file may define a tenant with this name (key "-")
+// to set the anonymous quotas explicitly.
+const AnonymousTenant = "anonymous"
+
+// systemTenant runs the daemon's internal traffic (replication fetches from
+// followers); it is never rate-limited or budget-checked, only bounded by
+// the global in-flight slots.
+const systemTenant = "system"
+
+// TenantConfig is one tenant's identity and quotas. Zero-valued quota
+// fields mean unlimited, so the zero config is "a named tenant with no
+// limits" and open mode needs no configuration at all.
+type TenantConfig struct {
+	// Name labels the tenant in metrics, logs and /v1/stats.
+	Name string
+	// Key is the API key presented in the X-API-Key header. "-" (or empty)
+	// means the tenant is not reachable by key — used to configure the
+	// anonymous tenant.
+	Key string
+	// RateQPS is the token-bucket refill rate in requests/second; <= 0
+	// means unlimited.
+	RateQPS float64
+	// Burst is the bucket capacity; <= 0 means max(1, ceil(RateQPS)).
+	Burst int
+	// MaxConcurrent bounds the tenant's concurrently executing requests;
+	// <= 0 means unlimited (the global in-flight bound still applies).
+	MaxConcurrent int
+	// MaxUnits is the per-query pre-execution cost ceiling in core cost
+	// units (see core.EstimateQuery); queries priced above it are shed with
+	// over_budget before any fan-out is paid. <= 0 means unlimited.
+	MaxUnits float64
+	// Weight is the tenant's share of the admission queue when the server
+	// is saturated (stride scheduling: a weight-4 tenant is granted slots
+	// 4× as often as a weight-1 tenant). <= 0 means 1.
+	Weight int
+}
+
+// ParseAPIKeys reads the -api-keys file format: one tenant per line,
+//
+//	name key [rate=QPS] [burst=N] [concurrent=N] [budget=UNITS] [weight=N]
+//
+// separated by whitespace; '#' starts a comment. A tenant named
+// "anonymous" (key "-") configures the quotas of unauthenticated requests.
+func ParseAPIKeys(r io.Reader) ([]TenantConfig, error) {
+	var out []TenantConfig
+	names := make(map[string]bool)
+	keys := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("api-keys line %d: want at least name and key", line)
+		}
+		cfg := TenantConfig{Name: fields[0], Key: fields[1]}
+		if cfg.Key == "-" {
+			cfg.Key = ""
+		}
+		if cfg.Name == systemTenant {
+			return nil, fmt.Errorf("api-keys line %d: tenant name %q is reserved", line, systemTenant)
+		}
+		if names[cfg.Name] {
+			return nil, fmt.Errorf("api-keys line %d: duplicate tenant %q", line, cfg.Name)
+		}
+		names[cfg.Name] = true
+		if cfg.Key != "" {
+			if owner, dup := keys[cfg.Key]; dup {
+				return nil, fmt.Errorf("api-keys line %d: key already owned by tenant %q", line, owner)
+			}
+			keys[cfg.Key] = cfg.Name
+		} else if cfg.Name != AnonymousTenant {
+			return nil, fmt.Errorf("api-keys line %d: only the %q tenant may use key \"-\"", line, AnonymousTenant)
+		}
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("api-keys line %d: bad option %q (want k=v)", line, opt)
+			}
+			var err error
+			switch k {
+			case "rate":
+				cfg.RateQPS, err = strconv.ParseFloat(v, 64)
+			case "burst":
+				cfg.Burst, err = strconv.Atoi(v)
+			case "concurrent":
+				cfg.MaxConcurrent, err = strconv.Atoi(v)
+			case "budget":
+				cfg.MaxUnits, err = strconv.ParseFloat(v, 64)
+			case "weight":
+				cfg.Weight, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("api-keys line %d: unknown option %q", line, k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("api-keys line %d: bad %s value %q", line, k, v)
+			}
+		}
+		out = append(out, cfg)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tenant is one tenant's runtime state: the token bucket, the in-flight
+// count, the admission-queue bookkeeping and the pre-resolved metric
+// handles. The bucket has its own lock; inflight, pass and queue are
+// guarded by the owning admitter's mutex because queue grants must read
+// them consistently across tenants.
+type tenant struct {
+	cfg TenantConfig
+
+	mu     sync.Mutex // guards tokens, last
+	tokens float64
+	last   time.Time
+
+	// Guarded by admitter.mu.
+	inflight int
+	pass     float64   // stride-scheduling virtual time
+	queue    []*waiter // waiting requests, FIFO within the tenant
+
+	requests     *obs.Counter
+	shedQuota    *obs.Counter
+	shedBudget   *obs.Counter
+	shedCapacity *obs.Counter
+}
+
+// weight returns the effective admission weight.
+func (t *tenant) weight() float64 {
+	if t.cfg.Weight <= 0 {
+		return 1
+	}
+	return float64(t.cfg.Weight)
+}
+
+// burst returns the effective bucket capacity.
+func (t *tenant) burst() float64 {
+	if t.cfg.Burst > 0 {
+		return float64(t.cfg.Burst)
+	}
+	if t.cfg.RateQPS > 1 {
+		return t.cfg.RateQPS
+	}
+	return 1
+}
+
+// takeToken draws one request token from the bucket, refilling for the
+// elapsed time first. When the bucket is dry it reports how long until the
+// next token.
+func (t *tenant) takeToken(now time.Time) (ok bool, retryAfter time.Duration) {
+	if t.cfg.RateQPS <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = t.burst()
+	} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens += dt * t.cfg.RateQPS
+		if b := t.burst(); t.tokens > b {
+			t.tokens = b
+		}
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	need := (1 - t.tokens) / t.cfg.RateQPS
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// shed counts one shed request under the typed reason.
+func (t *tenant) shed(code string) {
+	switch code {
+	case codeOverBudget:
+		t.shedBudget.Inc()
+	case codeOverCapacity:
+		t.shedCapacity.Inc()
+	default:
+		t.shedQuota.Inc()
+	}
+}
+
+// TenantSnapshot is one tenant's /v1/stats entry.
+type TenantSnapshot struct {
+	Name string `json:"name"`
+	// Requests counts every request resolved to this tenant; Shed* the
+	// subsets refused by admission control, by reason.
+	Requests         int64 `json:"requests"`
+	ShedOverQuota    int64 `json:"shed_over_quota"`
+	ShedOverBudget   int64 `json:"shed_over_budget"`
+	ShedOverCapacity int64 `json:"shed_over_capacity"`
+	// Inflight / Queued are the instantaneous execution and wait-queue
+	// occupancy.
+	Inflight int `json:"inflight"`
+	Queued   int `json:"queued"`
+	// Configured quotas (0 = unlimited).
+	RateQPS       float64 `json:"rate_qps,omitempty"`
+	Burst         int     `json:"burst,omitempty"`
+	MaxConcurrent int     `json:"max_concurrent,omitempty"`
+	MaxUnits      float64 `json:"max_units,omitempty"`
+	Weight        int     `json:"weight,omitempty"`
+}
+
+// tenantSet resolves API keys to tenants. Immutable after construction;
+// safe for concurrent use.
+type tenantSet struct {
+	byKey  map[string]*tenant
+	anon   *tenant
+	system *tenant
+	all    []*tenant // stable order for /v1/stats
+}
+
+// newTenantSet builds the runtime tenants from the parsed configs plus the
+// anonymous defaults (used when no config names the anonymous tenant) and
+// registers the per-tenant metric handles.
+func newTenantSet(cfgs []TenantConfig, anonDefaults TenantConfig, st *stats) *tenantSet {
+	ts := &tenantSet{byKey: make(map[string]*tenant)}
+	mk := func(cfg TenantConfig) *tenant {
+		t := &tenant{
+			cfg:          cfg,
+			requests:     st.tenantRequests.With(cfg.Name),
+			shedQuota:    st.tenantShed.With(cfg.Name, codeOverQuota),
+			shedBudget:   st.tenantShed.With(cfg.Name, codeOverBudget),
+			shedCapacity: st.tenantShed.With(cfg.Name, codeOverCapacity),
+		}
+		ts.all = append(ts.all, t)
+		return t
+	}
+	for _, cfg := range cfgs {
+		t := mk(cfg)
+		if cfg.Key != "" {
+			ts.byKey[cfg.Key] = t
+		}
+		if cfg.Name == AnonymousTenant {
+			ts.anon = t
+		}
+	}
+	if ts.anon == nil {
+		anonDefaults.Name = AnonymousTenant
+		anonDefaults.Key = ""
+		ts.anon = mk(anonDefaults)
+	}
+	ts.system = mk(TenantConfig{Name: systemTenant})
+	return ts
+}
+
+// resolve maps an X-API-Key header value to its tenant; unknown or missing
+// keys run anonymously.
+func (ts *tenantSet) resolve(key string) *tenant {
+	if key != "" {
+		if t, ok := ts.byKey[key]; ok {
+			return t
+		}
+	}
+	return ts.anon
+}
+
+// tenantKey threads the resolved tenant through the request context.
+const tenantCtxKey ctxKey = 1
+
+// tenantFromContext returns the tenant resolved by ServeHTTP, or nil
+// outside a request.
+func tenantFromContext(ctx context.Context) *tenant {
+	t, _ := ctx.Value(tenantCtxKey).(*tenant)
+	return t
+}
+
+// TenantFromContext exposes the resolved tenant's name to callers embedding
+// the server ("" outside a request).
+func TenantFromContext(ctx context.Context) string {
+	if t := tenantFromContext(ctx); t != nil {
+		return t.cfg.Name
+	}
+	return ""
+}

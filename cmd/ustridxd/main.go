@@ -16,6 +16,7 @@
 //	         [-slow-query-ms 0] [-debug-addr ""]
 //	         [-log-level info] [-access-log PATH]
 //	ustridxd -follow URL [-addr :7332] [-taumin 0.1] [-follow-poll 250ms]
+//	         [-follow-dir DIR] [-promote-wait 10s]
 //	ustridxd -version
 //
 // Every non-hidden file in -data is parsed as one '%'-separated collection
@@ -65,6 +66,15 @@
 // bit-identical results. Replication lag is reported under "replication" in
 // /v1/stats. The -taumin/-shards/-longcap flags must match the primary's; a
 // mismatch is detected at bootstrap and logged instead of applied.
+//
+// A replica started with -follow-dir keeps its replicated state in a
+// persistent, fsynced store and is promotable: POST /v1/promote drains the
+// primary's feed (bounded by -promote-wait), durably adopts a new fencing
+// epoch for every collection and flips the node to a serving primary; the
+// demoted primary refuses further writes with 409 stale_epoch the moment it
+// sees the new epoch. Without -follow-dir the replica uses a throwaway
+// scratch directory with fsync off and re-bootstraps from the primary on
+// every restart. See OPERATIONS.md § "Failover runbook".
 //
 // Endpoints: /v1/query, /v1/topk, /v1/count, /v1/batch, /v1/collections/…,
 // /v1/compact, /v1/replication/…, /v1/stats, /metrics (Prometheus text
@@ -146,6 +156,8 @@ func run(args []string) error {
 	walNoSync := fs.Bool("wal-nosync", false, "skip the fsync after every WAL append (faster ingestion; acknowledged mutations may be lost on machine crash)")
 	follow := fs.String("follow", "", "primary ustridxd base URL; run as a read replica tailing its write-ahead logs (incompatible with -data and -wal)")
 	followPoll := fs.Duration("follow-poll", replica.DefaultPollInterval, "WAL poll interval in replica mode")
+	followDir := fs.String("follow-dir", "", "persistent store directory in replica mode; required for the replica to be promotable (POST /v1/promote) — without it, replicated state lives in a throwaway scratch directory with no durability")
+	promoteWait := fs.Duration("promote-wait", server.DefaultPromoteWait, "max time POST /v1/promote spends draining the old primary's feed before taking over from the last applied position")
 	slowQueryMs := fs.Float64("slow-query-ms", 0, "retain requests at or above this many milliseconds in the slow-query log at /v1/debug/slowlog (0 disables)")
 	slowLogEntries := fs.Int("slowlog-entries", 0, "slow-query log ring capacity (0 = library default)")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; keep it private)")
@@ -232,7 +244,8 @@ func run(args []string) error {
 		if *data != "" || *wal != "" {
 			return errors.New("-follow runs a replica with no local data: drop -data and -wal")
 		}
-		return runReplica(lg, *follow, *addr, opts, *compactThreshold, *followPoll, cfgBase)
+		cfgBase.PromoteWait = *promoteWait
+		return runReplica(lg, *follow, *addr, opts, *compactThreshold, *followPoll, *followDir, cfgBase)
 	}
 	if *data == "" {
 		return errors.New("-data is required")
@@ -288,23 +301,29 @@ func run(args []string) error {
 }
 
 // runReplica starts the daemon as a read replica of the primary at
-// primaryURL: an empty local store (scratch files live in a throwaway
-// directory), a follower tailing the primary's WAL feed into it, and the
-// read-only HTTP front end. Shutdown stops the HTTP server first, then the
-// tailers, then the store.
-func runReplica(lg *olog.Logger, primaryURL, addr string, opts catalog.Options, compactThreshold int, poll time.Duration, cfg server.Config) error {
-	scratch, err := os.MkdirTemp("", "ustridxd-replica-")
-	if err != nil {
-		return err
+// primaryURL: a local store, a follower tailing the primary's WAL feed into
+// it, and the read-only HTTP front end. With followDir the store is
+// persistent and fsynced — the configuration a promotable standby needs,
+// since POST /v1/promote must durably adopt a new epoch; without it the
+// store lives in a throwaway scratch directory with fsync off (a restart
+// re-bootstraps from the primary). Shutdown stops the HTTP server first,
+// then the tailers, then the store.
+func runReplica(lg *olog.Logger, primaryURL, addr string, opts catalog.Options, compactThreshold int, poll time.Duration, followDir string, cfg server.Config) error {
+	dir := followDir
+	scratch := followDir == ""
+	if scratch {
+		tmp, err := os.MkdirTemp("", "ustridxd-replica-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
 	}
-	defer os.RemoveAll(scratch)
-	// The replica's files are disposable (a restart re-bootstraps from the
-	// primary), so nothing is fsynced.
 	store, err := ingest.Open(nil, ingest.Options{
-		Dir:              scratch,
+		Dir:              dir,
 		Catalog:          opts,
 		CompactThreshold: compactThreshold,
-		NoSync:           true,
+		NoSync:           scratch,
 		Logf:             lg.Printf,
 		Metrics:          cfg.Metrics,
 	})
@@ -328,7 +347,8 @@ func runReplica(lg *olog.Logger, primaryURL, addr string, opts catalog.Options, 
 		defer close(tailersDone)
 		flw.Run(ctx)
 	}()
-	lg.Info("replica mode", "primary", primaryURL, "poll", poll)
+	lg.Info("replica mode", "primary", primaryURL, "poll", poll,
+		"dir", dir, "promotable", !scratch)
 	return serve(lg, addr, server.NewReplica(flw, cfg), func() error {
 		cancel()
 		<-tailersDone

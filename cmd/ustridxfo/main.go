@@ -1,0 +1,137 @@
+// Command ustridxfo is the failover write redirector for a replicated
+// ustridxd fleet: it probes every node's /healthz and /v1/stats, elects the
+// current primary (role first, highest collection epoch as the tie-breaker)
+// and steers traffic with 307 redirects — mutations to the primary, reads
+// round-robin across every healthy node. It holds no state the nodes do not
+// already expose, so any number of routers can run side by side and any of
+// them can be restarted at will.
+//
+// Usage:
+//
+//	ustridxfo -nodes URL[,URL...] [-addr :7340] [-probe 500ms]
+//	          [-fence-stale] [-log-level info]
+//
+// The router is an observer, not a coordinator: promotion stays an operator
+// action (POST /v1/promote on the chosen follower). With -fence-stale the
+// router additionally pokes the lower-epoch claimant of a split-brain pair
+// with the winner's epoch so it fences itself instead of accepting writes
+// into a dead lineage; the poke mutates cluster state, so it is off by
+// default.
+//
+// Endpoints: /v1/failover/status (probe snapshot and the elected primary),
+// /metrics (Prometheus text exposition of the ustridx_failover_* families),
+// /healthz; everything else answers a 307 to the chosen node or 503 with a
+// typed "code" when no primary is known. See OPERATIONS.md § "Failover
+// runbook".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ustridxfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("ustridxfo", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated ustridxd base URLs under management (required)")
+	addr := fs.String("addr", ":7340", "listen address")
+	probe := fs.Duration("probe", failover.DefaultProbeInterval, "health/role probe cadence")
+	fenceStale := fs.Bool("fence-stale", false, "poke the lower-epoch claimant of a split-brain pair so it fences itself")
+	logLevel := fs.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required (comma-separated ustridxd base URLs)")
+	}
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lg := olog.New(os.Stderr, level)
+
+	var urls []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			urls = append(urls, n)
+		}
+	}
+	metrics := obs.NewRegistry()
+	router, err := failover.New(failover.Options{
+		Nodes:         urls,
+		ProbeInterval: *probe,
+		FenceStale:    *fenceStale,
+		Log:           lg,
+		Metrics:       metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := router.Run(ctx); err != nil && ctx.Err() == nil {
+			lg.Error("probe loop failed", "error", err)
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w)
+	})
+	mux.Handle("/", router)
+	lg.Info("failover router", "nodes", strings.Join(urls, ","),
+		"probe", (*probe).String(), "fence_stale", *fenceStale)
+	return serve(lg, *addr, mux, func() error { cancel(); return nil })
+}
+
+// serve runs the HTTP server until it fails or a termination signal
+// arrives, then shuts it down gracefully and runs cleanup. (Mirrors
+// cmd/ustridxd's serve.)
+func serve(lg *olog.Logger, addr string, handler http.Handler, cleanup func() error) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		lg.Info("listening", "addr", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	notifySignals(sig)
+	select {
+	case err := <-errc:
+		if cerr := cleanup(); cerr != nil {
+			lg.Error("cleanup failed", "error", cerr)
+		}
+		return err
+	case s := <-sig:
+		lg.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if cerr := cleanup(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+}

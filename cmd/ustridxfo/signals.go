@@ -1,0 +1,12 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifySignals registers the termination signals serve waits on.
+func notifySignals(c chan<- os.Signal) {
+	signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+}

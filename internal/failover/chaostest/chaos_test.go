@@ -1,0 +1,172 @@
+package chaostest
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestChaosKillPrimaryPromote is the kill-the-primary acceptance scenario:
+// a seeded put/delete/compact workload runs against the primary while a
+// follower tails it; after an explicit catch-up barrier the primary is
+// killed abruptly (store abandoned, nothing flushed); the follower is
+// promoted and must serve every acknowledged write; the old primary is
+// restarted from its surviving directory as a follower of the new primary
+// and converges through the epoch-fenced re-bootstrap. Both nodes finish
+// bit-identical to a never-crashed reference store built from the model.
+func TestChaosKillPrimaryPromote(t *testing.T) {
+	c := New(t, 20260808)
+	var oldEpoch uint64
+	c.Run(
+		Step{"boot primary a with seeded load", func(c *Cluster) {
+			c.StartPrimary("a")
+			c.RandomOps("a", "prot", 30)
+		}},
+		Step{"boot follower b, bootstrap from snapshot", func(c *Cluster) {
+			c.StartFollower("b", "a")
+			c.Barrier("b", "a")
+		}},
+		Step{"churn: more load with a compaction epoch bump mid-stream", func(c *Cluster) {
+			c.RandomOps("a", "prot", 15)
+			c.Compact("a")
+			c.RandomOps("a", "prot", 15)
+		}},
+		Step{"catch-up barrier: every acknowledged write replicated", func(c *Cluster) {
+			c.Barrier("b", "a")
+			pos, err := c.Node("a").Store().WALPos("prot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldEpoch = pos.Epoch
+		}},
+		Step{"SIGKILL the primary", func(c *Cluster) {
+			c.Kill("a")
+		}},
+		Step{"promote b; epoch must pass the dead primary's", func(c *Cluster) {
+			pr := c.Promote("b")
+			if len(pr.Collections) != 1 || pr.Collections[0].Epoch <= oldEpoch {
+				t.Fatalf("promotion = %+v, want epoch above %d", pr.Collections, oldEpoch)
+			}
+			// The old primary is dead: the drain cannot have completed and
+			// the synchronous fencing probe cannot have landed.
+			if pr.FencedOldPrimary != 0 {
+				t.Fatalf("fenced a dead primary? %+v", pr)
+			}
+			if got := c.Role("b"); got != "primary" {
+				t.Fatalf("promoted node reports role %q", got)
+			}
+		}},
+		Step{"zero acknowledged-write loss on the new primary", func(c *Cluster) {
+			c.AssertEquivalence("b")
+		}},
+		Step{"new primary accepts fresh writes", func(c *Cluster) {
+			c.RandomOps("b", "prot", 15)
+		}},
+		Step{"restart old primary as follower of b", func(c *Cluster) {
+			c.RestartAsFollower("a", "b")
+			c.Barrier("a", "b")
+			if got := c.Role("a"); got != "replica" {
+				t.Fatalf("restarted node reports role %q", got)
+			}
+		}},
+		Step{"both nodes bit-identical to the never-crashed reference", func(c *Cluster) {
+			c.AssertEquivalence("b")
+			c.AssertEquivalence("a")
+		}},
+	)
+}
+
+// TestChaosSplitBrainFenced is the split-brain regression: promotion with
+// the old primary still alive fences it synchronously; a client still
+// pointed at the demoted node gets the typed 409 stale_epoch and its write
+// appears in no view, pinned via /v1/stats roles and both stores.
+func TestChaosSplitBrainFenced(t *testing.T) {
+	c := New(t, 7771)
+	c.Run(
+		Step{"boot pair with load, catch up", func(c *Cluster) {
+			c.StartPrimary("a")
+			c.RandomOps("a", "prot", 25)
+			c.StartFollower("b", "a")
+			c.Barrier("b", "a")
+		}},
+		Step{"promote b with a alive: fencing probe must land", func(c *Cluster) {
+			pr := c.Promote("b")
+			if pr.FencedOldPrimary != 1 {
+				t.Fatalf("fenced_old_primary = %d, want 1; %+v", pr.FencedOldPrimary, pr)
+			}
+		}},
+		Step{"demoted primary answers 409 stale_epoch, roles pinned", func(c *Cluster) {
+			me := c.PutExpectStale("a", "prot", "ghost", c.docs[0])
+			if me.Error == "" {
+				t.Fatal("409 with an empty error message")
+			}
+			if got := c.Role("a"); got != "fenced" {
+				t.Fatalf("demoted primary reports role %q, want fenced", got)
+			}
+			if got := c.Role("b"); got != "primary" {
+				t.Fatalf("promoted node reports role %q, want primary", got)
+			}
+		}},
+		Step{"the rejected write is in no reader's view", func(c *Cluster) {
+			for _, node := range []string{"a", "b"} {
+				if v, ok := c.Node(node).Store().Get("prot"); ok {
+					if _, found := v.DocNumber("ghost"); found {
+						t.Fatalf("ghost write visible on %s", node)
+					}
+				}
+			}
+			c.AssertEquivalence("b")
+		}},
+	)
+}
+
+// TestChaosPartitionedPromotion covers promotion when the old primary is
+// unreachable but NOT dead — a network partition. The promote-time fencing
+// probe cannot land, so for a window the healed old primary still believes
+// it is a primary; the first fencing contact (here: one feed poll carrying
+// the new epoch, exactly what the failover router sends a rival) fences it,
+// and the write it would have accepted into a dead lineage is refused.
+func TestChaosPartitionedPromotion(t *testing.T) {
+	c := New(t, 424242)
+	c.Run(
+		Step{"boot pair with load, catch up", func(c *Cluster) {
+			c.StartPrimary("a")
+			c.RandomOps("a", "prot", 20)
+			c.StartFollower("b", "a")
+			c.Barrier("b", "a")
+		}},
+		Step{"partition a, promote b: fencing probe cannot land", func(c *Cluster) {
+			c.Node("a").Isolate()
+			pr := c.Promote("b")
+			if pr.FencedOldPrimary != 0 {
+				t.Fatalf("fencing probe crossed a partition: %+v", pr)
+			}
+		}},
+		Step{"heal: a still claims primary — split brain is open", func(c *Cluster) {
+			c.Node("a").Heal()
+			if got := c.Role("a"); got != "primary" {
+				t.Fatalf("pre-fence role %q, want primary (the dangerous state)", got)
+			}
+		}},
+		Step{"one fencing poke closes it", func(c *Cluster) {
+			pos, err := c.Node("b").Store().WALPos("prot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Get(fmt.Sprintf(
+				"%s/v1/replication/wal?collection=prot&epoch=%d&from=0",
+				c.Node("a").URL(), pos.Epoch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusConflict {
+				t.Fatalf("fencing poke answered %d, want 409", resp.StatusCode)
+			}
+			c.PutExpectStale("a", "prot", "ghost", c.docs[0])
+			if got := c.Role("a"); got != "fenced" {
+				t.Fatalf("post-fence role %q", got)
+			}
+		}},
+	)
+}

@@ -1,0 +1,409 @@
+// Package failover is the thin write redirector in front of a replicated
+// ustridxd pair (or fleet): it probes every node's /healthz and /v1/stats,
+// decides which node currently is the primary — by role first, then by the
+// highest collection epoch when more than one node claims the role — and
+// steers traffic with Location-style redirects. Mutations always go to the
+// elected primary; reads round-robin across every healthy node.
+//
+// The router holds no state the nodes do not already expose, so it can be
+// restarted (or run in multiples) at will. It is deliberately NOT a
+// coordinator: promotion is an operator action (POST /v1/promote on the
+// chosen follower); the router merely observes the outcome and, when two
+// nodes claim the primary role, pokes the lower-epoch claimant's feed with
+// the higher epoch so it fences itself instead of accepting split-brain
+// writes.
+package failover
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
+)
+
+// Defaults.
+const (
+	// DefaultProbeInterval is the health/role probe cadence.
+	DefaultProbeInterval = 500 * time.Millisecond
+	// DefaultProbeTimeout bounds one node probe.
+	DefaultProbeTimeout = 2 * time.Second
+)
+
+// Options configures a Router.
+type Options struct {
+	// Nodes are the ustridxd base URLs under management (required,
+	// at least one). Order breaks epoch ties during election.
+	Nodes []string
+	// ProbeInterval is the polling cadence of Run; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// Client issues probes and fencing pokes; nil means a client with
+	// DefaultProbeTimeout.
+	Client *http.Client
+	// FenceStale, when true, lets the router poke the lower-epoch claimant
+	// of a split-brain pair so it fences itself. Off by default: the poke
+	// mutates cluster state, which a pure observer must opt into.
+	FenceStale bool
+	// Log receives router diagnostics; nil discards them.
+	Log *olog.Logger
+	// Metrics, when non-nil, receives probe/redirect counters and
+	// per-node health gauges.
+	Metrics *obs.Registry
+}
+
+// NodeState is one node's last observed condition.
+type NodeState struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Role is the node's self-reported effective role: primary, replica,
+	// fenced or static; empty when the node is unreachable.
+	Role string `json:"role,omitempty"`
+	// MaxEpoch is the highest collection epoch the node reported; the
+	// election tie-breaker between rival primaries.
+	MaxEpoch uint64 `json:"max_epoch"`
+	// Collections maps collection name to its epoch, kept for fencing
+	// pokes against a rival primary.
+	Collections map[string]uint64 `json:"collections,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+// Status is the /v1/failover/status body.
+type Status struct {
+	// Primary is the elected primary's base URL; empty when no healthy
+	// unfenced primary exists.
+	Primary string      `json:"primary"`
+	Nodes   []NodeState `json:"nodes"`
+	// Probes counts completed probe rounds; a client can watch it move to
+	// know the state is fresh.
+	Probes int64 `json:"probes"`
+}
+
+// Router is the redirector. Zero value is not usable; call New.
+type Router struct {
+	opts   Options
+	client *http.Client
+	log    *olog.Logger
+
+	mu      sync.RWMutex
+	nodes   []NodeState
+	primary string
+	probes  int64
+	rr      int
+
+	probesTotal    *obs.Counter
+	redirects      *obs.CounterVec
+	noPrimary      *obs.Counter
+	fencePokes     *obs.Counter
+	healthyGauge   *obs.GaugeVec
+	primaryGauge   *obs.GaugeVec
+	electionSwaps  *obs.Counter
+	lastElectedSet bool
+}
+
+// New builds a Router over opts.Nodes.
+func New(opts Options) (*Router, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("failover: no nodes configured")
+	}
+	for _, n := range opts.Nodes {
+		u, err := url.Parse(n)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("failover: bad node URL %q", n)
+		}
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: DefaultProbeTimeout}
+	}
+	log := opts.Log
+	r := &Router{opts: opts, client: client, log: log}
+	r.nodes = make([]NodeState, len(opts.Nodes))
+	for i, n := range opts.Nodes {
+		r.nodes[i] = NodeState{URL: n}
+	}
+	if reg := opts.Metrics; reg != nil {
+		r.probesTotal = reg.Counter("ustridx_failover_probes_total",
+			"Completed probe rounds across all nodes.")
+		r.redirects = reg.CounterVec("ustridx_failover_redirects_total",
+			"Redirects issued, by kind (mutation, read).", "kind")
+		r.noPrimary = reg.Counter("ustridx_failover_no_primary_total",
+			"Mutations refused because no healthy primary was known.")
+		r.fencePokes = reg.Counter("ustridx_failover_fence_pokes_total",
+			"Fencing pokes sent to lower-epoch rival primaries.")
+		r.electionSwaps = reg.Counter("ustridx_failover_elections_total",
+			"Times the elected primary changed.")
+		r.healthyGauge = reg.GaugeVec("ustridx_failover_node_healthy",
+			"1 when the node answered its last probe, else 0.", "node")
+		r.primaryGauge = reg.GaugeVec("ustridx_failover_node_primary",
+			"1 on the elected primary, 0 elsewhere.", "node")
+	}
+	return r, nil
+}
+
+// statsBody is the slice of /v1/stats the router reads.
+type statsBody struct {
+	Role   string `json:"role"`
+	Ingest []struct {
+		Name  string `json:"name"`
+		Epoch uint64 `json:"epoch"`
+	} `json:"ingest"`
+}
+
+// probeNode fetches one node's role and epochs.
+func (r *Router) probeNode(ctx context.Context, base string) NodeState {
+	ns := NodeState{URL: base}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		ns.Error = err.Error()
+		return ns
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		ns.Error = err.Error()
+		return ns
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ns.Error = fmt.Sprintf("stats status %d", resp.StatusCode)
+		return ns
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		ns.Error = err.Error()
+		return ns
+	}
+	var st statsBody
+	if err := json.Unmarshal(body, &st); err != nil {
+		ns.Error = fmt.Sprintf("bad stats body: %v", err)
+		return ns
+	}
+	ns.Healthy = true
+	ns.Role = st.Role
+	ns.Collections = make(map[string]uint64, len(st.Ingest))
+	for _, c := range st.Ingest {
+		ns.Collections[c.Name] = c.Epoch
+		if c.Epoch > ns.MaxEpoch {
+			ns.MaxEpoch = c.Epoch
+		}
+	}
+	return ns
+}
+
+// ProbeOnce runs one full probe round synchronously: every node is polled,
+// the primary re-elected, and (when enabled) split-brain rivals poked.
+// Deterministic tests drive the router through this instead of Run's timer.
+func (r *Router) ProbeOnce(ctx context.Context) Status {
+	states := make([]NodeState, len(r.opts.Nodes))
+	for i, n := range r.opts.Nodes {
+		states[i] = r.probeNode(ctx, n)
+	}
+
+	// Election: healthy, self-reported primary (a fenced node reports
+	// "fenced", so it can never win), highest epoch first; list order
+	// breaks ties.
+	primary := ""
+	var best uint64
+	var claimants []NodeState
+	for _, ns := range states {
+		if ns.Healthy && ns.Role == "primary" {
+			claimants = append(claimants, ns)
+			if primary == "" || ns.MaxEpoch > best {
+				primary, best = ns.URL, ns.MaxEpoch
+			}
+		}
+	}
+	if len(claimants) > 1 && r.opts.FenceStale {
+		for _, ns := range claimants {
+			if ns.URL != primary {
+				r.fenceRival(ctx, ns, best, statesByURL(states, primary))
+			}
+		}
+	}
+
+	r.mu.Lock()
+	swapped := r.primary != primary && r.lastElectedSet
+	r.lastElectedSet = true
+	oldPrimary := r.primary
+	r.nodes = states
+	r.primary = primary
+	r.probes++
+	st := Status{Primary: primary, Nodes: append([]NodeState(nil), states...), Probes: r.probes}
+	r.mu.Unlock()
+
+	if r.probesTotal != nil {
+		r.probesTotal.Inc()
+		for _, ns := range states {
+			h, p := int64(0), int64(0)
+			if ns.Healthy {
+				h = 1
+			}
+			if ns.URL == primary {
+				p = 1
+			}
+			r.healthyGauge.With(ns.URL).SetInt(h)
+			r.primaryGauge.With(ns.URL).SetInt(p)
+		}
+		if swapped {
+			r.electionSwaps.Inc()
+		}
+	}
+	if swapped {
+		r.log.Info("failover: primary changed", "from", oldPrimary, "to", primary)
+	}
+	return st
+}
+
+func statesByURL(states []NodeState, url string) NodeState {
+	for _, ns := range states {
+		if ns.URL == url {
+			return ns
+		}
+	}
+	return NodeState{}
+}
+
+// fenceRival pokes one rival primary's feed with the winner's epochs so the
+// rival fences itself: for every collection the winner serves at a higher
+// epoch, one WAL poll carrying that epoch is enough — the rival's ingest
+// store fences on sight and every subsequent write there answers 409.
+func (r *Router) fenceRival(ctx context.Context, rival NodeState, winnerEpoch uint64, winner NodeState) {
+	for coll, epoch := range winner.Collections {
+		if rival.Collections[coll] >= epoch {
+			continue
+		}
+		u := rival.URL + "/v1/replication/wal?collection=" + url.QueryEscape(coll) +
+			"&epoch=" + strconv.FormatUint(epoch, 10) + "&from=0"
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if r.fencePokes != nil {
+			r.fencePokes.Inc()
+		}
+		r.log.Warn("failover: poked rival primary to fence it",
+			"rival", rival.URL, "collection", coll, "epoch", epoch,
+			"status", resp.StatusCode)
+	}
+}
+
+// Run probes until ctx is cancelled.
+func (r *Router) Run(ctx context.Context) error {
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	r.ProbeOnce(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			r.ProbeOnce(ctx)
+		}
+	}
+}
+
+// Primary returns the currently elected primary's base URL ("" when none).
+func (r *Router) Primary() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.primary
+}
+
+// Status snapshots the router's view.
+func (r *Router) Status() Status {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nodes := append([]NodeState(nil), r.nodes...)
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].URL < nodes[j].URL })
+	return Status{Primary: r.primary, Nodes: nodes, Probes: r.probes}
+}
+
+// isMutation classifies a request: document PUT/DELETE, compact and promote
+// must reach the primary; everything else is a read any healthy node can
+// answer.
+func isMutation(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodPut, http.MethodDelete:
+		return true
+	case http.MethodPost:
+		return req.URL.Path == "/v1/compact"
+	default:
+		return false
+	}
+}
+
+// nextRead picks a healthy node round-robin for a read.
+func (r *Router) nextRead() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.nodes)
+	for i := 0; i < n; i++ {
+		ns := r.nodes[(r.rr+i)%n]
+		if ns.Healthy {
+			r.rr = (r.rr + i + 1) % n
+			return ns.URL
+		}
+	}
+	return ""
+}
+
+// ServeHTTP steers one request: 307 to the right node, preserving method
+// and body semantics (307, not 302, so a PUT stays a PUT).
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path == "/v1/failover/status" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Status())
+		return
+	}
+	if req.URL.Path == "/healthz" {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+		return
+	}
+	var target, kind string
+	if isMutation(req) {
+		target, kind = r.Primary(), "mutation"
+		if target == "" {
+			if r.noPrimary != nil {
+				r.noPrimary.Inc()
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "no healthy primary", "code": "no_primary"})
+			return
+		}
+	} else {
+		target, kind = r.nextRead(), "read"
+		if target == "" {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "no healthy node", "code": "no_node"})
+			return
+		}
+	}
+	if r.redirects != nil {
+		r.redirects.With(kind).Inc()
+	}
+	http.Redirect(w, req, target+req.URL.RequestURI(), http.StatusTemporaryRedirect)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,261 @@
+package failover_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/failover"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/ustring"
+)
+
+func openStore(t *testing.T) *ingest.Store {
+	t.Helper()
+	st, err := ingest.Open(nil, ingest.Options{
+		Dir:              t.TempDir(),
+		Catalog:          catalog.Options{TauMin: 0.1, Shards: 3},
+		CompactThreshold: -1,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func put(t *testing.T, base, coll, id string, doc *ustring.String) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, doc); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/v1/collections/%s/documents/%s", base, coll, id), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The router answers 307; the test wants to see the redirect itself,
+	// not follow it.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRouterElectsAndRedirects drives the router with ProbeOnce through a
+// promotion: mutations first steer at the original primary, then — after
+// the follower is promoted — at the new one, purely from observed state.
+func TestRouterElectsAndRedirects(t *testing.T) {
+	pst := openStore(t)
+	pts := httptest.NewServer(server.NewIngest(pst, server.Config{}))
+	t.Cleanup(pts.Close)
+	docs := gen.Collection(gen.Config{N: 300, Theta: 0.3, Seed: 41})
+	if _, err := pst.Put("prot", "seed", docs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	fst := openStore(t)
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Primary:          pts.URL,
+		Store:            fst,
+		PollInterval:     2 * time.Millisecond,
+		DiscoverInterval: 10 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	rts := httptest.NewServer(server.NewReplica(f, server.Config{}))
+	t.Cleanup(rts.Close)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !f.CaughtUp() {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	reg := obs.NewRegistry()
+	router, err := failover.New(failover.Options{
+		Nodes:   []string{pts.URL, rts.URL},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := router.ProbeOnce(context.Background())
+	if st.Primary != pts.URL {
+		t.Fatalf("elected %q, want the original primary %q", st.Primary, pts.URL)
+	}
+
+	fts := httptest.NewServer(router)
+	t.Cleanup(fts.Close)
+	resp := put(t, fts.URL, "prot", "via-router", docs[1])
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("mutation answered %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != pts.URL+"/v1/collections/prot/documents/via-router" {
+		t.Fatalf("mutation Location = %q", loc)
+	}
+
+	// Reads spread over both healthy nodes.
+	seen := map[string]bool{}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get(fts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("read answered %d, want 307", resp.StatusCode)
+		}
+		seen[resp.Header.Get("Location")] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("reads did not round-robin: %v", seen)
+	}
+
+	// Promote the follower; the next probe round must re-elect. The old
+	// primary is fenced by promote's own probe, so it reports "fenced" and
+	// cannot win even though it still answers.
+	preq, err := http.NewRequest(http.MethodPost, rts.URL+"/v1/promote", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", presp.StatusCode)
+	}
+
+	st = router.ProbeOnce(context.Background())
+	if st.Primary != rts.URL {
+		t.Fatalf("post-promotion election: %q, want %q; nodes %+v", st.Primary, rts.URL, st.Nodes)
+	}
+	resp = put(t, fts.URL, "prot", "after-failover", docs[2])
+	if loc := resp.Header.Get("Location"); loc != rts.URL+"/v1/collections/prot/documents/after-failover" {
+		t.Fatalf("post-failover mutation Location = %q", loc)
+	}
+
+	// The status endpoint reflects the same view.
+	var status failover.Status
+	sresp, err := http.Get(fts.URL + "/v1/failover/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := jsonDecode(sresp, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Primary != rts.URL || len(status.Nodes) != 2 {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+// TestRouterNoPrimary: with every node down, mutations answer a typed 503
+// and reads likewise.
+func TestRouterNoPrimary(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	dead.Close() // listener gone: probe sees a connection error
+	router, err := failover.New(failover.Options{Nodes: []string{dead.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := router.ProbeOnce(context.Background())
+	if st.Primary != "" || st.Nodes[0].Healthy {
+		t.Fatalf("probe of a dead node = %+v", st)
+	}
+	fts := httptest.NewServer(router)
+	t.Cleanup(fts.Close)
+	docs := gen.Collection(gen.Config{N: 1, Theta: 0.3, Seed: 5})
+	resp := put(t, fts.URL, "prot", "x", docs[0])
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation with no primary: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestRouterFencesRival: two nodes both claiming primary — the lower-epoch
+// claimant gets poked and fences itself, so the next round has one primary.
+func TestRouterFencesRival(t *testing.T) {
+	docs := gen.Collection(gen.Config{N: 150, Theta: 0.3, Seed: 53})
+
+	// Rival A: a plain primary at epoch 0.
+	ast := openStore(t)
+	if _, err := ast.Put("prot", "a", docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	ats := httptest.NewServer(server.NewIngest(ast, server.Config{}))
+	t.Cleanup(ats.Close)
+
+	// Rival B: same collection, epoch forced above A's via a takeover.
+	bst := openStore(t)
+	if _, err := bst.Put("prot", "b", docs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bst.Takeover("prot", 3); err != nil {
+		t.Fatal(err)
+	}
+	bts := httptest.NewServer(server.NewIngest(bst, server.Config{}))
+	t.Cleanup(bts.Close)
+
+	router, err := failover.New(failover.Options{
+		Nodes:      []string{ats.URL, bts.URL},
+		FenceStale: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := router.ProbeOnce(context.Background())
+	if st.Primary != bts.URL {
+		t.Fatalf("elected %q, want the higher-epoch %q", st.Primary, bts.URL)
+	}
+	// The poke must have fenced A during the round.
+	if fenced, _ := ast.Fenced(); !fenced {
+		t.Fatal("lower-epoch rival was not fenced")
+	}
+	st = router.ProbeOnce(context.Background())
+	for _, ns := range st.Nodes {
+		if ns.URL == ats.URL && ns.Role != "fenced" {
+			t.Fatalf("rival still reports role %q", ns.Role)
+		}
+	}
+}
+
+func jsonDecode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}

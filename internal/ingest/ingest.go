@@ -75,6 +75,12 @@ var (
 	// that already uses a different one — a different kind, or the same
 	// approx kind with a different ε; the spec is fixed at creation.
 	ErrBackendMismatch = errors.New("ingest: collection already uses a different index backend")
+	// ErrStaleEpoch reports a local mutation against a store that has been
+	// fenced: a replication consumer (or a promoted peer's fencing probe)
+	// presented an epoch above this store's, proving a newer primary exists.
+	// Accepting the write would fork history, so every Put/Delete/Compact is
+	// rejected until the node is restarted as a follower of the new primary.
+	ErrStaleEpoch = errors.New("ingest: store is fenced at a stale epoch")
 )
 
 // MaxDocIDBytes bounds external document ids.
@@ -160,12 +166,30 @@ type CollectionStatus struct {
 	Compactions int64   `json:"compactions"`
 }
 
+// FenceInfo records why a store was fenced: which collection's feed saw an
+// epoch above the local one, and both epochs. It is surfaced through
+// /v1/stats so an operator can tell *which* promotion superseded this node.
+type FenceInfo struct {
+	Collection string `json:"collection"`
+	LocalEpoch uint64 `json:"local_epoch"`
+	SeenEpoch  uint64 `json:"seen_epoch"`
+}
+
 // Store is the mutable serving layer. All methods are safe for concurrent
 // use; mutations to one collection are serialised, queries never block.
 type Store struct {
 	opts    Options
 	metrics storeMetrics
 	closed  atomic.Bool
+
+	// fenced flips (once, permanently for the process) when FenceIfStale
+	// observes an epoch above a collection's own: a newer primary exists and
+	// this store must stop acknowledging writes. Reads keep working — the
+	// data served is consistent, merely no longer authoritative.
+	fenced       atomic.Bool
+	fenceMu      sync.Mutex
+	fenceInfo    FenceInfo
+	staleRejects atomic.Int64
 
 	mu    sync.RWMutex
 	colls map[string]*liveColl
@@ -699,6 +723,9 @@ func (st *Store) PutWithSpec(coll, id string, doc *ustring.String, req core.Back
 	if st.closed.Load() {
 		return PutResult{}, ErrClosed
 	}
+	if err := st.checkFenced(); err != nil {
+		return PutResult{}, err
+	}
 	if err := validateDocID(id); err != nil {
 		return PutResult{}, err
 	}
@@ -727,6 +754,12 @@ func (st *Store) PutWithSpec(coll, id string, doc *ustring.String, req core.Back
 		return PutResult{}, err
 	}
 	lc.mu.Lock()
+	// Re-check under the writer lock: a fencing probe that landed while the
+	// index was being built must win before anything reaches the log.
+	if err := st.checkFenced(); err != nil {
+		lc.mu.Unlock()
+		return PutResult{}, err
+	}
 	if err := lc.wal.append(WALRecord{Op: OpPut, ID: id, Doc: doc}); err != nil {
 		lc.mu.Unlock()
 		return PutResult{}, err
@@ -750,11 +783,18 @@ func (st *Store) Delete(coll, id string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
 	}
+	if err := st.checkFenced(); err != nil {
+		return false, err
+	}
 	lc, err := st.coll(coll, false, nil)
 	if err != nil {
 		return false, err
 	}
 	lc.mu.Lock()
+	if err := st.checkFenced(); err != nil {
+		lc.mu.Unlock()
+		return false, err
+	}
 	if _, ok := lc.live[id]; !ok {
 		lc.mu.Unlock()
 		return false, nil
@@ -817,6 +857,9 @@ var errCompactRaced = errors.New("ingest: compaction raced a writer")
 func (st *Store) Compact(name string) (bool, error) {
 	if st.closed.Load() {
 		return false, ErrClosed
+	}
+	if err := st.checkFenced(); err != nil {
+		return false, err
 	}
 	lc, err := st.coll(name, false, nil)
 	if err != nil {
@@ -910,6 +953,100 @@ func (st *Store) compactOnce(lc *liveColl) (bool, error) {
 	lc.publishLocked()
 	st.opts.Logf("ingest: %s: compacted %d documents into base (gen %d)", lc.name, len(ids), lc.gen)
 	return true, nil
+}
+
+// checkFenced rejects local mutations on a fenced store with the typed
+// sentinel, counting the rejection so the shed rate is observable.
+func (st *Store) checkFenced() error {
+	if !st.fenced.Load() {
+		return nil
+	}
+	st.fenceMu.Lock()
+	info := st.fenceInfo
+	st.fenceMu.Unlock()
+	st.staleRejects.Add(1)
+	st.metrics.staleRejects.Inc()
+	return fmt.Errorf("%w: collection %q is at epoch %d but a consumer presented epoch %d "+
+		"(a newer primary exists; restart this node as its follower)",
+		ErrStaleEpoch, info.Collection, info.LocalEpoch, info.SeenEpoch)
+}
+
+// Fenced reports whether the store has been fenced, and why.
+func (st *Store) Fenced() (bool, FenceInfo) {
+	if !st.fenced.Load() {
+		return false, FenceInfo{}
+	}
+	st.fenceMu.Lock()
+	info := st.fenceInfo
+	st.fenceMu.Unlock()
+	return true, info
+}
+
+// StaleEpochRejections returns how many mutations were rejected because the
+// store is fenced.
+func (st *Store) StaleEpochRejections() int64 { return st.staleRejects.Load() }
+
+// FenceIfStale compares a replication consumer's epoch against the named
+// collection's own. A consumer at a HIGHER epoch can only exist if a peer
+// promoted itself (epochs only move forward, durably, one node at a time per
+// lineage) — so this store has been superseded and fences itself: from now
+// on every local mutation fails with ErrStaleEpoch. It returns true when the
+// presented epoch is stale-making (above the local one), whether or not the
+// store was already fenced; an unknown collection never fences.
+func (st *Store) FenceIfStale(coll string, seen uint64) bool {
+	lc, err := st.coll(coll, false, nil)
+	if err != nil {
+		return false
+	}
+	lc.mu.Lock()
+	cur := lc.wal.epoch
+	lc.mu.Unlock()
+	if seen <= cur {
+		return false
+	}
+	st.fenceMu.Lock()
+	if !st.fenced.Load() {
+		st.fenceInfo = FenceInfo{Collection: coll, LocalEpoch: cur, SeenEpoch: seen}
+		st.fenced.Store(true)
+		st.opts.Logf("ingest: FENCED: collection %q is at epoch %d but a consumer presented epoch %d; "+
+			"rejecting all further local mutations", coll, cur, seen)
+	}
+	st.fenceMu.Unlock()
+	return true
+}
+
+// Takeover prepares a collection for primary duty after a promotion. A
+// follower applies replicated records without logging them (durability was
+// the old primary's WAL), so first the live set is folded into a durable
+// checkpoint via Compact; then the collection durably adopts an epoch of at
+// least minEpoch — strictly above the demoted primary's — so the old
+// stream's (epoch, offset) pairs can never alias into this node's log, and
+// so a fencing probe carrying the adopted epoch provably supersedes the old
+// primary. The collection is created empty if this follower never held it.
+// It returns the adopted epoch.
+func (st *Store) Takeover(coll string, minEpoch uint64) (uint64, error) {
+	if st.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := st.checkFenced(); err != nil {
+		return 0, err
+	}
+	if _, err := st.coll(coll, true, nil); err != nil {
+		return 0, err
+	}
+	if _, err := st.Compact(coll); err != nil {
+		return 0, err
+	}
+	lc, err := st.coll(coll, false, nil)
+	if err != nil {
+		return 0, err
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if err := lc.wal.setEpoch(minEpoch); err != nil {
+		return 0, err
+	}
+	return lc.wal.epoch, nil
 }
 
 // Get returns the named collection's current snapshot.

@@ -15,6 +15,7 @@ type storeMetrics struct {
 	compactions      *obs.CounterVec   // collection
 	puts             *obs.Counter
 	deletes          *obs.Counter
+	staleRejects     *obs.Counter
 }
 
 func newStoreMetrics(r *obs.Registry) storeMetrics {
@@ -35,6 +36,8 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 			"Completed compactions.", "collection"),
 		puts:    r.Counter("ustridx_puts_total", "Acknowledged document puts."),
 		deletes: r.Counter("ustridx_deletes_total", "Acknowledged document deletes."),
+		staleRejects: r.Counter("ustridx_stale_epoch_rejections_total",
+			"Mutations rejected because the store is fenced at a stale epoch."),
 	}
 }
 
@@ -52,7 +55,15 @@ func (st *Store) registerStatusGauges(r *obs.Registry) {
 	epoch := r.GaugeVec("ustridx_wal_epoch", "Durable WAL epoch (bumped at truncation).", "collection")
 	docs := r.GaugeVec("ustridx_docs", "Live documents.", "collection")
 	indexBytes := r.GaugeVec("ustridx_index_bytes", "Resident index footprint in bytes.", "collection")
+	fenced := r.Gauge("ustridx_ingest_fenced",
+		"1 when the store is fenced at a stale epoch (a newer primary exists).")
 	r.OnScrape(func() {
+		f, _ := st.Fenced()
+		if f {
+			fenced.SetInt(1)
+		} else {
+			fenced.SetInt(0)
+		}
 		for _, cs := range st.Status() {
 			walBytes.With(cs.Name).SetInt(cs.WALBytes)
 			walRecords.With(cs.Name).SetInt(int64(cs.WALRecords))

@@ -169,12 +169,22 @@ func loadEpoch(path string) uint64 {
 // bumpEpoch durably advances the epoch. It must complete before the log
 // bytes it invalidates are touched: a crash after the bump but before the
 // truncate only costs followers a spurious re-bootstrap, while the reverse
-// order could hand them recycled offsets. The sidecar is written to a
-// temporary file and renamed into place so a crash mid-write can never
-// leave an empty or garbled file that would load as a *regressed* epoch —
-// the one failure the epoch scheme cannot tolerate.
+// order could hand them recycled offsets.
 func (w *wal) bumpEpoch() error {
-	next := w.epoch + 1
+	return w.setEpoch(w.epoch + 1)
+}
+
+// setEpoch durably moves the epoch forward to next (a next at or below the
+// current epoch is a no-op: epochs never regress). The sidecar is written to
+// a temporary file and renamed into place so a crash mid-write can never
+// leave an empty or garbled file that would load as a *regressed* epoch —
+// the one failure the epoch scheme cannot tolerate. Promotion uses this
+// directly to adopt an epoch above the demoted primary's, so the old
+// stream's (epoch, offset) pairs can never alias into the new primary's log.
+func (w *wal) setEpoch(next uint64) error {
+	if next <= w.epoch {
+		return nil
+	}
 	tmp := w.epochPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -1,12 +1,18 @@
 package replica_test
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/ustring"
 )
 
 // TestConcurrentReplicationAndQuery hammers a live replication pair under
@@ -126,5 +132,169 @@ func TestConcurrentReplicationAndQuery(t *testing.T) {
 	fv, _ := fst.Get("hammer")
 	if pv.Docs() != fv.Docs() {
 		t.Fatalf("after catch-up: primary %d documents, follower %d", pv.Docs(), fv.Docs())
+	}
+}
+
+// putStatus writes one document and returns the HTTP status — for workloads
+// that must tolerate a mid-flight fencing (409) rather than fail on it.
+func putStatus(t *testing.T, base, coll, id string, doc *ustring.String) int {
+	t.Helper()
+	var body bytes.Buffer
+	if err := ustring.Marshal(&body, doc); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/v1/collections/%s/documents/%s", base, coll, id), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestConcurrentPromotionHammer races a promotion against everything at
+// once under the race detector: writers keep mutating the old primary over
+// HTTP (tolerating the typed 409 once the fence lands), a compaction racer
+// moves the WAL epoch, readers query BOTH stores' views throughout, and the
+// follower's tailers are mid-flight when /v1/promote cancels them. After
+// the dust settles the promoted node must be a serving primary and the old
+// one fenced, with every view still internally sane.
+func TestConcurrentPromotionHammer(t *testing.T) {
+	docs := gen.Collection(gen.Config{N: 2600, Theta: 0.3, Seed: 131})
+	if len(docs) < 12 {
+		t.Fatalf("generator returned only %d documents", len(docs))
+	}
+	pst, ts := newPrimary(t, -1)
+	fst := openStore(t, 4)
+	fw := startFollower(t, fst, ts.URL)
+	rts := httptest.NewServer(server.NewReplica(fw.f, server.Config{}))
+	t.Cleanup(rts.Close)
+
+	for i := 0; i < 6; i++ {
+		httpPut(t, ts.URL, "hammer", fmt.Sprintf("h%02d", i), docs[i])
+	}
+	waitFor(t, "bootstrap", func() bool {
+		v, ok := fst.Get("hammer")
+		return ok && v.Docs() == 6 && fw.f.CaughtUp()
+	})
+	pats := gen.CollectionPatterns(docs, 8, 3, 127)
+
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	stop := make(chan struct{})
+	// Readers on both nodes: the promotion must never expose a torn view on
+	// either side.
+	for g, st := range []*ingest.Store{pst, fst, pst, fst} {
+		wg.Add(1)
+		go func(g int, st *ingest.Store) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, ok := st.Get("hammer")
+				if !ok {
+					t.Error("collection vanished mid-run")
+					return
+				}
+				p := pats[(g+i)%len(pats)]
+				hits, err := v.Search(p, 0.12)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				for j := 1; j < len(hits); j++ {
+					if hits[j].Doc >= v.Docs() {
+						t.Errorf("hit in document %d of a %d-document view", hits[j].Doc, v.Docs())
+						return
+					}
+				}
+				queries.Add(1)
+			}
+		}(g, st)
+	}
+
+	// Writers against the OLD primary: every answer must be a clean 200 or,
+	// once the promotion's fencing probe lands, the typed 409 — never a
+	// torn write or a 500.
+	var writers sync.WaitGroup
+	var fencedWrites atomic.Int64
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 40; i++ {
+				id := fmt.Sprintf("h%02d", (w*40+i)%12)
+				switch status := putStatus(t, ts.URL, "hammer", id, docs[(w+i)%len(docs)]); status {
+				case http.StatusOK:
+				case http.StatusConflict:
+					fencedWrites.Add(1)
+				default:
+					t.Errorf("old-primary put answered %d", status)
+					return
+				}
+			}
+		}(w)
+	}
+	// A compaction racer keeps the WAL epoch moving while the promotion
+	// drains and takes over.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 6; i++ {
+			resp, err := http.Post(ts.URL+"/v1/compact", "application/json", nil)
+			if err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+				t.Errorf("compact answered %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// Promote mid-hammer, from a goroutine of its own so it races the
+	// writers, the compactor and the follower's reconnect loop.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		resp, err := http.Post(rts.URL+"/v1/promote", "application/json", nil)
+		if err != nil {
+			t.Errorf("promote: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("promote answered %d", resp.StatusCode)
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the hammer run")
+	}
+	if !fw.f.Promoted() {
+		t.Fatal("follower did not promote")
+	}
+	// The promoted node serves writes; the old primary is fenced (the
+	// promote-time probe always lands here — the old primary stayed up).
+	if status := putStatus(t, rts.URL, "hammer", "post-promote", docs[0]); status != http.StatusOK {
+		t.Fatalf("write on the promoted node answered %d", status)
+	}
+	if fenced, _ := pst.Fenced(); !fenced {
+		t.Fatal("old primary not fenced after promotion")
+	}
+	if status := putStatus(t, ts.URL, "hammer", "ghost", docs[0]); status != http.StatusConflict {
+		t.Fatalf("fenced primary accepted a write (status %d)", status)
 	}
 }

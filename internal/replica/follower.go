@@ -98,6 +98,18 @@ func jitter(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
+// Typed status values a primary's feed can report; surfaced in
+// CollectionLag.Status so a permanent role change is distinguishable from a
+// transient network error (which leaves Status empty).
+const (
+	// StatusWrongRole: the node we follow is not (or is no longer) a
+	// primary — it was demoted or we were pointed at a replica.
+	StatusWrongRole = "wrong_role"
+	// StatusStaleEpoch: the node we follow has been fenced by a newer
+	// primary; its feed is permanently gone. Re-point this follower.
+	StatusStaleEpoch = "stale_epoch"
+)
+
 // CollectionLag is one collection's replication state for stats reporting.
 // Lag is measured against the primary head observed at the last successful
 // contact.
@@ -115,6 +127,10 @@ type CollectionLag struct {
 	// Connected reports whether the last primary contact succeeded.
 	Connected bool   `json:"connected"`
 	LastError string `json:"last_error,omitempty"`
+	// Status carries the primary's typed refusal when the disconnect is a
+	// permanent role change (StatusWrongRole, StatusStaleEpoch) rather than
+	// a transient error; empty otherwise.
+	Status string `json:"status,omitempty"`
 }
 
 // collState is one collection's tailer state.
@@ -128,7 +144,29 @@ type collState struct {
 	snapshots    int64
 	connected    bool
 	lastErr      string
-	bootstrapped bool // a snapshot has been applied at least once
+	statusCode   string // typed feed refusal (wrong_role/stale_epoch)
+	bootstrapped bool   // a snapshot has been applied at least once
+}
+
+// feedError is a primary refusal carrying a typed error code (the JSON
+// error body's "code" field), e.g. wrong_role or stale_epoch.
+type feedError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *feedError) Error() string {
+	return fmt.Sprintf("replica: primary refused: %s (%d %s)", e.msg, e.status, e.code)
+}
+
+// errorCode extracts a typed feed error code, or "".
+func errorCode(err error) string {
+	var fe *feedError
+	if errors.As(err, &fe) {
+		return fe.code
+	}
+	return ""
 }
 
 // Follower tails a primary's replication feed into a local store. Create
@@ -147,9 +185,16 @@ type Follower struct {
 	snapshotSeconds *obs.HistogramVec // collection
 	appliedRecords  *obs.CounterVec   // collection
 
-	mu    sync.Mutex
-	colls map[string]*collState
-	wg    sync.WaitGroup
+	// promoting guards the one-way replica→primary transition; promoted is
+	// set once Promote has completed and the follower is permanently done.
+	promoting atomic.Bool
+	promoted  atomic.Bool
+
+	mu          sync.Mutex
+	colls       map[string]*collState
+	cancelTails context.CancelFunc // stops tailers without stopping Run
+	promotions  []Promotion
+	wg          sync.WaitGroup
 }
 
 // NewFollower validates the options and builds a follower; call Run to start
@@ -221,10 +266,19 @@ func (f *Follower) Primary() string { return f.opts.Primary }
 // cancellation: losing the primary is an operational state (reported via
 // Status), not a fatal error.
 func (f *Follower) Run(ctx context.Context) error {
+	// Tailers run under a derived context so Promote can stop them (and
+	// discovery of new ones) while Run keeps the process's lifecycle.
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	f.mu.Lock()
+	f.cancelTails = cancel
+	f.mu.Unlock()
 	for {
-		if err := f.discover(ctx); err != nil && ctx.Err() == nil {
-			f.log.Warn("replica: collection discovery failed",
-				"primary", f.opts.Primary, "error", err)
+		if !f.promoting.Load() {
+			if err := f.discover(tctx); err != nil && ctx.Err() == nil && !f.promoting.Load() {
+				f.log.Warn("replica: collection discovery failed",
+					"primary", f.opts.Primary, "error", err)
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -289,11 +343,31 @@ func (f *Follower) tail(ctx context.Context, coll string, cs *collState) {
 			if ctx.Err() != nil {
 				return
 			}
+			code := errorCode(err)
 			cs.mu.Lock()
 			cs.connected = false
 			cs.lastErr = err.Error()
+			prevCode := cs.statusCode
+			cs.statusCode = code
 			epoch, offset := cs.epoch, cs.applied
 			cs.mu.Unlock()
+			if code == StatusWrongRole || code == StatusStaleEpoch {
+				// A typed role refusal is a permanent condition, not a
+				// transient outage: the node we follow was demoted, fenced,
+				// or never was a primary. Surface it loudly (once per
+				// transition) and back off at the cap instead of hammering —
+				// the fix is operational (re-point or restart this follower
+				// against the new primary), not a retry.
+				if prevCode != code {
+					f.log.Error("replica: primary role changed; re-point this follower at the current primary",
+						"collection", coll, "status", code, "error", err)
+				}
+				backoff = f.opts.MaxBackoff
+				if !f.sleep(ctx, jitter(backoff)) {
+					return
+				}
+				continue
+			}
 			// The actual wait is jittered ±20% (herd protection); the
 			// exponential growth below applies to the unjittered base.
 			wait := jitter(backoff)
@@ -339,6 +413,7 @@ func (f *Follower) bootstrap(ctx context.Context, coll string, cs *collState) er
 	cs.snapshots++
 	cs.connected = true
 	cs.lastErr = ""
+	cs.statusCode = ""
 	cs.bootstrapped = true
 	cs.mu.Unlock()
 	f.log.Info("replica: bootstrapped",
@@ -384,6 +459,7 @@ func (f *Follower) poll(ctx context.Context, coll string, cs *collState) (resnap
 	cs.primaryRecs = chunk.Records
 	cs.connected = true
 	cs.lastErr = ""
+	cs.statusCode = ""
 	caughtUp := cs.applied >= cs.primary
 	cs.mu.Unlock()
 	return false, caughtUp, nil
@@ -437,12 +513,29 @@ func (f *Follower) getJSON(ctx context.Context, path string, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if fe := parseFeedError(resp.StatusCode, body); fe != nil {
+			return fmt.Errorf("replica: GET %s: %w", path, fe)
+		}
 		return fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("replica: GET %s: bad JSON: %w", path, err)
 	}
 	return nil
+}
+
+// parseFeedError recovers a typed error code from a JSON error body, so the
+// caller can distinguish a permanent role refusal from a transient failure.
+// It returns nil when the body carries no code.
+func parseFeedError(status int, body []byte) *feedError {
+	var e struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if json.Unmarshal(body, &e) != nil || e.Code == "" {
+		return nil
+	}
+	return &feedError{status: status, code: e.Code, msg: e.Error}
 }
 
 // fetchWAL polls the primary's WAL feed.
@@ -475,6 +568,9 @@ func (f *Follower) fetchSnapshot(ctx context.Context, coll string) (*ingest.Repl
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if fe := parseFeedError(resp.StatusCode, body); fe != nil {
+			return nil, fmt.Errorf("replica: snapshot of %q: %w", coll, fe)
+		}
 		return nil, fmt.Errorf("replica: snapshot of %q: %s: %s", coll, resp.Status, bytes.TrimSpace(body))
 	}
 	return ReadSnapshot(resp.Body)
@@ -509,6 +605,7 @@ func (f *Follower) Status() []CollectionLag {
 			Snapshots:      cs.snapshots,
 			Connected:      cs.connected,
 			LastError:      cs.lastErr,
+			Status:         cs.statusCode,
 		}
 		cs.mu.Unlock()
 		if lag.LagBytes < 0 {
@@ -520,6 +617,169 @@ func (f *Follower) Status() []CollectionLag {
 		out = append(out, lag)
 	}
 	return out
+}
+
+// PromotionEpoch returns the first epoch of the generation after cur's.
+// Epochs are split: the high 32 bits count promotions (the fencing term),
+// the low 32 bits local checkpoint bumps (compaction resets, torn-tail
+// truncations). A promoted epoch therefore dominates ANY number of local
+// bumps a demoted primary makes while unaware of the new lineage — without
+// the split, a compaction-happy old primary could out-count the promotion
+// epoch during the race window and shrug off the fencing probe.
+func PromotionEpoch(cur uint64) uint64 { return (cur>>32 + 1) << 32 }
+
+// Promotion reports one collection's takeover during Promote.
+type Promotion struct {
+	Collection string `json:"collection"`
+	// Epoch is the epoch this node durably adopted — strictly above the old
+	// primary's, so a feed poll carrying it fences the demoted node.
+	Epoch uint64 `json:"epoch"`
+	// PrimaryEpoch is the old primary's last-known epoch.
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	// DrainedRecords counts WAL records applied by the final drain.
+	DrainedRecords int64 `json:"drained_records"`
+	// Drained reports whether the drain reached the old primary's committed
+	// head; false means the primary was unreachable (the usual reason to
+	// promote) and the takeover proceeds from the last applied position.
+	Drained bool `json:"drained"`
+}
+
+// Promoted reports whether Promote has completed.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// Promotions returns the per-collection takeover results of a completed
+// Promote, or nil.
+func (f *Follower) Promotions() []Promotion {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Promotion(nil), f.promotions...)
+}
+
+// Promote turns this follower into a primary. The sequence is:
+//
+//  1. Stop discovery and every tailer, and wait them out, so the final
+//     drain is the only applier.
+//  2. Per collection, finish tailing from the last applied position until
+//     the old primary's committed head (or until it is unreachable — the
+//     usual reason to promote; the takeover then proceeds from the last
+//     durably known position, which is exactly the acknowledged-and-
+//     replicated prefix).
+//  3. Per collection, fold the live set into a durable checkpoint and adopt
+//     an epoch strictly above the old primary's (Store.Takeover), so this
+//     node's log can never alias the demoted stream and a feed poll
+//     carrying the new epoch provably fences the old primary.
+//
+// Promote is one-way: a promoted follower never tails again (Run keeps
+// running only to preserve the process lifecycle). A second call after
+// success returns the recorded promotions; a concurrent call fails.
+func (f *Follower) Promote(ctx context.Context) ([]Promotion, error) {
+	if !f.promoting.CompareAndSwap(false, true) {
+		if f.promoted.Load() {
+			return f.Promotions(), nil
+		}
+		return nil, errors.New("replica: promotion already in progress")
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.promoting.Store(false)
+		}
+	}()
+	f.mu.Lock()
+	cancel := f.cancelTails
+	names := make([]string, 0, len(f.colls))
+	for n := range f.colls {
+		names = append(names, n)
+	}
+	f.mu.Unlock()
+	sort.Strings(names)
+	if cancel != nil {
+		cancel()
+	}
+	f.wg.Wait()
+
+	promos := make([]Promotion, 0, len(names))
+	for _, name := range names {
+		f.mu.Lock()
+		cs := f.colls[name]
+		f.mu.Unlock()
+		cs.mu.Lock()
+		epoch, applied, bootstrapped := cs.epoch, cs.applied, cs.bootstrapped
+		cs.mu.Unlock()
+		p := Promotion{Collection: name, PrimaryEpoch: epoch}
+		if bootstrapped {
+			p.Drained, p.DrainedRecords = f.drain(ctx, name, cs, epoch, applied)
+		}
+		newEpoch, err := f.opts.Store.Takeover(name, PromotionEpoch(epoch))
+		if err != nil {
+			return nil, fmt.Errorf("replica: takeover of %q: %w", name, err)
+		}
+		p.Epoch = newEpoch
+		promos = append(promos, p)
+		f.log.Info("replica: promoted collection",
+			"collection", name, "epoch", newEpoch, "primary_epoch", epoch,
+			"drained", p.Drained, "drained_records", p.DrainedRecords)
+	}
+	f.mu.Lock()
+	f.promotions = promos
+	f.mu.Unlock()
+	f.promoted.Store(true)
+	ok = true
+	f.log.Info("replica: promoted to primary",
+		"collections", len(promos), "old_primary", f.opts.Primary)
+	return promos, nil
+}
+
+// drain finishes tailing one collection up to the old primary's committed
+// head. Any error — the primary is dead, refused us, or compacted our
+// position away — ends the drain; the takeover then proceeds from what was
+// applied, the durably replicated prefix.
+func (f *Follower) drain(ctx context.Context, coll string, cs *collState, epoch uint64, applied int64) (bool, int64) {
+	var recsApplied int64
+	for ctx.Err() == nil {
+		chunk, err := f.fetchWAL(ctx, coll, epoch, applied)
+		if err != nil {
+			f.log.Warn("replica: drain stopped; old primary unreachable",
+				"collection", coll, "offset", applied, "error", err)
+			return false, recsApplied
+		}
+		if chunk.SnapshotRequired {
+			f.log.Warn("replica: drain stopped; position gone on old primary",
+				"collection", coll, "offset", applied)
+			return false, recsApplied
+		}
+		recs, n, err := decodeFrames(chunk.Frames)
+		if err != nil {
+			f.log.Warn("replica: drain stopped; damaged chunk",
+				"collection", coll, "offset", applied, "error", err)
+			return false, recsApplied
+		}
+		if len(recs) > 0 {
+			if err := f.opts.Store.Apply(coll, recs); err != nil {
+				f.log.Warn("replica: drain stopped; local apply failed",
+					"collection", coll, "error", err)
+				return false, recsApplied
+			}
+			f.appliedRecords.With(coll).Add(int64(len(recs)))
+			applied += n
+			recsApplied += int64(len(recs))
+			cs.mu.Lock()
+			cs.applied = applied
+			cs.appliedRecs += int64(len(recs))
+			cs.primary = chunk.Committed
+			cs.primaryRecs = chunk.Records
+			cs.mu.Unlock()
+		}
+		if applied >= chunk.Committed {
+			return true, recsApplied
+		}
+		if n == 0 {
+			// The feed reports more committed bytes but ships none: give up
+			// rather than spin.
+			return false, recsApplied
+		}
+	}
+	return false, recsApplied
 }
 
 // CaughtUp reports whether every discovered collection is bootstrapped,

@@ -1,0 +1,78 @@
+package replica_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// lagStatus returns one collection's typed status code from the follower's
+// lag report ("" while the feed is healthy or merely flaky).
+func lagStatus(f *replica.Follower, coll string) (string, bool) {
+	for _, cs := range f.Status() {
+		if cs.Collection == coll {
+			return cs.Status, true
+		}
+	}
+	return "", false
+}
+
+// TestFollowerStatusTypedRoleErrors is the regression for the reconnect
+// loop treating a permanent role change like a transient outage: a follower
+// pointed at a replica must surface wrong_role in CollectionLag, and a
+// follower whose primary gets fenced must surface stale_epoch — in both
+// cases instead of silently retrying forever with an empty status.
+func TestFollowerStatusTypedRoleErrors(t *testing.T) {
+	docs := gen.Collection(gen.Config{N: 600, Theta: 0.3, Seed: 167})
+	pst, ts := newPrimary(t, -1)
+	httpPut(t, ts.URL, "prot", "seed", docs[0])
+
+	// A healthy follower first: catches up with an empty status code.
+	fst := openStore(t, -1)
+	fw := startFollower(t, fst, ts.URL)
+	waitFor(t, "follower caught up", func() bool {
+		v, ok := fst.Get("prot")
+		return ok && v.Docs() == 1 && fw.f.CaughtUp()
+	})
+	if code, ok := lagStatus(fw.f, "prot"); !ok || code != "" {
+		t.Fatalf("healthy follower status = %q (present %v), want empty", code, ok)
+	}
+
+	// A second follower pointed at the REPLICA: discovery succeeds (stats
+	// lists the collection) but every feed request answers the typed 403,
+	// which must land in the lag report as wrong_role.
+	rts := httptest.NewServer(server.NewReplica(fw.f, server.Config{}))
+	t.Cleanup(rts.Close)
+	wst := openStore(t, -1)
+	ww := startFollower(t, wst, rts.URL)
+	waitFor(t, "wrong_role surfaced", func() bool {
+		code, ok := lagStatus(ww.f, "prot")
+		return ok && code == replica.StatusWrongRole
+	})
+	ww.kill()
+
+	// Fence the primary out from under the healthy follower: its next poll
+	// answers the typed 409, which must surface as stale_epoch.
+	pos, err := pst.WALPos("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/replication/wal?collection=prot&epoch=%d&from=0",
+		ts.URL, replica.PromotionEpoch(pos.Epoch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fencing poke answered %d, want 409", resp.StatusCode)
+	}
+	waitFor(t, "stale_epoch surfaced", func() bool {
+		code, ok := lagStatus(fw.f, "prot")
+		return ok && code == replica.StatusStaleEpoch
+	})
+}

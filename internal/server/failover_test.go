@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/replica"
+	"repro/internal/ustring"
+)
+
+// failoverPair is a live primary/replica pair: the primary served over real
+// HTTP (the follower needs a URL), the replica's server handled in-process.
+type failoverPair struct {
+	pst, fst *ingest.Store
+	primary  *Server
+	pts      *httptest.Server
+	rep      *Server
+	follower *replica.Follower
+	docs     []*ustring.String
+}
+
+// newFailoverPair boots a primary with one replicated collection "prot" and
+// a follower tailing it, and waits for the follower to catch up.
+func newFailoverPair(t *testing.T) *failoverPair {
+	t.Helper()
+	copts := catalog.Options{TauMin: 0.1, Shards: 3}
+	open := func() *ingest.Store {
+		st, err := ingest.Open(nil, ingest.Options{
+			Dir: t.TempDir(), Catalog: copts, CompactThreshold: -1, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	pst := open()
+	primary := NewIngest(pst, Config{})
+	pts := httptest.NewServer(primary)
+	t.Cleanup(pts.Close)
+
+	docs := gen.Collection(gen.Config{N: 60, Theta: 0.3, Seed: 97})
+	for i, d := range docs {
+		do(t, primary, http.MethodPut,
+			"/v1/collections/prot/documents/doc-"+strconv.Itoa(i), marshalDoc(t, d), http.StatusOK, nil)
+	}
+
+	fst := open()
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Primary:          pts.URL,
+		Store:            fst,
+		PollInterval:     2 * time.Millisecond,
+		DiscoverInterval: 10 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	waitFor(t, "follower caught up", func() bool {
+		if !f.CaughtUp() {
+			return false
+		}
+		v, ok := fst.Get("prot")
+		return ok && v.Docs() == len(docs)
+	})
+	return &failoverPair{
+		pst: pst, fst: fst, primary: primary, pts: pts,
+		rep: NewReplica(f, Config{}), follower: f, docs: docs,
+	}
+}
+
+// waitFor polls cond until it holds or a generous deadline passes; the
+// deadline is failure detection only, never synchronization.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPromoteFailover drives the whole failover arc against a live pair:
+// promote flips the replica to a serving primary under a bumped epoch, the
+// synchronous fencing probe demotes the old primary, whose post-promotion
+// writes answer a typed 409 and never appear in any view, and a second
+// promote is an idempotent no-op.
+func TestPromoteFailover(t *testing.T) {
+	p := newFailoverPair(t)
+
+	oldPos, err := p.pst.WALPos("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pr PromoteResponse
+	do(t, p.rep, http.MethodPost, "/v1/promote", "", http.StatusOK, &pr)
+	if pr.Role != RolePrimary || pr.AlreadyPrimary {
+		t.Fatalf("promote = %+v, want fresh primary", pr)
+	}
+	if len(pr.Collections) != 1 || pr.Collections[0].Collection != "prot" {
+		t.Fatalf("promoted collections = %+v", pr.Collections)
+	}
+	if got := pr.Collections[0].Epoch; got <= oldPos.Epoch {
+		t.Fatalf("promotion epoch %d did not pass the old primary's %d", got, oldPos.Epoch)
+	}
+	if !pr.Collections[0].Drained {
+		t.Fatalf("drain against a live primary did not complete: %+v", pr.Collections[0])
+	}
+	// The old primary was reachable, so the synchronous fencing probe must
+	// have landed.
+	if pr.FencedOldPrimary != 1 {
+		t.Fatalf("fenced_old_primary = %d, want 1", pr.FencedOldPrimary)
+	}
+	if got := roleOf(t, p.rep); got != "primary" {
+		t.Fatalf("promoted node reports role %q", got)
+	}
+
+	// The new primary accepts writes and serves the replication feed.
+	extra := gen.Collection(gen.Config{N: 1, Theta: 0.3, Seed: 11})[0]
+	do(t, p.rep, http.MethodPut, "/v1/collections/prot/documents/after-promote",
+		marshalDoc(t, extra), http.StatusOK, nil)
+	newPos, err := p.fst.WALPos("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunk replica.WALChunk
+	get(t, p.rep, "/v1/replication/wal?collection=prot&epoch="+
+		strconv.FormatUint(newPos.Epoch, 10)+"&from=0", http.StatusOK, &chunk)
+	if chunk.SnapshotRequired {
+		t.Fatalf("new primary's feed demands a snapshot at its own epoch: %+v", chunk)
+	}
+
+	// The old primary is fenced: it reports the fenced role, every mutation
+	// answers the typed 409, and the rejected write appears in no view.
+	if got := roleOf(t, p.primary); got != "fenced" {
+		t.Fatalf("old primary reports role %q, want fenced", got)
+	}
+	docsBefore := viewDocs(t, p.pst)
+	var e errorResponse
+	do(t, p.primary, http.MethodPut, "/v1/collections/prot/documents/ghost",
+		marshalDoc(t, extra), http.StatusConflict, &e)
+	if e.Code != codeStaleEpoch {
+		t.Fatalf("fenced primary put: code %q, want %q; %q", e.Code, codeStaleEpoch, e.Error)
+	}
+	do(t, p.primary, http.MethodDelete, "/v1/collections/prot/documents/doc-0", "",
+		http.StatusConflict, &e)
+	if e.Code != codeStaleEpoch {
+		t.Fatalf("fenced primary delete: code %q, want %q", e.Code, codeStaleEpoch)
+	}
+	do(t, p.primary, http.MethodPost, "/v1/compact", "", http.StatusConflict, nil)
+	if got := viewDocs(t, p.pst); got != docsBefore {
+		t.Fatalf("fenced primary's view changed: %d -> %d docs", docsBefore, got)
+	}
+	for name, st := range map[string]*ingest.Store{"old primary": p.pst, "new primary": p.fst} {
+		if v, ok := st.Get("prot"); ok {
+			if _, found := v.DocNumber("ghost"); found {
+				t.Fatalf("rejected write visible on the %s", name)
+			}
+		}
+	}
+
+	// Reads keep working on the fenced node.
+	get(t, p.primary, "/v1/query?collection=prot&p="+pattern(t, p.docs, 3)+"&tau=0.15",
+		http.StatusOK, nil)
+
+	// Promote is idempotent: the second call replays the recorded result.
+	var again PromoteResponse
+	do(t, p.rep, http.MethodPost, "/v1/promote", "", http.StatusOK, &again)
+	if !again.AlreadyPrimary || len(again.Collections) != 1 {
+		t.Fatalf("second promote = %+v, want already_primary replay", again)
+	}
+
+	// Both sides report the failover in /v1/stats.
+	var stats struct {
+		Failover *struct {
+			Fenced              bool             `json:"fenced"`
+			Promotions          int64            `json:"promotions"`
+			Demotions           int64            `json:"demotions"`
+			StaleEpochRejects   int64            `json:"stale_epoch_rejections"`
+			Transitions         []RoleTransition `json:"transitions"`
+			PromotedFrom        string           `json:"promoted_from"`
+			PromotedCollections []struct {
+				Collection string `json:"collection"`
+			} `json:"collections"`
+		} `json:"failover"`
+	}
+	get(t, p.rep, "/v1/stats", http.StatusOK, &stats)
+	if stats.Failover == nil || stats.Failover.Promotions != 1 || stats.Failover.Fenced {
+		t.Fatalf("new primary failover stats = %+v", stats.Failover)
+	}
+	if stats.Failover.PromotedFrom != p.pts.URL {
+		t.Fatalf("promoted_from = %q, want %q", stats.Failover.PromotedFrom, p.pts.URL)
+	}
+	if len(stats.Failover.Transitions) == 0 ||
+		stats.Failover.Transitions[0].To != RolePrimary {
+		t.Fatalf("new primary transitions = %+v", stats.Failover.Transitions)
+	}
+	get(t, p.primary, "/v1/stats", http.StatusOK, &stats)
+	if stats.Failover == nil || !stats.Failover.Fenced || stats.Failover.Demotions != 1 {
+		t.Fatalf("old primary failover stats = %+v", stats.Failover)
+	}
+	if stats.Failover.StaleEpochRejects < 3 {
+		t.Fatalf("stale_epoch_rejections = %d, want the 3 rejected mutations counted",
+			stats.Failover.StaleEpochRejects)
+	}
+}
+
+// TestPromoteWrongRole pins the non-replica answers: a primary reports
+// already_primary, a static server a typed wrong_role.
+func TestPromoteWrongRole(t *testing.T) {
+	primary, _, _ := testIngestServer(t, Config{})
+	var pr PromoteResponse
+	do(t, primary, http.MethodPost, "/v1/promote", "", http.StatusOK, &pr)
+	if !pr.AlreadyPrimary || pr.Role != RolePrimary {
+		t.Fatalf("promote on a primary = %+v", pr)
+	}
+
+	static, _ := testServer(t, Config{})
+	var e errorResponse
+	do(t, static, http.MethodPost, "/v1/promote", "", http.StatusForbidden, &e)
+	if e.Code != codeWrongRole {
+		t.Fatalf("promote on a static server: code %q, want %q", e.Code, codeWrongRole)
+	}
+}
+
+// viewDocs returns the "prot" view's current document count.
+func viewDocs(t *testing.T, st *ingest.Store) int {
+	t.Helper()
+	v, ok := st.Get("prot")
+	if !ok {
+		t.Fatal("collection prot missing")
+	}
+	return v.Docs()
+}

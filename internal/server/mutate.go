@@ -16,13 +16,15 @@ import (
 // writes, naming where writes should go instead.
 func (s *Server) readOnlyError() *httpError {
 	msg := "read-only server: start the daemon with -wal to enable mutations"
-	if s.role == RoleReplica {
+	code := ""
+	if s.Role() == RoleReplica {
 		msg = "read-only replica: send mutations to the primary"
+		code = codeWrongRole
 		if s.follower != nil {
 			msg += " at " + s.follower.Primary()
 		}
 	}
-	return &httpError{status: http.StatusForbidden, msg: msg}
+	return &httpError{status: http.StatusForbidden, msg: msg, code: code}
 }
 
 // mutationStatus maps ingest-layer sentinel errors onto HTTP statuses;
@@ -38,6 +40,10 @@ func mutationStatus(err error) error {
 		// The collection exists with a different representation; the request
 		// conflicts with server state rather than being malformed.
 		return &httpError{status: http.StatusConflict, msg: err.Error()}
+	case errors.Is(err, ingest.ErrStaleEpoch):
+		// This node has been superseded by a promoted peer; the typed code
+		// lets clients (and the failover router) re-point instead of retry.
+		return &httpError{status: http.StatusConflict, msg: err.Error(), code: codeStaleEpoch}
 	case errors.Is(err, ingest.ErrClosed):
 		// Shutting down is transient, not a malformed request: tell the
 		// client to retry against the restarted daemon.

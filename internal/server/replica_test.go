@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -99,8 +100,15 @@ func TestReplicaRejectsMutations(t *testing.T) {
 	p := pattern(t, docs, 3)
 	get(t, rep, "/v1/query?collection=prot&p="+p+"&tau=0.15", http.StatusOK, nil)
 
-	// Replication endpoints exist only on primaries.
-	get(t, rep, "/v1/replication/wal?collection=prot", http.StatusNotFound, nil)
+	// The replication feed is registered wherever a store exists (so a
+	// promoted replica can serve it without rebuilding the mux) but answers
+	// a typed wrong_role until this node actually is the primary. A static
+	// server has no store at all, so there the endpoint does not exist.
+	get(t, rep, "/v1/replication/wal?collection=prot", http.StatusForbidden, &e)
+	if e.Code != codeWrongRole {
+		t.Fatalf("feed on replica: code %q, want %q", e.Code, codeWrongRole)
+	}
+	get(t, rep, "/v1/replication/snapshot?collection=prot", http.StatusForbidden, nil)
 	static, _ := testServer(t, Config{})
 	get(t, static, "/v1/replication/wal?collection=prot", http.StatusNotFound, nil)
 }
@@ -125,10 +133,24 @@ func TestReplicationFeedEndpoints(t *testing.T) {
 		t.Fatalf("feed chunk = %+v (want frames up to %d)", chunk, pos.Offset)
 	}
 
-	get(t, s, "/v1/replication/wal?collection=prot&epoch=7&from=0", http.StatusOK, &chunk)
+	// A checkpoint bumps the epoch; a poll still naming the pre-checkpoint
+	// epoch no longer addresses live history and gets the snapshot signal.
+	if _, err := st.Compact("prot"); err != nil {
+		t.Fatal(err)
+	}
+	newPos, err := st.WALPos("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newPos.Epoch <= pos.Epoch {
+		t.Fatalf("compact did not bump the epoch: %d -> %d", pos.Epoch, newPos.Epoch)
+	}
+	get(t, s, "/v1/replication/wal?collection=prot&epoch="+
+		strconv.FormatUint(pos.Epoch, 10)+"&from=0", http.StatusOK, &chunk)
 	if !chunk.SnapshotRequired {
 		t.Fatalf("stale epoch not flagged: %+v", chunk)
 	}
+	pos = newPos
 	get(t, s, "/v1/replication/wal?collection=nope&epoch=0&from=0", http.StatusNotFound, nil)
 	get(t, s, "/v1/replication/wal?epoch=0&from=0", http.StatusBadRequest, nil)
 	get(t, s, "/v1/replication/wal?collection=prot&from=oops", http.StatusBadRequest, nil)
@@ -151,6 +173,20 @@ func TestReplicationFeedEndpoints(t *testing.T) {
 	}
 	get(t, s, "/v1/replication/snapshot?collection=nope", http.StatusNotFound, nil)
 	get(t, s, "/v1/replication/snapshot", http.StatusBadRequest, nil)
+
+	// A poll carrying an epoch ABOVE the collection's own proves a promoted
+	// peer exists somewhere: the primary fences itself, reports the fenced
+	// role, and answers every further feed request with a typed 409.
+	var e errorResponse
+	get(t, s, "/v1/replication/wal?collection=prot&epoch="+
+		strconv.FormatUint(pos.Epoch+5, 10)+"&from=0", http.StatusConflict, &e)
+	if e.Code != codeStaleEpoch {
+		t.Fatalf("fencing probe: code %q, want %q", e.Code, codeStaleEpoch)
+	}
+	get(t, s, "/v1/replication/snapshot?collection=prot", http.StatusConflict, nil)
+	if got := roleOf(t, s); got != "fenced" {
+		t.Fatalf("fenced primary reports role %q", got)
+	}
 }
 
 func find(ids []string, want string) (int, bool) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -9,9 +10,28 @@ import (
 	"repro/internal/obs"
 )
 
+// feedRoleError gates the replication feed by the current role: only an
+// unfenced primary serves history. A replica answers a typed wrong_role, a
+// fenced primary a typed stale_epoch — both permanent conditions a follower
+// surfaces in CollectionLag.Status instead of retrying blind.
+func (s *Server) feedRoleError() error {
+	if s.Role() != RolePrimary {
+		return &httpError{status: http.StatusForbidden, code: codeWrongRole,
+			msg: fmt.Sprintf("replication feed requires a primary; this node is a %s", s.EffectiveRole())}
+	}
+	if fenced, info := s.ingest.Fenced(); fenced {
+		return &httpError{status: http.StatusConflict, code: codeStaleEpoch,
+			msg: fmt.Sprintf("this primary is fenced: collection %q is at epoch %d but a consumer presented epoch %d",
+				info.Collection, info.LocalEpoch, info.SeenEpoch)}
+	}
+	return nil
+}
+
 // handleReplicationWAL answers one follower poll against the primary's WAL
 // feed: frames from the requested (epoch, from), or a snapshot-required
-// signal when that position no longer names live history.
+// signal when that position no longer names live history. A poll carrying
+// an epoch ABOVE the collection's own is a fencing probe — proof a promoted
+// peer exists — and demotes this node before anything is served.
 func (s *Server) handleReplicationWAL(r *http.Request, _ *obs.Trace, _ *obs.Cost) (any, error) {
 	q := r.URL.Query()
 	coll := q.Get("collection")
@@ -33,6 +53,12 @@ func (s *Server) handleReplicationWAL(r *http.Request, _ *obs.Trace, _ *obs.Cost
 			return nil, badRequest("bad from offset %q", raw)
 		}
 		from = v
+	}
+	if s.Role() == RolePrimary && s.ingest.FenceIfStale(coll, epoch) {
+		s.noteFenced()
+	}
+	if err := s.feedRoleError(); err != nil {
+		return nil, err
 	}
 	chunk, err := s.feed.WAL(coll, epoch, from)
 	if err != nil {
@@ -59,6 +85,11 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 	if coll == "" {
 		ep.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing collection parameter"})
+		return
+	}
+	if err := s.feedRoleError(); err != nil {
+		ep.errors.Inc()
+		s.writeError(w, err)
 		return
 	}
 	// Snapshots buffer a full copy of the collection, so they must respect

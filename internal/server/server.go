@@ -82,6 +82,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -106,6 +108,13 @@ const (
 	// RoleReplica serves a store replicated from a primary; mutations
 	// answer 403 and must go to the primary.
 	RoleReplica Role = "replica"
+	// RoleFenced is the effective role of a demoted primary: a replication
+	// consumer presented an epoch above its own, proving a newer primary
+	// exists, so every mutation answers a typed 409 stale_epoch until the
+	// node is restarted as a follower of the new primary. Reads keep
+	// working. RoleFenced is derived (reported by /v1/stats and the role
+	// gauge), never assigned.
+	RoleFenced Role = "fenced"
 )
 
 // Config tunes the server. The zero value is usable.
@@ -171,7 +180,14 @@ type Config struct {
 	// (request id, method, path, status, bytes, duration). Nil disables
 	// access logging.
 	AccessLog *olog.Logger
+	// PromoteWait bounds how long POST /v1/promote may spend draining the
+	// old primary's feed before taking over from the last applied position;
+	// 0 means DefaultPromoteWait.
+	PromoteWait time.Duration
 }
+
+// DefaultPromoteWait is the default drain deadline of POST /v1/promote.
+const DefaultPromoteWait = 10 * time.Second
 
 // DefaultMaxPatternBytes is the default pattern length limit (4 KiB).
 const DefaultMaxPatternBytes = 4096
@@ -293,6 +309,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxDocBytes <= 0 {
 		c.MaxDocBytes = DefaultMaxDocBytes
 	}
+	if c.PromoteWait <= 0 {
+		c.PromoteWait = DefaultPromoteWait
+	}
 	return c
 }
 
@@ -300,10 +319,10 @@ func (c Config) withDefaults() Config {
 // replicated store.
 type Server struct {
 	src      source
-	role     Role
+	role     atomic.Value      // Role; replica→primary flips at promotion
 	ingest   *ingest.Store     // the local store; nil on a static server
-	feed     *replica.Feed     // primary only
-	follower *replica.Follower // replica only
+	feed     *replica.Feed     // present whenever there is a local store
+	follower *replica.Follower // replica only (kept after promotion)
 	cfg      Config
 	cache    *lru
 	stats    *stats
@@ -314,6 +333,63 @@ type Server struct {
 	adm      *admitter
 	mux      *http.ServeMux
 	start    time.Time
+
+	// promoteMu serialises POST /v1/promote; fencedNoted makes the
+	// demotion transition (primary→fenced) counted exactly once.
+	promoteMu   sync.Mutex
+	fencedNoted atomic.Bool
+	transMu     sync.Mutex
+	transitions []RoleTransition
+}
+
+// RoleTransition is one recorded role change, reported in /v1/stats.
+type RoleTransition struct {
+	From Role      `json:"from"`
+	To   Role      `json:"to"`
+	At   time.Time `json:"at"`
+}
+
+// Role returns the server's current assigned role. A demoted primary keeps
+// RolePrimary here; EffectiveRole folds the fenced state in.
+func (s *Server) Role() Role { return s.role.Load().(Role) }
+
+// EffectiveRole is the role clients observe: the assigned role, except that
+// a fenced primary reports RoleFenced.
+func (s *Server) EffectiveRole() Role {
+	r := s.Role()
+	if r == RolePrimary && s.ingest != nil {
+		if fenced, _ := s.ingest.Fenced(); fenced {
+			return RoleFenced
+		}
+	}
+	return r
+}
+
+// setRole flips the assigned role, recording the transition (event list and
+// ustridx_role_transitions_total).
+func (s *Server) setRole(to Role) {
+	from := s.Role()
+	if from == to {
+		return
+	}
+	s.role.Store(to)
+	s.recordTransition(from, to)
+}
+
+// recordTransition appends one role-transition event and bumps its counter.
+func (s *Server) recordTransition(from, to Role) {
+	s.stats.roleTransitions.With(string(from), string(to)).Inc()
+	s.transMu.Lock()
+	s.transitions = append(s.transitions, RoleTransition{From: from, To: to, At: time.Now().UTC()})
+	s.transMu.Unlock()
+}
+
+// noteFenced records the primary→fenced demotion exactly once.
+func (s *Server) noteFenced() {
+	if s.fencedNoted.CompareAndSwap(false, true) {
+		s.stats.demotions.Inc()
+		s.recordTransition(RolePrimary, RoleFenced)
+	}
 }
 
 // New builds a read-only server over cat; mutation endpoints answer 403.
@@ -345,7 +421,6 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 	}
 	s := &Server{
 		src:     src,
-		role:    role,
 		ingest:  st,
 		cfg:     cfg,
 		stats:   newStats(reg),
@@ -355,6 +430,7 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	s.role.Store(role)
 	s.tenants = newTenantSet(cfg.Tenants, cfg.AnonTenant, s.stats)
 	s.adm = newAdmitter(cfg.MaxInFlight, cfg.AdmissionQueue, cfg.AdmissionMaxWait)
 	if cfg.CacheEntries > 0 {
@@ -374,7 +450,13 @@ func newServer(src source, role Role, st *ingest.Store, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/collections/{collection}/documents/{doc}",
 		s.limited("delete", http.MethodDelete, s.handleDelete))
 	s.mux.HandleFunc("/v1/compact", s.limited("compact", http.MethodPost, s.handleCompact))
-	if role == RolePrimary {
+	s.mux.HandleFunc("/v1/promote", s.limitedSystem("promote", http.MethodPost, s.handlePromote))
+	// The replication endpoints are registered on every server with a local
+	// store — a replica must already own them so a promotion can start
+	// serving the feed without rebuilding the mux — and gated by the current
+	// role at request time (a replica answers wrong_role, a fenced primary
+	// stale_epoch).
+	if st != nil {
 		s.feed = replica.NewFeed(st)
 		s.mux.HandleFunc("/v1/replication/wal",
 			s.limitedSystem("replication_wal", http.MethodGet, s.handleReplicationWAL))
@@ -397,8 +479,8 @@ func (s *Server) registerServingMetrics(r *obs.Registry) {
 	r.GaugeVec("ustridx_build_info",
 		"Build metadata; the value is always 1.",
 		"version", "go", "backends").With(version, goVersion, backends).SetInt(1)
-	r.GaugeVec("ustridx_role", "Server role; the value is always 1.",
-		"role").With(string(s.role)).SetInt(1)
+	roleGauge := r.GaugeVec("ustridx_role",
+		"Server role; 1 on the current effective role, 0 elsewhere.", "role")
 	r.GaugeFunc("ustridx_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	inflight := r.Gauge("ustridx_inflight_requests", "Query requests currently executing.")
@@ -415,6 +497,14 @@ func (s *Server) registerServingMetrics(r *obs.Registry) {
 	cacheMaxBytes := r.Gauge("ustridx_cache_max_bytes", "Result cache byte budget (0 = unbounded).")
 	slowTotal := r.Gauge("ustridx_slow_queries", "Requests ever recorded in the slow-query log.")
 	r.OnScrape(func() {
+		cur := s.EffectiveRole()
+		for _, role := range []Role{RoleStatic, RolePrimary, RoleReplica, RoleFenced} {
+			v := int64(0)
+			if role == cur {
+				v = 1
+			}
+			roleGauge.With(string(role)).SetInt(v)
+		}
 		inflight.SetInt(int64(s.adm.Inflight()))
 		inflightLimit.SetInt(int64(s.cfg.MaxInFlight))
 		queueDepth.SetInt(int64(s.adm.Queued()))
@@ -468,8 +558,10 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// mutable reports whether this server accepts writes.
-func (s *Server) mutable() bool { return s.role == RolePrimary && s.ingest != nil }
+// mutable reports whether this server accepts writes. A fenced primary
+// still counts: the fence is enforced by the ingest store itself, so the
+// write path answers the typed 409 stale_epoch instead of a generic 403.
+func (s *Server) mutable() bool { return s.Role() == RolePrimary && s.ingest != nil }
 
 // ServeHTTP implements http.Handler. Every request is assigned its
 // end-to-end id here (honouring a well-formed client X-Request-Id,
@@ -1231,7 +1323,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	approxQ, approxHits := s.stats.approxCounts()
 	version, goVersion, backends := buildInfo()
 	out := map[string]any{
-		"role": string(s.role),
+		"role": string(s.EffectiveRole()),
 		"build": map[string]any{
 			"version":  version,
 			"go":       goVersion,
@@ -1277,12 +1369,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"compactions": compactions,
 		}
 	}
-	if s.follower != nil {
+	if s.follower != nil && s.Role() == RoleReplica {
 		out["replication"] = map[string]any{
 			"primary":     s.follower.Primary(),
 			"caught_up":   s.follower.CaughtUp(),
 			"collections": s.follower.Status(),
 		}
+	}
+	if s.ingest != nil {
+		s.transMu.Lock()
+		transitions := append([]RoleTransition(nil), s.transitions...)
+		s.transMu.Unlock()
+		if transitions == nil {
+			transitions = []RoleTransition{}
+		}
+		fenced, fence := s.ingest.Fenced()
+		failover := map[string]any{
+			"fenced":                 fenced,
+			"promotions":             s.stats.promotions.Value(),
+			"demotions":              s.stats.demotions.Value(),
+			"stale_epoch_rejections": s.ingest.StaleEpochRejections(),
+			"transitions":            transitions,
+		}
+		if fenced {
+			failover["fence"] = fence
+		}
+		if s.follower != nil && s.follower.Promoted() {
+			failover["promoted_from"] = s.follower.Primary()
+			failover["collections"] = s.follower.Promotions()
+		}
+		out["failover"] = failover
 	}
 	if s.cache != nil {
 		hits, misses := s.stats.cacheCounts()

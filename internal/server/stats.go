@@ -111,6 +111,13 @@ type stats struct {
 	// served from the result cache.
 	approxQueries   *obs.Counter
 	approxCacheHits *obs.Counter
+
+	// Failover accounting: completed replica→primary promotions on this
+	// node, primary→fenced demotions (a consumer presented a higher epoch),
+	// and every role transition by (from, to).
+	promotions      *obs.Counter
+	demotions       *obs.Counter
+	roleTransitions *obs.CounterVec
 }
 
 func newStats(r *obs.Registry) *stats {
@@ -152,6 +159,12 @@ func newStats(r *obs.Registry) *stats {
 			"Queries answered by ε-approximate collections (cache hits included)."),
 		approxCacheHits: r.Counter("ustridx_approx_cache_hits_total",
 			"Approximate-collection queries served from the result cache."),
+		promotions: r.Counter("ustridx_promotions_total",
+			"Completed replica-to-primary promotions on this node."),
+		demotions: r.Counter("ustridx_demotions_total",
+			"Primary-to-fenced demotions (a replication consumer presented a higher epoch)."),
+		roleTransitions: r.CounterVec("ustridx_role_transitions_total",
+			"Role transitions, by from and to role.", "from", "to"),
 	}
 }
 

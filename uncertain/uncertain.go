@@ -367,6 +367,26 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 	return replica.NewFollower(opts)
 }
 
+// Promotion is one collection's promotion record: the fencing epoch the new
+// primary adopted and whether the old primary's feed was fully drained
+// first. Follower.Promote returns one per collection.
+type Promotion = replica.Promotion
+
+// ErrStaleEpoch is returned (wrapped) by every mutation on a fenced
+// IngestStore — one that has seen proof, via IngestStore.FenceIfStale, that
+// a replica was promoted over it. Match with errors.Is and re-resolve the
+// primary; the store keeps serving reads.
+var ErrStaleEpoch = ingest.ErrStaleEpoch
+
+// PromotionEpoch maps a collection's current WAL epoch to the epoch a
+// promoted replica adopts: the next promotion generation (high 32 bits),
+// clearing the local-checkpoint counter (low 32 bits). The result always
+// out-ranks any epoch the demoted primary can reach on its own, so the old
+// lineage fences itself on first contact.
+func PromotionEpoch(cur uint64) uint64 {
+	return replica.PromotionEpoch(cur)
+}
+
 // Observability: the obs re-exports let library embedders share one metrics
 // registry across the layers they compose (catalog, ingest store, follower)
 // and read it back in the Prometheus text exposition, exactly as the

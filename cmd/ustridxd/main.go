@@ -6,7 +6,7 @@
 //
 //	ustridxd -data DIR [-addr :7331] [-taumin 0.1] [-shards 0] [-workers 0]
 //	         [-backend plain|compressed|approx] [-epsilon 0.05]
-//	         [-index-cache DIR]
+//	         [-index-cache DIR] [-mmap] [-hot-collections 0]
 //	         [-cache-entries 1024] [-cache-bytes 0] [-inflight 0]
 //	         [-api-keys FILE] [-anon-rate 0] [-anon-burst 0]
 //	         [-anon-concurrent 0] [-anon-budget 0]
@@ -23,6 +23,13 @@
 // (see internal/ustring's text encoding) and served under its base name.
 // With -index-cache, built indexes are persisted to (and on restart loaded
 // from) the given directory, skipping the expensive Lemma 2 transformation.
+// Adding -mmap maps compressed (format-4) index files into the process
+// instead of decoding them onto the heap: start time becomes O(1) per
+// document and resident memory tracks the queried working set rather than
+// the corpus, so corpora larger than RAM stay servable. -hot-collections N
+// bounds how many collections are resident at once; the least recently used
+// is evicted and transparently re-mapped from -index-cache on its next
+// query. See OPERATIONS.md § "Zero-copy serving".
 //
 // -backend selects the default index backend: "plain" (the paper's
 // suffix-array structure; fastest exact queries), "compressed" (FM-index;
@@ -140,6 +147,8 @@ func run(args []string) error {
 	backend := fs.String("backend", core.BackendPlain, "index backend for collections: plain (fastest exact queries), compressed (FM-index; several-fold smaller resident memory, results bit-identical) or approx (Section 7 ε-index; optimal query time for any pattern length, additive error epsilon, no top-k)")
 	epsilon := fs.Float64("epsilon", 0, "additive error bound for the approx backend (0 = library default); requires -backend approx")
 	indexCache := fs.String("index-cache", "", "directory for persisted indexes (load if present, save after build; rebuilt when taumin or the data directory's collection set changes — wipe it after editing an existing data file)")
+	mmapIndexes := fs.Bool("mmap", false, "mmap format-4 index files from -index-cache (and the WAL directory's compaction caches) instead of reading them onto the heap: process start is O(1) per document and resident memory tracks the queried working set, not the corpus")
+	hotCollections := fs.Int("hot-collections", 0, "max collections resident at once (0 = unbounded); beyond it the least recently used collection is evicted and transparently re-mapped from -index-cache on its next query (requires -index-cache)")
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "result cache capacity (negative disables)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = 64 MiB, negative = entry count only)")
 	inFlight := fs.Int("inflight", 0, "max concurrently served query requests (0 = 4×GOMAXPROCS)")
@@ -185,7 +194,14 @@ func run(args []string) error {
 	if *epsilon != 0 && backendName != core.BackendApprox {
 		return fmt.Errorf("-epsilon requires -backend %s", core.BackendApprox)
 	}
-	opts := catalog.Options{TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap, Backend: backendName, Epsilon: *epsilon}
+	if *hotCollections > 0 && *indexCache == "" {
+		return errors.New("-hot-collections needs -index-cache: evicted collections are re-mapped from it")
+	}
+	opts := catalog.Options{
+		TauMin: *tauMin, Shards: *shards, Workers: *workers, LongCap: *longCap,
+		Backend: backendName, Epsilon: *epsilon,
+		MMap: *mmapIndexes, HotCollections: *hotCollections,
+	}
 	// Resolve the spec once so the default ε is pinned and every layer (and
 	// the cache-mismatch check) compares against the same value.
 	spec, err := opts.Spec("")
@@ -196,6 +212,7 @@ func run(args []string) error {
 	// One registry aggregates every layer's metrics — serving, ingest and
 	// replication — on the single /metrics page the server exposes.
 	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
 	cfgBase := server.Config{
 		CacheEntries:     *cacheEntries,
 		CacheBytes:       *cacheBytes,
@@ -266,6 +283,7 @@ func run(args []string) error {
 	}
 
 	cfg := cfgBase
+	cfg.MappedStats = cat.MappedStats
 	var handler http.Handler
 	var store *ingest.Store
 	if *wal != "" {

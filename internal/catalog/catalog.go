@@ -37,8 +37,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ustring"
 )
 
@@ -77,6 +79,25 @@ type Options struct {
 	// AddWithBackend override) selects the approx backend; 0 means
 	// core.DefaultEpsilon. Ignored by exact backends.
 	Epsilon float64
+	// MMap makes cache loads map format-4 index files instead of reading
+	// them onto the heap: opening is O(regions) and resident memory stays
+	// near zero until queries fault pages in. Non-envelope (gob) cache
+	// files fall back to the decode path regardless.
+	MMap bool
+	// HotCollections bounds how many collections stay resident at once
+	// (0 = unbounded). When the bound is exceeded the least recently used
+	// collection is evicted — its mappings released after EvictGrace — and
+	// transparently faulted back in from the cache directory on its next
+	// Get. Only effective once the catalog has a cache directory (Load or
+	// Save); collections not present in the cache are never evicted.
+	HotCollections int
+	// EvictGrace is how long an evicted collection's backends stay valid
+	// after eviction, covering queries already holding the collection.
+	// Defaults to 5s.
+	EvictGrace time.Duration
+	// Metrics, when set, receives the catalog's zero-copy counters:
+	// ustridx_decode_skips_total and ustridx_collection_faults_total.
+	Metrics *obs.Registry
 }
 
 // Spec resolves a per-collection backend kind override (empty = the catalog
@@ -110,6 +131,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.EvictGrace <= 0 {
+		o.EvictGrace = 5 * time.Second
+	}
 	return o
 }
 
@@ -141,6 +165,12 @@ type Collection struct {
 	docs       int
 	positions  int
 	indexBytes int
+	// mappedBytes is the summed mmap'd storage behind the collection's
+	// document indexes (0 when heap-loaded).
+	mappedBytes int64
+	// lastUsed orders collections for LRU eviction; stamped from the
+	// catalog's access sequence on every Get.
+	lastUsed atomic.Int64
 }
 
 // Catalog is a set of named collections. All methods are safe for concurrent
@@ -148,13 +178,44 @@ type Collection struct {
 type Catalog struct {
 	opts Options
 
+	// cacheDir remembers where the catalog was loaded from (or saved to):
+	// the directory evicted collections are faulted back in from.
+	cacheDir string
+
+	// seq stamps collection accesses for LRU ordering; decodeSkips and
+	// faults are the /v1/stats zero-copy counters.
+	seq         atomic.Int64
+	decodeSkips atomic.Int64
+	faults      atomic.Int64
+
+	skipsCounter  *obs.Counter
+	faultsCounter *obs.Counter
+
+	// faultMu serialises fault-ins so concurrent Gets of one evicted
+	// collection load it once.
+	faultMu sync.Mutex
+
 	mu    sync.RWMutex
 	colls map[string]*Collection
+	// cold remembers evicted collections by their last Info snapshot, so
+	// listings and stats still cover them while they are unmapped.
+	cold map[string]Info
 }
 
 // New returns an empty catalog.
 func New(opts Options) *Catalog {
-	return &Catalog{opts: opts.withDefaults(), colls: make(map[string]*Collection)}
+	c := &Catalog{
+		opts:  opts.withDefaults(),
+		colls: make(map[string]*Collection),
+		cold:  make(map[string]Info),
+	}
+	if r := c.opts.Metrics; r != nil {
+		c.skipsCounter = r.Counter("ustridx_decode_skips_total",
+			"Cache loads that skipped the decode/rebuild path because a format-4 envelope validated.")
+		c.faultsCounter = r.Counter("ustridx_collection_faults_total",
+			"Evicted collections faulted back in from the cache directory on first query.")
+	}
+	return c
 }
 
 // Options returns the catalog's effective (defaulted) options.
@@ -245,8 +306,11 @@ func (c *Catalog) AddWithSpec(name string, docs []*ustring.String, spec core.Bac
 		return nil, fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
 	col := c.assemble(name, c.opts.TauMin, c.opts.LongCap, spec, ixs)
+	col.lastUsed.Store(c.seq.Add(1))
 	c.mu.Lock()
 	c.colls[name] = col
+	delete(c.cold, name)
+	c.evictLocked()
 	c.mu.Unlock()
 	return col, nil
 }
@@ -325,26 +389,110 @@ func FromIndexes(name string, tauMin float64, longCap, shards int, spec core.Bac
 	for i, ix := range ixs {
 		s := i % len(col.shards)
 		col.shards[s] = append(col.shards[s], docIndex{doc: i, ix: ix})
-		col.positions += ix.Source().Len()
+		// SourceLen, not Source().Len(): the latter would materialise every
+		// lazily-loaded (mmap'd) document source and defeat the O(1) start.
+		col.positions += core.SourceLen(ix)
 		col.indexBytes += ix.Bytes()
+		col.mappedBytes += core.BackendMappedBytes(ix)
 	}
 	return col
 }
 
-// Get returns the named collection.
+// Get returns the named collection, stamping it most recently used. A
+// collection evicted under the HotCollections bound is transparently
+// faulted back in from the cache directory (counted in
+// ustridx_collection_faults_total); callers never observe eviction beyond
+// the first query's re-open latency.
 func (c *Catalog) Get(name string) (*Collection, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	col, ok := c.colls[name]
+	_, isCold := c.cold[name]
+	dir := c.cacheDir
+	c.mu.RUnlock()
+	if ok {
+		col.lastUsed.Store(c.seq.Add(1))
+		return col, true
+	}
+	if !isCold || dir == "" {
+		return nil, false
+	}
+	// Fault the evicted collection back in, once: concurrent Gets of the
+	// same (or another) cold collection serialise here rather than all
+	// re-mapping it.
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	c.mu.RLock()
+	col, ok = c.colls[name]
+	c.mu.RUnlock()
+	if !ok {
+		if err := c.loadCollection(filepath.Join(dir, name), name); err != nil {
+			return nil, false
+		}
+		c.faults.Add(1)
+		if c.faultsCounter != nil {
+			c.faultsCounter.Inc()
+		}
+		c.mu.RLock()
+		col, ok = c.colls[name]
+		c.mu.RUnlock()
+	}
+	if ok {
+		col.lastUsed.Store(c.seq.Add(1))
+	}
 	return col, ok
 }
 
-// Names returns the collection names in sorted order.
+// evictLocked enforces the HotCollections bound: while too many collections
+// are resident, the least recently used one that can be restored from the
+// cache directory moves to the cold set and its backends are closed after
+// EvictGrace (covering queries that already hold the collection — they keep
+// a *Collection reference, which stays fully usable until the grace timer
+// releases the mappings). The caller holds c.mu.
+func (c *Catalog) evictLocked() {
+	limit := c.opts.HotCollections
+	if limit <= 0 || c.cacheDir == "" || len(c.colls) <= limit {
+		return
+	}
+	type cand struct {
+		name string
+		used int64
+	}
+	cands := make([]cand, 0, len(c.colls))
+	for name, col := range c.colls {
+		// Only collections present in the cache can fault back in; never
+		// evict one that would be lost.
+		if _, err := os.Stat(filepath.Join(c.cacheDir, name, manifestName)); err != nil {
+			continue
+		}
+		cands = append(cands, cand{name, col.lastUsed.Load()})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].used < cands[b].used })
+	for _, v := range cands {
+		if len(c.colls) <= limit {
+			break
+		}
+		col := c.colls[v.name]
+		delete(c.colls, v.name)
+		c.cold[v.name] = infoOf(col)
+		backends := col.DocIndexes()
+		time.AfterFunc(c.opts.EvictGrace, func() {
+			for _, b := range backends {
+				_ = core.CloseBackend(b)
+			}
+		})
+	}
+}
+
+// Names returns the collection names in sorted order, including collections
+// currently evicted under the HotCollections bound.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	names := make([]string, 0, len(c.colls))
+	names := make([]string, 0, len(c.colls)+len(c.cold))
 	for n := range c.colls {
+		names = append(names, n)
+	}
+	for n := range c.cold {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -372,28 +520,79 @@ type Info struct {
 	// per-document indexes — the number that makes the compressed backend's
 	// savings observable per collection.
 	IndexBytes int
+	// MappedBytes is the mmap'd storage behind the collection's document
+	// indexes; 0 when heap-loaded. Mapped bytes are file-backed and
+	// reclaimable, so they do not count toward process heap.
+	MappedBytes int64
+	// Cold marks a collection currently evicted under the HotCollections
+	// bound; its next Get faults it back in from the cache directory.
+	Cold bool
 }
 
-// Stats returns per-collection summaries in name order.
+func infoOf(col *Collection) Info {
+	return Info{
+		Name:        col.name,
+		Docs:        col.docs,
+		Positions:   col.positions,
+		Shards:      len(col.shards),
+		TauMin:      col.tauMin,
+		LongCap:     col.longCap,
+		Backend:     col.spec.Kind,
+		Epsilon:     col.spec.Epsilon,
+		IndexBytes:  col.indexBytes,
+		MappedBytes: col.mappedBytes,
+	}
+}
+
+// Stats returns per-collection summaries in name order. Evicted (cold)
+// collections report the snapshot taken at eviction with Cold set.
 func (c *Catalog) Stats() []Info {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	infos := make([]Info, 0, len(c.colls))
+	infos := make([]Info, 0, len(c.colls)+len(c.cold))
 	for _, col := range c.colls {
-		infos = append(infos, Info{
-			Name:       col.name,
-			Docs:       col.docs,
-			Positions:  col.positions,
-			Shards:     len(col.shards),
-			TauMin:     col.tauMin,
-			LongCap:    col.longCap,
-			Backend:    col.spec.Kind,
-			Epsilon:    col.spec.Epsilon,
-			IndexBytes: col.indexBytes,
-		})
+		infos = append(infos, infoOf(col))
+	}
+	for _, info := range c.cold {
+		info.Cold = true
+		info.MappedBytes = 0 // mappings were released at eviction
+		infos = append(infos, info)
 	}
 	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
 	return infos
+}
+
+// MappedStats summarises the catalog's zero-copy serving state for the
+// daemon's /v1/stats endpoint.
+type MappedStats struct {
+	// MappedBytes sums the mmap'd storage behind all resident collections.
+	MappedBytes int64 `json:"mapped_bytes"`
+	// DecodeSkips counts cache loads that skipped the decode/rebuild path
+	// because a format-4 envelope validated in place.
+	DecodeSkips int64 `json:"decode_skips"`
+	// CollectionFaults counts evicted collections faulted back in on Get.
+	CollectionFaults int64 `json:"collection_faults"`
+	// HotCollections echoes the configured residency bound (0 = unbounded).
+	HotCollections int `json:"hot_collections"`
+	// ColdCollections is how many collections are currently evicted.
+	ColdCollections int `json:"cold_collections"`
+}
+
+// MappedStats reports the catalog's zero-copy counters.
+func (c *Catalog) MappedStats() MappedStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var mb int64
+	for _, col := range c.colls {
+		mb += col.mappedBytes
+	}
+	return MappedStats{
+		MappedBytes:      mb,
+		DecodeSkips:      c.decodeSkips.Load(),
+		CollectionFaults: c.faults.Load(),
+		HotCollections:   c.opts.HotCollections,
+		ColdCollections:  len(c.cold),
+	}
 }
 
 // Name returns the collection's name.
@@ -431,6 +630,10 @@ func (col *Collection) Spec() core.BackendSpec { return col.spec }
 // IndexBytes returns the summed resident footprint of the collection's
 // per-document indexes.
 func (col *Collection) IndexBytes() int { return col.indexBytes }
+
+// MappedBytes returns the mmap'd storage behind the collection's document
+// indexes (0 when heap-loaded).
+func (col *Collection) MappedBytes() int64 { return col.mappedBytes }
 
 // Estimate prices a query of patternLen bytes against this collection from
 // its already-held statistics (documents, positions, shards, backend kind,

@@ -1,0 +1,183 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mapped"
+	"repro/internal/obs"
+	"repro/internal/ustring"
+)
+
+// collGrid queries a collection over a pattern/τ grid and returns every
+// result, so two load paths can be compared bit-for-bit.
+func collGrid(t *testing.T, docs []*ustring.String, col *Collection) []any {
+	t.Helper()
+	var out []any
+	for _, m := range []int{2, 4, 7} {
+		for _, p := range gen.CollectionPatterns(docs, 4, m, 61) {
+			for _, tau := range []float64{0.1, 0.3, 0.7} {
+				hits, err := col.Search(p, tau)
+				if err != nil {
+					t.Fatalf("Search(%q, %v): %v", p, tau, err)
+				}
+				n, _ := col.Count(p, tau)
+				top, _ := col.TopK(p, 5)
+				out = append(out, hits, n, top)
+			}
+		}
+	}
+	return out
+}
+
+// TestMMapLoadEquivalence proves the catalog's three load paths — fresh
+// build, heap cache load, mmap cache load — answer the full query grid
+// identically, and that the mmap path skips every decode while reporting
+// its mapped footprint.
+func TestMMapLoadEquivalence(t *testing.T) {
+	docs := testDocs(t, 800, 83)
+	built := New(Options{TauMin: 0.1, Shards: 3, Backend: core.BackendCompressed})
+	if _, err := built.Add("coll", docs); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := built.Get("coll")
+	want := collGrid(t, docs, base)
+
+	t.Run("heap", func(t *testing.T) {
+		c, err := Load(dir, Options{Shards: 3, Backend: core.BackendCompressed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, ok := c.Get("coll")
+		if !ok {
+			t.Fatal("loaded catalog misses the collection")
+		}
+		if got := collGrid(t, docs, col); !reflect.DeepEqual(got, want) {
+			t.Fatal("heap cache load diverges from the built catalog")
+		}
+		// Format-4 files skip the decode path even without mmap.
+		if ms := c.MappedStats(); ms.DecodeSkips != int64(len(docs)) {
+			t.Fatalf("DecodeSkips = %d, want %d", ms.DecodeSkips, len(docs))
+		}
+	})
+
+	t.Run("mmap", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		c, err := Load(dir, Options{Shards: 3, Backend: core.BackendCompressed, MMap: true, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, ok := c.Get("coll")
+		if !ok {
+			t.Fatal("loaded catalog misses the collection")
+		}
+		if got := collGrid(t, docs, col); !reflect.DeepEqual(got, want) {
+			t.Fatal("mmap cache load diverges from the built catalog")
+		}
+		ms := c.MappedStats()
+		if ms.DecodeSkips != int64(len(docs)) {
+			t.Fatalf("DecodeSkips = %d, want %d", ms.DecodeSkips, len(docs))
+		}
+		if mapped.Available() {
+			if ms.MappedBytes == 0 || col.MappedBytes() != ms.MappedBytes {
+				t.Fatalf("MappedBytes = %d (collection %d), want equal and > 0",
+					ms.MappedBytes, col.MappedBytes())
+			}
+		}
+		infos := c.Stats()
+		if len(infos) != 1 || infos[0].MappedBytes != col.MappedBytes() {
+			t.Fatalf("Stats() = %+v, want one entry mirroring MappedBytes", infos)
+		}
+	})
+}
+
+// TestHotCollectionsEviction drives the LRU bound: loading three cached
+// collections under HotCollections=2 evicts the coldest, listings still
+// cover it, and its next Get faults it back in with bit-identical answers.
+func TestHotCollectionsEviction(t *testing.T) {
+	docsA := testDocs(t, 500, 11)
+	docsB := testDocs(t, 500, 23)
+	docsC := testDocs(t, 500, 37)
+	built := New(Options{TauMin: 0.1, Shards: 2, Backend: core.BackendCompressed})
+	for name, docs := range map[string][]*ustring.String{"aa": docsA, "bb": docsB, "cc": docsC} {
+		if _, err := built.Add(name, docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	baseA, _ := built.Get("aa")
+	wantA := collGrid(t, docsA, baseA)
+
+	reg := obs.NewRegistry()
+	c, err := Load(dir, Options{
+		Shards: 2, Backend: core.BackendCompressed, MMap: true,
+		HotCollections: 2, EvictGrace: 10 * time.Millisecond, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := c.MappedStats()
+	if ms.ColdCollections != 1 {
+		t.Fatalf("ColdCollections = %d after bounded load, want 1", ms.ColdCollections)
+	}
+	if got, want := c.Names(), []string{"aa", "bb", "cc"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v (cold collections must stay listed)", got, want)
+	}
+	cold := 0
+	for _, info := range c.Stats() {
+		if info.Cold {
+			cold++
+		}
+	}
+	if cold != 1 {
+		t.Fatalf("Stats() reports %d cold collections, want 1", cold)
+	}
+
+	// Touch bb and cc so aa becomes (or stays) the LRU victim, then force
+	// aa cold regardless of which collection the bounded load evicted.
+	for _, name := range []string{"bb", "cc"} {
+		if _, ok := c.Get(name); !ok {
+			t.Fatalf("Get(%q) failed", name)
+		}
+	}
+	colA, ok := c.Get("aa")
+	if !ok {
+		t.Fatal("Get(aa) failed — fault-in from cache did not work")
+	}
+	if got := collGrid(t, docsA, colA); !reflect.DeepEqual(got, wantA) {
+		t.Fatal("faulted-in collection diverges from the built one")
+	}
+	// aa's fault-in evicted another collection; total faults so far depends
+	// on which collection the initial load evicted, but at least aa's Get
+	// after the touches must have faulted if aa was cold.
+	if got := c.MappedStats(); got.CollectionFaults < 1 {
+		t.Fatalf("CollectionFaults = %d, want ≥ 1", got.CollectionFaults)
+	}
+	if got := c.MappedStats(); got.ColdCollections != 1 {
+		t.Fatalf("ColdCollections = %d after fault-in, want 1", got.ColdCollections)
+	}
+
+	// Wait out the grace window: queries against the still-held reference
+	// completed above; the evicted backends may now be closed, and every
+	// collection must still be reachable (faulting back as needed).
+	time.Sleep(30 * time.Millisecond)
+	for _, name := range []string{"aa", "bb", "cc"} {
+		col, ok := c.Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) failed after grace window", name)
+		}
+		if _, err := col.Search([]byte("ab"), 0.3); err != nil {
+			t.Fatalf("query on %q after grace window: %v", name, err)
+		}
+	}
+}

@@ -55,6 +55,12 @@ func SafeName(name string) error {
 // per-collection document files) that are no longer part of the catalog are
 // removed, so a stale cache cannot resurrect deleted data on the next Load.
 func (c *Catalog) Save(dir string) error {
+	// A saved catalog is also an evictable one: record the cache directory
+	// so the HotCollections bound can start releasing collections that now
+	// have somewhere to fault back in from.
+	c.mu.Lock()
+	c.cacheDir = dir
+	c.mu.Unlock()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if err := c.pruneCache(dir); err != nil {
@@ -159,6 +165,7 @@ func Load(dir string, opts Options) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	c := New(opts)
+	c.cacheDir = dir
 	for _, e := range entries {
 		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
@@ -204,34 +211,43 @@ func (c *Catalog) loadCollection(cdir, name string) error {
 	}
 	ixs := make([]core.Backend, m.Docs)
 	err = c.runPool(m.Docs, func(i int) error {
-		ix, err := readDocIndex(filepath.Join(cdir, docFileName(i)))
+		// Format-4 envelope files validate structurally and serve straight
+		// out of the file (mmap'd under Options.MMap) — no decode, no
+		// rebuild; gob files take the historical decode path.
+		ix, skipped, err := core.OpenBackendFile(filepath.Join(cdir, docFileName(i)), c.opts.MMap)
 		if err != nil {
 			return err
+		}
+		if skipped {
+			c.decodeSkips.Add(1)
+			if c.skipsCounter != nil {
+				c.skipsCounter.Inc()
+			}
 		}
 		// A document file of the wrong representation (or, for approx, a
 		// different ε) means the cache was written under different options;
 		// fail so the caller rebuilds.
 		if got := core.SpecOf(ix); got != spec {
+			_ = core.CloseBackend(ix)
 			return fmt.Errorf("cached index holds the %s backend, manifest says %s", got, spec)
 		}
 		ixs[i] = ix
 		return nil
 	})
 	if err != nil {
+		for _, ix := range ixs {
+			if ix != nil {
+				_ = core.CloseBackend(ix)
+			}
+		}
 		return fmt.Errorf("catalog: collection %q: %w", name, err)
 	}
 	col := c.assemble(name, m.TauMin, m.LongCap, spec, ixs)
+	col.lastUsed.Store(c.seq.Add(1))
 	c.mu.Lock()
 	c.colls[name] = col
+	delete(c.cold, name)
+	c.evictLocked()
 	c.mu.Unlock()
 	return nil
-}
-
-func readDocIndex(path string) (core.Backend, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.ReadBackend(f)
 }

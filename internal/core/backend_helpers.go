@@ -1,0 +1,33 @@
+package core
+
+import "io"
+
+// SourceLen returns b's source position count without forcing a
+// lazily-loaded source (an envelope-opened compressed index) to
+// materialise. Callers that only need the count — catalog stats, ingest
+// publication — must use this instead of b.Source().Len().
+func SourceLen(b Backend) int {
+	if sl, ok := b.(interface{ SourceLen() int }); ok {
+		return sl.SourceLen()
+	}
+	return b.Source().Len()
+}
+
+// BackendMappedBytes reports the bytes of mmap'd storage backing b, 0 for
+// heap-resident backends.
+func BackendMappedBytes(b Backend) int64 {
+	if m, ok := b.(interface{ MappedBytes() int64 }); ok {
+		return m.MappedBytes()
+	}
+	return 0
+}
+
+// CloseBackend releases any resources (an mmap'd envelope) held by b.
+// Safe on every backend; heap-resident ones are a no-op. The caller must
+// guarantee no concurrent or subsequent queries against b.
+func CloseBackend(b Backend) error {
+	if c, ok := b.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/factor"
 	"repro/internal/fm"
+	"repro/internal/mapped"
 	"repro/internal/prob"
 	"repro/internal/ustring"
 )
@@ -50,6 +52,17 @@ type CompressedIndex struct {
 	t    []byte
 	logp []float64
 	corr func(xStart, length int) float64
+
+	// Format-4 support. When the index was opened from a flat envelope the
+	// query structures above are views into env's bytes (mmap'd or heap)
+	// and the source string is materialised lazily on first Source() call —
+	// queries never need it, so a mapped corpus stays near-zero resident
+	// until asked for documents. srcLen is always valid without
+	// materialising (see SourceLen).
+	env     *mapped.Envelope
+	srcLen  int
+	srcOnce sync.Once
+	srcFn   func() *ustring.String
 }
 
 // BuildCompressed transforms s with respect to tauMin (Lemma 2) and indexes
@@ -83,6 +96,7 @@ func newCompressed(s *ustring.String, tauMin float64, longCap, rate int, tr *fac
 	}
 	cx := &CompressedIndex{
 		src:     s,
+		srcLen:  s.Len(),
 		tauMin:  tauMin,
 		longCap: longCap,
 		rate:    rate,
@@ -140,6 +154,9 @@ func (cx *CompressedIndex) bestPerKey(p []byte, st *QueryStats) []Hit {
 		lp := cx.windowLogProb(int(x), m)
 		if lp == prob.LogZero {
 			continue
+		}
+		if int(x) >= len(cx.pos) {
+			continue // only reachable over corrupt (unverified mapped) data
 		}
 		k := cx.pos[x]
 		if k < 0 {
@@ -250,8 +267,35 @@ func (cx *CompressedIndex) SearchCountCosted(p []byte, tau float64, st *QuerySta
 // TauMin returns the construction threshold.
 func (cx *CompressedIndex) TauMin() float64 { return cx.tauMin }
 
-// Source returns the indexed uncertain string.
-func (cx *CompressedIndex) Source() *ustring.String { return cx.src }
+// Source returns the indexed uncertain string. For an envelope-opened
+// index the string is materialised from the stored per-position tables on
+// first call (and retained); queries never trigger this, so serving a
+// mapped corpus keeps the heap free of document data.
+func (cx *CompressedIndex) Source() *ustring.String {
+	if cx.srcFn != nil {
+		cx.srcOnce.Do(func() { cx.src = cx.srcFn() })
+	}
+	return cx.src
+}
+
+// SourceLen returns the source string's position count without forcing a
+// lazily-loaded source to materialise.
+func (cx *CompressedIndex) SourceLen() int { return cx.srcLen }
+
+// MappedBytes reports the bytes of mmap'd storage backing this index
+// (0 for heap-resident indexes).
+func (cx *CompressedIndex) MappedBytes() int64 {
+	if cx.env != nil && cx.env.Mapped() {
+		return cx.env.Size()
+	}
+	return 0
+}
+
+// Close releases the index's mapping, if any. The caller must guarantee
+// no query is running or will run afterwards — the eviction paths that
+// call this do so only after removing the index from serving and waiting
+// out a grace period.
+func (cx *CompressedIndex) Close() error { return cx.env.Close() }
 
 // Kind reports BackendCompressed.
 func (cx *CompressedIndex) Kind() string { return BackendCompressed }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/factor"
+	"repro/internal/mapped"
 	"repro/internal/ustring"
 )
 
@@ -15,6 +16,9 @@ import (
 //	1 — plain backend only; no Backend tag (decoded as BackendPlain).
 //	2 — adds the Backend tag and the compressed backend's SampleRate.
 //	3 — adds the approx backend and its Epsilon parameter.
+//	4 — flat region envelope for the compressed backend (persist4.go):
+//	    query structures stored as mmap-able aligned regions, no rebuild
+//	    on load. Not gob; dispatched on the envelope magic.
 //
 // The exact backends persist the same payload — the source string plus the
 // Lemma 2 transformation (the dominant construction cost at low τmin) — and
@@ -56,30 +60,6 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	})
 }
 
-// WriteTo serialises the compressed index. The backend retains only its
-// query structures, so the transformation is recomputed here — Transform is
-// deterministic (factors are laid out in sorted order), so the persisted
-// arrays are identical to the ones the index was built from. This is a
-// deliberate trade: a save (rare — once per cold catalog build) re-pays
-// the transform so resident memory never carries the transformation
-// arrays, which would otherwise cost more than the entire compressed
-// index and defeat its purpose.
-func (cx *CompressedIndex) WriteTo(w io.Writer) (int64, error) {
-	tr, err := factor.Transform(cx.src, cx.tauMin)
-	if err != nil {
-		return 0, fmt.Errorf("core: persisting compressed index: %w", err)
-	}
-	return writePersisted(w, persisted{
-		Format:     persistFormat,
-		Backend:    BackendCompressed,
-		TauMin:     cx.tauMin,
-		LongCap:    cx.longCap,
-		SampleRate: cx.rate,
-		Source:     cx.src,
-		Tr:         tr,
-	})
-}
-
 // WriteTo serialises the approximate backend: source string and the
 // (τmin, ε) construction parameters. The transformation and ε-link
 // structure are deterministic, so loading rebuilds them from the source.
@@ -99,47 +79,74 @@ func writePersisted(w io.Writer, p persisted) (int64, error) {
 	return cw.n, err
 }
 
-// ReadBackend deserialises an index written by any backend's WriteTo and
-// rebuilds its query structures. A corrupted or truncated payload — bit
-// flips surviving gob's framing, a short file, internally inconsistent
-// arrays — is reported as an error, never a panic: the decoded
-// transformation is cross-checked before any query structure is rebuilt,
-// and the rebuild itself runs under a recover so callers (the daemon's
-// index cache) can fall back to rebuilding from source data.
+// ReadBackend deserialises an index written by any backend's WriteTo. A
+// format-4 envelope (compressed backend) is validated — structure, region
+// checksums, source invariants — and its structures are assembled as
+// views over the read buffer, no rebuild; gob formats 1–3 rebuild their
+// query structures as before. A corrupted or truncated payload — bit
+// flips, a short file, internally inconsistent arrays, hostile region
+// tables — is reported as an error wrapping ErrCorruptIndex (or
+// ErrUnsupportedFormat), never a panic and never an oversized allocation:
+// every array length is cross-checked before use, and the gob rebuild
+// runs under a recover so callers (the daemon's index cache) can fall
+// back to rebuilding from source data.
 func ReadBackend(r io.Reader) (b Backend, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			b, err = nil, fmt.Errorf("core: corrupt index payload: %v", p)
+			b, err = nil, fmt.Errorf("%w: %v", ErrCorruptIndex, p)
 		}
 	}()
-	dec := gob.NewDecoder(bufio.NewReader(r))
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(mapped.Magic)); err == nil && mapped.IsEnvelope(magic) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading index: %w", err)
+		}
+		env, err := mapped.Open(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+		}
+		// The whole payload is heap-resident already; verifying checksums
+		// and the source costs one pass and preserves the historical
+		// contract that ReadBackend never returns a corrupt index.
+		if err := env.VerifyChecksums(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+		}
+		bk, err := backendFromEnvelope(env, true)
+		if err != nil {
+			return nil, err
+		}
+		return bk, nil
+	}
+	dec := gob.NewDecoder(br)
 	var p persisted
 	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("core: reading index: %w", err)
+		return nil, fmt.Errorf("%w: reading index: %v", ErrCorruptIndex, err)
 	}
 	if p.Format < 1 || p.Format > persistFormat {
-		return nil, fmt.Errorf("core: unsupported index format %d (want 1..%d)", p.Format, persistFormat)
+		return nil, fmt.Errorf("%w: format %d (want 1..%d or a format-4 envelope)",
+			ErrUnsupportedFormat, p.Format, persistFormat)
 	}
 	backend, err := ParseBackend(p.Backend)
 	if err != nil {
-		return nil, fmt.Errorf("core: corrupt index payload: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
 	}
 	if p.Source == nil {
-		return nil, fmt.Errorf("core: truncated index payload")
+		return nil, fmt.Errorf("%w: truncated payload", ErrCorruptIndex)
 	}
 	if err := p.Source.Validate(); err != nil {
-		return nil, fmt.Errorf("core: persisted source invalid: %w", err)
+		return nil, fmt.Errorf("%w: persisted source invalid: %w", ErrCorruptIndex, err)
 	}
 	if backend == BackendApprox {
 		if !(p.Epsilon > 0 && p.Epsilon < 1) {
-			return nil, fmt.Errorf("core: corrupt index payload: approx epsilon %v outside (0, 1)", p.Epsilon)
+			return nil, fmt.Errorf("%w: approx epsilon %v outside (0, 1)", ErrCorruptIndex, p.Epsilon)
 		}
 		// The approx payload carries no transformation: the index rebuilds
 		// its own (deterministically) from the validated source.
 		return BuildApprox(p.Source, p.TauMin, p.Epsilon)
 	}
 	if p.Tr == nil {
-		return nil, fmt.Errorf("core: truncated index payload")
+		return nil, fmt.Errorf("%w: truncated payload", ErrCorruptIndex)
 	}
 	if err := checkTransformed(p.Tr, p.Source.Len()); err != nil {
 		return nil, err
@@ -187,21 +194,21 @@ func ReadIndex(r io.Reader) (*Index, error) {
 func checkTransformed(tr *factor.Transformed, sourceLen int) error {
 	n := len(tr.T)
 	if len(tr.LogP) != n || len(tr.Pos) != n || len(tr.SpanOf) != n {
-		return fmt.Errorf("core: corrupt index payload: array lengths T=%d LogP=%d Pos=%d SpanOf=%d disagree",
-			n, len(tr.LogP), len(tr.Pos), len(tr.SpanOf))
+		return fmt.Errorf("%w: array lengths T=%d LogP=%d Pos=%d SpanOf=%d disagree",
+			ErrCorruptIndex, n, len(tr.LogP), len(tr.Pos), len(tr.SpanOf))
 	}
 	if tr.MaxFactorLen < 0 || tr.MaxFactorLen > n {
-		return fmt.Errorf("core: corrupt index payload: MaxFactorLen %d outside [0, %d]", tr.MaxFactorLen, n)
+		return fmt.Errorf("%w: MaxFactorLen %d outside [0, %d]", ErrCorruptIndex, tr.MaxFactorLen, n)
 	}
 	if tr.SourceLen != sourceLen {
-		return fmt.Errorf("core: corrupt index payload: SourceLen %d but source has %d positions", tr.SourceLen, sourceLen)
+		return fmt.Errorf("%w: SourceLen %d but source has %d positions", ErrCorruptIndex, tr.SourceLen, sourceLen)
 	}
 	for i := 0; i < n; i++ {
 		if p := tr.Pos[i]; p < -1 || int(p) >= sourceLen {
-			return fmt.Errorf("core: corrupt index payload: Pos[%d] = %d outside source", i, p)
+			return fmt.Errorf("%w: Pos[%d] = %d outside source", ErrCorruptIndex, i, p)
 		}
 		if s := tr.SpanOf[i]; s < -1 || int(s) >= len(tr.Spans) {
-			return fmt.Errorf("core: corrupt index payload: SpanOf[%d] = %d outside span list", i, s)
+			return fmt.Errorf("%w: SpanOf[%d] = %d outside span list", ErrCorruptIndex, i, s)
 		}
 	}
 	return nil

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/fm"
+	"repro/internal/mapped"
+	"repro/internal/prob"
+	"repro/internal/rank"
+	"repro/internal/ustring"
+	"repro/internal/wavelet"
+)
+
+// Format 4 is the flat envelope (internal/mapped): instead of gob-encoding
+// the source plus transformation and rebuilding every query structure on
+// load, the compressed backend's structures themselves — wavelet-tree BWT
+// levels, rank blocks, sampled suffix array, probability prefix sums, the
+// Pos map — are written as 8-byte-aligned, checksummed regions that the
+// query code addresses in place. Loading is O(regions), not O(corpus):
+// from an mmap'd file no payload page is touched until a query faults it
+// in. The source string is stored as flattened per-position tables and
+// only materialised if someone asks for it (Source()).
+//
+// Formats 1–3 (gob) remain fully readable; WriteTo of the plain and
+// approx backends still emits format 3 — their query structures are
+// rebuilt from the transformation on load by design (see persist.go), so
+// a flat envelope would buy them nothing until they too persist
+// structures. ReadBackend dispatches on the envelope magic.
+
+// Region tags of the compressed backend's format-4 envelope. Level tags
+// are per wavelet level: tagLevelWords|d and tagLevelBlocks|d for level d.
+const (
+	tagMeta         = 0x4154454D // "META"
+	tagCounts       = 0x53544E43 // cumulative symbol counts, []int32[258]
+	tagAlphabet     = 0x48504C41 // wavelet alphabet, raw bytes
+	tagSampledWords = 0x57504D53 // sampled-rows bit words, []uint64
+	tagSampledBlks  = 0x42504D53 // sampled-rows block counts, []int32
+	tagSamples      = 0x4C504D53 // sampled SA' values, []int32
+	tagProbSums     = 0x4D555350 // prefix log-prob sums, []float64
+	tagProbZeros    = 0x4F525A50 // prefix zero counts, []int32
+	tagPos          = 0x2E534F50 // text position → source position, []int32
+	tagSrcOffsets   = 0x46464F53 // source CSR offsets, []int32, len srcLen+1
+	tagSrcChars     = 0x52484353 // source choice characters, raw bytes
+	tagSrcProbs     = 0x52505353 // source choice probabilities, []float64
+	tagCorr         = 0x52524F43 // gob []ustring.Correlation (only if any)
+	tagT            = 0x2E545854 // transformed text (only with correlations)
+	tagLogP         = 0x50474F4C // per-position log probs (only with correlations)
+	tagLevelWords   = 0x4C570000 // | level
+	tagLevelBlocks  = 0x4C420000 // | level
+)
+
+// metaSize is the fixed size of the tagMeta region.
+const metaSize = 64
+
+// envelope meta kinds.
+const metaKindCompressed = 1
+
+const metaFlagCorr = 1 // source declares correlations
+
+// Typed classes for envelope/payload validation failures; ReadBackend and
+// OpenBackendFile wrap every corruption report in ErrCorruptIndex so
+// callers can errors.Is against the class regardless of format.
+var (
+	ErrCorruptIndex      = errors.New("core: corrupt index payload")
+	ErrUnsupportedFormat = errors.New("core: unsupported index format")
+)
+
+// envelopeMeta is the decoded tagMeta region.
+type envelopeMeta struct {
+	kind    uint32
+	flags   uint32
+	tauMin  float64
+	longCap int
+	rate    int
+	n       int // transformed text length
+	srcLen  int // source position count
+	depth   int // wavelet levels
+}
+
+func (m envelopeMeta) encode() []byte {
+	b := make([]byte, metaSize)
+	binary.LittleEndian.PutUint32(b[0:], 1) // meta version
+	binary.LittleEndian.PutUint32(b[4:], m.kind)
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(m.tauMin))
+	binary.LittleEndian.PutUint64(b[16:], uint64(int64(m.longCap)))
+	binary.LittleEndian.PutUint64(b[24:], uint64(int64(m.rate)))
+	binary.LittleEndian.PutUint64(b[32:], uint64(int64(m.n)))
+	binary.LittleEndian.PutUint64(b[40:], uint64(int64(m.srcLen)))
+	binary.LittleEndian.PutUint32(b[48:], uint32(m.depth))
+	binary.LittleEndian.PutUint32(b[52:], m.flags)
+	return b
+}
+
+func decodeMeta(b []byte) (envelopeMeta, error) {
+	var m envelopeMeta
+	if len(b) != metaSize {
+		return m, fmt.Errorf("%w: meta region is %d bytes, want %d", ErrCorruptIndex, len(b), metaSize)
+	}
+	if v := binary.LittleEndian.Uint32(b[0:]); v != 1 {
+		return m, fmt.Errorf("%w: envelope meta version %d", ErrUnsupportedFormat, v)
+	}
+	m.kind = binary.LittleEndian.Uint32(b[4:])
+	m.tauMin = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	m.longCap = int(int64(binary.LittleEndian.Uint64(b[16:])))
+	m.rate = int(int64(binary.LittleEndian.Uint64(b[24:])))
+	m.n = int(int64(binary.LittleEndian.Uint64(b[32:])))
+	m.srcLen = int(int64(binary.LittleEndian.Uint64(b[40:])))
+	m.depth = int(binary.LittleEndian.Uint32(b[48:]))
+	m.flags = binary.LittleEndian.Uint32(b[52:])
+	if m.n < 0 || m.srcLen < 0 || m.depth < 0 || m.depth > 8 || m.rate < 1 || m.longCap < 0 {
+		return m, fmt.Errorf("%w: envelope meta out of range (n=%d srcLen=%d depth=%d rate=%d longCap=%d)",
+			ErrCorruptIndex, m.n, m.srcLen, m.depth, m.rate, m.longCap)
+	}
+	if !(m.tauMin >= 0 && m.tauMin <= 1) {
+		return m, fmt.Errorf("%w: envelope tauMin %v outside [0,1]", ErrCorruptIndex, m.tauMin)
+	}
+	return m, nil
+}
+
+// WriteTo serialises the compressed index as a format-4 flat envelope.
+// Unlike the former gob format this persists the query structures
+// directly — no transformation re-run on save, no suffix-array rebuild on
+// load. An index that was itself opened from an envelope round-trips as a
+// byte copy of its backing envelope.
+func (cx *CompressedIndex) WriteTo(w io.Writer) (int64, error) {
+	if cx.env != nil {
+		n, err := w.Write(cx.env.Bytes())
+		return int64(n), err
+	}
+	var b mapped.Builder
+	meta := envelopeMeta{
+		kind:    metaKindCompressed,
+		tauMin:  cx.tauMin,
+		longCap: cx.longCap,
+		rate:    cx.rate,
+		n:       cx.fm.Len(),
+		srcLen:  cx.srcLen,
+		depth:   len(cx.fm.BWT().Levels()),
+	}
+	src := cx.Source()
+	if len(src.Corr) > 0 {
+		meta.flags |= metaFlagCorr
+	}
+	b.Add(tagMeta, meta.encode())
+	b.AddI32s(tagCounts, cx.fm.Counts())
+	b.Add(tagAlphabet, cx.fm.BWT().Alphabet())
+	for d, lv := range cx.fm.BWT().Levels() {
+		b.AddU64s(tagLevelWords|uint32(d), lv.Words())
+		b.AddI32s(tagLevelBlocks|uint32(d), lv.BlockCounts())
+	}
+	b.AddU64s(tagSampledWords, cx.fm.SampledRows().Words())
+	b.AddI32s(tagSampledBlks, cx.fm.SampledRows().BlockCounts())
+	b.AddI32s(tagSamples, cx.fm.Samples())
+	b.AddF64s(tagProbSums, cx.pre.Sums())
+	b.AddI32s(tagProbZeros, cx.pre.ZeroUpTo())
+	b.AddI32s(tagPos, cx.pos)
+
+	// Source string as CSR: one offset per position, flattened choices.
+	offsets := make([]int32, src.Len()+1)
+	total := 0
+	for i, pos := range src.Pos {
+		offsets[i] = int32(total)
+		total += len(pos)
+	}
+	offsets[src.Len()] = int32(total)
+	chars := make([]byte, total)
+	probs := make([]float64, total)
+	k := 0
+	for _, pos := range src.Pos {
+		for _, c := range pos {
+			chars[k], probs[k] = c.Char, c.Prob
+			k++
+		}
+	}
+	b.AddI32s(tagSrcOffsets, offsets)
+	b.Add(tagSrcChars, chars)
+	b.AddF64s(tagSrcProbs, probs)
+
+	if len(src.Corr) > 0 {
+		var cb bytes.Buffer
+		if err := gob.NewEncoder(&cb).Encode(src.Corr); err != nil {
+			return 0, fmt.Errorf("core: persisting correlations: %w", err)
+		}
+		b.Add(tagCorr, cb.Bytes())
+		b.Add(tagT, cx.t)
+		b.AddF64s(tagLogP, cx.logp)
+	}
+	return b.WriteTo(w)
+}
+
+// requireRegion fetches a mandatory region.
+func requireRegion(env *mapped.Envelope, tag uint32, name string) ([]byte, error) {
+	r, ok := env.Region(tag)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s region", ErrCorruptIndex, name)
+	}
+	return r, nil
+}
+
+func regionI32s(env *mapped.Envelope, tag uint32, name string) ([]int32, error) {
+	r, err := requireRegion(env, tag, name)
+	if err != nil {
+		return nil, err
+	}
+	v, err := mapped.I32s(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s region: %w", ErrCorruptIndex, name, err)
+	}
+	return v, nil
+}
+
+func regionU64s(env *mapped.Envelope, tag uint32, name string) ([]uint64, error) {
+	r, err := requireRegion(env, tag, name)
+	if err != nil {
+		return nil, err
+	}
+	v, err := mapped.U64s(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s region: %w", ErrCorruptIndex, name, err)
+	}
+	return v, nil
+}
+
+func regionF64s(env *mapped.Envelope, tag uint32, name string) ([]float64, error) {
+	r, err := requireRegion(env, tag, name)
+	if err != nil {
+		return nil, err
+	}
+	v, err := mapped.F64s(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s region: %w", ErrCorruptIndex, name, err)
+	}
+	return v, nil
+}
+
+// backendFromEnvelope reassembles a backend over an opened envelope. The
+// structures are views into env's bytes — zero copy — so env must stay
+// open for the backend's lifetime; the returned index owns it and Close
+// releases it.
+//
+// eager controls source handling: the stream path (ReadBackend) has the
+// whole payload on heap anyway and preserves the historical contract of
+// validating the source before returning; the mmap fast path defers
+// materialisation so no payload page is faulted.
+func backendFromEnvelope(env *mapped.Envelope, eager bool) (Backend, error) {
+	metaRegion, err := requireRegion(env, tagMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(metaRegion)
+	if err != nil {
+		return nil, err
+	}
+	if meta.kind != metaKindCompressed {
+		return nil, fmt.Errorf("%w: envelope backend kind %d", ErrUnsupportedFormat, meta.kind)
+	}
+
+	counts, err := regionI32s(env, tagCounts, "counts")
+	if err != nil {
+		return nil, err
+	}
+	alphabet, err := requireRegion(env, tagAlphabet, "alphabet")
+	if err != nil {
+		return nil, err
+	}
+	levels := make([]*rank.Bits, meta.depth)
+	for d := 0; d < meta.depth; d++ {
+		words, err := regionU64s(env, tagLevelWords|uint32(d), fmt.Sprintf("level %d words", d))
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := regionI32s(env, tagLevelBlocks|uint32(d), fmt.Sprintf("level %d blocks", d))
+		if err != nil {
+			return nil, err
+		}
+		if levels[d], err = rank.FromParts(words, blocks, meta.n+1); err != nil {
+			return nil, fmt.Errorf("%w: level %d: %w", ErrCorruptIndex, d, err)
+		}
+	}
+	bwt, err := wavelet.FromParts(meta.n+1, alphabet, levels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+	}
+
+	sampledWords, err := regionU64s(env, tagSampledWords, "sampled words")
+	if err != nil {
+		return nil, err
+	}
+	sampledBlks, err := regionI32s(env, tagSampledBlks, "sampled blocks")
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := rank.FromParts(sampledWords, sampledBlks, meta.n+1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: sampled rows: %w", ErrCorruptIndex, err)
+	}
+	samples, err := regionI32s(env, tagSamples, "samples")
+	if err != nil {
+		return nil, err
+	}
+	fmx, err := fm.FromParts(bwt, counts, sampled, samples, meta.rate, meta.n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+	}
+
+	sums, err := regionF64s(env, tagProbSums, "prob sums")
+	if err != nil {
+		return nil, err
+	}
+	zeros, err := regionI32s(env, tagProbZeros, "prob zeros")
+	if err != nil {
+		return nil, err
+	}
+	pre, err := prob.PrefixFromParts(sums, zeros)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+	}
+	if pre.Len() != meta.n {
+		return nil, fmt.Errorf("%w: prefix covers %d positions, text has %d", ErrCorruptIndex, pre.Len(), meta.n)
+	}
+	pos, err := regionI32s(env, tagPos, "pos")
+	if err != nil {
+		return nil, err
+	}
+	if len(pos) != meta.n {
+		return nil, fmt.Errorf("%w: pos table has %d entries, text has %d", ErrCorruptIndex, len(pos), meta.n)
+	}
+
+	offsets, err := regionI32s(env, tagSrcOffsets, "source offsets")
+	if err != nil {
+		return nil, err
+	}
+	chars, err := requireRegion(env, tagSrcChars, "source chars")
+	if err != nil {
+		return nil, err
+	}
+	probs, err := regionF64s(env, tagSrcProbs, "source probs")
+	if err != nil {
+		return nil, err
+	}
+	if len(offsets) != meta.srcLen+1 {
+		return nil, fmt.Errorf("%w: source offsets has %d entries, want %d", ErrCorruptIndex, len(offsets), meta.srcLen+1)
+	}
+	if len(probs) != len(chars) {
+		return nil, fmt.Errorf("%w: %d source chars but %d probabilities", ErrCorruptIndex, len(chars), len(probs))
+	}
+
+	var corr []ustring.Correlation
+	hasCorr := meta.flags&metaFlagCorr != 0
+	if hasCorr {
+		cr, err := requireRegion(env, tagCorr, "correlations")
+		if err != nil {
+			return nil, err
+		}
+		if err := gob.NewDecoder(bytes.NewReader(cr)).Decode(&corr); err != nil {
+			return nil, fmt.Errorf("%w: correlations: %v", ErrCorruptIndex, err)
+		}
+	}
+
+	cx := &CompressedIndex{
+		tauMin:  meta.tauMin,
+		longCap: meta.longCap,
+		rate:    meta.rate,
+		fm:      fmx,
+		pre:     pre,
+		pos:     pos,
+		env:     env,
+		srcLen:  meta.srcLen,
+	}
+	cx.srcFn = func() *ustring.String {
+		return materializeSource(offsets, chars, probs, corr)
+	}
+	if hasCorr {
+		// Correlation correction reads the source and the raw transformed
+		// arrays on the query path, so they are resident, not lazy.
+		t, err := requireRegion(env, tagT, "transformed text")
+		if err != nil {
+			return nil, err
+		}
+		logp, err := regionF64s(env, tagLogP, "log probabilities")
+		if err != nil {
+			return nil, err
+		}
+		if len(t) != meta.n || len(logp) != meta.n {
+			return nil, fmt.Errorf("%w: correlation arrays T=%d LogP=%d, text has %d", ErrCorruptIndex, len(t), len(logp), meta.n)
+		}
+		cx.t = t
+		cx.logp = logp
+		cx.corr = cx.corrAdjust
+		cx.Source() // force materialisation; corrAdjust needs cx.src
+	}
+	if eager {
+		src := cx.Source()
+		if err := src.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: persisted source invalid: %v", ErrCorruptIndex, err)
+		}
+		if src.Len() != meta.srcLen {
+			return nil, fmt.Errorf("%w: source has %d positions, meta says %d", ErrCorruptIndex, src.Len(), meta.srcLen)
+		}
+	}
+	return cx, nil
+}
+
+// materializeSource rebuilds the uncertain string from its CSR regions.
+// Offsets are range-clamped rather than trusted: over corrupt unverified
+// data this yields a wrong string, never a panic.
+func materializeSource(offsets []int32, chars []byte, probs []float64, corr []ustring.Correlation) *ustring.String {
+	n := len(offsets) - 1
+	s := &ustring.String{Corr: corr}
+	if n <= 0 {
+		return s
+	}
+	s.Pos = make([]ustring.Position, n)
+	total := len(chars)
+	for i := 0; i < n; i++ {
+		a, b := int(offsets[i]), int(offsets[i+1])
+		if a < 0 || b < a || b > total {
+			continue
+		}
+		pos := make(ustring.Position, b-a)
+		for k := a; k < b; k++ {
+			pos[k-a] = ustring.Choice{Char: chars[k], Prob: probs[k]}
+		}
+		s.Pos[i] = pos
+	}
+	return s
+}
+
+// OpenBackendFile opens an index file with the zero-copy fast path: a
+// format-4 envelope is validated structurally (O(regions)) and its query
+// structures are addressed in place — mmap'd when useMmap is set and the
+// platform supports it, a heap buffer otherwise. Older gob files fall
+// back to the streaming ReadBackend path. skippedDecode reports whether
+// the envelope fast path was taken (no gob decode, no structure rebuild);
+// the catalog counts these for /v1/stats.
+func OpenBackendFile(path string, useMmap bool) (b Backend, skippedDecode bool, err error) {
+	if useMmap {
+		env, err := mapped.OpenFile(path)
+		if err == nil {
+			bk, berr := backendFromEnvelope(env, false)
+			if berr != nil {
+				env.Close()
+				return nil, false, fmt.Errorf("%w: %w", ErrCorruptIndex, berr)
+			}
+			return bk, true, nil
+		}
+		if !errors.Is(err, mapped.ErrBadMagic) {
+			if _, statErr := os.Stat(path); statErr != nil {
+				return nil, false, statErr
+			}
+			return nil, false, fmt.Errorf("%w: %w", ErrCorruptIndex, err)
+		}
+		// Not an envelope: an older gob cache file; stream-decode it.
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	prefix := make([]byte, len(mapped.Magic))
+	if n, _ := io.ReadFull(f, prefix); n == len(prefix) && mapped.IsEnvelope(prefix) {
+		skippedDecode = true
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, false, err
+	}
+	bk, err := ReadBackend(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return bk, skippedDecode, nil
+}

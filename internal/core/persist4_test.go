@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mapped"
+	"repro/internal/ustring"
+)
+
+// queryGrid runs the full Search/SearchHits/SearchTopK/SearchCount grid
+// against both backends and fails on any bit-level divergence — the
+// equivalence contract exact backends share, here used to prove the
+// format-4 load paths (heap views and mmap views) reproduce the built
+// index exactly.
+func queryGrid(t *testing.T, s *ustring.String, want, got Backend, label string) {
+	t.Helper()
+	if got.TauMin() != want.TauMin() {
+		t.Fatalf("%s: tauMin %v, want %v", label, got.TauMin(), want.TauMin())
+	}
+	for _, m := range []int{2, 3, 5, 8, 13} {
+		for _, p := range gen.Patterns(s, 6, m, 419) {
+			for _, tau := range []float64{0.1, 0.2, 0.4, 0.8} {
+				a, errA := want.Search(p, tau)
+				b, errB := got.Search(p, tau)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s: Search(%q, %v) err %v vs %v", label, p, tau, errA, errB)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s: Search(%q, %v) = %v, want %v", label, p, tau, b, a)
+				}
+				ca, _ := want.SearchCount(p, tau)
+				cb, _ := got.SearchCount(p, tau)
+				if ca != cb {
+					t.Fatalf("%s: SearchCount(%q, %v) = %d, want %d", label, p, tau, cb, ca)
+				}
+				ha, _ := want.SearchHits(p, tau)
+				hb, _ := got.SearchHits(p, tau)
+				if !reflect.DeepEqual(ha, hb) {
+					t.Fatalf("%s: SearchHits(%q, %v) diverges", label, p, tau)
+				}
+			}
+			for _, k := range []int{1, 3, 10} {
+				ka, _ := want.SearchTopK(p, k)
+				kb, _ := got.SearchTopK(p, k)
+				if !reflect.DeepEqual(ka, kb) {
+					t.Fatalf("%s: SearchTopK(%q, %d) diverges", label, p, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFormat4Equivalence(t *testing.T) {
+	s := gen.Single(gen.Config{N: 3000, Theta: 0.3, Seed: 409})
+	built, err := BuildCompressed(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := built.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	if !mapped.IsEnvelope(buf.Bytes()) {
+		t.Fatal("compressed WriteTo did not produce a format-4 envelope")
+	}
+	path := filepath.Join(t.TempDir(), "doc.idx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("stream heap load", func(t *testing.T) {
+		got, err := ReadBackend(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBackend: %v", err)
+		}
+		queryGrid(t, s, built, got, "stream")
+		if !reflect.DeepEqual(got.Source(), s) {
+			t.Error("stream-loaded source diverges from original")
+		}
+	})
+
+	t.Run("file heap load", func(t *testing.T) {
+		got, skipped, err := OpenBackendFile(path, false)
+		if err != nil {
+			t.Fatalf("OpenBackendFile: %v", err)
+		}
+		if !skipped {
+			t.Error("format-4 file load did not report a decode skip")
+		}
+		queryGrid(t, s, built, got, "file-heap")
+	})
+
+	t.Run("file mmap load", func(t *testing.T) {
+		got, skipped, err := OpenBackendFile(path, true)
+		if err != nil {
+			t.Fatalf("OpenBackendFile mmap: %v", err)
+		}
+		if !skipped {
+			t.Error("mmap load did not report a decode skip")
+		}
+		if mapped.Available() && BackendMappedBytes(got) != int64(buf.Len()) {
+			t.Errorf("BackendMappedBytes = %d, want %d", BackendMappedBytes(got), buf.Len())
+		}
+		queryGrid(t, s, built, got, "mmap")
+		// Lazy source: materialises on demand and matches the original.
+		if SourceLen(got) != s.Len() {
+			t.Errorf("SourceLen = %d, want %d", SourceLen(got), s.Len())
+		}
+		if !reflect.DeepEqual(got.Source(), s) {
+			t.Error("mmap-loaded source diverges from original")
+		}
+		// Round trip again out of the mapped index: byte-identical copy.
+		var again bytes.Buffer
+		if _, err := got.(*CompressedIndex).WriteTo(&again); err != nil {
+			t.Fatalf("re-save of mapped index: %v", err)
+		}
+		if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+			t.Error("re-saved mapped envelope is not byte-identical")
+		}
+		if err := CloseBackend(got); err != nil {
+			t.Fatalf("CloseBackend: %v", err)
+		}
+	})
+}
+
+func TestFormat4CorrelatedEquivalence(t *testing.T) {
+	s := &ustring.String{
+		Pos: []ustring.Position{
+			{{Char: 'e', Prob: .6}, {Char: 'f', Prob: .4}},
+			{{Char: 'q', Prob: 1}},
+			{{Char: 'z', Prob: .3}, {Char: 'w', Prob: .7}},
+		},
+		Corr: []ustring.Correlation{{
+			At: 2, Char: 'z', DepAt: 0, DepChar: 'e',
+			ProbWhenPresent: .9, ProbWhenAbsent: .05,
+		}},
+	}
+	built, err := BuildCompressed(s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := built.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corr.idx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := OpenBackendFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := built.Search([]byte("eqz"), 0.5)
+	b, err := got.Search([]byte("eqz"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(b, []int{0}) {
+		t.Errorf("correlated search over mmap = %v, want %v", b, a)
+	}
+	if !reflect.DeepEqual(got.Source(), s) {
+		t.Error("correlated source diverges after envelope round trip")
+	}
+}
+
+// TestFormat4Hostile drives ReadBackend over truncations and bit flips of
+// a real envelope: every outcome must be a typed error or a clean load —
+// never a panic, never an oversized allocation.
+func TestFormat4Hostile(t *testing.T) {
+	s := gen.Single(gen.Config{N: 400, Theta: 0.3, Seed: 431})
+	built, err := BuildCompressed(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := built.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	check := func(t *testing.T, data []byte) {
+		t.Helper()
+		b, err := ReadBackend(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) && !errors.Is(err, ErrUnsupportedFormat) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// Mutation landed in padding (not covered by checksums): the load
+		// must still answer queries without panicking.
+		if _, err := b.Search([]byte("ab"), 0.2); err != nil {
+			t.Fatalf("loaded index cannot query: %v", err)
+		}
+	}
+
+	t.Run("truncations", func(t *testing.T) {
+		for _, cut := range []int{0, 1, 7, 8, 31, 32, 33, 100, len(raw) / 2, len(raw) - 1} {
+			if cut > len(raw) {
+				continue
+			}
+			check(t, raw[:cut])
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		step := len(raw)/97 + 1
+		for off := 0; off < len(raw); off += step {
+			data := append([]byte(nil), raw...)
+			data[off] ^= 0x40
+			check(t, data)
+		}
+	})
+	t.Run("region table zeroed", func(t *testing.T) {
+		data := append([]byte(nil), raw...)
+		for i := 32; i < 32+24; i++ {
+			data[i] = 0
+		}
+		check(t, data)
+	})
+}
+
+func FuzzReadBackend(f *testing.F) {
+	s := gen.Single(gen.Config{N: 150, Theta: 0.3, Seed: 443})
+	cx, err := BuildCompressed(s, 0.1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var env bytes.Buffer
+	if _, err := cx.WriteTo(&env); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(env.Bytes())
+	f.Add(env.Bytes()[:env.Len()/2])
+	px, err := Build(s, 0.1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var gobBuf bytes.Buffer
+	if _, err := px.WriteTo(&gobBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gobBuf.Bytes())
+	f.Add([]byte(mapped.Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBackend(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A load that passed full validation must be queryable.
+		if _, err := b.Search([]byte("ab"), 0.5); err != nil {
+			t.Fatalf("fuzzed index cannot query: %v", err)
+		}
+		_, _ = b.SearchCount([]byte("a"), 0.9)
+		_ = CloseBackend(b)
+	})
+}

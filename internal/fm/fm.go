@@ -141,6 +141,13 @@ func (ix *Index) RangeCount(p []byte) (lo, hi int, ok bool, steps int) {
 		steps++
 		l = base + ix.bwt.Rank(c, l)
 		r = base + ix.bwt.Rank(c, r)
+		// With a well-formed index l and r stay within [0, n+1]; over
+		// corrupt (e.g. unverified mapped) data the cumulative counts can
+		// push them past the row count, so clamp before they are used as
+		// row indexes anywhere downstream.
+		if r > ix.n+1 {
+			r = ix.n + 1
+		}
 		if l >= r {
 			return 0, -1, false, steps
 		}
@@ -159,10 +166,16 @@ func (ix *Index) Count(p []byte) int {
 	return hi - lo + 1
 }
 
-// lf is the last-to-first mapping on rows.
+// lf is the last-to-first mapping on rows. The result is clamped to the
+// valid row range: corrupt cumulative counts must not drive the LF walk
+// out of bounds (the walk's hop bound then terminates it).
 func (ix *Index) lf(row int) int {
 	c := ix.bwt.Access(row)
-	return int(ix.counts[c]) + ix.bwt.Rank(c, row)
+	v := int(ix.counts[c]) + ix.bwt.Rank(c, row)
+	if v > ix.n {
+		v = 0
+	}
+	return v
 }
 
 // Locate returns the text position of the suffix at suffix-array position j
@@ -181,11 +194,24 @@ func (ix *Index) LocateCount(j int) (int32, int) {
 	for !ix.sampled.Get(row) {
 		row = ix.lf(row)
 		steps++
+		// A well-formed index reaches a sample within the sample rate;
+		// corrupt mapped data could cycle forever, so bound the walk by
+		// the row count and bail with a (wrong, but in-range) answer.
+		if steps > ix.n+1 {
+			return 0, steps
+		}
 	}
-	v := int(ix.samples[ix.sampled.Rank1(row)]) + steps
+	idx := ix.sampled.Rank1(row)
+	if idx >= len(ix.samples) {
+		return 0, steps
+	}
+	v := int(ix.samples[idx]) + steps
 	// SA' values live on text+sentinel of length n+1.
 	if v > ix.n {
 		v -= ix.n + 1
+	}
+	if v < 0 || v > ix.n {
+		v = 0 // corrupt sample value; keep the result in text range
 	}
 	return int32(v), steps
 }

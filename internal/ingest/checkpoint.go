@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -21,22 +23,41 @@ const checkpointFormat = 1
 // log and a crash between the two loses nothing.
 type checkpoint struct {
 	Format int
+	// Nonce ties the checkpoint to the index cache written by the same
+	// compaction (see ixcache.go): a restart only re-maps cached indexes
+	// whose manifest carries the checkpoint's nonce, so a crash between the
+	// two renames can never pair a new checkpoint with stale indexes.
+	// Checkpoints from before the field decode as 0, which never matches.
+	Nonce uint64
 	// IDs and Docs are parallel: document IDs[i] has content Docs[i]. IDs
 	// are sorted (the collection's canonical document order).
 	IDs  []string
 	Docs []*ustring.String
 }
 
+// newNonce draws a random non-zero checkpoint nonce.
+func newNonce() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, fmt.Errorf("ingest: drawing checkpoint nonce: %w", err)
+		}
+		if n := binary.LittleEndian.Uint64(b[:]); n != 0 {
+			return n, nil
+		}
+	}
+}
+
 // writeCheckpoint writes the image to a temporary file next to path and
 // syncs it; the caller renames it into place once it decides the image is
 // still current. Returns the temporary path.
-func writeCheckpoint(path string, ids []string, docs []*ustring.String) (string, error) {
+func writeCheckpoint(path string, nonce uint64, ids []string, docs []*ustring.String) (string, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return "", fmt.Errorf("ingest: %w", err)
 	}
-	err = gob.NewEncoder(f).Encode(checkpoint{Format: checkpointFormat, IDs: ids, Docs: docs})
+	err = gob.NewEncoder(f).Encode(checkpoint{Format: checkpointFormat, Nonce: nonce, IDs: ids, Docs: docs})
 	if err == nil {
 		err = f.Sync()
 	}

@@ -164,6 +164,10 @@ type CollectionStatus struct {
 	WALRecords  int     `json:"wal_records"`
 	WALBytes    int64   `json:"wal_bytes"`
 	Compactions int64   `json:"compactions"`
+	// RemappedDocs counts the documents the last Open served straight from
+	// the compaction-written index cache (mmap'd under Catalog.MMap)
+	// instead of rebuilding — the observable form of the O(1) restart.
+	RemappedDocs int `json:"remapped_docs,omitempty"`
 }
 
 // FenceInfo records why a store was fenced: which collection's feed saw an
@@ -219,7 +223,10 @@ type liveColl struct {
 	baseIx      []core.Backend          // base document number → index then
 	gen         uint64
 	compactions int64
-	view        atomic.Pointer[View]
+	// remapped counts the documents this run's Open served straight from
+	// the compaction-written index cache instead of rebuilding.
+	remapped int
+	view     atomic.Pointer[View]
 }
 
 // Open builds a store over the WAL directory, seeding collections from cat
@@ -459,6 +466,16 @@ func (st *Store) openColl(name string, cat *catalog.Catalog, backendReq *core.Ba
 			return nil, fmt.Errorf("ingest: collection %q: %w", name, err)
 		}
 	}
+	// Re-map the compaction-written index cache before replay: documents it
+	// serves skip the rebuild entirely, and replayed mutations below simply
+	// displace stale entries (an OpPut drops the mapped index and queues the
+	// logged content for rebuild; an OpDelete drops it outright).
+	if ck != nil {
+		if n := st.openIndexCache(lc, ck, pending); n > 0 {
+			lc.remapped = n
+			st.opts.Logf("ingest: %s: re-mapped %d cached indexes, rebuilding %d", name, n, len(pending))
+		}
+	}
 	// Replay: resolve final contents first.
 	for _, rec := range recs {
 		switch rec.Op {
@@ -583,7 +600,9 @@ func (lc *liveColl) publishLocked() {
 	positions := 0
 	indexBytes := 0
 	for gi, id := range ids {
-		positions += ixs[gi].Source().Len()
+		// SourceLen, not Source().Len(): re-mapped indexes materialise their
+		// source lazily and publishing a view must not force them resident.
+		positions += core.SourceLen(ixs[gi])
 		indexBytes += ixs[gi].Bytes()
 		if !served[id] {
 			deltaIx = append(deltaIx, ixs[gi])
@@ -917,8 +936,19 @@ func (st *Store) compactOnce(lc *liveColl) (bool, error) {
 	for i, ix := range ixs {
 		docs[i] = ix.Source()
 	}
-	tmp, err := writeCheckpoint(st.ckptPath(lc.name), ids, docs)
+	nonce, err := newNonce()
 	if err != nil {
+		return false, err
+	}
+	tmp, err := writeCheckpoint(st.ckptPath(lc.name), nonce, ids, docs)
+	if err != nil {
+		return false, err
+	}
+	// The index cache rides along under the same nonce: a restart that finds
+	// both re-maps the built indexes instead of rebuilding them.
+	ixcTmp, err := st.writeIndexCache(lc.name, nonce, lc.spec, ixs)
+	if err != nil {
+		os.Remove(tmp)
 		return false, err
 	}
 
@@ -926,6 +956,7 @@ func (st *Store) compactOnce(lc *liveColl) (bool, error) {
 	defer lc.mu.Unlock()
 	if lc.gen != gen {
 		os.Remove(tmp)
+		os.RemoveAll(ixcTmp)
 		return false, errCompactRaced
 	}
 	// Rename before truncating: if the process dies between the two, replay
@@ -935,7 +966,18 @@ func (st *Store) compactOnce(lc *liveColl) (bool, error) {
 	// checkpoint's directory entry.
 	if err := os.Rename(tmp, st.ckptPath(lc.name)); err != nil {
 		os.Remove(tmp)
+		os.RemoveAll(ixcTmp)
 		return false, fmt.Errorf("ingest: %w", err)
+	}
+	// Install the cache after the checkpoint that keys it. A failure here
+	// only costs the next restart a rebuild — the nonce check ignores a
+	// missing or stale cache — so it is logged, not fatal.
+	if err := os.RemoveAll(st.ixcPath(lc.name)); err == nil {
+		err = os.Rename(ixcTmp, st.ixcPath(lc.name))
+	}
+	if err != nil {
+		st.opts.Logf("ingest: %s: installing index cache: %v", lc.name, err)
+		os.RemoveAll(ixcTmp)
 	}
 	if !st.opts.NoSync {
 		if err := syncDir(st.opts.Dir); err != nil {
@@ -1122,9 +1164,10 @@ func (st *Store) Status() []CollectionStatus {
 			Tombstones:  v.Tombstones(),
 			Gen:         lc.gen,
 			Epoch:       lc.wal.epoch,
-			WALRecords:  lc.wal.records,
-			WALBytes:    lc.wal.bytes,
-			Compactions: lc.compactions,
+			WALRecords:   lc.wal.records,
+			WALBytes:     lc.wal.bytes,
+			Compactions:  lc.compactions,
+			RemappedDocs: lc.remapped,
 		}
 		lc.mu.Unlock()
 		out = append(out, cs)

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package mapped
+
+import (
+	"fmt"
+	"os"
+)
+
+// OpenFile on platforms without mmap support reads the file into a heap
+// buffer and validates it. Callers keep working — they just lose the
+// O(1)-start and shared-page-cache properties, and Mapped() reports false.
+func OpenFile(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	env, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%q: %w", path, err)
+	}
+	return env, nil
+}
+
+// Available reports whether true memory mapping is supported on this
+// platform.
+func Available() bool { return false }

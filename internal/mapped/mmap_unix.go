@@ -1,0 +1,54 @@
+//go:build unix
+
+package mapped
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenFile maps the file at path read-only and validates it as an
+// envelope. Opening is O(regions) — no payload page is touched, so a
+// process can map an arbitrarily large corpus in constant time and let
+// queries fault pages in on demand. Close unmaps.
+//
+// Empty or header-only files fail validation with a typed error; callers
+// treat that as "no usable cache", not corruption of the process.
+func OpenFile(path string) (*Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, fmt.Errorf("%w: %q is %d bytes", ErrTruncated, path, size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: %q is %d bytes, too large to map", ErrBadHeader, path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mapped: mmap %q: %w", path, err)
+	}
+	n := int64(len(data))
+	env, err := open(data, true, func() error {
+		mappedBytes.Add(-n)
+		return syscall.Munmap(data)
+	})
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%q: %w", path, err)
+	}
+	mappedBytes.Add(n)
+	return env, nil
+}
+
+// Available reports whether true memory mapping is supported on this
+// platform. On unix it is; elsewhere OpenFile falls back to a heap read.
+func Available() bool { return true }

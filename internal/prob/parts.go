@@ -1,0 +1,29 @@
+package prob
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadParts reports structurally invalid inputs to PrefixFromParts.
+var ErrBadParts = errors.New("prob: invalid prefix parts")
+
+// Sums returns the log-probability prefix sums (len = n+1). Read-only:
+// the slice aliases the structure's storage (possibly mmap'd); exposed
+// for envelope serialization.
+func (p *Prefix) Sums() []float64 { return p.sums }
+
+// ZeroUpTo returns the zero-probability prefix counts (len = n+1).
+// Read-only, same aliasing caveat as Sums.
+func (p *Prefix) ZeroUpTo() []int32 { return p.zeroUpTo }
+
+// PrefixFromParts reassembles a Prefix over existing storage — typically
+// typed views over mmap'd format-4 regions — without copying. Only
+// lengths are validated: Span already bounds-checks its arguments, so
+// corrupt values yield wrong probabilities, never a panic.
+func PrefixFromParts(sums []float64, zeroUpTo []int32) (*Prefix, error) {
+	if len(sums) < 1 || len(sums) != len(zeroUpTo) {
+		return nil, fmt.Errorf("%w: %d sums, %d zero counts", ErrBadParts, len(sums), len(zeroUpTo))
+	}
+	return &Prefix{sums: sums, zeroUpTo: zeroUpTo}, nil
+}

@@ -1,0 +1,28 @@
+package prob
+
+import "testing"
+
+func TestPrefixFromPartsRoundTrip(t *testing.T) {
+	logps := []float64{Log(0.5), Log(0.9), LogZero, Log(1), Log(0.25)}
+	orig := NewPrefix(logps)
+	re, err := PrefixFromParts(orig.Sums(), orig.ZeroUpTo())
+	if err != nil {
+		t.Fatalf("PrefixFromParts: %v", err)
+	}
+	if re.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", re.Len(), orig.Len())
+	}
+	for i := 0; i <= orig.Len(); i++ {
+		for j := i; j <= orig.Len(); j++ {
+			if re.Span(i, j) != orig.Span(i, j) {
+				t.Fatalf("Span(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	if _, err := PrefixFromParts(nil, nil); err == nil {
+		t.Error("empty parts accepted")
+	}
+	if _, err := PrefixFromParts(orig.Sums(), orig.ZeroUpTo()[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package rank
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadParts reports structurally invalid inputs to FromParts.
+var ErrBadParts = errors.New("rank: invalid bit-vector parts")
+
+// Words returns the packed bit words. Read-only: the slice aliases the
+// vector's storage (possibly an mmap'd region) and is exposed so the
+// format-4 envelope writer can persist it without copying.
+func (v *Bits) Words() []uint64 { return v.words }
+
+// BlockCounts returns the cumulative per-block popcounts (len = blocks+1).
+// Read-only, same aliasing caveat as Words.
+func (v *Bits) BlockCounts() []int32 { return v.blocks }
+
+// FromParts reassembles a Bits over existing storage — typically typed
+// views over mmap'd format-4 regions — without copying. The slices are
+// retained; queries address them in place.
+//
+// Validation is O(len(blocks)), not O(n): lengths, monotonicity of the
+// cumulative counts, and the final count's range are checked so that no
+// query can index out of bounds over hostile data, but per-word popcounts
+// are not re-verified (that is what region checksums are for). A corrupt
+// word yields wrong answers, never a panic.
+func FromParts(words []uint64, blocks []int32, nbits int) (*Bits, error) {
+	if nbits < 0 {
+		return nil, fmt.Errorf("%w: negative length %d", ErrBadParts, nbits)
+	}
+	if want := (nbits + wordBits - 1) / wordBits; len(words) != want {
+		return nil, fmt.Errorf("%w: %d words for %d bits, want %d", ErrBadParts, len(words), nbits, want)
+	}
+	nb := (len(words) + blockSize - 1) / blockSize
+	if len(blocks) != nb+1 {
+		return nil, fmt.Errorf("%w: %d block counts, want %d", ErrBadParts, len(blocks), nb+1)
+	}
+	if blocks[0] != 0 {
+		return nil, fmt.Errorf("%w: first block count %d, want 0", ErrBadParts, blocks[0])
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i] < blocks[i-1] {
+			return nil, fmt.Errorf("%w: block counts not monotonic at %d", ErrBadParts, i)
+		}
+	}
+	ones := int(blocks[nb])
+	if ones > nbits {
+		return nil, fmt.Errorf("%w: %d ones in %d bits", ErrBadParts, ones, nbits)
+	}
+	return &Bits{words: words, blocks: blocks, n: nbits, ones: ones}, nil
+}

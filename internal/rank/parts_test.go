@@ -1,0 +1,59 @@
+package rank
+
+import "testing"
+
+func TestFromPartsRoundTrip(t *testing.T) {
+	b := NewBuilder(1000)
+	for i := 0; i < 1000; i++ {
+		b.Append(i%3 == 0 || i%7 == 0)
+	}
+	orig := b.Build()
+	re, err := FromParts(orig.Words(), orig.BlockCounts(), orig.Len())
+	if err != nil {
+		t.Fatalf("FromParts: %v", err)
+	}
+	if re.Len() != orig.Len() || re.Ones() != orig.Ones() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", re.Len(), re.Ones(), orig.Len(), orig.Ones())
+	}
+	for i := 0; i <= orig.Len(); i++ {
+		if re.Rank1(i) != orig.Rank1(i) {
+			t.Fatalf("Rank1(%d) mismatch", i)
+		}
+	}
+	for k := 0; k < orig.Ones(); k++ {
+		if re.Select1(k) != orig.Select1(k) {
+			t.Fatalf("Select1(%d) mismatch", k)
+		}
+	}
+	// Empty vector round trip.
+	empty := NewBuilder(0).Build()
+	if _, err := FromParts(empty.Words(), empty.BlockCounts(), 0); err != nil {
+		t.Fatalf("empty FromParts: %v", err)
+	}
+}
+
+func TestFromPartsValidation(t *testing.T) {
+	b := NewBuilder(100)
+	for i := 0; i < 100; i++ {
+		b.Append(i%2 == 0)
+	}
+	v := b.Build()
+	cases := []struct {
+		name   string
+		words  []uint64
+		blocks []int32
+		n      int
+	}{
+		{"negative n", v.Words(), v.BlockCounts(), -1},
+		{"word count mismatch", v.Words()[:1], v.BlockCounts(), 100},
+		{"block count mismatch", v.Words(), v.BlockCounts()[:1], 100},
+		{"nonzero first block", v.Words(), []int32{5, 50}, 100},
+		{"non-monotonic blocks", v.Words(), []int32{0, -3}, 100},
+		{"ones exceed bits", v.Words(), []int32{0, 101}, 100},
+	}
+	for _, c := range cases {
+		if _, err := FromParts(c.words, c.blocks, c.n); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

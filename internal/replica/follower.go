@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -551,7 +553,13 @@ func (f *Follower) fetchWAL(ctx context.Context, coll string, epoch uint64, from
 	return &chunk, nil
 }
 
-// fetchSnapshot downloads one bootstrap snapshot.
+// fetchSnapshot downloads one bootstrap snapshot, spooling the body to a
+// temporary file in the store's directory before decoding. Spooling keeps
+// bootstrap memory bounded by the decoded collection alone — the serialized
+// bytes live on disk, never on the heap next to their decoded form — which
+// is what lets a follower bootstrap collections larger than its RAM
+// headroom. The spool file is hidden from the store's startup scan (its
+// suffix is neither .wal nor .ckpt) and removed before returning.
 func (f *Follower) fetchSnapshot(ctx context.Context, coll string) (*ingest.ReplicaSnapshot, error) {
 	q := url.Values{}
 	q.Set("collection", coll)
@@ -573,7 +581,27 @@ func (f *Follower) fetchSnapshot(ctx context.Context, coll string) (*ingest.Repl
 		}
 		return nil, fmt.Errorf("replica: snapshot of %q: %s: %s", coll, resp.Status, bytes.TrimSpace(body))
 	}
-	return ReadSnapshot(resp.Body)
+	dir := ""
+	if f.opts.Store != nil {
+		dir = f.opts.Store.Options().Dir
+	}
+	spool, err := os.CreateTemp(dir, ".snapshot-*.spool")
+	if err != nil {
+		// No spool space: decode the stream directly rather than fail the
+		// bootstrap — only the memory bound is lost, not correctness.
+		return ReadSnapshot(resp.Body)
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	if _, err := io.Copy(spool, resp.Body); err != nil {
+		return nil, fmt.Errorf("replica: spooling snapshot of %q: %w", coll, err)
+	}
+	if _, err := spool.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("replica: spooling snapshot of %q: %w", coll, err)
+	}
+	return ReadSnapshot(bufio.NewReader(spool))
 }
 
 // Status reports per-collection replication lag in name order.

@@ -184,6 +184,11 @@ type Config struct {
 	// old primary's feed before taking over from the last applied position;
 	// 0 means DefaultPromoteWait.
 	PromoteWait time.Duration
+	// MappedStats, when non-nil, supplies the zero-copy serving counters
+	// (mmap'd bytes, decode skips, collection fault-ins) rendered as the
+	// /v1/stats "mapped" section. The daemon wires it to the catalog's
+	// MappedStats method when serving from an index cache.
+	MappedStats func() catalog.MappedStats
 }
 
 // DefaultPromoteWait is the default drain deadline of POST /v1/promote.
@@ -1357,6 +1362,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":    approxQ,
 			"cache_hits": approxHits,
 		},
+	}
+	if s.cfg.MappedStats != nil {
+		// Zero-copy serving state: how much index storage is mmap'd (file-
+		// backed — not part of the heap numbers above), how many cache loads
+		// skipped the decode path, and how often evicted collections faulted
+		// back in.
+		out["mapped"] = s.cfg.MappedStats()
 	}
 	if s.ingest != nil {
 		out["ingest"] = s.ingest.Status()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mapped"
 	"repro/internal/obs"
 )
 
@@ -121,6 +122,13 @@ type stats struct {
 }
 
 func newStats(r *obs.Registry) *stats {
+	// Process-wide mmap accounting: file-backed index bytes currently mapped
+	// (format-4 envelopes opened by the catalog, the ingest index cache or
+	// direct loads). Registered here so every role exposes it; re-registration
+	// on a shared registry is idempotent for func gauges.
+	r.GaugeFunc("ustridx_mapped_bytes",
+		"Bytes of index storage currently mmap'd into the process (file-backed and reclaimable, not heap).",
+		func() float64 { return float64(mapped.MappedBytes()) })
 	return &stats{
 		endpoints: make(map[string]*endpointStats),
 		requestsVec: r.CounterVec("ustridx_requests_total",
